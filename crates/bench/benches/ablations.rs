@@ -1,0 +1,145 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * replay scope — the paper argues a 16-stage pipeline needs
+//!   Pentium-4-style dependent-only replay rather than R10000-style
+//!   squash-all (Section 6.3);
+//! * predecoding — the paper credits it with ~6% extra discharge
+//!   reduction on data caches (Section 6.4).
+
+use bitline_bench::{banner, pct, rel};
+use bitline_cmos::TechnologyNode;
+use bitline_sim::experiments::{optimal_gated, SweptCache};
+use bitline_sim::{default_instructions, run_benchmark, SystemSpec};
+
+fn main() {
+    let instrs = default_instructions();
+    banner("Ablations: replay scope and predecoding", "Sections 6.3-6.4");
+
+    // --- Predecoding ablation -------------------------------------------
+    println!("Predecoding ablation (gated D-cache, per-benchmark optimum, 70nm):");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "benchmark", "disch w/ pre", "disch w/o", "slow w/ pre", "slow w/o"
+    );
+    let node = TechnologyNode::N70;
+    let mut with_sum = 0.0;
+    let mut without_sum = 0.0;
+    let names = ["gcc", "mcf", "mesa", "health", "vpr", "art"];
+    for name in names {
+        let baseline =
+            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let with = optimal_gated(name, SweptCache::Data, node, &baseline, instrs);
+        let without = optimal_gated(name, SweptCache::DataNoPredecode, node, &baseline, instrs);
+        with_sum += with.relative_discharge;
+        without_sum += without.relative_discharge;
+        println!(
+            "{:>10} {:>14} {:>14} {:>12} {:>12}",
+            name,
+            rel(with.relative_discharge),
+            rel(without.relative_discharge),
+            pct(with.slowdown),
+            pct(without.slowdown)
+        );
+    }
+    let n = names.len() as f64;
+    println!(
+        "{:>10} {:>14} {:>14}   (paper: predecoding adds ~6% discharge reduction)",
+        "AVG",
+        rel(with_sum / n),
+        rel(without_sum / n)
+    );
+
+    // --- Replay-scope ablation ------------------------------------------
+    println!();
+    println!("Replay-scope ablation (gated D-cache t=100, squash policy):");
+    println!(
+        "{:>10} {:>16} {:>16} {:>14} {:>14}",
+        "benchmark", "P4 slowdown", "R10K slowdown", "P4 replays", "R10K replays"
+    );
+    for name in names {
+        use bitline_cache::{MemorySystem, MemorySystemConfig};
+        use bitline_cpu::{Cpu, CpuConfig, ReplayScope};
+        use gated_precharge::{GatedPolicy, StaticPullUp};
+
+        let run = |scope: ReplayScope| {
+            let cfg = MemorySystemConfig::default();
+            let mem = MemorySystem::new(
+                cfg,
+                Box::new(GatedPolicy::new(cfg.l1d.subarrays(), 100, 1)),
+                Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+            );
+            let base_mem = MemorySystem::new(
+                cfg,
+                Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+                Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+            );
+            let cpu_cfg = CpuConfig { replay_scope: scope, ..CpuConfig::default() };
+            let mut trace =
+                bitline_workloads::suite::by_name(name).expect("known benchmark").build(42);
+            let mut cpu = Cpu::new(cpu_cfg, mem);
+            let stats = cpu.run(&mut trace, instrs);
+            let mut base_trace =
+                bitline_workloads::suite::by_name(name).expect("known benchmark").build(42);
+            let mut base_cpu = Cpu::new(cpu_cfg, base_mem);
+            let base = base_cpu.run(&mut base_trace, instrs);
+            (stats.cycles as f64 / base.cycles as f64 - 1.0, stats.replays)
+        };
+        let (p4_slow, p4_replays) = run(ReplayScope::DependentsOnly);
+        let (r10k_slow, r10k_replays) = run(ReplayScope::AllYounger);
+        println!(
+            "{:>10} {:>16} {:>16} {:>14} {:>14}",
+            name,
+            pct(p4_slow),
+            pct(r10k_slow),
+            p4_replays,
+            r10k_replays
+        );
+    }
+    println!();
+    println!("  paper (Section 6.3): squash-all replay would make latency");
+    println!("  mispredictions far costlier on a 16-stage pipeline, which is why");
+    println!("  the study adopts the Pentium 4's dependent-only approach.");
+
+    // --- Way-prediction composition ---------------------------------------
+    println!();
+    println!("Way prediction composed with gated precharging (related work [12,15]):");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>12}",
+        "benchmark", "way accuracy", "D energy save", "+waypred save", "extra slow"
+    );
+    for name in ["gcc", "mesa", "mcf"] {
+        let gated_only = run_benchmark(
+            name,
+            &SystemSpec {
+                d_policy: bitline_sim::PolicyKind::GatedPredecode { threshold: 100 },
+                instructions: instrs,
+                ..SystemSpec::default()
+            },
+        );
+        let combined = run_benchmark(
+            name,
+            &SystemSpec {
+                d_policy: bitline_sim::PolicyKind::GatedPredecode { threshold: 100 },
+                instructions: instrs,
+                way_prediction: true,
+                ..SystemSpec::default()
+            },
+        );
+        let (g, gb) = gated_only.energy(node);
+        let (c, cb) = combined.energy(node);
+        let accuracy = combined.d_way_stats.map_or(0.0, |ws| {
+            ws.correct as f64 / (ws.correct + ws.wrong).max(1) as f64
+        });
+        println!(
+            "{:>10} {:>12} {:>14} {:>14} {:>12}",
+            name,
+            pct(accuracy),
+            pct(g.d.overall_reduction(&gb.d)),
+            pct(c.d.overall_reduction(&cb.d)),
+            pct(combined.cycles() as f64 / gated_only.cycles() as f64 - 1.0),
+        );
+    }
+    println!();
+    println!("  way prediction attacks dynamic read energy, gated precharging the");
+    println!("  static bitline discharge: the savings compose (paper, Section 7).");
+}

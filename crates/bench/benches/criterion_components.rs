@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the simulator components themselves:
+//! tracks the throughput of the building blocks every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bitline_cache::{CacheConfig, MemorySystem, MemorySystemConfig};
+use bitline_circuit::{BitlineModel, TransientSim};
+use bitline_cmos::TechnologyNode;
+use bitline_cpu::{Cpu, CpuConfig};
+use bitline_trace::TraceSource;
+use bitline_workloads::suite;
+use gated_precharge::{GatedPolicy, StaticPullUp};
+use bitline_cache::PrechargePolicy;
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("generate_10k_instrs_gcc", |b| {
+        let spec = suite::by_name("gcc").unwrap();
+        b.iter(|| {
+            let mut w = spec.build(1);
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(w.next_instr().pc);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_gated_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("gated_100k_accesses", |b| {
+        b.iter(|| {
+            let mut p = GatedPolicy::new(32, 100, 1);
+            let mut delayed = 0u32;
+            for i in 0..100_000u64 {
+                delayed += p.access((i % 7) as usize, i * 3);
+            }
+            delayed
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("l1d_100k_accesses", |b| {
+        b.iter(|| {
+            let cfg = MemorySystemConfig::default();
+            let mut mem = MemorySystem::new(
+                cfg,
+                Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+                Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+            );
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                let addr = 0x1000_0000 + (i * 88) % (64 * 1024);
+                hits += u64::from(mem.data_access(addr, false, i).l1_hit);
+            }
+            hits
+        });
+    });
+    g.finish();
+}
+
+fn bench_cpu_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("mesa_50k_instrs", |b| {
+        b.iter(|| {
+            let cfg = MemorySystemConfig::default();
+            let mem = MemorySystem::new(
+                cfg,
+                Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+                Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+            );
+            let mut cpu = Cpu::new(CpuConfig::default(), mem);
+            let mut trace = suite::by_name("mesa").unwrap().build(1);
+            cpu.run(&mut trace, 50_000).cycles
+        });
+    });
+    g.finish();
+}
+
+fn bench_transient_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit");
+    g.bench_function("transient_integration_70nm", |b| {
+        let geom = CacheConfig::l1_data().geometry();
+        b.iter(|| TransientSim::new(BitlineModel::new(TechnologyNode::N70, geom)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_generation,
+    bench_gated_policy,
+    bench_cache_access,
+    bench_cpu_throughput,
+    bench_transient_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 10: effect of subarray size.
+
+use bitline_bench::{banner, rel};
+use bitline_sim::{default_instructions, experiments::fig10};
+
+fn main() {
+    banner("Figure 10: Effect of subarray size (gated precharging, 70nm)", "Figure 10");
+    let rows = fig10::run(default_instructions());
+    if let Some(dir) = bitline_sim::experiments::export::export_dir() {
+        match bitline_sim::experiments::export::write_fig10(&dir, &rows) {
+            Ok(p) => println!("  exported {}", p.display()),
+            Err(e) => eprintln!("  export failed: {e}"),
+        }
+    }
+    println!(
+        "{:>9} {:>12} {:>12}   (fraction of subarrays precharged, suite average)",
+        "subarray", "data", "instruction"
+    );
+    for r in &rows {
+        let label = if r.subarray_bytes >= 1024 {
+            format!("{}KB", r.subarray_bytes / 1024)
+        } else {
+            format!("{}B", r.subarray_bytes)
+        };
+        println!("{label:>9} {:>12} {:>12}", rel(r.d_precharged), rel(r.i_precharged));
+    }
+    println!();
+    println!("  paper: D 28/10/8/7 %, I 18/8/6/5 % for 4KB/1KB/256B/64B; saturation");
+    println!("  below 256B.");
+}

@@ -1,0 +1,34 @@
+//! Figure 2: power dissipation through bitlines after isolation.
+
+use bitline_bench::banner;
+use bitline_sim::experiments::fig2;
+
+fn main() {
+    banner("Figure 2: Power dissipation through bitlines", "Figure 2");
+    let series = fig2::run(21);
+    print!("{:>9}", "t (ns)");
+    for s in &series {
+        print!(" {:>8}", s.node.to_string());
+    }
+    println!("   (normalized to static pull-up)");
+    for i in 0..series[0].points.len() {
+        print!("{:>9.0}", series[0].points[i].t_ns);
+        for s in &series {
+            print!(" {:>8.3}", s.points[i].normalized_power);
+        }
+        println!();
+    }
+    println!();
+    for s in &series {
+        println!(
+            "  {}: break-even idle for one isolation episode ~ {:>8.0} cycles",
+            s.node, s.break_even_cycles
+        );
+    }
+    if let Some(dir) = bitline_sim::experiments::export::export_dir() {
+        match bitline_sim::experiments::export::write_fig2(&dir, &series) {
+            Ok(p) => println!("  exported {}", p.display()),
+            Err(e) => eprintln!("  export failed: {e}"),
+        }
+    }
+}

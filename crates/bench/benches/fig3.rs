@@ -1,0 +1,26 @@
+//! Figure 3: potential bitline discharge savings (oracle).
+
+use bitline_bench::{banner, rel};
+use bitline_sim::{default_instructions, experiments::fig3};
+
+fn main() {
+    banner("Figure 3: Potential bitline discharge savings (oracle, 70nm)", "Figure 3");
+    let (rows, avg) = fig3::run(default_instructions());
+    println!("{:>10} {:>12} {:>12}   (relative bitline discharge; lower is better)",
+        "benchmark", "data", "instruction");
+    for r in rows.iter().chain(std::iter::once(&avg)) {
+        println!("{:>10} {:>12} {:>12}", r.benchmark, rel(r.d_relative), rel(r.i_relative));
+    }
+    println!();
+    println!(
+        "  AVG potential reduction: D {:.0}%  I {:.0}%   (paper: 89% / 90%)",
+        100.0 * (1.0 - avg.d_relative),
+        100.0 * (1.0 - avg.i_relative)
+    );
+    if let Some(dir) = bitline_sim::experiments::export::export_dir() {
+        match bitline_sim::experiments::export::write_fig3(&dir, &rows) {
+            Ok(p) => println!("  exported {}", p.display()),
+            Err(e) => eprintln!("  export failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 5: cumulative distribution of cache accesses vs. subarray access
+//! frequency.
+
+use bitline_bench::banner;
+use bitline_sim::{default_instructions, experiments::locality};
+
+fn main() {
+    banner("Figure 5: Cache-access CDF vs. subarray access frequency", "Figure 5");
+    let res = locality::run(default_instructions());
+    let labels = locality::bucket_labels();
+    for (title, rows) in [("(a) Data Cache", &res.data), ("(b) Instruction Cache", &res.inst)] {
+        println!("{title}");
+        print!("{:>10}", "benchmark");
+        for l in &labels {
+            print!(" {l:>8}");
+        }
+        println!("   (fraction of accesses at interval <= N cycles)");
+        for r in rows {
+            print!("{:>10}", r.benchmark);
+            for v in r.access_cdf {
+                print!(" {v:>8.3}");
+            }
+            println!();
+        }
+        println!();
+    }
+}

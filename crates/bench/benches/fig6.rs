@@ -1,0 +1,30 @@
+//! Figure 6: fraction of hot subarrays vs. access-frequency threshold.
+
+use bitline_bench::banner;
+use bitline_sim::{default_instructions, experiments::locality};
+
+fn main() {
+    banner("Figure 6: Fraction of hot subarrays", "Figure 6");
+    let res = locality::run(default_instructions());
+    let labels = locality::threshold_labels();
+    for (title, rows) in [("(a) Data Cache", &res.data), ("(b) Instruction Cache", &res.inst)] {
+        println!("{title}");
+        print!("{:>10}", "benchmark");
+        for l in &labels {
+            print!(" {l:>8}");
+        }
+        println!("   (time-averaged fraction of subarrays hot at threshold)");
+        for r in rows {
+            print!("{:>10}", r.benchmark);
+            for v in r.hot_fraction {
+                print!(" {v:>8.3}");
+            }
+            println!();
+        }
+        let avg100 = locality::average_hot_fraction(rows, 2);
+        let avg1000 = locality::average_hot_fraction(rows, 3);
+        println!("{:>10}  hot@1/100 avg {:.3} (paper ~0.22); hot@1/1000 avg {:.3} (paper <=0.40)",
+            "AVG", avg100, avg1000);
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 8: gated precharging per benchmark at 70nm.
+
+use bitline_bench::{banner, pct, rel};
+use bitline_sim::{default_instructions, experiments::fig8};
+
+fn main() {
+    banner("Figure 8: Gated precharging (70nm, per-benchmark optimum thresholds)", "Figure 8");
+    let (rows, summary) = fig8::run(default_instructions());
+    println!(
+        "{:>10} | {:>9} {:>9} {:>5} {:>8} | {:>9} {:>9} {:>5} {:>8}",
+        "benchmark", "D prechg", "D disch", "D t", "D slow", "I prechg", "I disch", "I t", "I slow"
+    );
+    for r in rows.iter().chain(std::iter::once(&summary.avg)) {
+        println!(
+            "{:>10} | {:>9} {:>9} {:>5} {:>8} | {:>9} {:>9} {:>5} {:>8}",
+            r.benchmark,
+            rel(r.d_precharged),
+            rel(r.d_discharge),
+            r.d_threshold,
+            pct(r.d_slowdown),
+            rel(r.i_precharged),
+            rel(r.i_discharge),
+            r.i_threshold,
+            pct(r.i_slowdown),
+        );
+    }
+    println!();
+    println!(
+        "  constant threshold (100): D discharge {} I discharge {}  (paper: 0.22 / 0.19)",
+        rel(summary.const_d_discharge),
+        rel(summary.const_i_discharge)
+    );
+    println!(
+        "  paper AVG: D precharged ~0.10, D discharge 0.17; I precharged ~0.06, I discharge 0.13"
+    );
+}

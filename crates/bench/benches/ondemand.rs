@@ -1,0 +1,15 @@
+//! Section 5: on-demand precharging performance cost.
+
+use bitline_bench::{banner, pct};
+use bitline_sim::{default_instructions, experiments::ondemand};
+
+fn main() {
+    banner("Section 5: On-demand precharging slowdown", "Section 5 (Table 3 discussion)");
+    let (rows, avg) = ondemand::run(default_instructions());
+    println!("{:>10} {:>10} {:>10}   (slowdown vs. static pull-up)", "benchmark", "data", "inst");
+    for r in rows.iter().chain(std::iter::once(&avg)) {
+        println!("{:>10} {:>10} {:>10}", r.benchmark, pct(r.d_slowdown), pct(r.i_slowdown));
+    }
+    println!();
+    println!("  paper: 9% (data) / 7% (instruction) average slowdown");
+}

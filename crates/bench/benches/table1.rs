@@ -1,0 +1,25 @@
+//! Table 1: circuit parameters.
+
+use bitline_bench::banner;
+use bitline_sim::experiments::tables;
+
+fn main() {
+    banner("Table 1: Circuit parameters", "Table 1");
+    println!("{:>18} {:>8} {:>8} {:>8} {:>8}", "", "180nm", "130nm", "100nm", "70nm");
+    let rows = tables::table1();
+    print!("{:>18}", "Feature size (nm)");
+    for r in &rows {
+        print!(" {:>8}", r.feature_nm);
+    }
+    println!();
+    print!("{:>18}", "Supply voltage (V)");
+    for r in &rows {
+        print!(" {:>8.1}", r.vdd);
+    }
+    println!();
+    print!("{:>18}", "Clock (GHz)");
+    for r in &rows {
+        print!(" {:>8.1}", r.clock_ghz);
+    }
+    println!();
+}

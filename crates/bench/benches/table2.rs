@@ -1,0 +1,11 @@
+//! Table 2: base system configuration.
+
+use bitline_bench::banner;
+use bitline_sim::experiments::tables;
+
+fn main() {
+    banner("Table 2: Base system configuration", "Table 2");
+    for (k, v) in tables::table2() {
+        println!("  {k:<20} {v}");
+    }
+}

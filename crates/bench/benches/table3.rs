@@ -1,0 +1,26 @@
+//! Table 3: decode and precharge delays.
+
+use bitline_bench::banner;
+use bitline_sim::experiments::tables;
+
+fn main() {
+    banner("Table 3: Decode and precharge delay (ns)", "Table 3");
+    println!(
+        "{:>9} {:>6} {:>8} {:>10} {:>8} {:>18}",
+        "subarray", "node", "drive", "predecode", "final", "worst-case pull-up"
+    );
+    for r in tables::table3() {
+        println!(
+            "{:>7}KB {:>6} {:>8.3} {:>10.3} {:>8.3} {:>18.3}",
+            r.subarray_bytes / 1024,
+            r.node.to_string(),
+            r.drive_ns,
+            r.predecode_ns,
+            r.final_ns,
+            r.pullup_ns
+        );
+    }
+    println!();
+    println!("  note: pull-up exceeds the final-decode margin in every row,");
+    println!("  so on-demand precharging costs one cycle per access (Section 5).");
+}

@@ -1,0 +1,39 @@
+//! Shared formatting helpers for the table/figure harnesses.
+//!
+//! Each `benches/*.rs` target (all `harness = false`) regenerates one
+//! table or figure of the paper as text when run under `cargo bench`; the
+//! instruction budget per simulation is `BITLINE_INSTRS` (default 150 000).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a banner naming the experiment being regenerated.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("    (reproduces {paper_ref} of Yang & Falsafi, MICRO-36 2003)");
+    println!();
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Formats a relative quantity with three decimals.
+#[must_use]
+pub fn rel(x: f64) -> String {
+    format!("{x:5.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), " 12.3%");
+        assert_eq!(rel(0.5), "0.500");
+    }
+}

@@ -1,0 +1,137 @@
+//! Unified L2 cache model (tag array only; Table 2: 512 KB, 4-way,
+//! 12-cycle).
+
+/// One L2 tag entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// A unified second-level cache.
+///
+/// Functional tag array with LRU replacement; latency is applied by
+/// [`crate::MemorySystem`]. The L2 uses static pull-up in the paper (its
+/// precharge behaviour is not under study), so no precharge policy is
+/// attached.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cache::L2Cache;
+///
+/// let mut l2 = L2Cache::new(512 * 1024, 4, 32);
+/// assert!(!l2.access(0x1234_0000));
+/// assert!(l2.access(0x1234_0000));
+/// ```
+#[derive(Debug)]
+pub struct L2Cache {
+    line_bytes: usize,
+    sets: Vec<Vec<Line>>,
+    lru_clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Creates the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    #[must_use]
+    pub fn new(size_bytes: usize, assoc: usize, line_bytes: usize) -> L2Cache {
+        assert!(size_bytes % (assoc * line_bytes) == 0, "L2 geometry must divide evenly");
+        let n_sets = size_bytes / (assoc * line_bytes);
+        L2Cache {
+            line_bytes,
+            sets: vec![vec![Line::default(); assoc]; n_sets],
+            lru_clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `addr`, filling on miss. Returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes as u64;
+        let n_sets = self.sets.len() as u64;
+        let set_idx = (line % n_sets) as usize;
+        let tag = line / n_sets;
+        self.lru_clock += 1;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            set[way].lru = self.lru_clock;
+            self.hits += 1;
+            true
+        } else {
+            let victim = (0..set.len())
+                .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
+                .expect("L2 has at least one way");
+            set[victim] = Line { valid: true, tag, lru: self.lru_clock };
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio so far (0 when no accesses).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_fits() {
+        let mut l2 = L2Cache::new(512 * 1024, 4, 32);
+        for pass in 0..2 {
+            for i in 0..1024u64 {
+                let hit = l2.access(i * 32);
+                if pass == 1 {
+                    assert!(hit, "line {i} should be resident on the second pass");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_kicks_in() {
+        let mut l2 = L2Cache::new(512 * 1024, 4, 32);
+        // Stream 2 MB (4x the capacity) twice: second pass still misses.
+        let lines = (2 * 1024 * 1024 / 32) as u64;
+        for _ in 0..2 {
+            for i in 0..lines {
+                l2.access(i * 32);
+            }
+        }
+        assert!(l2.miss_ratio() > 0.9, "miss ratio {}", l2.miss_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_bad_geometry() {
+        let _ = L2Cache::new(1000, 3, 32);
+    }
+}

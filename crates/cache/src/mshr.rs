@@ -1,0 +1,132 @@
+//! Miss status holding registers.
+
+/// A set of miss status holding registers (Table 2: 8 entries).
+///
+/// Outstanding misses to the same line are merged; when all registers are
+/// busy a new miss queues behind the earliest-completing one, adding to its
+/// latency — a simple but faithful bandwidth limiter on outstanding misses.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cache::Mshr;
+///
+/// let mut mshr = Mshr::new(8);
+/// // A miss that takes 12 cycles to fill.
+/// assert_eq!(mshr.request(0x40, 100, 12), 12);
+/// // A second miss to the same line merges into the outstanding one.
+/// assert_eq!(mshr.request(0x40, 104, 12), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    /// `(line, ready_cycle)` for outstanding misses.
+    entries: Vec<(u64, u64)>,
+    merges: u64,
+    stalls: u64,
+}
+
+impl Mshr {
+    /// Creates `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0, "need at least one MSHR");
+        Mshr { capacity, entries: Vec::with_capacity(capacity), merges: 0, stalls: 0 }
+    }
+
+    /// Registers a miss to `line` at `cycle` with `fill_latency` cycles of
+    /// service time; returns the total cycles until the data is ready.
+    pub fn request(&mut self, line: u64, cycle: u64, fill_latency: u32) -> u32 {
+        // Retire completed entries.
+        self.entries.retain(|&(_, ready)| ready > cycle);
+        // Merge with an outstanding miss to the same line.
+        if let Some(&(_, ready)) = self.entries.iter().find(|&&(l, _)| l == line) {
+            self.merges += 1;
+            return (ready - cycle) as u32;
+        }
+        // Allocate, queueing behind the earliest completion if full.
+        let start = if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            let (idx, &(_, earliest)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(_, r))| r)
+                .expect("full MSHR is non-empty");
+            self.entries.swap_remove(idx);
+            earliest
+        } else {
+            cycle
+        };
+        let ready = start + u64::from(fill_latency);
+        self.entries.push((line, ready));
+        (ready - cycle) as u32
+    }
+
+    /// Number of outstanding entries at `cycle`.
+    #[must_use]
+    pub fn outstanding(&self, cycle: u64) -> usize {
+        self.entries.iter().filter(|&&(_, ready)| ready > cycle).count()
+    }
+
+    /// Misses merged into an outstanding entry.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Requests that had to queue because all registers were busy.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_misses_run_in_parallel() {
+        let mut m = Mshr::new(8);
+        for i in 0..8u64 {
+            assert_eq!(m.request(i, 0, 100), 100, "miss {i} should not queue");
+        }
+        assert_eq!(m.outstanding(50), 8);
+        assert_eq!(m.stalls(), 0);
+    }
+
+    #[test]
+    fn ninth_miss_queues_behind_earliest() {
+        let mut m = Mshr::new(8);
+        for i in 0..8u64 {
+            m.request(i, i, 100); // ready at i + 100
+        }
+        // At cycle 10 all 8 are busy; the earliest completes at 100.
+        let lat = m.request(99, 10, 100);
+        assert_eq!(lat, (100 - 10) + 100);
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn completed_entries_free_registers() {
+        let mut m = Mshr::new(2);
+        m.request(1, 0, 10);
+        m.request(2, 0, 10);
+        // Both done by cycle 20: no queueing.
+        assert_eq!(m.request(3, 20, 10), 10);
+        assert_eq!(m.stalls(), 0);
+    }
+
+    #[test]
+    fn merge_reports_remaining_time() {
+        let mut m = Mshr::new(4);
+        m.request(7, 0, 116);
+        assert_eq!(m.request(7, 100, 116), 16);
+        assert_eq!(m.merges(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! MRU way prediction (Inoue et al., ISLPED 1999; Powell et al., MICRO
+//! 2001 — the paper's references [12, 15]).
+//!
+//! Set-associative caches normally probe **all** ways of a set in parallel
+//! (tag lookup overlaps data access), burning read energy in every way.
+//! A way predictor reads only the predicted way; a correct prediction
+//! saves the other ways' read energy, a wrong one costs an extra probe
+//! cycle. The paper notes this is orthogonal to bitline isolation — it
+//! cuts *dynamic read* energy where gated precharging cuts *static
+//! bitline discharge* — and the two compose, which `bitline-energy`
+//! accounts for via [`WayStats`].
+
+use serde::{Deserialize, Serialize};
+
+/// Most-recently-used way predictor: one way index per set.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cache::WayPredictor;
+///
+/// let mut wp = WayPredictor::new(512, 2);
+/// assert_eq!(wp.predict(7), 0, "cold prediction defaults to way 0");
+/// wp.update(7, 1);
+/// assert_eq!(wp.predict(7), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WayPredictor {
+    mru: Vec<u8>,
+    correct: u64,
+    wrong: u64,
+}
+
+/// Way-prediction outcome counts for energy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WayStats {
+    /// Hits whose way was predicted correctly (one way read).
+    pub correct: u64,
+    /// Hits whose way was mispredicted (all ways read, plus a re-probe
+    /// cycle).
+    pub wrong: u64,
+}
+
+impl WayPredictor {
+    /// Creates a predictor for `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or `assoc` is zero or above 256.
+    #[must_use]
+    pub fn new(sets: usize, assoc: usize) -> WayPredictor {
+        assert!(sets > 0, "need at least one set");
+        assert!((1..=256).contains(&assoc), "associativity out of range");
+        WayPredictor { mru: vec![0; sets], correct: 0, wrong: 0 }
+    }
+
+    /// Predicted way for `set`.
+    #[must_use]
+    pub fn predict(&self, set: usize) -> usize {
+        self.mru[set] as usize
+    }
+
+    /// Trains the predictor with the way that actually hit.
+    pub fn update(&mut self, set: usize, way: usize) {
+        self.mru[set] = way as u8;
+    }
+
+    /// Records a resolved prediction.
+    pub fn record(&mut self, was_correct: bool) {
+        if was_correct {
+            self.correct += 1;
+        } else {
+            self.wrong += 1;
+        }
+    }
+
+    /// Outcome counts so far.
+    #[must_use]
+    pub fn stats(&self) -> WayStats {
+        WayStats { correct: self.correct, wrong: self.wrong }
+    }
+
+    /// Prediction accuracy over resolved hits (0 when none).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct + self.wrong;
+        if total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mru_tracks_the_last_hitting_way() {
+        let mut wp = WayPredictor::new(4, 2);
+        wp.update(2, 1);
+        assert_eq!(wp.predict(2), 1);
+        assert_eq!(wp.predict(3), 0, "other sets unaffected");
+        wp.update(2, 0);
+        assert_eq!(wp.predict(2), 0);
+    }
+
+    #[test]
+    fn accuracy_accumulates() {
+        let mut wp = WayPredictor::new(4, 2);
+        wp.record(true);
+        wp.record(true);
+        wp.record(false);
+        assert_eq!(wp.stats(), WayStats { correct: 2, wrong: 1 });
+        assert!((wp.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_predictor_reports_zero_accuracy() {
+        let wp = WayPredictor::new(4, 2);
+        assert_eq!(wp.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn rejects_zero_sets() {
+        let _ = WayPredictor::new(0, 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the cache structures.
+
+use proptest::prelude::*;
+
+use bitline_cache::{ActivityReport, CacheConfig, L1Cache, Mshr, PrechargePolicy};
+
+struct NoDelay;
+impl PrechargePolicy for NoDelay {
+    fn name(&self) -> String {
+        "nodelay".into()
+    }
+    fn access(&mut self, _s: usize, _c: u64) -> u32 {
+        0
+    }
+    fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+        ActivityReport { policy: self.name(), end_cycle, per_subarray: vec![] }
+    }
+}
+
+proptest! {
+    /// Address mapping stays in range for any address and any legal
+    /// subarray size.
+    #[test]
+    fn subarray_mapping_in_range(addr in any::<u64>(), size_pow in 6usize..=12) {
+        let cfg = CacheConfig::l1_data().with_subarray_bytes(1 << size_pow);
+        prop_assert!(cfg.set_index(addr) < cfg.sets());
+        prop_assert!(cfg.subarray_of(addr) < cfg.subarrays());
+    }
+
+    /// Same line => same set and subarray; different tags distinguish
+    /// conflicting lines.
+    #[test]
+    fn line_granular_mapping(addr in any::<u64>(), off in 0u64..32) {
+        let cfg = CacheConfig::l1_data();
+        let base = addr & !31;
+        prop_assert_eq!(cfg.set_index(base), cfg.set_index(base + off));
+        prop_assert_eq!(cfg.subarray_of(base), cfg.subarray_of(base + off));
+        prop_assert_eq!(cfg.tag(base), cfg.tag(base + off));
+    }
+
+    /// An access immediately after an access to the same address always
+    /// hits, no matter what happened before.
+    #[test]
+    fn immediate_reuse_always_hits(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..200),
+        probe in 0u64..(1 << 24),
+    ) {
+        let mut l1 = L1Cache::new(CacheConfig::l1_data(), Box::new(NoDelay));
+        for (c, a) in addrs.iter().enumerate() {
+            l1.access(*a, false, c as u64);
+        }
+        l1.access(probe, false, 1_000);
+        let r = l1.access(probe, false, 1_001);
+        prop_assert!(r.hit);
+    }
+
+    /// Hits + misses always equals accesses, and the miss ratio is in
+    /// [0, 1].
+    #[test]
+    fn hit_miss_accounting(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut l1 = L1Cache::new(CacheConfig::l1_data(), Box::new(NoDelay));
+        for (c, a) in addrs.iter().enumerate() {
+            l1.access(*a, (a % 3) == 0, c as u64);
+        }
+        prop_assert_eq!(l1.hits() + l1.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&l1.miss_ratio()));
+    }
+
+    /// A working set no larger than one way per set never misses after the
+    /// first pass, regardless of ordering.
+    #[test]
+    fn small_working_set_converges(mut lines in prop::collection::vec(0u64..256, 1..64)) {
+        lines.sort_unstable();
+        lines.dedup();
+        let mut l1 = L1Cache::new(CacheConfig::l1_data(), Box::new(NoDelay));
+        let mut cycle = 0;
+        for pass in 0..3 {
+            for l in &lines {
+                cycle += 1;
+                let r = l1.access(l * 32, false, cycle);
+                if pass > 0 {
+                    prop_assert!(r.hit, "line {l} missed on pass {pass}");
+                }
+            }
+        }
+    }
+
+    /// The MSHR never reports a latency below the fill latency, and
+    /// outstanding entries never exceed capacity.
+    #[test]
+    fn mshr_latency_and_capacity(
+        reqs in prop::collection::vec((0u64..32, 1u64..50), 1..100),
+        cap in 1usize..12,
+    ) {
+        let mut mshr = Mshr::new(cap);
+        let mut cycle = 0;
+        for (line, gap) in reqs {
+            cycle += gap;
+            let lat = mshr.request(line, cycle, 20);
+            prop_assert!(lat >= 1, "latency must be positive");
+            prop_assert!(mshr.outstanding(cycle) <= cap);
+        }
+    }
+}

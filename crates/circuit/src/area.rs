@@ -1,0 +1,135 @@
+//! CACTI-like cache area model.
+//!
+//! Section 5 of the paper notes the cost of shrinking subarrays: "a larger
+//! number of subarrays increase the cache area and routing delay". This
+//! module quantifies that trade-off: cell area scales with the geometry,
+//! while per-subarray periphery (decoders, sense amplifiers, precharge
+//! drivers) and inter-subarray routing grow with the subarray count.
+
+use bitline_cmos::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+use crate::SubarrayGeometry;
+
+/// Cell width in drawn features (a 6-T cell is ~5 F wide per bitline
+/// pair; each extra port adds wires on both axes).
+const CELL_WIDTH_F: f64 = 5.0;
+/// Cell height in drawn features.
+const CELL_HEIGHT_F: f64 = 10.0;
+/// Per-port pitch growth: each additional port widens and heightens the
+/// cell by roughly 40% of the base pitch.
+const PORT_PITCH_GROWTH: f64 = 0.4;
+/// Periphery area per subarray, as an equivalent number of cell rows
+/// (decoder + sense amps + precharge drivers).
+const PERIPHERY_ROWS_EQUIV: f64 = 6.0;
+/// Routing overhead per subarray beyond the first, as a fraction of one
+/// subarray's cell area (H-tree wiring, address fan-out).
+const ROUTING_FRACTION_PER_SUBARRAY: f64 = 0.03;
+
+/// Area breakdown of a cache data array, in square millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheArea {
+    /// SRAM cell area.
+    pub cells_mm2: f64,
+    /// Per-subarray periphery (decoders, sense amps, precharge drivers).
+    pub periphery_mm2: f64,
+    /// Inter-subarray routing.
+    pub routing_mm2: f64,
+}
+
+impl CacheArea {
+    /// Total area in square millimetres.
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.cells_mm2 + self.periphery_mm2 + self.routing_mm2
+    }
+}
+
+/// Computes the data-array area of a cache divided into subarrays of the
+/// given geometry.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_circuit::{cache_area, SubarrayGeometry};
+/// use bitline_cmos::TechnologyNode;
+///
+/// let coarse = cache_area(TechnologyNode::N70, SubarrayGeometry::for_cache(4096, 32, 2, 32 * 1024));
+/// let fine = cache_area(TechnologyNode::N70, SubarrayGeometry::for_cache(64, 32, 2, 32 * 1024));
+/// // Line-sized subarrays pay heavily in periphery and routing.
+/// assert!(fine.total_mm2() > 1.5 * coarse.total_mm2());
+/// ```
+#[must_use]
+pub fn cache_area(node: TechnologyNode, geom: SubarrayGeometry) -> CacheArea {
+    let f_mm = node.feature_um() * 1e-3;
+    let ports = geom.ports() as f64;
+    let pitch_scale = 1.0 + PORT_PITCH_GROWTH * (ports - 1.0);
+    let cell_w = CELL_WIDTH_F * pitch_scale * f_mm;
+    let cell_h = CELL_HEIGHT_F * pitch_scale * f_mm;
+    let cell_area = cell_w * cell_h;
+
+    let cells_per_subarray = (geom.rows() * geom.cols()) as f64;
+    let n_sub = geom.subarrays_in_cache() as f64;
+    let cells_mm2 = cells_per_subarray * n_sub * cell_area;
+
+    let periphery_per_subarray = PERIPHERY_ROWS_EQUIV * geom.cols() as f64 * cell_area;
+    let periphery_mm2 = periphery_per_subarray * n_sub;
+
+    let subarray_cell_area = cells_per_subarray * cell_area;
+    let routing_mm2 = ROUTING_FRACTION_PER_SUBARRAY * subarray_cell_area * (n_sub - 1.0).max(0.0);
+
+    CacheArea { cells_mm2, periphery_mm2, routing_mm2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(subarray: usize) -> SubarrayGeometry {
+        SubarrayGeometry::for_cache(subarray, 32, 2, 32 * 1024)
+    }
+
+    #[test]
+    fn cell_area_is_independent_of_subarray_size() {
+        let a = cache_area(TechnologyNode::N70, geom(4096));
+        let b = cache_area(TechnologyNode::N70, geom(64));
+        assert!((a.cells_mm2 - b.cells_mm2).abs() / a.cells_mm2 < 1e-12);
+    }
+
+    #[test]
+    fn smaller_subarrays_cost_more_periphery_and_routing() {
+        // The Section 5 trade-off: 64 B subarrays mean 512 decoders and
+        // sense-amp stripes instead of 8.
+        let mut prev = 0.0;
+        for size in [4096, 1024, 256, 64] {
+            let a = cache_area(TechnologyNode::N70, geom(size));
+            let overhead = a.periphery_mm2 + a.routing_mm2;
+            assert!(overhead > prev, "{size} B: overhead {overhead}");
+            prev = overhead;
+        }
+    }
+
+    #[test]
+    fn area_shrinks_quadratically_with_feature_size() {
+        let old = cache_area(TechnologyNode::N180, geom(1024)).total_mm2();
+        let new = cache_area(TechnologyNode::N70, geom(1024)).total_mm2();
+        let expected = (180.0f64 / 70.0).powi(2);
+        let measured = old / new;
+        assert!((measured / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_ports_cost_quadratic_pitch() {
+        let one = cache_area(
+            TechnologyNode::N70,
+            SubarrayGeometry::for_cache(1024, 32, 1, 32 * 1024),
+        );
+        let four = cache_area(
+            TechnologyNode::N70,
+            SubarrayGeometry::for_cache(1024, 32, 4, 32 * 1024),
+        );
+        let ratio = four.cells_mm2 / one.cells_mm2;
+        // (1 + 0.4*3)^2 = 4.84
+        assert!((ratio - 4.84).abs() < 1e-9, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Lumped electrical model of one subarray's bitline network.
+
+use bitline_cmos::{DeviceParams, TechnologyNode};
+use serde::{Deserialize, Serialize};
+
+use crate::SubarrayGeometry;
+
+/// Lumped capacitance/leakage model of the bitlines in one subarray.
+///
+/// Each bitline sees one access-transistor drain per row plus the wire
+/// capacitance of the column; each attached cell draws subthreshold leakage
+/// from a pulled-up bitline. The worst-case stored-value combination (every
+/// cell leaking, as assumed for Figure 2 of the paper) is used throughout —
+/// it bounds the discharge without changing any trend.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_circuit::{BitlineModel, SubarrayGeometry};
+/// use bitline_cmos::TechnologyNode;
+///
+/// let geom = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+/// let bl = BitlineModel::new(TechnologyNode::N70, geom);
+/// // Leakage power grows dramatically towards 70 nm.
+/// let old = BitlineModel::new(TechnologyNode::N180, geom);
+/// assert!(bl.static_power_w() > 30.0 * old.static_power_w());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitlineModel {
+    node: TechnologyNode,
+    geom: SubarrayGeometry,
+    params: DeviceParams,
+}
+
+impl BitlineModel {
+    /// Builds the model for one node and subarray geometry.
+    #[must_use]
+    pub fn new(node: TechnologyNode, geom: SubarrayGeometry) -> BitlineModel {
+        BitlineModel { node, geom, params: node.device_params() }
+    }
+
+    /// The technology node the model was built for.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// The subarray geometry the model was built for.
+    #[must_use]
+    pub fn geometry(&self) -> SubarrayGeometry {
+        self.geom
+    }
+
+    /// Capacitance of a single bitline, in farads.
+    ///
+    /// One access-transistor drain per row plus the column wire.
+    #[must_use]
+    pub fn c_bitline_f(&self) -> f64 {
+        let drain = self.params.c_drain_ff_per_um * self.params.cell_width_um;
+        let wire = self.params.c_wire_ff_per_um * self.params.cell_height_um;
+        self.geom.rows() as f64 * (drain + wire) * 1e-15
+    }
+
+    /// Worst-case subthreshold current drawn from one pulled-up bitline by
+    /// its attached cells, in amperes.
+    #[must_use]
+    pub fn i_leak_per_bitline_a(&self) -> f64 {
+        self.geom.rows() as f64 * self.params.i_bitline_leak_per_cell_a
+    }
+
+    /// Static (pulled-up) dissipation of one bitline, in watts.
+    #[must_use]
+    pub fn static_power_per_bitline_w(&self) -> f64 {
+        self.node.vdd() * self.i_leak_per_bitline_a()
+    }
+
+    /// Static (pulled-up) dissipation of the whole subarray's bitline
+    /// network, in watts. This is the bitline discharge the paper's
+    /// techniques attack.
+    #[must_use]
+    pub fn static_power_w(&self) -> f64 {
+        self.geom.bitlines() as f64 * self.static_power_per_bitline_w()
+    }
+
+    /// Internal (non-bitline) cell leakage power of the subarray, in watts.
+    /// Unaffected by bitline isolation.
+    #[must_use]
+    pub fn cell_internal_power_w(&self) -> f64 {
+        let cells = (self.geom.rows() * self.geom.cols()) as f64;
+        self.node.vdd() * cells * self.params.i_cell_internal_leak_a
+    }
+
+    /// Gate-switching energy of toggling every precharge device in the
+    /// subarray once, in joules.
+    #[must_use]
+    pub fn precharge_switch_energy_j(&self) -> f64 {
+        self.geom.bitlines() as f64 * self.params.precharge_switch_energy_j(self.node.vdd())
+    }
+
+    /// Energy to pull one fully discharged bitline back to `Vdd`, in joules
+    /// (`C * Vdd^2`: half stored, half dissipated in the precharge device).
+    #[must_use]
+    pub fn full_repump_energy_per_bitline_j(&self) -> f64 {
+        let vdd = self.node.vdd();
+        self.c_bitline_f() * vdd * vdd
+    }
+
+    /// Characteristic discharge time of an isolated bitline, in nanoseconds:
+    /// the time for the worst-case constant leakage to remove the full
+    /// bitline charge.
+    #[must_use]
+    pub fn discharge_time_ns(&self) -> f64 {
+        self.c_bitline_f() * self.node.vdd() / self.i_leak_per_bitline_a() * 1e9
+    }
+
+    /// Device parameters in use.
+    #[must_use]
+    pub fn device_params(&self) -> &DeviceParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> SubarrayGeometry {
+        SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024)
+    }
+
+    #[test]
+    fn discharge_time_shrinks_dramatically_with_scaling() {
+        // Figure 2: 180 nm settles over ~500 ns while 70 nm "melts away
+        // quickly". The constant-current discharge time bounds the settle.
+        let old = BitlineModel::new(TechnologyNode::N180, geom());
+        let new = BitlineModel::new(TechnologyNode::N70, geom());
+        assert!(
+            old.discharge_time_ns() > 300.0 && old.discharge_time_ns() < 900.0,
+            "180 nm discharge {} ns",
+            old.discharge_time_ns()
+        );
+        assert!(new.discharge_time_ns() < 5.0, "70 nm discharge {} ns", new.discharge_time_ns());
+    }
+
+    #[test]
+    fn static_power_scales_with_bitline_count() {
+        let g2 = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+        let g4 = SubarrayGeometry::for_cache(1024, 32, 4, 32 * 1024);
+        let m2 = BitlineModel::new(TechnologyNode::N70, g2);
+        let m4 = BitlineModel::new(TechnologyNode::N70, g4);
+        assert!((m4.static_power_w() / m2.static_power_w() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolation_break_even_is_orders_of_magnitude_cheaper_at_70nm() {
+        // The economics of Section 4: overhead energy of one
+        // isolate/re-precharge episode vs. the static burn it avoids.
+        for (node, max_cycles) in [(TechnologyNode::N180, 3000.0), (TechnologyNode::N70, 40.0)] {
+            let m = BitlineModel::new(node, geom());
+            let overhead = 2.0 * m.precharge_switch_energy_j()
+                + m.geom.bitlines() as f64 * m.full_repump_energy_per_bitline_j();
+            let break_even_s = overhead / m.static_power_w();
+            let cycles = break_even_s / (node.cycle_time_ns() * 1e-9);
+            assert!(cycles < max_cycles, "{node}: break-even {cycles:.0} cycles");
+            if node == TechnologyNode::N180 {
+                assert!(cycles > 300.0, "180 nm should NOT be cheap: {cycles:.0}");
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_subarrays_have_slower_bitlines() {
+        let small = BitlineModel::new(
+            TechnologyNode::N70,
+            SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024),
+        );
+        let big = BitlineModel::new(
+            TechnologyNode::N70,
+            SubarrayGeometry::for_cache(4096, 32, 2, 32 * 1024),
+        );
+        assert!(big.c_bitline_f() > 3.9 * small.c_bitline_f());
+    }
+}

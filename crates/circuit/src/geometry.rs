@@ -1,0 +1,150 @@
+//! Physical organisation of one cache data subarray.
+
+use serde::{Deserialize, Serialize};
+
+/// Rows/columns/port organisation of a single cache data subarray.
+///
+/// A subarray holds `rows` consecutive cache lines; each line contributes
+/// `8 * line_bytes` columns. Every port adds a differential bitline pair per
+/// column, so the total bitline count is `cols * 2 * ports`.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_circuit::SubarrayGeometry;
+///
+/// // 1 KB subarrays of a 32 KB cache with 32 B lines and 2 ports.
+/// let g = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+/// assert_eq!(g.rows(), 32);
+/// assert_eq!(g.cols(), 256);
+/// assert_eq!(g.bitlines(), 1024);
+/// assert_eq!(g.subarrays_in_cache(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubarrayGeometry {
+    subarray_bytes: usize,
+    line_bytes: usize,
+    ports: usize,
+    cache_bytes: usize,
+}
+
+impl SubarrayGeometry {
+    /// Describes the subarrays of a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero, if `subarray_bytes` is smaller than
+    /// `line_bytes` or larger than `cache_bytes`, or if the sizes are not
+    /// mutually divisible (all sizes must be powers-of-two multiples of each
+    /// other, as in real SRAM floorplans).
+    #[must_use]
+    pub fn for_cache(
+        subarray_bytes: usize,
+        line_bytes: usize,
+        ports: usize,
+        cache_bytes: usize,
+    ) -> SubarrayGeometry {
+        assert!(subarray_bytes > 0 && line_bytes > 0 && ports > 0 && cache_bytes > 0);
+        assert!(
+            subarray_bytes >= line_bytes,
+            "subarray ({subarray_bytes} B) must hold at least one line ({line_bytes} B)"
+        );
+        assert!(
+            cache_bytes >= subarray_bytes,
+            "cache ({cache_bytes} B) must hold at least one subarray ({subarray_bytes} B)"
+        );
+        assert_eq!(subarray_bytes % line_bytes, 0, "subarray must be whole lines");
+        assert_eq!(cache_bytes % subarray_bytes, 0, "cache must be whole subarrays");
+        SubarrayGeometry { subarray_bytes, line_bytes, ports, cache_bytes }
+    }
+
+    /// Subarray capacity in bytes.
+    #[must_use]
+    pub fn subarray_bytes(&self) -> usize {
+        self.subarray_bytes
+    }
+
+    /// Cache line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of ports (each contributes a differential bitline pair per
+    /// column).
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Whole cache capacity in bytes.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cache_bytes
+    }
+
+    /// Number of SRAM rows in the subarray (one cache line per row).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.subarray_bytes / self.line_bytes
+    }
+
+    /// Number of SRAM columns (bits per row).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        8 * self.line_bytes
+    }
+
+    /// Total number of bitlines in the subarray: two per column per port.
+    #[must_use]
+    pub fn bitlines(&self) -> usize {
+        self.cols() * 2 * self.ports
+    }
+
+    /// Number of such subarrays in the whole cache.
+    #[must_use]
+    pub fn subarrays_in_cache(&self) -> usize {
+        self.cache_bytes / self.subarray_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_configuration_has_32_subarrays() {
+        // 32 KB cache, 1 KB subarrays -> 32 subarrays of 32 rows each.
+        let g = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+        assert_eq!(g.subarrays_in_cache(), 32);
+        assert_eq!(g.rows(), 32);
+    }
+
+    #[test]
+    fn subarray_size_sweep_of_figure_10() {
+        for (bytes, rows, count) in [(4096, 128, 8), (1024, 32, 32), (256, 8, 128), (64, 2, 512)] {
+            let g = SubarrayGeometry::for_cache(bytes, 32, 2, 32 * 1024);
+            assert_eq!(g.rows(), rows, "{bytes} B subarray");
+            assert_eq!(g.subarrays_in_cache(), count, "{bytes} B subarray");
+        }
+    }
+
+    #[test]
+    fn ports_multiply_bitlines() {
+        let two = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+        let four = SubarrayGeometry::for_cache(1024, 32, 4, 32 * 1024);
+        assert_eq!(four.bitlines(), 2 * two.bitlines());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn rejects_subarray_smaller_than_line() {
+        let _ = SubarrayGeometry::for_cache(16, 32, 2, 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole subarrays")]
+    fn rejects_non_divisible_cache() {
+        let _ = SubarrayGeometry::for_cache(1000, 8, 2, 32 * 1024);
+    }
+}

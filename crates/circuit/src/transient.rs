@@ -1,0 +1,318 @@
+//! Post-isolation bitline transients (Figure 2) and episode energies.
+//!
+//! When the precharge devices of a subarray are gated off, three things
+//! happen electrically:
+//!
+//! 1. the gating event itself dissipates the precharge devices' gate energy
+//!    (spread over the turn-off transient of the heavily loaded
+//!    precharge-control network),
+//! 2. the floating bitlines discharge through cell subthreshold leakage —
+//!    dissipation continues, at a falling rate, until the bitline voltage
+//!    reaches its steady state, and
+//! 3. on the next access the bitlines must be pumped back to `Vdd`, drawing
+//!    `C * (Vdd - v_idle) * Vdd` from the supply.
+//!
+//! Static pull-up instead burns `P_static` continuously. Which side wins
+//! depends on the idle interval and, dramatically, on the technology node —
+//! this module computes both sides and is the basis of the paper's Figure 2
+//! and of the per-episode accounting in `bitline-energy`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BitlineModel;
+
+/// Fraction of the bitline discharge time over which the gating transient is
+/// spread at nodes where the discharge is slow.
+const SWITCH_SPREAD_FRACTION: f64 = 0.3;
+
+/// Floor on the gating-transient time constant, in seconds. The
+/// precharge-control network is deliberately slew-limited (it gates large
+/// devices across a whole subarray), so its turn-off transient does not
+/// shrink below a few tens of nanoseconds even when the bitline discharge
+/// itself becomes very fast. Calibration constant for Figure 2.
+const SWITCH_TAU_FLOOR_S: f64 = 50e-9;
+
+/// Bitline voltage below which cell leakage starts falling off linearly
+/// (expressed as a fraction of `Vdd`). Crude subthreshold roll-off.
+const LEAK_KNEE_FRACTION: f64 = 0.12;
+
+/// Residual conduction of the gated-off precharge devices, as a multiple of
+/// one cell's bitline leakage. Sets the (small) steady-state floor.
+const PRECHARGE_OFF_LEAK_CELLS: f64 = 1.0;
+
+/// One sample of the post-isolation transient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientPoint {
+    /// Time since the precharge devices were gated off, in nanoseconds.
+    pub t_ns: f64,
+    /// Bitline voltage at `t`, in volts.
+    pub voltage_v: f64,
+    /// Instantaneous bitline-path power, normalised to the static pull-up
+    /// power of the same subarray (the y-axis of Figure 2).
+    pub normalized_power: f64,
+}
+
+/// Simulates one subarray's bitline network after isolation.
+///
+/// The voltage trajectory is integrated with forward Euler on a grid fine
+/// enough for the fastest node, then interrogated through interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_circuit::{BitlineModel, SubarrayGeometry, TransientSim};
+/// use bitline_cmos::TechnologyNode;
+///
+/// let geom = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+/// let old = TransientSim::new(BitlineModel::new(TechnologyNode::N180, geom));
+/// let new = TransientSim::new(BitlineModel::new(TechnologyNode::N70, geom));
+/// // Figure 2: isolating at 180 nm dissipates MORE than static pull-up for
+/// // a long while; at 70 nm the transient is gone almost immediately.
+/// assert!(old.normalized_power_at(5.0) > 1.5);
+/// assert!(new.normalized_power_at(5.0) < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    model: BitlineModel,
+    /// Sampled bitline voltage, uniform grid.
+    voltage: Vec<f64>,
+    /// Grid spacing in seconds.
+    dt_s: f64,
+    /// Gating-transient time constant in seconds.
+    switch_tau_s: f64,
+    /// Gating energy spread over the transient, per subarray, in joules.
+    switch_energy_j: f64,
+}
+
+impl TransientSim {
+    /// Integrates the transient for the given bitline model.
+    #[must_use]
+    pub fn new(model: BitlineModel) -> TransientSim {
+        let vdd = model.node().vdd();
+        let discharge_s = model.discharge_time_ns() * 1e-9;
+        let horizon_s = 6.0 * discharge_s;
+        let steps = 6000usize;
+        let dt_s = horizon_s / steps as f64;
+        let c = model.c_bitline_f();
+        let i0 = model.i_leak_per_bitline_a();
+        let i_pre_off =
+            PRECHARGE_OFF_LEAK_CELLS * model.device_params().i_bitline_leak_per_cell_a;
+        let knee = LEAK_KNEE_FRACTION * vdd;
+
+        let mut voltage = Vec::with_capacity(steps + 1);
+        let mut v = vdd;
+        voltage.push(v);
+        for _ in 0..steps {
+            let i_cells = i0 * (v / knee).min(1.0);
+            let i_recharge = i_pre_off * (1.0 - v / vdd);
+            let dv = (i_recharge - i_cells) / c * dt_s;
+            v = (v + dv).clamp(0.0, vdd);
+            voltage.push(v);
+        }
+
+        let switch_tau_s = (SWITCH_SPREAD_FRACTION * discharge_s).max(SWITCH_TAU_FLOOR_S);
+        TransientSim {
+            switch_energy_j: model.precharge_switch_energy_j(),
+            model,
+            voltage,
+            dt_s,
+            switch_tau_s,
+        }
+    }
+
+    /// The underlying bitline model.
+    #[must_use]
+    pub fn model(&self) -> &BitlineModel {
+        &self.model
+    }
+
+    /// Bitline voltage `t_ns` nanoseconds after isolation, in volts.
+    #[must_use]
+    pub fn voltage_at(&self, t_ns: f64) -> f64 {
+        let t_s = t_ns.max(0.0) * 1e-9;
+        let idx = t_s / self.dt_s;
+        let lo = idx.floor() as usize;
+        if lo + 1 >= self.voltage.len() {
+            return *self.voltage.last().expect("voltage table is never empty");
+        }
+        let frac = idx - lo as f64;
+        self.voltage[lo] * (1.0 - frac) + self.voltage[lo + 1] * frac
+    }
+
+    /// Instantaneous bitline-path power `t_ns` after isolation, normalised
+    /// to the static pull-up power (Figure 2's y-axis).
+    #[must_use]
+    pub fn normalized_power_at(&self, t_ns: f64) -> f64 {
+        let p_static = self.model.static_power_w();
+        let v = self.voltage_at(t_ns);
+        let vdd = self.model.node().vdd();
+        let knee = LEAK_KNEE_FRACTION * vdd;
+        let i_cells = self.model.i_leak_per_bitline_a() * (v / knee).min(1.0);
+        let p_leak = self.model.geometry().bitlines() as f64 * v * i_cells;
+        let t_s = t_ns.max(0.0) * 1e-9;
+        let p_switch = self.switch_energy_j / self.switch_tau_s * (-t_s / self.switch_tau_s).exp();
+        (p_leak + p_switch) / p_static
+    }
+
+    /// Uniformly sampled transient over `[0, t_end_ns]`, `points` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn series(&self, t_end_ns: f64, points: usize) -> Vec<TransientPoint> {
+        assert!(points >= 2, "need at least two samples");
+        (0..points)
+            .map(|i| {
+                let t_ns = t_end_ns * i as f64 / (points - 1) as f64;
+                TransientPoint {
+                    t_ns,
+                    voltage_v: self.voltage_at(t_ns),
+                    normalized_power: self.normalized_power_at(t_ns),
+                }
+            })
+            .collect()
+    }
+
+    /// Supply energy drawn by one full isolation episode of the subarray:
+    /// gate the precharge devices off, stay isolated for `t_idle_ns`, then
+    /// re-precharge back to `Vdd`, in joules.
+    ///
+    /// Conservation-based: two gate-switch events plus the recharge
+    /// `C * (Vdd - v_idle) * Vdd` for every bitline.
+    #[must_use]
+    pub fn isolation_episode_energy_j(&self, t_idle_ns: f64) -> f64 {
+        let vdd = self.model.node().vdd();
+        let v_idle = self.voltage_at(t_idle_ns);
+        let repump = self.model.c_bitline_f() * (vdd - v_idle) * vdd;
+        2.0 * self.switch_energy_j + self.model.geometry().bitlines() as f64 * repump
+    }
+
+    /// Supply energy burnt by static pull-up over the same interval, in
+    /// joules.
+    #[must_use]
+    pub fn static_episode_energy_j(&self, t_idle_ns: f64) -> f64 {
+        self.model.static_power_w() * t_idle_ns * 1e-9
+    }
+
+    /// Idle time beyond which isolating the subarray saves energy, in
+    /// nanoseconds (bisected to ~0.1 ns).
+    #[must_use]
+    pub fn break_even_idle_ns(&self) -> f64 {
+        let (mut lo, mut hi) = (0.0f64, 1e7f64);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            let saves =
+                self.static_episode_energy_j(mid) > self.isolation_episode_energy_j(mid);
+            if saves {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Break-even idle time expressed in clock cycles of this node.
+    #[must_use]
+    pub fn break_even_idle_cycles(&self) -> f64 {
+        self.break_even_idle_ns() / self.model.node().cycle_time_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SubarrayGeometry;
+    use bitline_cmos::TechnologyNode;
+
+    fn sim(node: TechnologyNode) -> TransientSim {
+        let geom = SubarrayGeometry::for_cache(1024, 32, 2, 32 * 1024);
+        TransientSim::new(BitlineModel::new(node, geom))
+    }
+
+    #[test]
+    fn figure2_peak_overhead_is_about_195_percent_at_180nm() {
+        let s = sim(TechnologyNode::N180);
+        let peak = s.normalized_power_at(2.0);
+        assert!((1.7..=2.2).contains(&peak), "180 nm early power {peak:.2}");
+    }
+
+    #[test]
+    fn figure2_180nm_settles_after_several_hundred_ns() {
+        let s = sim(TechnologyNode::N180);
+        assert!(s.normalized_power_at(300.0) > 0.3, "still dissipating at 300 ns");
+        assert!(s.normalized_power_at(900.0) < 0.15, "settled by 900 ns");
+    }
+
+    #[test]
+    fn figure2_overhead_shrinks_monotonically_with_scaling() {
+        // Sampled at 5 ns (the first useful sample of the figure's grid).
+        let mut last = f64::INFINITY;
+        for node in TechnologyNode::ALL {
+            let p = sim(node).normalized_power_at(5.0);
+            assert!(p < last, "{node}: {p:.3} not below {last:.3}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn figure2_70nm_transient_is_insignificant() {
+        let s = sim(TechnologyNode::N70);
+        assert!(s.normalized_power_at(5.0) < 0.1);
+        assert!(s.normalized_power_at(50.0) < 0.05);
+    }
+
+    #[test]
+    fn voltage_decays_monotonically_to_a_small_floor() {
+        for node in TechnologyNode::ALL {
+            let s = sim(node);
+            let vdd = node.vdd();
+            let mut prev = f64::INFINITY;
+            for i in 0..50 {
+                let t = i as f64 * s.model.discharge_time_ns() / 10.0;
+                let v = s.voltage_at(t);
+                assert!(v <= prev + 1e-12, "{node}: voltage rose at {t} ns");
+                prev = v;
+            }
+            let floor = s.voltage_at(20.0 * s.model.discharge_time_ns());
+            assert!(floor < 0.2 * vdd, "{node}: floor {floor} V");
+        }
+    }
+
+    #[test]
+    fn break_even_becomes_cheap_at_70nm() {
+        let old = sim(TechnologyNode::N180).break_even_idle_cycles();
+        let new = sim(TechnologyNode::N70).break_even_idle_cycles();
+        assert!(old > 200.0, "180 nm break-even {old:.0} cycles");
+        assert!(new < 60.0, "70 nm break-even {new:.0} cycles");
+        assert!(old / new > 10.0);
+    }
+
+    #[test]
+    fn episode_energy_is_monotone_in_idle_time_and_bounded() {
+        let s = sim(TechnologyNode::N70);
+        let mut prev = 0.0;
+        for t in [0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+            let e = s.isolation_episode_energy_j(t);
+            assert!(e >= prev);
+            prev = e;
+        }
+        // Never more than gates + full repump of every bitline.
+        let cap = 2.0 * s.switch_energy_j
+            + s.model.geometry().bitlines() as f64 * s.model.full_repump_energy_per_bitline_j();
+        assert!(prev <= cap * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn series_is_uniform_and_ordered() {
+        let s = sim(TechnologyNode::N100);
+        let pts = s.series(400.0, 81);
+        assert_eq!(pts.len(), 81);
+        assert_eq!(pts[0].t_ns, 0.0);
+        assert!((pts[80].t_ns - 400.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            assert!(w[1].t_ns > w[0].t_ns);
+        }
+    }
+}

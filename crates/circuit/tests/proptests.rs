@@ -1,0 +1,94 @@
+//! Property-based tests for the circuit models.
+
+use proptest::prelude::*;
+
+use bitline_circuit::{BitlineModel, DecoderModel, SubarrayGeometry, TransientSim};
+use bitline_cmos::TechnologyNode;
+
+fn nodes() -> impl Strategy<Value = TechnologyNode> {
+    prop::sample::select(TechnologyNode::ALL.to_vec())
+}
+
+fn geometries() -> impl Strategy<Value = SubarrayGeometry> {
+    (6usize..=12, prop::sample::select(vec![1usize, 2, 4]))
+        .prop_map(|(pow, ports)| SubarrayGeometry::for_cache(1 << pow, 32, ports, 32 * 1024))
+}
+
+proptest! {
+    /// The isolated bitline voltage never rises and stays within the rails
+    /// for any node and geometry.
+    #[test]
+    fn transient_voltage_is_monotone_and_bounded(node in nodes(), geom in geometries()) {
+        let sim = TransientSim::new(BitlineModel::new(node, geom));
+        let vdd = node.vdd();
+        let mut prev = f64::INFINITY;
+        for i in 0..60 {
+            let t = i as f64 * 20.0;
+            let v = sim.voltage_at(t);
+            prop_assert!((0.0..=vdd + 1e-12).contains(&v));
+            prop_assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Isolation-episode energy is monotone in idle time and bounded by
+    /// gate energy plus a full re-pump.
+    #[test]
+    fn episode_energy_monotone_and_bounded(
+        node in nodes(),
+        geom in geometries(),
+        t1 in 0.0f64..1e5,
+        t2 in 0.0f64..1e5,
+    ) {
+        let sim = TransientSim::new(BitlineModel::new(node, geom));
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let e_lo = sim.isolation_episode_energy_j(lo);
+        let e_hi = sim.isolation_episode_energy_j(hi);
+        prop_assert!(e_lo <= e_hi + 1e-24);
+        let model = sim.model();
+        let cap = 2.0 * model.precharge_switch_energy_j()
+            + model.geometry().bitlines() as f64 * model.full_repump_energy_per_bitline_j();
+        prop_assert!(e_hi <= cap * (1.0 + 1e-9));
+    }
+
+    /// Decoder delays are positive and the pull-up penalty at least one
+    /// cycle, for every node and legal subarray size.
+    #[test]
+    fn decoder_delays_are_sane(node in nodes(), geom in geometries()) {
+        let m = DecoderModel::new(node, geom);
+        let d = m.decode_delays();
+        prop_assert!(d.drive_ns > 0.0 && d.predecode_ns > 0.0 && d.final_ns > 0.0);
+        prop_assert!(m.worst_case_pullup_ns() > 0.0);
+        prop_assert!(m.partial_decode_ns() <= d.total_ns());
+        prop_assert!(m.cold_access_penalty_cycles() >= 1);
+        prop_assert!(m.on_demand_penalty_cycles() >= 1);
+    }
+
+    /// Static bitline power scales linearly in the number of ports.
+    #[test]
+    fn static_power_linear_in_ports(node in nodes(), pow in 6usize..=12) {
+        let one = BitlineModel::new(
+            node,
+            SubarrayGeometry::for_cache(1 << pow, 32, 1, 32 * 1024),
+        );
+        let four = BitlineModel::new(
+            node,
+            SubarrayGeometry::for_cache(1 << pow, 32, 4, 32 * 1024),
+        );
+        let ratio = four.static_power_w() / one.static_power_w();
+        prop_assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    /// Break-even idle time strictly improves (shrinks) with every
+    /// technology generation for any geometry.
+    #[test]
+    fn break_even_improves_with_scaling(geom in geometries()) {
+        let mut prev = f64::NEG_INFINITY;
+        for node in TechnologyNode::ALL.iter().rev() {
+            let sim = TransientSim::new(BitlineModel::new(*node, geom));
+            let be = sim.break_even_idle_ns();
+            prop_assert!(be > prev, "{node}: {be} vs {prev}");
+            prev = be;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! CMOS technology-node parameters and scaling laws.
+//!
+//! This crate is the lowest-level substrate of the `bitline` workspace. It
+//! captures the circuit parameters of Table 1 in Yang & Falsafi (MICRO-36,
+//! 2003) — feature size, supply voltage and clock frequency for the four
+//! studied nodes (180 nm, 130 nm, 100 nm, 70 nm) — together with the device
+//! parameters the circuit models need: gate/drain capacitances, drive and
+//! subthreshold leakage currents, and wire parasitics.
+//!
+//! The scaling behaviour follows the trends the paper relies on (Borkar,
+//! *Design challenges of technology scaling*, IEEE Micro 1999): switching
+//! energy halves per generation while leakage power grows by roughly 3.5x.
+//! Those two trends are what make bitline isolation cheap in future nodes
+//! (Figure 2 of the paper) and expensive in past ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitline_cmos::TechnologyNode;
+//!
+//! let node = TechnologyNode::N70;
+//! assert_eq!(node.feature_nm(), 70);
+//! assert!((node.vdd() - 1.0).abs() < 1e-9);
+//! // 5 GHz clock, 8 FO4 per cycle.
+//! assert!((node.cycle_time_ns() - 0.2).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod node;
+mod scaling;
+
+pub use device::DeviceParams;
+pub use node::{ParseNodeError, TechnologyNode};
+pub use scaling::{leakage_power_growth_per_generation, switching_energy_shrink_per_generation};
+
+/// Number of fanout-of-four inverter delays per pipeline stage / clock cycle.
+///
+/// The paper assumes an aggressive 8-FO4 clock period for every node
+/// (Hrishikesh et al., ISCA 2002), which keeps the pipeline depth and the
+/// cycle-counted access penalties of the major structures constant across
+/// technologies.
+pub const FO4_PER_CYCLE: f64 = 8.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_expose_table1_parameters() {
+        let table: &[(TechnologyNode, u32, f64, f64)] = &[
+            (TechnologyNode::N180, 180, 1.8, 2.0),
+            (TechnologyNode::N130, 130, 1.5, 2.7),
+            (TechnologyNode::N100, 100, 1.2, 3.5),
+            (TechnologyNode::N70, 70, 1.0, 5.0),
+        ];
+        for &(node, feature, vdd, ghz) in table {
+            assert_eq!(node.feature_nm(), feature);
+            assert!((node.vdd() - vdd).abs() < 1e-12, "vdd for {node}");
+            assert!((node.clock_ghz() - ghz).abs() < 1e-12, "clock for {node}");
+        }
+    }
+
+    #[test]
+    fn fo4_delay_tracks_cycle_time() {
+        for node in TechnologyNode::ALL {
+            let fo4 = node.fo4_delay_ns();
+            assert!((fo4 * FO4_PER_CYCLE - node.cycle_time_ns()).abs() < 1e-12);
+        }
+    }
+}

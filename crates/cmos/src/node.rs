@@ -1,0 +1,225 @@
+//! The four studied technology nodes and their Table 1 parameters.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceParams;
+use crate::FO4_PER_CYCLE;
+
+/// One of the four CMOS technology generations studied in the paper.
+///
+/// The associated circuit parameters reproduce Table 1:
+///
+/// | Feature size (nm) | 180 | 130 | 100 | 70  |
+/// |-------------------|-----|-----|-----|-----|
+/// | Supply voltage (V)| 1.8 | 1.5 | 1.2 | 1.0 |
+/// | Clock (GHz)       | 2.0 | 2.7 | 3.5 | 5.0 |
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cmos::TechnologyNode;
+///
+/// let newest = TechnologyNode::ALL.last().copied().unwrap();
+/// assert_eq!(newest, TechnologyNode::N70);
+/// assert_eq!(newest.to_string(), "70nm");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TechnologyNode {
+    /// 180 nm (recent past at publication time, 1.8 V, 2.0 GHz).
+    N180,
+    /// 130 nm (1.5 V, 2.7 GHz).
+    N130,
+    /// 100 nm (1.2 V, 3.5 GHz).
+    N100,
+    /// 70 nm (near future at publication time, 1.0 V, 5.0 GHz).
+    N70,
+}
+
+impl TechnologyNode {
+    /// All nodes, from oldest (180 nm) to newest (70 nm).
+    pub const ALL: [TechnologyNode; 4] = [
+        TechnologyNode::N180,
+        TechnologyNode::N130,
+        TechnologyNode::N100,
+        TechnologyNode::N70,
+    ];
+
+    /// Drawn feature size in nanometres.
+    #[must_use]
+    pub const fn feature_nm(self) -> u32 {
+        match self {
+            TechnologyNode::N180 => 180,
+            TechnologyNode::N130 => 130,
+            TechnologyNode::N100 => 100,
+            TechnologyNode::N70 => 70,
+        }
+    }
+
+    /// Feature size in micrometres (convenience for capacitance math).
+    #[must_use]
+    pub fn feature_um(self) -> f64 {
+        f64::from(self.feature_nm()) / 1000.0
+    }
+
+    /// Supply voltage in volts (Table 1).
+    #[must_use]
+    pub const fn vdd(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 1.8,
+            TechnologyNode::N130 => 1.5,
+            TechnologyNode::N100 => 1.2,
+            TechnologyNode::N70 => 1.0,
+        }
+    }
+
+    /// Clock frequency in gigahertz (Table 1). Matches an 8-FO4 cycle.
+    #[must_use]
+    pub const fn clock_ghz(self) -> f64 {
+        match self {
+            TechnologyNode::N180 => 2.0,
+            TechnologyNode::N130 => 2.7,
+            TechnologyNode::N100 => 3.5,
+            TechnologyNode::N70 => 5.0,
+        }
+    }
+
+    /// Clock cycle time in nanoseconds.
+    #[must_use]
+    pub fn cycle_time_ns(self) -> f64 {
+        1.0 / self.clock_ghz()
+    }
+
+    /// Delay of one fanout-of-four inverter in nanoseconds.
+    ///
+    /// The cycle is 8 FO4 for every node, so the FO4 delay is simply
+    /// `cycle_time / 8`.
+    #[must_use]
+    pub fn fo4_delay_ns(self) -> f64 {
+        self.cycle_time_ns() / FO4_PER_CYCLE
+    }
+
+    /// Zero-based generation index (180 nm = 0, ..., 70 nm = 3).
+    ///
+    /// Used by the scaling laws: each step halves switching energy and grows
+    /// leakage power by ~3.5x.
+    #[must_use]
+    pub const fn generation(self) -> u32 {
+        match self {
+            TechnologyNode::N180 => 0,
+            TechnologyNode::N130 => 1,
+            TechnologyNode::N100 => 2,
+            TechnologyNode::N70 => 3,
+        }
+    }
+
+    /// The device parameter set for this node.
+    #[must_use]
+    pub fn device_params(self) -> DeviceParams {
+        DeviceParams::for_node(self)
+    }
+
+    /// The next (smaller) node, if any.
+    #[must_use]
+    pub fn next(self) -> Option<TechnologyNode> {
+        match self {
+            TechnologyNode::N180 => Some(TechnologyNode::N130),
+            TechnologyNode::N130 => Some(TechnologyNode::N100),
+            TechnologyNode::N100 => Some(TechnologyNode::N70),
+            TechnologyNode::N70 => None,
+        }
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+/// Error returned when parsing a [`TechnologyNode`] from a string fails.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cmos::TechnologyNode;
+///
+/// let err = "90nm".parse::<TechnologyNode>().unwrap_err();
+/// assert!(err.to_string().contains("90nm"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNodeError {
+    input: String,
+}
+
+impl fmt::Display for ParseNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown technology node `{}` (expected one of 180nm, 130nm, 100nm, 70nm)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseNodeError {}
+
+impl FromStr for TechnologyNode {
+    type Err = ParseNodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim().trim_end_matches("nm");
+        match trimmed {
+            "180" => Ok(TechnologyNode::N180),
+            "130" => Ok(TechnologyNode::N130),
+            "100" => Ok(TechnologyNode::N100),
+            "70" => Ok(TechnologyNode::N70),
+            _ => Err(ParseNodeError { input: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_and_without_suffix() {
+        assert_eq!("180nm".parse::<TechnologyNode>().unwrap(), TechnologyNode::N180);
+        assert_eq!("70".parse::<TechnologyNode>().unwrap(), TechnologyNode::N70);
+        assert_eq!(" 130nm ".parse::<TechnologyNode>().unwrap(), TechnologyNode::N130);
+        assert!("45nm".parse::<TechnologyNode>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for node in TechnologyNode::ALL {
+            let shown = node.to_string();
+            assert_eq!(shown.parse::<TechnologyNode>().unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn generations_are_sequential() {
+        let mut expected = 0;
+        for node in TechnologyNode::ALL {
+            assert_eq!(node.generation(), expected);
+            expected += 1;
+        }
+    }
+
+    #[test]
+    fn next_walks_the_roadmap() {
+        assert_eq!(TechnologyNode::N180.next(), Some(TechnologyNode::N130));
+        assert_eq!(TechnologyNode::N70.next(), None);
+    }
+
+    #[test]
+    fn cycle_time_shrinks_with_scaling() {
+        for pair in TechnologyNode::ALL.windows(2) {
+            assert!(pair[0].cycle_time_ns() > pair[1].cycle_time_ns());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Drowsy subarrays (Kim et al., MICRO 2002 — the paper's [13]) as a
+//! comparison point.
+//!
+//! Drowsy caches reduce **cell leakage** by dropping idle subarrays to a
+//! low retention voltage; the cells survive but cannot be read until the
+//! subarray is woken (a cycle of wake-up latency). Crucially, drowsy mode
+//! does nothing about **bitline discharge** — the bitlines stay statically
+//! pulled up so a woken subarray is instantly readable. The paper positions
+//! gated precharging as the complementary technique: "we propose
+//! techniques for subarray prediction to eliminate bitline discharge
+//! (rather than cell leakage)" (Section 7).
+//!
+//! In this framework a [`DrowsyPolicy`] therefore reports *full* bitline
+//! pull-up time (no discharge savings) while accumulating
+//! [`bitline_cache::SubarrayActivity::drowsy_cycles`], which
+//! `bitline-energy` prices as reduced cell leakage. Comparing it with
+//! [`crate::GatedPolicy`] at 70 nm shows why bitline discharge is the
+//! bigger target in multi-ported L1s.
+
+use bitline_cache::{ActivityReport, PrechargePolicy, SubarrayActivity};
+
+/// Decay-based drowsy-mode controller: a subarray drops to the retention
+/// voltage after `threshold` idle cycles; an access to a drowsy subarray
+/// pays `wake_penalty` cycles.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_cache::PrechargePolicy;
+/// use gated_precharge::DrowsyPolicy;
+///
+/// let mut p = DrowsyPolicy::new(32, 100, 1);
+/// assert_eq!(p.access(3, 10), 0, "awake");
+/// assert_eq!(p.access(3, 500), 1, "drowsy: one wake-up cycle");
+/// let report = p.finalize(1_000);
+/// // Bitlines were pulled up the whole time — no discharge savings.
+/// assert!((report.precharged_fraction() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrowsyPolicy {
+    threshold: u64,
+    wake_penalty: u32,
+    /// Cycle of the last access per subarray.
+    last: Vec<u64>,
+    acts: Vec<SubarrayActivity>,
+}
+
+impl DrowsyPolicy {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` or `threshold` is zero.
+    #[must_use]
+    pub fn new(subarrays: usize, threshold: u64, wake_penalty: u32) -> DrowsyPolicy {
+        assert!(subarrays > 0, "cache must have at least one subarray");
+        assert!(threshold > 0, "threshold must be positive");
+        DrowsyPolicy {
+            threshold,
+            wake_penalty,
+            last: vec![0; subarrays],
+            acts: vec![SubarrayActivity::default(); subarrays],
+        }
+    }
+
+    /// The drowsy-decay threshold in cycles.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl PrechargePolicy for DrowsyPolicy {
+    fn name(&self) -> String {
+        format!("drowsy(t={})", self.threshold)
+    }
+
+    fn access(&mut self, subarray: usize, cycle: u64) -> u32 {
+        let last = self.last[subarray];
+        let awake_end = last.saturating_add(self.threshold);
+        let was_drowsy = cycle > awake_end;
+        let a = &mut self.acts[subarray];
+        a.accesses += 1;
+        if was_drowsy {
+            a.drowsy_cycles += (cycle - awake_end) as f64;
+            a.delayed_accesses += 1;
+            self.last[subarray] = cycle;
+            self.wake_penalty
+        } else {
+            self.last[subarray] = cycle;
+            0
+        }
+    }
+
+    fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+        let mut per_subarray = std::mem::take(&mut self.acts);
+        for (s, act) in per_subarray.iter_mut().enumerate() {
+            // Bitlines stay statically pulled up in drowsy caches.
+            act.pulled_up_cycles = end_cycle as f64;
+            // Trailing drowsy period.
+            let awake_end = self.last[s].saturating_add(self.threshold);
+            if end_cycle > awake_end {
+                act.drowsy_cycles += (end_cycle - awake_end) as f64;
+            }
+        }
+        ActivityReport { policy: self.name(), end_cycle, per_subarray }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drowsy_time_accumulates_only_while_idle() {
+        let mut p = DrowsyPolicy::new(1, 100, 1);
+        p.access(0, 0);
+        p.access(0, 50); // awake
+        p.access(0, 450); // drowsy since 150: 300 drowsy cycles
+        let r = p.finalize(450);
+        let drowsy: f64 = r.per_subarray.iter().map(|s| s.drowsy_cycles).sum();
+        assert!((drowsy - 300.0).abs() < 1e-12, "drowsy {drowsy}");
+        assert_eq!(r.total_delayed(), 1);
+    }
+
+    #[test]
+    fn trailing_idle_counts_as_drowsy() {
+        let mut p = DrowsyPolicy::new(2, 100, 1);
+        p.access(0, 0);
+        let r = p.finalize(1_100);
+        // Subarray 0: drowsy from 100 to 1100 = 1000; subarray 1 (never
+        // accessed, last = 0): drowsy from 100 too.
+        let drowsy: f64 = r.per_subarray.iter().map(|s| s.drowsy_cycles).sum();
+        assert!((drowsy - 2000.0).abs() < 1e-12, "drowsy {drowsy}");
+    }
+
+    #[test]
+    fn bitlines_never_isolated() {
+        let mut p = DrowsyPolicy::new(4, 50, 1);
+        for c in (0..5000u64).step_by(7) {
+            p.access((c % 4) as usize, c);
+        }
+        let r = p.finalize(5_000);
+        assert!((r.precharged_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(r.total_precharge_events(), 0);
+    }
+}

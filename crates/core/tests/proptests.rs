@@ -1,0 +1,123 @@
+//! Property-based tests for the precharge policies: the accounting
+//! invariants every policy must uphold for arbitrary access streams.
+
+use proptest::prelude::*;
+
+use bitline_cache::PrechargePolicy;
+use gated_precharge::{GatedPolicy, OnDemandPolicy, OraclePolicy, StaticPullUp};
+
+/// An arbitrary monotone access stream over `n_sub` subarrays.
+fn access_stream(n_sub: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0..n_sub, 1u64..50), 0..300).prop_map(|gaps| {
+        let mut cycle = 0;
+        gaps.into_iter()
+            .map(|(s, gap)| {
+                cycle += gap;
+                (s, cycle)
+            })
+            .collect()
+    })
+}
+
+/// Pulled-up time can never exceed the total subarray-cycle budget, the
+/// delayed count can never exceed accesses, and the precharged fraction is
+/// a true fraction.
+fn check_universal_invariants(
+    mut policy: Box<dyn PrechargePolicy>,
+    accesses: &[(usize, u64)],
+    n_sub: usize,
+) -> Result<(), TestCaseError> {
+    for &(s, c) in accesses {
+        let _ = policy.access(s, c);
+    }
+    let end = accesses.last().map_or(1000, |&(_, c)| c + 1000);
+    let report = policy.finalize(end);
+    prop_assert_eq!(report.total_accesses(), accesses.len() as u64);
+    prop_assert!(report.total_delayed() <= report.total_accesses());
+    let budget = n_sub as f64 * end as f64;
+    prop_assert!(
+        report.total_pulled_up_cycles() <= budget + 1e-6,
+        "pulled up {} exceeds budget {}",
+        report.total_pulled_up_cycles(),
+        budget
+    );
+    prop_assert!((0.0..=1.0 + 1e-9).contains(&report.precharged_fraction()));
+    prop_assert!((0.0..=1.0).contains(&report.delayed_fraction()));
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn static_pullup_invariants(accesses in access_stream(8)) {
+        check_universal_invariants(Box::new(StaticPullUp::new(8)), &accesses, 8)?;
+    }
+
+    #[test]
+    fn oracle_invariants(accesses in access_stream(8)) {
+        check_universal_invariants(Box::new(OraclePolicy::new(8)), &accesses, 8)?;
+    }
+
+    #[test]
+    fn on_demand_invariants(accesses in access_stream(8)) {
+        check_universal_invariants(Box::new(OnDemandPolicy::new(8, 1)), &accesses, 8)?;
+    }
+
+    #[test]
+    fn gated_invariants(accesses in access_stream(8), threshold in 1u64..2000) {
+        check_universal_invariants(
+            Box::new(GatedPolicy::new(8, threshold, 1)),
+            &accesses,
+            8,
+        )?;
+    }
+
+    /// The oracle never keeps more pulled up than gated with any threshold,
+    /// and gated never exceeds static pull-up.
+    #[test]
+    fn pulled_up_ordering(accesses in access_stream(4), threshold in 1u64..500) {
+        let run = |mut p: Box<dyn PrechargePolicy>| {
+            for &(s, c) in &accesses {
+                let _ = p.access(s, c);
+            }
+            let end = accesses.last().map_or(1000, |&(_, c)| c + 1000);
+            p.finalize(end).total_pulled_up_cycles()
+        };
+        let oracle = run(Box::new(OraclePolicy::new(4)));
+        let gated = run(Box::new(GatedPolicy::new(4, threshold, 1)));
+        let statik = run(Box::new(StaticPullUp::new(4)));
+        prop_assert!(oracle <= gated + 1e-9, "oracle {oracle} vs gated {gated}");
+        prop_assert!(gated <= statik + 1e-9, "gated {gated} vs static {statik}");
+    }
+
+    /// Growing the threshold can only reduce (or keep) the number of
+    /// delayed accesses on the same stream.
+    #[test]
+    fn threshold_monotonicity(accesses in access_stream(4), t in 1u64..400) {
+        let delayed = |threshold: u64| {
+            let mut p = GatedPolicy::new(4, threshold, 1);
+            for &(s, c) in &accesses {
+                let _ = p.access(s, c);
+            }
+            let end = accesses.last().map_or(1000, |&(_, c)| c + 1000);
+            p.finalize(end).total_delayed()
+        };
+        prop_assert!(delayed(2 * t) <= delayed(t));
+    }
+
+    /// Hints never delay anything and never decrease accounting sanity.
+    #[test]
+    fn hints_are_never_counted_as_accesses(
+        accesses in access_stream(4),
+        hints in prop::collection::vec((0usize..4, 1u64..20_000), 0..100),
+    ) {
+        let mut p = GatedPolicy::new(4, 100, 1);
+        for &(s, c) in &accesses {
+            let _ = p.access(s, c);
+        }
+        for &(s, c) in &hints {
+            p.hint(s, c);
+        }
+        let report = p.finalize(40_000);
+        prop_assert_eq!(report.total_accesses(), accesses.len() as u64);
+    }
+}

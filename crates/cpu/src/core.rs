@@ -1,0 +1,764 @@
+//! The out-of-order pipeline.
+//!
+//! A cycle-level, trace-driven model. Every cycle runs, in order:
+//! complete (including load-latency resolution and replay), commit, issue,
+//! dispatch, fetch. Instructions are identified by monotonically increasing
+//! sequence numbers; the reorder buffer is a `VecDeque` indexed by
+//! `seq - head_seq`.
+
+use std::collections::VecDeque;
+
+use bitline_cache::MemorySystem;
+use bitline_trace::{Instr, InstrKind, TraceSource, NUM_REGS};
+
+use crate::config::{CpuConfig, ReplayScope};
+use crate::bpred::BranchPredictor;
+use crate::stats::SimStats;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// In the issue queue, waiting for operands.
+    Waiting,
+    /// Issued to a functional unit / the cache.
+    Issued,
+    /// Result produced (awaiting in-order commit).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    instr: Instr,
+    seq: u64,
+    producers: [Option<u64>; 2],
+    state: State,
+    issue_cycle: u64,
+    /// Cycle the result is available (valid when `Issued`/`Done`).
+    ready_cycle: u64,
+    /// For loads: cycle the scheduler learns the true latency.
+    resolve_cycle: u64,
+    /// For loads: whether the latency exceeded the speculative assumption.
+    misspeculated: bool,
+    /// Replay already processed for this load.
+    replay_handled: bool,
+    /// This instruction is the mispredicted branch the front end is
+    /// blocked on.
+    blocked_fetch: bool,
+    /// For memory ops: the cycle the data was actually available after the
+    /// first execution. A replayed load may re-access the cache (the line
+    /// has been filled functionally), but its data cannot materialise
+    /// before the original fill completes.
+    mem_first_ready: Option<u64>,
+}
+
+/// The 8-wide out-of-order core (see crate docs).
+pub struct Cpu {
+    cfg: CpuConfig,
+    mem: MemorySystem,
+    bpred: BranchPredictor,
+    rob: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    rename: [Option<u64>; NUM_REGS],
+    fetch_queue: VecDeque<Instr>,
+    /// One-instruction lookahead pulled from the trace but not yet fetched.
+    fetch_buffer: Option<Instr>,
+    iq_count: usize,
+    lsq_count: usize,
+    cycle: u64,
+    fetch_stall_until: u64,
+    /// Sequence number of a mispredicted branch blocking the front end.
+    fetch_blocked_on: Option<u64>,
+    /// An I-cache line whose fill/pull-up we already paid for: `(line,
+    /// ready_cycle)`. Prevents re-charging the access on fetch retry.
+    fetch_line_ready: Option<(u64, u64)>,
+    stats: SimStats,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("cycle", &self.cycle)
+            .field("rob", &self.rob.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cpu {
+    /// Builds a core over a memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CpuConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: CpuConfig, mem: MemorySystem) -> Cpu {
+        cfg.validate();
+        Cpu {
+            cfg,
+            mem,
+            bpred: BranchPredictor::new(),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            head_seq: 0,
+            next_seq: 0,
+            rename: [None; NUM_REGS],
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
+            fetch_buffer: None,
+            iq_count: 0,
+            lsq_count: 0,
+            cycle: 0,
+            fetch_stall_until: 0,
+            fetch_blocked_on: None,
+            fetch_line_ready: None,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Runs until `instructions` have committed; returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for an extended
+    /// period (a simulator bug, not a workload property).
+    pub fn run(&mut self, trace: &mut dyn TraceSource, instructions: u64) -> SimStats {
+        let target = self.stats.committed + instructions;
+        let mut last_progress = (self.cycle, self.stats.committed);
+        while self.stats.committed < target {
+            self.step(trace);
+            if self.cycle - last_progress.0 > 100_000 {
+                assert!(
+                    self.stats.committed > last_progress.1,
+                    "pipeline deadlock at cycle {}: rob={} iq={} lsq={} fq={} head={:?} \
+                     blocked_on={:?} stall_until={}",
+                    self.cycle,
+                    self.rob.len(),
+                    self.iq_count,
+                    self.lsq_count,
+                    self.fetch_queue.len(),
+                    self.rob.front().map(|e| (e.instr.kind, e.state, e.ready_cycle, e.resolve_cycle, e.misspeculated, e.replay_handled)),
+                    self.fetch_blocked_on,
+                    self.fetch_stall_until,
+                );
+                last_progress = (self.cycle, self.stats.committed);
+            }
+        }
+        self.stats.cycles = self.cycle;
+        self.stats
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s
+    }
+
+    /// The memory system (for cache statistics).
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Consumes the core, returning the memory system for finalisation.
+    #[must_use]
+    pub fn into_memory(self) -> MemorySystem {
+        self.mem
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn step(&mut self, trace: &mut dyn TraceSource) {
+        self.complete();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch(trace);
+        self.cycle += 1;
+    }
+
+    fn idx(&self, seq: u64) -> Option<usize> {
+        if seq < self.head_seq {
+            return None; // retired
+        }
+        let i = (seq - self.head_seq) as usize;
+        (i < self.rob.len()).then_some(i)
+    }
+
+    /// Completion + load-latency resolution.
+    fn complete(&mut self) {
+        let cycle = self.cycle;
+        for i in 0..self.rob.len() {
+            let e = &mut self.rob[i];
+            if e.state == State::Issued && e.ready_cycle <= cycle {
+                e.state = State::Done;
+                if e.blocked_fetch && self.fetch_blocked_on == Some(e.seq) {
+                    let resume = e.ready_cycle + self.cfg.redirect_penalty;
+                    self.fetch_blocked_on = None;
+                    self.fetch_stall_until = self.fetch_stall_until.max(resume);
+                }
+            }
+        }
+        // Load-hit speculation resolution: squash dependents of loads whose
+        // latency exceeded the assumption.
+        for i in 0..self.rob.len() {
+            let e = &self.rob[i];
+            if e.instr.kind == InstrKind::Load
+                && e.misspeculated
+                && !e.replay_handled
+                && e.resolve_cycle <= cycle
+            {
+                let seq = e.seq;
+                self.rob[i].replay_handled = true;
+                self.replay(seq, i);
+            }
+        }
+    }
+
+    /// Squashes and re-queues the speculatively issued consumers of the
+    /// mispredicted load at rob position `load_idx`.
+    fn replay(&mut self, load_seq: u64, load_idx: usize) {
+        self.stats.load_misspeculations += 1;
+        let load_issue = self.rob[load_idx].issue_cycle;
+        let load_ready = self.rob[load_idx].ready_cycle;
+        // Seq numbers squashed so far; dependences only point backwards, so
+        // one forward pass reaches the transitive closure.
+        let mut squashed: Vec<u64> = Vec::new();
+        for i in (load_idx + 1)..self.rob.len() {
+            let e = &self.rob[i];
+            if e.state == State::Waiting {
+                continue;
+            }
+            // Issued before the load's data was actually ready?
+            if e.issue_cycle >= load_ready {
+                continue;
+            }
+            let hit = match self.cfg.replay_scope {
+                ReplayScope::DependentsOnly => e.producers.iter().flatten().any(|&p| {
+                    p == load_seq || squashed.binary_search(&p).is_ok()
+                }),
+                ReplayScope::AllYounger => e.issue_cycle > load_issue,
+            };
+            if hit {
+                squashed.push(self.rob[i].seq);
+                self.rob[i].state = State::Waiting;
+                self.stats.replays += 1;
+                self.iq_count += 1;
+                if self.rob[i].blocked_fetch {
+                    // The branch that unblocked the front end was fed
+                    // speculative data: re-block until it re-executes.
+                    self.fetch_blocked_on = Some(self.rob[i].seq);
+                }
+            }
+        }
+    }
+
+    /// A load may not retire before the scheduler has resolved its latency
+    /// (and run any replay); everything younger is therefore held too.
+    fn commit_safe(&self, e: &Entry) -> bool {
+        e.resolve_cycle == u64::MAX || self.cycle >= e.resolve_cycle || e.replay_handled
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            match self.rob.front() {
+                Some(e)
+                    if e.state == State::Done
+                        && e.ready_cycle <= self.cycle
+                        && self.commit_safe(e) =>
+                {
+                    let e = self.rob.pop_front().expect("front exists");
+                    self.head_seq = e.seq + 1;
+                    if e.instr.kind.is_mem() {
+                        self.lsq_count -= 1;
+                    }
+                    self.stats.committed += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Is the value produced by `seq` available (or speculatively assumed
+    /// available) to a consumer issuing at `cycle`?
+    fn operand_ready(&self, seq: u64, cycle: u64) -> bool {
+        let Some(i) = self.idx(seq) else {
+            return true; // retired -> architectural state
+        };
+        let e = &self.rob[i];
+        match e.state {
+            State::Done => e.ready_cycle <= cycle,
+            State::Issued => {
+                if e.instr.kind == InstrKind::Load {
+                    // Load-hit speculation: before the scheduler learns the
+                    // true latency, consumers assume the hit latency.
+                    let assumed = e.issue_cycle + u64::from(self.dcache_hit_latency());
+                    cycle >= assumed && cycle < e.resolve_cycle
+                } else {
+                    false
+                }
+            }
+            State::Waiting => false,
+        }
+    }
+
+    fn dcache_hit_latency(&self) -> u32 {
+        self.mem.config().l1d.hit_latency
+    }
+
+    fn exec_latency(&self, kind: InstrKind) -> u64 {
+        match kind {
+            InstrKind::IntAlu | InstrKind::Store => self.cfg.int_latency,
+            InstrKind::IntMul => self.cfg.mul_latency,
+            InstrKind::FpAlu => self.cfg.fp_latency,
+            InstrKind::Branch | InstrKind::Jump => self.cfg.int_latency,
+            InstrKind::Load => unreachable!("load latency comes from the memory system"),
+        }
+    }
+
+    fn issue(&mut self) {
+        let cycle = self.cycle;
+        let mut issued = 0;
+        let mut dcache_ops = 0;
+        let mut store_ops = 0;
+        for i in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.rob[i];
+            if e.state != State::Waiting {
+                continue;
+            }
+            let is_mem = e.instr.kind.is_mem();
+            let is_store = e.instr.kind == InstrKind::Store;
+            if is_mem && dcache_ops >= self.cfg.dcache_ports {
+                continue;
+            }
+            if is_store && store_ops >= self.cfg.dcache_write_ports {
+                continue;
+            }
+            let ready = e
+                .producers
+                .iter()
+                .flatten()
+                .all(|&p| self.operand_ready(p, cycle));
+            if !ready {
+                continue;
+            }
+            // Issue it.
+            let kind = self.rob[i].instr.kind;
+            let mem_ref = self.rob[i].instr.mem;
+            let prior_ready = self.rob[i].mem_first_ready;
+            let (ready_cycle, resolve_cycle, misspeculated) = match kind {
+                InstrKind::Load => {
+                    let m = mem_ref.expect("loads carry a memory reference");
+                    let predicted = self.cfg.predecode_hints.then(|| {
+                        self.stats.hints += 1;
+                        m.base
+                    });
+                    let out = self.mem.data_access_predicted(m.addr, predicted, false, cycle);
+                    self.stats.loads += 1;
+                    // A replayed load re-accesses the cache, but the line
+                    // fill from its first execution is still in flight: the
+                    // data arrives no earlier than originally established.
+                    let ready = (cycle + u64::from(out.latency)).max(prior_ready.unwrap_or(0));
+                    let resolve = cycle + self.cfg.load_resolution_delay;
+                    let assumed = cycle + u64::from(self.dcache_hit_latency());
+                    (ready, resolve, ready > assumed)
+                }
+                InstrKind::Store => {
+                    let m = mem_ref.expect("stores carry a memory reference");
+                    let predicted = self.cfg.predecode_hints.then(|| {
+                        self.stats.hints += 1;
+                        m.base
+                    });
+                    let out = self.mem.data_access_predicted(m.addr, predicted, true, cycle);
+                    self.stats.stores += 1;
+                    // Stores drain through the store buffer: commit waits
+                    // only for the cache port (plus any pull-up delay), not
+                    // for the line fill.
+                    let delay = u64::from(out.delayed as u32);
+                    let ready = cycle + u64::from(self.dcache_hit_latency()) + delay;
+                    (ready, u64::MAX, false)
+                }
+                k => (cycle + self.exec_latency(k), u64::MAX, false),
+            };
+            let e = &mut self.rob[i];
+            e.state = State::Issued;
+            e.issue_cycle = cycle;
+            e.ready_cycle = ready_cycle;
+            e.resolve_cycle = resolve_cycle;
+            e.misspeculated = misspeculated;
+            if e.instr.kind == InstrKind::Load {
+                e.mem_first_ready = Some(ready_cycle);
+                // A re-issued load may misspeculate again (replay storms
+                // are real); allow another replay round.
+                e.replay_handled = false;
+            }
+            if e.instr.kind.is_control() {
+                self.stats.branches += 1;
+            }
+            issued += 1;
+            self.iq_count -= 1;
+            if is_mem {
+                dcache_ops += 1;
+            }
+            if is_store {
+                store_ops += 1;
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            if self.rob.len() >= self.cfg.rob_entries || self.iq_count >= self.cfg.iq_entries {
+                break;
+            }
+            let Some(instr) = self.fetch_queue.front().copied() else { break };
+            let is_mem = instr.kind.is_mem();
+            if is_mem && self.lsq_count >= self.cfg.lsq_entries {
+                break;
+            }
+            self.fetch_queue.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let producers = [
+                instr.srcs[0].and_then(|r| self.rename[r as usize]),
+                instr.srcs[1].and_then(|r| self.rename[r as usize]),
+            ];
+            if let Some(d) = instr.dest {
+                self.rename[d as usize] = Some(seq);
+            }
+            if is_mem {
+                self.lsq_count += 1;
+            }
+            self.iq_count += 1;
+            self.rob.push_back(Entry {
+                instr,
+                seq,
+                producers,
+                state: State::Waiting,
+                issue_cycle: 0,
+                ready_cycle: 0,
+                resolve_cycle: u64::MAX,
+                misspeculated: false,
+                replay_handled: false,
+                blocked_fetch: self.fetch_blocked_on == Some(seq),
+                mem_first_ready: None,
+            });
+        }
+    }
+
+    fn fetch(&mut self, trace: &mut dyn TraceSource) {
+        if self.fetch_blocked_on.is_some() || self.cycle < self.fetch_stall_until {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        let line_bytes = self.mem.config().l1i.line_bytes as u64;
+        let mut lines_used = 0;
+        let mut current_line = u64::MAX;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let instr = match self.fetch_buffer.take() {
+                Some(i) => i,
+                None => trace.next_instr(),
+            };
+            let line = instr.pc / line_bytes;
+            if line != current_line {
+                if lines_used >= self.cfg.fetch_lines_per_cycle {
+                    self.fetch_buffer = Some(instr);
+                    break;
+                }
+                // An access we already paid for (fill or pull-up delay)?
+                let prepaid = match self.fetch_line_ready {
+                    Some((l, ready)) => l == line && ready <= self.cycle,
+                    None => false,
+                };
+                if prepaid {
+                    self.fetch_line_ready = None;
+                } else {
+                    let out = self.mem.inst_fetch(instr.pc, self.cycle);
+                    let extra = u64::from(out.latency)
+                        .saturating_sub(u64::from(self.mem.config().l1i.hit_latency));
+                    if extra > 0 {
+                        // Line not ready: remember that this access is paid
+                        // for, stall the front end, and consume it on
+                        // resume without re-accessing.
+                        let ready = self.cycle + extra;
+                        self.fetch_line_ready = Some((line, ready));
+                        self.fetch_stall_until = self.fetch_stall_until.max(ready);
+                        self.fetch_buffer = Some(instr);
+                        break;
+                    }
+                }
+                lines_used += 1;
+                current_line = line;
+            }
+            self.stats.fetched += 1;
+            let seq_if_dispatched = self.next_seq + self.fetch_queue.len() as u64;
+            self.fetch_queue.push_back(instr);
+            if let Some(b) = instr.branch {
+                let (pred_taken, pred_target) = self.bpred.predict(instr.pc);
+                let mispredict =
+                    pred_taken != b.taken || (b.taken && pred_target != Some(b.target));
+                self.bpred.update(instr.pc, b.taken, b.target);
+                if mispredict {
+                    self.stats.mispredicts += 1;
+                    self.fetch_blocked_on = Some(seq_if_dispatched);
+                    break;
+                }
+                if b.taken {
+                    break; // redirect: fetch resumes at the target next cycle
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitline_cache::{ActivityReport, MemorySystemConfig, PrechargePolicy};
+    use bitline_trace::{BranchInfo, MemRef, ReplayTrace};
+    use gated_precharge::StaticPullUp;
+
+    fn memsys() -> MemorySystem {
+        let cfg = MemorySystemConfig::default();
+        MemorySystem::new(
+            cfg,
+            Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+            Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+        )
+    }
+
+    fn alu_chain(n: usize) -> ReplayTrace {
+        // Fully serial dependence chain: IPC must approach 1.
+        let mut v = Vec::new();
+        for i in 0..n {
+            let pc = 0x40_0000 + 4 * i as u64;
+            v.push(Instr::new(pc, InstrKind::IntAlu).with_dest(1).with_srcs(Some(1), None));
+        }
+        ReplayTrace::new(v)
+    }
+
+    fn independent_alus(n: usize) -> ReplayTrace {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let pc = 0x40_0000 + 4 * i as u64;
+            let d = (8 + (i % 32)) as u8;
+            v.push(Instr::new(pc, InstrKind::IntAlu).with_dest(d));
+        }
+        ReplayTrace::new(v)
+    }
+
+    #[test]
+    fn serial_chain_runs_at_ipc_one() {
+        let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+        let stats = cpu.run(&mut alu_chain(64), 20_000);
+        let ipc = stats.ipc();
+        assert!((0.85..=1.05).contains(&ipc), "serial IPC {ipc}");
+    }
+
+    #[test]
+    fn independent_work_exploits_width() {
+        let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+        let stats = cpu.run(&mut independent_alus(64), 40_000);
+        let ipc = stats.ipc();
+        assert!(ipc > 4.0, "independent IPC {ipc} should exploit the 8-wide core");
+    }
+
+    #[test]
+    fn loads_hit_with_three_cycle_latency() {
+        // load -> dependent ALU chain; steady state ~ 1 load per 4 cycles
+        // if latency is respected serially.
+        let mut v = Vec::new();
+        for i in 0..8 {
+            let pc = 0x40_0000 + 8 * i as u64;
+            v.push(
+                Instr::new(pc, InstrKind::Load)
+                    .with_dest(1)
+                    .with_srcs(Some(1), None)
+                    .with_mem(MemRef { addr: 0x1000, base: 0x1000, size: 8 }),
+            );
+            v.push(
+                Instr::new(pc + 4, InstrKind::IntAlu).with_dest(1).with_srcs(Some(1), None),
+            );
+        }
+        let mut trace = ReplayTrace::new(v);
+        let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+        let stats = cpu.run(&mut trace, 8000);
+        // Serial load(3) + alu(1): 2 instructions per 4 cycles = IPC 0.5.
+        let ipc = stats.ipc();
+        assert!((0.4..=0.6).contains(&ipc), "load-chain IPC {ipc}");
+    }
+
+    /// A policy that delays every access: forces load latency variation.
+    struct ColdEveryTime;
+    impl PrechargePolicy for ColdEveryTime {
+        fn name(&self) -> String {
+            "cold".into()
+        }
+        fn access(&mut self, _s: usize, _c: u64) -> u32 {
+            1
+        }
+        fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+            ActivityReport { policy: self.name(), end_cycle, per_subarray: vec![] }
+        }
+    }
+
+    #[test]
+    fn delayed_loads_trigger_replays() {
+        let cfg = MemorySystemConfig::default();
+        let mem = MemorySystem::new(
+            cfg,
+            Box::new(ColdEveryTime),
+            Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+        );
+        let mut v = Vec::new();
+        for i in 0..8 {
+            let pc = 0x40_0000 + 8 * i as u64;
+            v.push(
+                Instr::new(pc, InstrKind::Load)
+                    .with_dest(2)
+                    .with_mem(MemRef { addr: 0x2000, base: 0x2000, size: 8 }),
+            );
+            v.push(
+                Instr::new(pc + 4, InstrKind::IntAlu).with_dest(3).with_srcs(Some(2), None),
+            );
+        }
+        let mut trace = ReplayTrace::new(v);
+        let mut cpu = Cpu::new(CpuConfig::default(), mem);
+        let stats = cpu.run(&mut trace, 4000);
+        assert!(stats.load_misspeculations > 0, "every load is delayed");
+        assert!(stats.replays > 0, "dependents must replay");
+    }
+
+    #[test]
+    fn replay_slows_execution_down() {
+        let run = |delay: bool| -> f64 {
+            let cfg = MemorySystemConfig::default();
+            let d: Box<dyn PrechargePolicy> = if delay {
+                Box::new(ColdEveryTime)
+            } else {
+                Box::new(StaticPullUp::new(cfg.l1d.subarrays()))
+            };
+            let mem =
+                MemorySystem::new(cfg, d, Box::new(StaticPullUp::new(cfg.l1i.subarrays())));
+            let mut v = Vec::new();
+            for i in 0..16 {
+                let pc = 0x40_0000 + 8 * i as u64;
+                v.push(
+                    Instr::new(pc, InstrKind::Load)
+                        .with_dest(2)
+                        .with_srcs(Some(2), None)
+                        .with_mem(MemRef { addr: 0x2000 + 8 * i as u64, base: 0x2000, size: 8 }),
+                );
+                v.push(
+                    Instr::new(pc + 4, InstrKind::IntAlu).with_dest(2).with_srcs(Some(2), None),
+                );
+            }
+            let mut trace = ReplayTrace::new(v);
+            let mut cpu = Cpu::new(CpuConfig::default(), mem);
+            cpu.run(&mut trace, 6000).ipc()
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert!(slow < fast, "pull-up delays must cost performance: {slow} vs {fast}");
+    }
+
+    /// Emits alu/branch pairs whose branch outcome is freshly random every
+    /// execution (a periodic "random" pattern would be learnable by
+    /// gshare's global history).
+    struct RandomBranches {
+        x: u64,
+        i: u64,
+        random: bool,
+    }
+
+    impl bitline_trace::TraceSource for RandomBranches {
+        fn next_instr(&mut self) -> Instr {
+            let pc = 0x40_0000 + 4 * (self.i % 16);
+            self.i += 1;
+            if self.i % 2 == 1 {
+                Instr::new(pc, InstrKind::IntAlu).with_dest(1)
+            } else {
+                let t = if self.random {
+                    self.x ^= self.x << 13;
+                    self.x ^= self.x >> 7;
+                    self.x ^= self.x << 17;
+                    self.x & 1 == 1
+                } else {
+                    true
+                };
+                Instr::new(pc, InstrKind::Branch)
+                    .with_srcs(Some(1), None)
+                    .with_branch(BranchInfo { taken: t, target: 0x40_0000 + 4 * (self.i % 16) })
+            }
+        }
+    }
+
+    #[test]
+    fn branch_mispredicts_cost_cycles() {
+        let ipc = |random: bool| {
+            let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+            let mut t = RandomBranches { x: 0x2545_f491_4f6c_dd1d, i: 0, random };
+            cpu.run(&mut t, 20_000).ipc()
+        };
+        let p = ipc(false);
+        let u = ipc(true);
+        assert!(u < 0.8 * p, "mispredicts must hurt: predictable {p}, random {u}");
+    }
+
+    #[test]
+    fn predecode_hints_are_emitted_when_enabled() {
+        let mut v = Vec::new();
+        for i in 0..4 {
+            v.push(
+                Instr::new(0x40_0000 + 4 * i, InstrKind::Load)
+                    .with_dest(1)
+                    .with_mem(MemRef { addr: 0x3000, base: 0x3000, size: 8 }),
+            );
+        }
+        let mut cpu = Cpu::new(CpuConfig::default().with_predecode_hints(), memsys());
+        let stats = cpu.run(&mut ReplayTrace::new(v), 400);
+        // Hints are counted at dispatch, loads at issue, so in-flight work
+        // at the cutoff makes hints run slightly ahead.
+        assert!(stats.hints >= stats.loads + stats.stores);
+        assert!(stats.hints > 0);
+    }
+
+    #[test]
+    fn all_younger_replay_squashes_more() {
+        let run = |scope: ReplayScope| -> u64 {
+            let cfg = MemorySystemConfig::default();
+            let mem = MemorySystem::new(
+                cfg,
+                Box::new(ColdEveryTime),
+                Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+            );
+            let mut v = Vec::new();
+            for i in 0..8 {
+                let pc = 0x40_0000 + 20 * i as u64;
+                v.push(
+                    Instr::new(pc, InstrKind::Load)
+                        .with_dest(2)
+                        .with_mem(MemRef { addr: 0x2000, base: 0x2000, size: 8 }),
+                );
+                v.push(Instr::new(pc + 4, InstrKind::IntAlu).with_dest(3).with_srcs(Some(2), None));
+                // Independent fillers that only AllYounger squashes.
+                v.push(Instr::new(pc + 8, InstrKind::IntAlu).with_dest(9));
+                v.push(Instr::new(pc + 12, InstrKind::IntAlu).with_dest(10));
+            }
+            let mut cpu = Cpu::new(CpuConfig { replay_scope: scope, ..CpuConfig::default() }, mem);
+            cpu.run(&mut ReplayTrace::new(v), 4000).replays
+        };
+        let p4 = run(ReplayScope::DependentsOnly);
+        let r10k = run(ReplayScope::AllYounger);
+        assert!(r10k > p4, "AllYounger ({r10k}) must squash more than DependentsOnly ({p4})");
+    }
+}

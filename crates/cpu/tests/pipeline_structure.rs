@@ -1,0 +1,122 @@
+//! Structural tests of the out-of-order pipeline: capacities, ports and
+//! queues must actually constrain execution.
+
+use bitline_cache::{MemorySystem, MemorySystemConfig};
+use bitline_cpu::{Cpu, CpuConfig};
+use bitline_trace::{Instr, InstrKind, MemRef, ReplayTrace};
+use gated_precharge::StaticPullUp;
+
+fn memsys() -> MemorySystem {
+    let cfg = MemorySystemConfig::default();
+    MemorySystem::new(
+        cfg,
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+    )
+}
+
+fn independent_loads(n: usize, line_stride: u64) -> ReplayTrace {
+    let v = (0..n)
+        .map(|i| {
+            let pc = 0x40_0000 + 4 * i as u64;
+            let addr = 0x1000_0000 + line_stride * i as u64;
+            Instr::new(pc, InstrKind::Load)
+                .with_dest((8 + i % 32) as u8)
+                .with_mem(MemRef { addr, base: addr, size: 8 })
+        })
+        .collect();
+    ReplayTrace::new(v)
+}
+
+/// Independent hitting loads are limited by the 4 data-cache ports, not by
+/// the 8-wide issue width.
+#[test]
+fn dcache_ports_bound_load_throughput() {
+    // Warm a small region first so everything hits.
+    let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+    let mut warm = independent_loads(64, 32);
+    cpu.run(&mut warm, 2_000);
+    let before = cpu.stats();
+    cpu.run(&mut independent_loads(64, 32), 8_000);
+    let after = cpu.stats();
+    let loads_per_cycle =
+        (after.loads - before.loads) as f64 / (after.cycles - before.cycles) as f64;
+    assert!(
+        loads_per_cycle <= 4.0 + 1e-9,
+        "load throughput {loads_per_cycle:.2} exceeds the 4 cache ports"
+    );
+    assert!(loads_per_cycle > 2.0, "hitting loads should saturate most ports");
+}
+
+/// Sixteen independent multiply chains, interleaved: each instruction
+/// waits ~3 cycles on its chain's previous multiply, so sustaining
+/// throughput needs ~48 instructions waiting in the issue queue.
+fn mul_chains(n: usize) -> ReplayTrace {
+    let v = (0..n)
+        .map(|i| {
+            let pc = 0x40_0000 + 4 * i as u64;
+            let r = (8 + i % 16) as u8;
+            Instr::new(pc, InstrKind::IntMul).with_dest(r).with_srcs(Some(r), None)
+        })
+        .collect();
+    ReplayTrace::new(v)
+}
+
+/// A tiny issue queue throttles an otherwise identical configuration.
+#[test]
+fn issue_queue_size_matters() {
+    let run = |iq: usize| {
+        let cfg = CpuConfig { iq_entries: iq, ..CpuConfig::default() };
+        let mut cpu = Cpu::new(cfg, memsys());
+        cpu.run(&mut mul_chains(64), 8_000).ipc()
+    };
+    let small = run(4);
+    let large = run(64);
+    assert!(large > 1.15 * small, "IQ 64 ({large:.2}) must beat IQ 4 ({small:.2})");
+}
+
+/// A tiny ROB throttles in-flight parallelism the same way.
+#[test]
+fn rob_size_matters() {
+    let run = |rob: usize| {
+        let cfg = CpuConfig { rob_entries: rob, ..CpuConfig::default() };
+        let mut cpu = Cpu::new(cfg, memsys());
+        cpu.run(&mut mul_chains(64), 8_000).ipc()
+    };
+    assert!(run(128) > run(8));
+}
+
+/// Fetch cannot outrun the fetch queue: committed never exceeds fetched.
+#[test]
+fn fetched_bounds_committed() {
+    let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+    let mut trace = independent_loads(64, 32);
+    let stats = cpu.run(&mut trace, 5_000);
+    assert!(stats.fetched >= stats.committed);
+}
+
+/// Stores are bounded by the two write ports.
+#[test]
+fn store_ports_bound_store_throughput() {
+    let v: Vec<Instr> = (0..64)
+        .map(|i| {
+            let pc = 0x40_0000 + 4 * i as u64;
+            let addr = 0x1000_0000 + 32 * (i % 16) as u64;
+            Instr::new(pc, InstrKind::Store)
+                .with_srcs(Some(1), Some(2))
+                .with_mem(MemRef { addr, base: addr, size: 8 })
+        })
+        .collect();
+    let mut cpu = Cpu::new(CpuConfig::default(), memsys());
+    let mut warm = ReplayTrace::new(v.clone());
+    cpu.run(&mut warm, 1_000);
+    let before = cpu.stats();
+    cpu.run(&mut ReplayTrace::new(v), 6_000);
+    let after = cpu.stats();
+    let stores_per_cycle =
+        (after.stores - before.stores) as f64 / (after.cycles - before.cycles) as f64;
+    assert!(
+        stores_per_cycle <= 2.0 + 1e-9,
+        "store throughput {stores_per_cycle:.2} exceeds the 2 write ports"
+    );
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the out-of-order core: for arbitrary (but
+//! well-formed) instruction streams the pipeline must terminate, conserve
+//! instructions and respect its structural bounds.
+
+use proptest::prelude::*;
+
+use bitline_cache::{MemorySystem, MemorySystemConfig};
+use bitline_cpu::{Cpu, CpuConfig, ReplayScope};
+use bitline_trace::{BranchInfo, Instr, InstrKind, MemRef, ReplayTrace};
+use gated_precharge::{GatedPolicy, StaticPullUp};
+
+/// Strategy: a random well-formed basic-block-shaped trace.
+fn arb_trace() -> impl Strategy<Value = Vec<Instr>> {
+    let instr = (0u8..7, any::<u8>(), any::<u8>(), any::<u16>(), any::<bool>());
+    prop::collection::vec(instr, 4..120).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(idx, (kind, dest, src, addr_seed, taken))| {
+                let pc = 0x40_0000 + 4 * idx as u64;
+                let dest = 8 + dest % 32;
+                let src = 8 + src % 32;
+                match kind {
+                    0 | 1 => Instr::new(pc, InstrKind::IntAlu)
+                        .with_dest(dest)
+                        .with_srcs(Some(src), None),
+                    2 => Instr::new(pc, InstrKind::IntMul)
+                        .with_dest(dest)
+                        .with_srcs(Some(src), Some(src)),
+                    3 => Instr::new(pc, InstrKind::FpAlu).with_dest(dest),
+                    4 => {
+                        let addr = 0x1000_0000 + u64::from(addr_seed) * 8;
+                        Instr::new(pc, InstrKind::Load)
+                            .with_dest(dest)
+                            .with_srcs(Some(src), None)
+                            .with_mem(MemRef { addr, base: addr & !63, size: 8 })
+                    }
+                    5 => {
+                        let addr = 0x1000_0000 + u64::from(addr_seed) * 8;
+                        Instr::new(pc, InstrKind::Store)
+                            .with_srcs(Some(src), Some(dest))
+                            .with_mem(MemRef { addr, base: addr, size: 8 })
+                    }
+                    _ => Instr::new(pc, InstrKind::Branch)
+                        .with_srcs(Some(src), None)
+                        .with_branch(BranchInfo { taken, target: pc + 4 }),
+                }
+            })
+            .collect()
+    })
+}
+
+fn run(trace: Vec<Instr>, scope: ReplayScope, gated: bool) -> bitline_cpu::SimStats {
+    let cfg = MemorySystemConfig::default();
+    let d: Box<dyn bitline_cache::PrechargePolicy> = if gated {
+        Box::new(GatedPolicy::new(cfg.l1d.subarrays(), 50, 1))
+    } else {
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays()))
+    };
+    let mem = MemorySystem::new(cfg, d, Box::new(StaticPullUp::new(cfg.l1i.subarrays())));
+    let mut cpu =
+        Cpu::new(CpuConfig { replay_scope: scope, ..CpuConfig::default() }, mem);
+    cpu.run(&mut ReplayTrace::new(trace), 3_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipeline always terminates and commits exactly what was asked,
+    /// for any trace shape, replay scope and precharge policy.
+    #[test]
+    fn pipeline_always_terminates(
+        trace in arb_trace(),
+        all_younger in any::<bool>(),
+        gated in any::<bool>(),
+    ) {
+        let scope = if all_younger { ReplayScope::AllYounger } else { ReplayScope::DependentsOnly };
+        let stats = run(trace, scope, gated);
+        // Commit is 8-wide, so the run may overshoot by up to one group.
+        prop_assert!((3_000..3_008).contains(&stats.committed), "committed {}", stats.committed);
+        prop_assert!(stats.cycles > 0);
+        prop_assert!(stats.ipc() <= 8.0 + 1e-9, "cannot exceed machine width");
+        prop_assert!(stats.fetched >= stats.committed);
+        prop_assert!(stats.mispredicts <= stats.branches);
+    }
+
+    /// Gated precharging never makes a run *faster* than static pull-up
+    /// (it can only add pull-up delays) and never changes committed work.
+    #[test]
+    fn gated_never_speeds_up(trace in arb_trace()) {
+        let base = run(trace.clone(), ReplayScope::DependentsOnly, false);
+        let gated = run(trace, ReplayScope::DependentsOnly, true);
+        prop_assert!(
+            gated.cycles + 2 >= base.cycles,
+            "gated {} vs static {}",
+            gated.cycles,
+            base.cycles
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: the synthetic workloads drive the core at plausible IPCs.
+
+use bitline_cache::{MemorySystem, MemorySystemConfig};
+use bitline_cpu::{Cpu, CpuConfig};
+use bitline_workloads::suite;
+use gated_precharge::StaticPullUp;
+
+fn run_full(name: &str, n: u64) -> (bitline_cpu::SimStats, f64, f64) {
+    let cfg = MemorySystemConfig::default();
+    let mem = MemorySystem::new(
+        cfg,
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = suite::by_name(name).unwrap().build(42);
+    let stats = cpu.run(&mut trace, n);
+    let dm = cpu.memory().l1d().miss_ratio();
+    let im = cpu.memory().l1i().miss_ratio();
+    (stats, dm, im)
+}
+
+fn run(name: &str, n: u64) -> bitline_cpu::SimStats {
+    let cfg = MemorySystemConfig::default();
+    let mem = MemorySystem::new(
+        cfg,
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = suite::by_name(name).unwrap().build(42);
+    cpu.run(&mut trace, n)
+}
+
+#[test]
+fn ipcs_are_plausible_and_signatures_match_the_paper() {
+    let mut results = std::collections::HashMap::new();
+    for name in suite::names() {
+        let (stats, dm, im) = run_full(name, 100_000);
+        let ipc = stats.ipc();
+        println!(
+            "{name:>8}: ipc {ipc:5.2} mispred {:5.3} replay {:5.3} fstall {:4.2} dmiss {dm:5.3} imiss {im:5.3}",
+            stats.mispredict_rate(),
+            stats.replay_rate(),
+            stats.fetch_stall_cycles as f64 / stats.cycles as f64,
+        );
+        assert!(
+            (0.15..=8.0).contains(&ipc),
+            "{name}: IPC {ipc} outside plausible range"
+        );
+        assert!(stats.mispredict_rate() < 0.30, "{name}: mispredict rate");
+        results.insert(name, (ipc, dm, im));
+    }
+    // Signatures the paper's discussion relies on:
+    // memory-bound benchmarks miss the L1D heavily...
+    for name in ["ammp", "art", "mcf", "treeadd"] {
+        assert!(results[name].1 > 0.13, "{name} should thrash: dmiss {}", results[name].1);
+    }
+    // ...regular benchmarks do not...
+    for name in ["mesa", "bzip2", "health", "bh"] {
+        assert!(results[name].1 < 0.15, "{name} should not thrash: dmiss {}", results[name].1);
+    }
+    // ...and the big-code benchmarks dominate I-cache misses.
+    let max_other_imiss = suite::names()
+        .iter()
+        .filter(|n| !["gcc", "vortex", "vpr"].contains(n))
+        .map(|n| results[n].2)
+        .fold(0.0f64, f64::max);
+    for name in ["gcc", "vortex"] {
+        assert!(
+            results[name].2 > max_other_imiss,
+            "{name} imiss {} should exceed all small-code benchmarks ({max_other_imiss})",
+            results[name].2
+        );
+    }
+    // Memory-bound benchmarks run slower than regular ones on average.
+    let avg = |names: &[&str]| {
+        names.iter().map(|n| results[*n].0).sum::<f64>() / names.len() as f64
+    };
+    assert!(avg(&["ammp", "art", "mcf", "em3d"]) < avg(&["mesa", "bzip2", "health", "vpr"]));
+}
+
+#[test]
+fn memory_bound_benchmarks_run_slower_than_regular_ones() {
+    let mcf = run("mcf", 30_000).ipc();
+    let mesa = run("mesa", 30_000).ipc();
+    assert!(
+        mcf < mesa,
+        "mcf (memory-bound, {mcf:.2}) should trail mesa (regular, {mesa:.2})"
+    );
+}

@@ -1,0 +1,411 @@
+//! Wattch-like cache energy accounting.
+//!
+//! The paper's methodology (Section 3): "we gather the subarray
+//! pull-up/idle time distributions from the architectural simulations and
+//! combine them with the bitline discharge results from the circuit
+//! simulations to calculate the overall energy reduction." This crate is
+//! that combination step: an [`EnergyAccountant`] takes an
+//! [`bitline_cache::ActivityReport`] (per-subarray pull-up cycles, accesses,
+//! and the isolation-episode idle histogram) plus dynamic access counts,
+//! prices every component with the circuit models, and produces a
+//! [`CacheEnergyBreakdown`].
+//!
+//! Unlike the circuit crate's Figure 2 analysis — which deliberately uses
+//! the worst-case stored-value combination, as the paper does — the
+//! accountant applies an average-case factor of 0.5 to leakage paths: with
+//! random stored data, each cell pulls on one bitline of its differential
+//! pair, not both.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitline_cache::CacheConfig;
+//! use bitline_cmos::TechnologyNode;
+//! use bitline_energy::EnergyAccountant;
+//!
+//! let acct = EnergyAccountant::new(TechnologyNode::N70, CacheConfig::l1_data());
+//! assert!(acct.static_discharge_per_cycle_j() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod processor;
+
+pub use processor::{ProcessorEnergy, ProcessorEnergyModel};
+
+use bitline_cache::{ActivityReport, CacheConfig, WayStats};
+use bitline_circuit::SubarrayEnergyModel;
+use bitline_cmos::TechnologyNode;
+use serde::{Deserialize, Serialize};
+
+/// Average-case stored-value factor for leakage paths: with random data a
+/// cell leaks into one bitline of its pair, not both (the circuit models
+/// assume the worst case, as the paper's Figure 2 does).
+pub const AVERAGE_CASE_LEAKAGE_FACTOR: f64 = 0.5;
+
+/// Residual cell leakage at the drowsy retention voltage, as a fraction of
+/// full-Vdd cell leakage (Kim et al. report ~6-10x reduction; the paper's
+/// reference [13]).
+pub const DROWSY_LEAKAGE_FACTOR: f64 = 0.15;
+
+/// Energy consumed by one cache over a run, decomposed the way the paper
+/// reports it.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheEnergyBreakdown {
+    /// Dynamic read/write energy, including periphery, in joules.
+    pub dynamic_j: f64,
+    /// Bitline leakage burnt in pulled-up subarrays, in joules. This is the
+    /// steady "bitline discharge" of statically precharged subarrays.
+    pub pullup_leak_j: f64,
+    /// Isolation-episode energy (precharge-device switching plus bitline
+    /// re-pump), in joules. Zero for static pull-up; this is the overhead
+    /// that makes aggressive isolation a bad deal in 180 nm (Figure 9).
+    pub episode_j: f64,
+    /// Internal cell leakage (unaffected by bitline isolation), in joules.
+    pub cell_leak_j: f64,
+    /// Gated-precharging decay counter + comparator energy, in joules.
+    pub counter_j: f64,
+}
+
+impl CacheEnergyBreakdown {
+    /// Total cache energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.pullup_leak_j + self.episode_j + self.cell_leak_j + self.counter_j
+    }
+
+    /// Energy dissipated through the bitline paths: pulled-up leakage plus
+    /// isolation episodes. This is the quantity the paper's "relative
+    /// amount of bitline discharge" figures (3, 8, 9) compare.
+    #[must_use]
+    pub fn bitline_discharge_j(&self) -> f64 {
+        self.pullup_leak_j + self.episode_j
+    }
+
+    /// Bitline discharge relative to a baseline (1.0 = no change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero discharge.
+    #[must_use]
+    pub fn relative_discharge(&self, baseline: &CacheEnergyBreakdown) -> f64 {
+        let base = baseline.bitline_discharge_j();
+        assert!(base > 0.0, "baseline must have bitline discharge");
+        self.bitline_discharge_j() / base
+    }
+
+    /// Overall cache-energy reduction versus a baseline (positive = saves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero total energy.
+    #[must_use]
+    pub fn overall_reduction(&self, baseline: &CacheEnergyBreakdown) -> f64 {
+        let base = baseline.total_j();
+        assert!(base > 0.0, "baseline must have energy");
+        1.0 - self.total_j() / base
+    }
+
+    /// Fraction of total energy that is bitline discharge.
+    #[must_use]
+    pub fn bitline_share(&self) -> f64 {
+        self.bitline_discharge_j() / self.total_j()
+    }
+}
+
+/// Prices a cache's activity report using the circuit models.
+#[derive(Debug, Clone)]
+pub struct EnergyAccountant {
+    node: TechnologyNode,
+    cache: CacheConfig,
+    model: SubarrayEnergyModel,
+}
+
+impl EnergyAccountant {
+    /// Builds the accountant for one node and cache geometry.
+    #[must_use]
+    pub fn new(node: TechnologyNode, cache: CacheConfig) -> EnergyAccountant {
+        EnergyAccountant { node, cache, model: SubarrayEnergyModel::new(node, cache.geometry()) }
+    }
+
+    /// The technology node.
+    #[must_use]
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// The underlying subarray energy model.
+    #[must_use]
+    pub fn subarray_model(&self) -> &SubarrayEnergyModel {
+        &self.model
+    }
+
+    /// Average-case bitline discharge of the whole cache per cycle under
+    /// static pull-up, in joules.
+    #[must_use]
+    pub fn static_discharge_per_cycle_j(&self) -> f64 {
+        self.cache.subarrays() as f64
+            * self.model.pulled_up_cycle_energy_j()
+            * AVERAGE_CASE_LEAKAGE_FACTOR
+    }
+
+    /// Data-array read energy for `reads` accesses, honouring way
+    /// prediction when stats are provided.
+    ///
+    /// A conventional set-associative read probes **all** ways in parallel
+    /// (tag lookup overlaps data access — the premise of way prediction,
+    /// references [12, 15] of the paper). With a predictor, correct
+    /// predictions read one way; mispredictions read the predicted way and
+    /// then all ways on the re-probe.
+    fn read_array_energy_j(&self, reads: u64, way_stats: Option<WayStats>) -> f64 {
+        let per_way = self.model.read_access_energy_j();
+        let assoc = self.cache.assoc as f64;
+        match way_stats {
+            None => reads as f64 * assoc * per_way,
+            Some(ws) => {
+                let resolved = ws.correct + ws.wrong;
+                let unpredicted = reads.saturating_sub(resolved) as f64;
+                (ws.correct as f64
+                    + ws.wrong as f64 * (assoc + 1.0)
+                    + unpredicted * assoc)
+                    * per_way
+            }
+        }
+    }
+
+    /// Prices an activity report.
+    ///
+    /// `reads`/`writes` are the dynamic access counts (loads and stores for
+    /// a data cache; line fetches and fills for an instruction cache).
+    /// `gated_counters` adds the decay-counter overhead of gated
+    /// precharging (Section 6.2); `way_stats` switches the read accounting
+    /// to way-predicted mode.
+    #[must_use]
+    pub fn account(
+        &self,
+        report: &ActivityReport,
+        reads: u64,
+        writes: u64,
+        gated_counters: bool,
+        way_stats: Option<WayStats>,
+    ) -> CacheEnergyBreakdown {
+        let m = &self.model;
+        let dynamic_j = self.read_array_energy_j(reads, way_stats)
+            + reads as f64 * m.peripheral_access_energy_j()
+            + writes as f64 * (m.write_access_energy_j() + m.peripheral_access_energy_j());
+        let pullup_leak_j = report.total_pulled_up_cycles()
+            * m.pulled_up_cycle_energy_j()
+            * AVERAGE_CASE_LEAKAGE_FACTOR;
+        let mut episode_j = 0.0;
+        for s in &report.per_subarray {
+            for (idle_cycles, count) in s.idle_histogram.iter() {
+                episode_j += count as f64
+                    * m.isolation_episode_energy_j(idle_cycles as u64)
+                    * AVERAGE_CASE_LEAKAGE_FACTOR;
+            }
+        }
+        // Drowsy subarray-cycles leak at the retention-voltage rate.
+        let full_cell_cycles = report.per_subarray.len() as f64 * report.end_cycle as f64;
+        let drowsy_cycles = report.total_drowsy_cycles().min(full_cell_cycles);
+        let cell_leak_j = (full_cell_cycles - drowsy_cycles
+            + drowsy_cycles * DROWSY_LEAKAGE_FACTOR)
+            * m.cell_leakage_cycle_energy_j()
+            * AVERAGE_CASE_LEAKAGE_FACTOR;
+        let counter_j = if gated_counters {
+            report.total_accesses() as f64 * m.decay_counter_energy_j()
+        } else {
+            0.0
+        };
+        CacheEnergyBreakdown { dynamic_j, pullup_leak_j, episode_j, cell_leak_j, counter_j }
+    }
+
+    /// The breakdown a conventional (static pull-up) cache would have over
+    /// the same run, computed analytically from the cycle count — used as
+    /// the normalisation baseline so a separate baseline simulation is not
+    /// required for energy ratios.
+    #[must_use]
+    pub fn static_baseline(&self, end_cycle: u64, reads: u64, writes: u64) -> CacheEnergyBreakdown {
+        let m = &self.model;
+        let dynamic_j = self.read_array_energy_j(reads, None)
+            + reads as f64 * m.peripheral_access_energy_j()
+            + writes as f64 * (m.write_access_energy_j() + m.peripheral_access_energy_j());
+        CacheEnergyBreakdown {
+            dynamic_j,
+            pullup_leak_j: end_cycle as f64 * self.static_discharge_per_cycle_j(),
+            episode_j: 0.0,
+            cell_leak_j: self.cache.subarrays() as f64
+                * end_cycle as f64
+                * m.cell_leakage_cycle_energy_j()
+                * AVERAGE_CASE_LEAKAGE_FACTOR,
+            counter_j: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitline_cache::PrechargePolicy;
+    use gated_precharge::{GatedPolicy, OraclePolicy, StaticPullUp};
+
+    fn accountant(node: TechnologyNode) -> EnergyAccountant {
+        EnergyAccountant::new(node, CacheConfig::l1_data())
+    }
+
+    /// Drives a policy with a synthetic access stream: one access per
+    /// `stride` cycles, round-robin over `hot` subarrays.
+    fn drive(policy: &mut dyn PrechargePolicy, cycles: u64, stride: u64, hot: usize) -> ActivityReport {
+        let mut c = 0;
+        let mut i = 0usize;
+        while c < cycles {
+            policy.access(i % hot, c);
+            i += 1;
+            c += stride;
+        }
+        policy.finalize(cycles)
+    }
+
+    #[test]
+    fn static_pullup_matches_analytic_baseline() {
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = StaticPullUp::new(32);
+        let report = drive(&mut p, 100_000, 3, 4);
+        let accesses = report.total_accesses();
+        let priced = acct.account(&report, accesses, 0, false, None);
+        let baseline = acct.static_baseline(100_000, accesses, 0);
+        assert!((priced.total_j() - baseline.total_j()).abs() / baseline.total_j() < 1e-9);
+        assert!((priced.relative_discharge(&baseline) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_reduces_discharge_by_about_90_percent_at_70nm() {
+        // Figure 3's shape: with accesses concentrated and the 70 nm
+        // episode overhead small, the oracle removes the vast majority of
+        // bitline discharge.
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = OraclePolicy::new(32);
+        let report = drive(&mut p, 200_000, 3, 4);
+        let priced = acct.account(&report, report.total_accesses(), 0, false, None);
+        let baseline = acct.static_baseline(200_000, report.total_accesses(), 0);
+        let rel = priced.relative_discharge(&baseline);
+        assert!((0.02..=0.30).contains(&rel), "oracle relative discharge {rel:.3}");
+    }
+
+    #[test]
+    fn oracle_is_much_less_attractive_at_180nm() {
+        let run = |node| {
+            let acct = accountant(node);
+            let mut p = OraclePolicy::new(32);
+            let report = drive(&mut p, 200_000, 3, 4);
+            let priced = acct.account(&report, report.total_accesses(), 0, false, None);
+            let baseline = acct.static_baseline(200_000, report.total_accesses(), 0);
+            priced.relative_discharge(&baseline)
+        };
+        let new = run(TechnologyNode::N70);
+        let old = run(TechnologyNode::N180);
+        assert!(
+            old > 3.0 * new,
+            "per-access isolation should be far costlier at 180 nm: {old:.3} vs {new:.3}"
+        );
+    }
+
+    #[test]
+    fn gated_sits_between_static_and_oracle_at_70nm() {
+        let acct = accountant(TechnologyNode::N70);
+        let rel = |policy: &mut dyn PrechargePolicy| {
+            let report = drive(policy, 200_000, 3, 4);
+            let priced = acct.account(&report, report.total_accesses(), 0, false, None);
+            let baseline = acct.static_baseline(200_000, report.total_accesses(), 0);
+            priced.relative_discharge(&baseline)
+        };
+        let oracle = rel(&mut OraclePolicy::new(32));
+        let gated = rel(&mut GatedPolicy::new(32, 100, 1));
+        assert!(gated < 0.5, "gated discharge {gated:.3} must save substantially");
+        assert!(gated > oracle, "gated ({gated:.3}) cannot beat the oracle ({oracle:.3})");
+    }
+
+    #[test]
+    fn bitline_discharge_dominates_cache_energy_at_70nm() {
+        // The premise of the paper's 70 nm evaluation: roughly half (or
+        // more) of cache energy is bitline discharge under static pull-up.
+        let acct = accountant(TechnologyNode::N70);
+        // Activity: ~0.3 accesses/cycle.
+        let baseline = acct.static_baseline(100_000, 30_000, 10_000);
+        let share = baseline.bitline_share();
+        assert!((0.40..=0.85).contains(&share), "bitline share {share:.3}");
+    }
+
+    #[test]
+    fn dynamic_energy_dominates_at_180nm() {
+        let acct = accountant(TechnologyNode::N180);
+        let baseline = acct.static_baseline(100_000, 30_000, 10_000);
+        let share = baseline.bitline_share();
+        assert!(share < 0.25, "bitline share at 180 nm {share:.3} should be small");
+    }
+
+    #[test]
+    fn counter_overhead_is_negligible() {
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = GatedPolicy::new(32, 100, 1);
+        let report = drive(&mut p, 100_000, 3, 4);
+        let with = acct.account(&report, report.total_accesses(), 0, true, None);
+        let without = acct.account(&report, report.total_accesses(), 0, false, None);
+        let overhead = (with.total_j() - without.total_j()) / without.total_j();
+        assert!(overhead < 0.001, "counter overhead {overhead:.5}");
+        assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn way_prediction_cuts_dynamic_read_energy() {
+        use bitline_cache::WayStats;
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = StaticPullUp::new(32);
+        let report = drive(&mut p, 100_000, 3, 4);
+        let reads = report.total_accesses();
+        let conventional = acct.account(&report, reads, 0, false, None);
+        // 90% prediction accuracy on an all-hit stream.
+        let correct = reads * 9 / 10;
+        let ws = WayStats { correct, wrong: reads - correct };
+        let predicted = acct.account(&report, reads, 0, false, Some(ws));
+        assert!(predicted.dynamic_j < conventional.dynamic_j);
+        // Leakage components are untouched.
+        assert!((predicted.pullup_leak_j - conventional.pullup_leak_j).abs() < 1e-18);
+        // Perfect prediction on a 2-way cache halves the array read energy
+        // (periphery unchanged), so the saving is bounded.
+        let perfect = acct.account(
+            &report,
+            reads,
+            0,
+            false,
+            Some(WayStats { correct: reads, wrong: 0 }),
+        );
+        assert!(perfect.dynamic_j < predicted.dynamic_j);
+    }
+
+    #[test]
+    fn all_wrong_way_predictions_cost_more_than_conventional() {
+        use bitline_cache::WayStats;
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = StaticPullUp::new(32);
+        let report = drive(&mut p, 50_000, 3, 4);
+        let reads = report.total_accesses();
+        let conventional = acct.account(&report, reads, 0, false, None);
+        let all_wrong =
+            acct.account(&report, reads, 0, false, Some(WayStats { correct: 0, wrong: reads }));
+        assert!(all_wrong.dynamic_j > conventional.dynamic_j);
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative_and_sum() {
+        let acct = accountant(TechnologyNode::N100);
+        let mut p = GatedPolicy::new(32, 50, 1);
+        let report = drive(&mut p, 50_000, 7, 8);
+        let b = acct.account(&report, 5_000, 1_000, true, None);
+        for v in [b.dynamic_j, b.pullup_leak_j, b.episode_j, b.cell_leak_j, b.counter_j] {
+            assert!(v >= 0.0);
+        }
+        let sum = b.dynamic_j + b.pullup_leak_j + b.episode_j + b.cell_leak_j + b.counter_j;
+        assert!((b.total_j() - sum).abs() < 1e-18);
+    }
+}

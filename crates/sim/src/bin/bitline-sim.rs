@@ -1,0 +1,222 @@
+//! `bitline-sim` — command-line front end for the full-system simulator.
+//!
+//! Run any benchmark under any precharge policy and print performance,
+//! cache behaviour and energy at a chosen technology node:
+//!
+//! ```sh
+//! bitline-sim --benchmark mcf --policy gated:100 --node 70nm --instructions 200000
+//! bitline-sim --benchmark all --policy oracle
+//! bitline-sim --list
+//! ```
+
+use std::process::ExitCode;
+
+use bitline_cmos::TechnologyNode;
+use bitline_sim::{run_benchmark, PolicyKind, SystemSpec};
+use bitline_workloads::suite;
+
+#[derive(Debug)]
+struct Args {
+    benchmark: String,
+    policy: PolicyKind,
+    icache_policy: Option<PolicyKind>,
+    node: TechnologyNode,
+    instructions: u64,
+    subarray_bytes: usize,
+    seed: u64,
+    way_prediction: bool,
+    list: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            benchmark: "gcc".into(),
+            policy: PolicyKind::GatedPredecode { threshold: 100 },
+            icache_policy: None,
+            node: TechnologyNode::N70,
+            instructions: 150_000,
+            subarray_bytes: 1024,
+            seed: 42,
+            way_prediction: false,
+            list: false,
+        }
+    }
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    let (name, arg) = match s.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (s, None),
+    };
+    let threshold = || -> Result<u64, String> {
+        arg.map_or(Ok(100), |a| a.parse().map_err(|_| format!("bad threshold `{a}`")))
+    };
+    match name {
+        "static" => Ok(PolicyKind::StaticPullUp),
+        "oracle" => Ok(PolicyKind::Oracle),
+        "ondemand" | "on-demand" => Ok(PolicyKind::OnDemand),
+        "gated" => Ok(PolicyKind::Gated { threshold: threshold()? }),
+        "gated-predecode" | "predecode" => {
+            Ok(PolicyKind::GatedPredecode { threshold: threshold()? })
+        }
+        "adaptive" => Ok(PolicyKind::AdaptiveGated {
+            interval_accesses: arg
+                .map_or(Ok(2_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
+        }),
+        "leakage-biased" | "lbb" => Ok(PolicyKind::LeakageBiased),
+        "drowsy" => Ok(PolicyKind::Drowsy { threshold: threshold()? }),
+        "resizable" => Ok(PolicyKind::Resizable {
+            interval_accesses: arg
+                .map_or(Ok(10_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
+            slack: 0.005,
+        }),
+        other => Err(format!(
+            "unknown policy `{other}` (try static, oracle, ondemand, gated:T, \
+             gated-predecode:T, resizable:INTERVAL)"
+        )),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--benchmark" | "-b" => args.benchmark = value(&flag)?,
+            "--policy" | "-p" => args.policy = parse_policy(&value(&flag)?)?,
+            "--icache-policy" => args.icache_policy = Some(parse_policy(&value(&flag)?)?),
+            "--node" | "-n" => {
+                args.node = value(&flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--instructions" | "-i" => {
+                args.instructions =
+                    value(&flag)?.parse().map_err(|_| "bad instruction count".to_owned())?;
+            }
+            "--subarray" => {
+                args.subarray_bytes =
+                    value(&flag)?.parse().map_err(|_| "bad subarray size".to_owned())?;
+            }
+            "--seed" => {
+                args.seed = value(&flag)?.parse().map_err(|_| "bad seed".to_owned())?;
+            }
+            "--way-prediction" => args.way_prediction = true,
+            "--list" | "-l" => args.list = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("bitline-sim — gated-precharging full-system simulator");
+    println!();
+    println!("USAGE: bitline-sim [OPTIONS]");
+    println!();
+    println!("  -b, --benchmark NAME    benchmark or `all` (default gcc)");
+    println!("  -p, --policy P          D-cache policy: static | oracle | ondemand |");
+    println!("                          gated:T | gated-predecode:T | adaptive:INTERVAL |");
+    println!("                          leakage-biased | resizable:INTERVAL");
+    println!("      --icache-policy P   I-cache policy (default: same family as D)");
+    println!("  -n, --node NODE         180nm | 130nm | 100nm | 70nm (default 70nm)");
+    println!("  -i, --instructions N    instructions to simulate (default 150000)");
+    println!("      --subarray BYTES    subarray size (default 1024)");
+    println!("      --seed S            workload seed (default 42)");
+    println!("      --way-prediction    enable MRU way prediction on both L1s");
+    println!("  -l, --list              list benchmarks and exit");
+}
+
+fn icache_default(d: PolicyKind) -> PolicyKind {
+    match d {
+        // Predecoding needs a base register; instruction fetch has none.
+        PolicyKind::GatedPredecode { threshold } => PolicyKind::Gated { threshold },
+        other => other,
+    }
+}
+
+fn run_one(name: &str, args: &Args) {
+    let spec = SystemSpec {
+        d_policy: args.policy,
+        i_policy: args.icache_policy.unwrap_or_else(|| icache_default(args.policy)),
+        subarray_bytes: args.subarray_bytes,
+        instructions: args.instructions,
+        seed: args.seed,
+        way_prediction: args.way_prediction,
+    };
+    let baseline_spec = SystemSpec {
+        d_policy: PolicyKind::StaticPullUp,
+        i_policy: PolicyKind::StaticPullUp,
+        ..spec
+    };
+    let run = run_benchmark(name, &spec);
+    let baseline = run_benchmark(name, &baseline_spec);
+    let (policy, base) = run.energy(args.node);
+
+    println!("== {name} @ {} ==", args.node);
+    println!(
+        "  cycles {:>10}   IPC {:.2}   slowdown vs static {:+.2}%",
+        run.cycles(),
+        run.stats.ipc(),
+        100.0 * run.slowdown_vs(&baseline)
+    );
+    println!(
+        "  D: miss {:>5.1}%  precharged {:>5.1}%  discharge {:>5.3}x  energy saved {:>5.1}%",
+        100.0 * run.d_miss_ratio(),
+        100.0 * run.d_report.precharged_fraction(),
+        policy.d.relative_discharge(&base.d),
+        100.0 * policy.d.overall_reduction(&base.d),
+    );
+    println!(
+        "  I: miss {:>5.1}%  precharged {:>5.1}%  discharge {:>5.3}x  energy saved {:>5.1}%",
+        100.0 * run.i_miss_ratio(),
+        100.0 * run.i_report.precharged_fraction(),
+        policy.i.relative_discharge(&base.i),
+        100.0 * policy.i.overall_reduction(&base.i),
+    );
+    println!(
+        "  replays {:>6}  mispredict rate {:>5.2}%  delayed D accesses {:>5.2}%",
+        run.stats.replays,
+        100.0 * run.stats.mispredict_rate(),
+        100.0 * run.d_report.delayed_fraction(),
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for spec in suite::all() {
+            println!(
+                "{:>10}  {:?}  footprint {:>7} KB  code {:>4} KB",
+                spec.name,
+                spec.suite,
+                spec.footprint_bytes / 1024,
+                spec.code_bytes() / 1024
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.benchmark == "all" {
+        for name in suite::names() {
+            run_one(name, &args);
+        }
+    } else if suite::by_name(&args.benchmark).is_some() {
+        run_one(&args.benchmark, &args);
+    } else {
+        eprintln!("error: unknown benchmark `{}` (use --list)", args.benchmark);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

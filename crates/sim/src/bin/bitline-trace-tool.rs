@@ -1,0 +1,159 @@
+//! `bitline-trace-tool` — capture, inspect and replay workload traces.
+//!
+//! ```sh
+//! bitline-trace-tool capture --benchmark gcc --count 50000 --out gcc.trace
+//! bitline-trace-tool stat gcc.trace
+//! bitline-trace-tool replay gcc.trace --policy-threshold 100
+//! ```
+//!
+//! Captured traces use the text format of `bitline_trace::codec`: one
+//! instruction per line, diff-friendly, `#` comments allowed.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use bitline_cache::{CacheConfig, MemorySystem, MemorySystemConfig};
+use bitline_cpu::{Cpu, CpuConfig};
+use bitline_trace::{codec, InstrKind, ReplayTrace};
+use bitline_workloads::suite;
+use gated_precharge::{GatedPolicy, StaticPullUp};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  bitline-trace-tool capture --benchmark NAME [--count N] [--seed S] --out FILE");
+    eprintln!("  bitline-trace-tool stat FILE");
+    eprintln!("  bitline-trace-tool replay FILE [--instructions N] [--policy-threshold T]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("capture") => capture(&args[1..]),
+        Some("stat") => stat(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn capture(args: &[String]) -> ExitCode {
+    let Some(benchmark) = flag_value(args, "--benchmark") else {
+        return usage();
+    };
+    let count: u64 = flag_value(args, "--count").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let Some(out) = flag_value(args, "--out") else {
+        return usage();
+    };
+    let Some(spec) = suite::by_name(benchmark) else {
+        eprintln!("unknown benchmark `{benchmark}`");
+        return ExitCode::FAILURE;
+    };
+    let mut source = spec.build(seed);
+    let file = match File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut w = BufWriter::new(file);
+    if let Err(e) = codec::capture(&mut source, count, &mut w) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("captured {count} instructions of `{benchmark}` (seed {seed}) to {out}");
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Vec<bitline_trace::Instr>, ExitCode> {
+    let file = File::open(path).map_err(|e| {
+        eprintln!("cannot open {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    codec::read_trace(BufReader::new(file)).map_err(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn stat(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let instrs = match load(path) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let n = instrs.len() as f64;
+    let frac = |k: InstrKind| {
+        100.0 * instrs.iter().filter(|i| i.kind == k).count() as f64 / n
+    };
+    let distinct_pcs: std::collections::HashSet<u64> = instrs.iter().map(|i| i.pc).collect();
+    let distinct_lines: std::collections::HashSet<u64> =
+        instrs.iter().filter_map(|i| i.mem.map(|m| m.addr / 32)).collect();
+    let d_cfg = CacheConfig::l1_data();
+    let subarrays_touched: std::collections::HashSet<usize> =
+        instrs.iter().filter_map(|i| i.mem.map(|m| d_cfg.subarray_of(m.addr))).collect();
+    println!("{path}: {} instructions", instrs.len());
+    println!(
+        "  mix: alu {:.1}%  mul {:.1}%  fp {:.1}%  load {:.1}%  store {:.1}%  branch {:.1}%  jump {:.1}%",
+        frac(InstrKind::IntAlu),
+        frac(InstrKind::IntMul),
+        frac(InstrKind::FpAlu),
+        frac(InstrKind::Load),
+        frac(InstrKind::Store),
+        frac(InstrKind::Branch),
+        frac(InstrKind::Jump)
+    );
+    println!(
+        "  static footprint: {} pcs ({} KB of code)",
+        distinct_pcs.len(),
+        distinct_pcs.len() * 4 / 1024
+    );
+    println!(
+        "  data footprint: {} lines ({} KB); D subarrays touched: {}/32",
+        distinct_lines.len(),
+        distinct_lines.len() * 32 / 1024,
+        subarrays_touched.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let instrs = match load(path) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let count: u64 = flag_value(args, "--instructions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(instrs.len() as u64);
+    let threshold: u64 =
+        flag_value(args, "--policy-threshold").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let cfg = MemorySystemConfig::default();
+    let mem = MemorySystem::new(
+        cfg,
+        Box::new(GatedPolicy::new(cfg.l1d.subarrays(), threshold, 1)),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = ReplayTrace::new(instrs);
+    let stats = cpu.run(&mut trace, count);
+    let mut mem = cpu.into_memory();
+    let (d_report, _) = mem.finalize(stats.cycles);
+    println!("replayed {count} instructions: {} cycles (IPC {:.2})", stats.cycles, stats.ipc());
+    println!(
+        "gated(t={threshold}): D precharged {:.1}%, delayed accesses {:.2}%",
+        100.0 * d_report.precharged_fraction(),
+        100.0 * d_report.delayed_fraction()
+    );
+    ExitCode::SUCCESS
+}

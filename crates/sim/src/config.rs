@@ -1,0 +1,190 @@
+//! System specification: which policy drives which cache.
+
+use bitline_cache::{CacheConfig, PrechargePolicy};
+use bitline_circuit::DecoderModel;
+use bitline_cmos::TechnologyNode;
+use gated_precharge::{
+    AdaptiveConfig, AdaptiveGatedPolicy, DrowsyPolicy, GatedPolicy, LeakageBiasedPolicy,
+    OnDemandPolicy, OraclePolicy, ResizableConfig, ResizablePolicy, StaticPullUp,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::LocalityRecorder;
+
+/// Which precharge controller to attach to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Conventional static pull-up (the baseline).
+    StaticPullUp,
+    /// Perfect, delay-free identification (Section 4 potential).
+    Oracle,
+    /// Partial-address-decode on-demand precharging (Section 5).
+    OnDemand,
+    /// Gated precharging with a decay threshold in cycles (Section 6).
+    Gated {
+        /// Decay threshold in cycles.
+        threshold: u64,
+    },
+    /// Gated precharging plus predecode hints from base-register values
+    /// (Section 6.3; data caches only — instruction fetch has no base
+    /// register).
+    GatedPredecode {
+        /// Decay threshold in cycles.
+        threshold: u64,
+    },
+    /// Gated precharging with a feedback-controlled threshold (extension
+    /// beyond the paper: its Section 6.2 defers threshold selection).
+    AdaptiveGated {
+        /// Accesses per adaptation interval.
+        interval_accesses: u64,
+    },
+    /// Leakage-biased bitlines (the paper's [8]): on-demand isolation with
+    /// the pull-up delay optimistically assumed hidden.
+    LeakageBiased,
+    /// Drowsy subarrays (the paper's [13]): reduces *cell* leakage, not
+    /// bitline discharge — the contrast the related-work section draws.
+    Drowsy {
+        /// Idle cycles before a subarray drops to the retention voltage.
+        threshold: u64,
+    },
+    /// Resizable-cache baseline (Section 6.4, [22]).
+    Resizable {
+        /// Accesses per monitoring interval.
+        interval_accesses: u64,
+        /// Tolerated absolute miss-ratio increase before upsizing.
+        slack: f64,
+    },
+    /// Static-pull-up timing plus subarray locality recording (Figures
+    /// 5/6).
+    LocalityRecorder,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for a cache at a node.
+    #[must_use]
+    pub fn build(
+        &self,
+        cache: &CacheConfig,
+        node: TechnologyNode,
+        recorder_sink: Option<std::rc::Rc<std::cell::RefCell<crate::LocalityStats>>>,
+    ) -> Box<dyn PrechargePolicy> {
+        let n = cache.subarrays();
+        let decoder = DecoderModel::new(node, cache.geometry());
+        match *self {
+            PolicyKind::StaticPullUp => Box::new(StaticPullUp::new(n)),
+            PolicyKind::Oracle => Box::new(OraclePolicy::new(n)),
+            PolicyKind::OnDemand => {
+                Box::new(OnDemandPolicy::new(n, decoder.on_demand_penalty_cycles()))
+            }
+            PolicyKind::Gated { threshold } | PolicyKind::GatedPredecode { threshold } => {
+                Box::new(GatedPolicy::new(n, threshold, decoder.cold_access_penalty_cycles()))
+            }
+            PolicyKind::AdaptiveGated { interval_accesses } => Box::new(
+                AdaptiveGatedPolicy::new(
+                    n,
+                    AdaptiveConfig { interval_accesses, ..AdaptiveConfig::default() },
+                ),
+            ),
+            PolicyKind::LeakageBiased => Box::new(LeakageBiasedPolicy::new(n)),
+            PolicyKind::Drowsy { threshold } => Box::new(DrowsyPolicy::new(n, threshold, 1)),
+            PolicyKind::Resizable { interval_accesses, slack } => Box::new(ResizablePolicy::new(
+                cache,
+                ResizableConfig {
+                    interval_accesses,
+                    miss_ratio_slack: slack,
+                    ..ResizableConfig::default()
+                },
+            )),
+            PolicyKind::LocalityRecorder => Box::new(LocalityRecorder::new(
+                n,
+                recorder_sink.expect("locality recorder needs a sink"),
+            )),
+        }
+    }
+
+    /// Whether the CPU should issue predecode hints for this D-cache
+    /// policy. The adaptive controller, like the paper's main data-cache
+    /// configuration, runs with predecoding.
+    #[must_use]
+    pub fn wants_predecode(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::GatedPredecode { .. } | PolicyKind::AdaptiveGated { .. }
+        )
+    }
+
+    /// Whether the decay-counter hardware overhead applies.
+    #[must_use]
+    pub fn has_decay_counters(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Gated { .. }
+                | PolicyKind::GatedPredecode { .. }
+                | PolicyKind::AdaptiveGated { .. }
+        )
+    }
+}
+
+/// Full specification of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// D-cache precharge policy.
+    pub d_policy: PolicyKind,
+    /// I-cache precharge policy.
+    pub i_policy: PolicyKind,
+    /// Subarray size in bytes for both L1s (Figure 10 sweeps this).
+    pub subarray_bytes: usize,
+    /// Instructions to simulate.
+    pub instructions: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Enable MRU way prediction on both L1s (orthogonal dynamic-energy
+    /// technique; paper's related work [12, 15]).
+    pub way_prediction: bool,
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec {
+            d_policy: PolicyKind::StaticPullUp,
+            i_policy: PolicyKind::StaticPullUp,
+            subarray_bytes: 1024,
+            instructions: crate::default_instructions(),
+            seed: 42,
+            way_prediction: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_build_for_all_nodes() {
+        let cache = CacheConfig::l1_data();
+        for node in TechnologyNode::ALL {
+            for kind in [
+                PolicyKind::StaticPullUp,
+                PolicyKind::Oracle,
+                PolicyKind::OnDemand,
+                PolicyKind::Gated { threshold: 100 },
+                PolicyKind::GatedPredecode { threshold: 100 },
+                PolicyKind::Resizable { interval_accesses: 1000, slack: 0.005 },
+                PolicyKind::AdaptiveGated { interval_accesses: 500 },
+                PolicyKind::LeakageBiased,
+                PolicyKind::Drowsy { threshold: 100 },
+            ] {
+                let p = kind.build(&cache, node, None);
+                assert!(!p.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn predecode_flag_only_for_gated_predecode() {
+        assert!(PolicyKind::GatedPredecode { threshold: 100 }.wants_predecode());
+        assert!(!PolicyKind::Gated { threshold: 100 }.wants_predecode());
+        assert!(!PolicyKind::OnDemand.wants_predecode());
+    }
+}

@@ -1,0 +1,137 @@
+//! Gnuplot-friendly `.dat` export of the figure series.
+//!
+//! Every bench harness prints its table as text; setting
+//! `BITLINE_EXPORT_DIR` additionally writes whitespace-separated data
+//! files suitable for gnuplot/pgfplots, one per figure, so the paper's
+//! plots can be regenerated graphically:
+//!
+//! ```sh
+//! BITLINE_EXPORT_DIR=plots cargo bench -p bitline-bench --bench fig9
+//! gnuplot -e "plot 'plots/fig9.dat' using 1:2 with lines"
+//! ```
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::experiments::fig10::Fig10Row;
+use crate::experiments::fig2::Fig2Series;
+use crate::experiments::fig3::Fig3Row;
+use crate::experiments::fig9::Fig9Row;
+
+/// The export directory requested via `BITLINE_EXPORT_DIR`, if any.
+#[must_use]
+pub fn export_dir() -> Option<PathBuf> {
+    std::env::var_os("BITLINE_EXPORT_DIR").map(PathBuf::from)
+}
+
+fn create(dir: &Path, name: &str) -> io::Result<std::fs::File> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::File::create(dir.join(name))
+}
+
+/// Writes Figure 2's transient series: `t_ns  p(180)  p(130)  p(100)  p(70)`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig2(dir: &Path, series: &[Fig2Series]) -> io::Result<PathBuf> {
+    let mut f = create(dir, "fig2.dat")?;
+    writeln!(f, "# t_ns  normalized_power per node")?;
+    write!(f, "# t")?;
+    for s in series {
+        write!(f, " {}", s.node)?;
+    }
+    writeln!(f)?;
+    let points = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points {
+        write!(f, "{:.2}", series[0].points[i].t_ns)?;
+        for s in series {
+            write!(f, " {:.5}", s.points[i].normalized_power)?;
+        }
+        writeln!(f)?;
+    }
+    Ok(dir.join("fig2.dat"))
+}
+
+/// Writes Figure 3's per-benchmark bars: `benchmark  d_relative  i_relative`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig3(dir: &Path, rows: &[Fig3Row]) -> io::Result<PathBuf> {
+    let mut f = create(dir, "fig3.dat")?;
+    writeln!(f, "# benchmark  d_relative_discharge  i_relative_discharge")?;
+    for r in rows {
+        writeln!(f, "{} {:.5} {:.5}", r.benchmark, r.d_relative, r.i_relative)?;
+    }
+    Ok(dir.join("fig3.dat"))
+}
+
+/// Writes Figure 9's per-node series:
+/// `feature_nm  gated_d  gated_i  resizable_d  resizable_i`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig9(dir: &Path, rows: &[Fig9Row]) -> io::Result<PathBuf> {
+    let mut f = create(dir, "fig9.dat")?;
+    writeln!(f, "# feature_nm  gated_d  gated_i  resizable_d  resizable_i")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{} {:.5} {:.5} {:.5} {:.5}",
+            r.node.feature_nm(),
+            r.gated_d,
+            r.gated_i,
+            r.resizable_d,
+            r.resizable_i
+        )?;
+    }
+    Ok(dir.join("fig9.dat"))
+}
+
+/// Writes Figure 10's per-size series: `subarray_bytes  d_frac  i_frac`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig10(dir: &Path, rows: &[Fig10Row]) -> io::Result<PathBuf> {
+    let mut f = create(dir, "fig10.dat")?;
+    writeln!(f, "# subarray_bytes  d_precharged  i_precharged")?;
+    for r in rows {
+        writeln!(f, "{} {:.5} {:.5}", r.subarray_bytes, r.d_precharged, r.i_precharged)?;
+    }
+    Ok(dir.join("fig10.dat"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig2;
+
+    #[test]
+    fn fig2_export_round_trips_through_text() {
+        let dir = std::env::temp_dir().join("bitline-export-test");
+        let series = fig2::run(11);
+        let path = write_fig2(&dir, &series).expect("export succeeds");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let data_lines: Vec<&str> =
+            text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+        assert_eq!(data_lines.len(), 11);
+        // Each row: t + 4 node columns, all parseable.
+        for line in data_lines {
+            let cols: Vec<f64> =
+                line.split_whitespace().map(|c| c.parse().expect("numeric")).collect();
+            assert_eq!(cols.len(), 5);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_dir_reflects_environment() {
+        // Not set in the test environment by default.
+        if std::env::var_os("BITLINE_EXPORT_DIR").is_none() {
+            assert!(export_dir().is_none());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 10: effect of subarray size on gated precharging.
+
+use bitline_cmos::TechnologyNode;
+use bitline_workloads::suite;
+
+use crate::experiments::sweep::MAX_SLOWDOWN;
+use crate::{run_benchmark, PolicyKind, SystemSpec};
+
+/// Subarray sizes swept by the figure.
+pub const SIZES: [usize; 4] = [4096, 1024, 256, 64];
+
+/// Thresholds tried per size (smaller subarrays need larger thresholds,
+/// Section 6.4).
+const THRESHOLDS: [u64; 5] = [50, 100, 200, 400, 800];
+
+/// Suite-average precharged fraction at one subarray size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Row {
+    /// Subarray size in bytes.
+    pub subarray_bytes: usize,
+    /// Average fraction of D-cache subarrays precharged.
+    pub d_precharged: f64,
+    /// Average fraction of I-cache subarrays precharged.
+    pub i_precharged: f64,
+}
+
+/// Reproduces Figure 10 at 70 nm: the relative number of precharged
+/// subarrays under gated precharging for 4 KB / 1 KB / 256 B / 64 B
+/// subarrays, averaged over the suite (per-benchmark thresholds chosen
+/// within the 1% budget).
+#[must_use]
+pub fn run(instrs: u64) -> Vec<Fig10Row> {
+    let node = TechnologyNode::N70;
+    SIZES
+        .into_iter()
+        .map(|subarray_bytes| {
+            let mut d_sum = 0.0;
+            let mut i_sum = 0.0;
+            let names = suite::names();
+            for name in &names {
+                let baseline = run_benchmark(
+                    name,
+                    &SystemSpec {
+                        subarray_bytes,
+                        instructions: instrs,
+                        ..SystemSpec::default()
+                    },
+                );
+                // Gate both caches with a shared threshold and pick the
+                // best-energy point within the slowdown budget.
+                let mut best: Option<(f64, f64, f64)> = None; // (discharge, d_frac, i_frac)
+                let mut fallback: Option<(f64, f64, f64, f64)> = None; // +slowdown
+                for &threshold in &THRESHOLDS {
+                    let run = run_benchmark(
+                        name,
+                        &SystemSpec {
+                            d_policy: PolicyKind::GatedPredecode { threshold },
+                            i_policy: PolicyKind::Gated { threshold },
+                            subarray_bytes,
+                            instructions: instrs,
+                            ..SystemSpec::default()
+                        },
+                    );
+                    let slowdown = run.slowdown_vs(&baseline);
+                    let (policy, base) = run.energy(node);
+                    let discharge = policy.d.relative_discharge(&base.d)
+                        + policy.i.relative_discharge(&base.i);
+                    let d_frac = run.d_report.precharged_fraction();
+                    let i_frac = run.i_report.precharged_fraction();
+                    if slowdown <= MAX_SLOWDOWN {
+                        if best.map_or(true, |(b, _, _)| discharge < b) {
+                            best = Some((discharge, d_frac, i_frac));
+                        }
+                    } else if fallback.map_or(true, |(_, _, _, s)| slowdown < s) {
+                        fallback = Some((discharge, d_frac, i_frac, slowdown));
+                    }
+                }
+                let (d_frac, i_frac) = match (best, fallback) {
+                    (Some((_, d, i)), _) => (d, i),
+                    (None, Some((_, d, i, _))) => (d, i),
+                    (None, None) => unreachable!("threshold ladder is non-empty"),
+                };
+                d_sum += d_frac;
+                i_sum += i_frac;
+            }
+            Fig10Row {
+                subarray_bytes,
+                d_precharged: d_sum / names.len() as f64,
+                i_precharged: i_sum / names.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_subarrays_keep_fewer_precharged() {
+        let rows = run(4_000);
+        assert_eq!(rows.len(), 4);
+        // 4 KB subarrays waste the most (coarse control); the curve falls
+        // and saturates towards line-sized subarrays (Section 6.4).
+        assert!(
+            rows[0].d_precharged > rows[1].d_precharged,
+            "4 KB {:.3} vs 1 KB {:.3}",
+            rows[0].d_precharged,
+            rows[1].d_precharged
+        );
+        assert!(rows[1].d_precharged >= rows[3].d_precharged - 0.02);
+        for r in &rows {
+            assert!(r.d_precharged > 0.0 && r.d_precharged <= 1.0);
+            assert!(r.i_precharged > 0.0 && r.i_precharged <= 1.0);
+        }
+    }
+}

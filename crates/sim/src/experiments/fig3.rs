@@ -1,0 +1,64 @@
+//! Figure 3: potential bitline discharge savings (the oracle study).
+
+use bitline_cmos::TechnologyNode;
+use bitline_workloads::suite;
+
+use crate::{run_benchmark, PolicyKind, SystemSpec};
+
+/// One benchmark's oracle result.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// D-cache bitline discharge relative to static pull-up.
+    pub d_relative: f64,
+    /// I-cache bitline discharge relative to static pull-up.
+    pub i_relative: f64,
+}
+
+/// Reproduces Figure 3 at 70 nm: relative bitline discharge with oracle
+/// precharging, per benchmark, for both L1s, plus the `AVG` row.
+#[must_use]
+pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
+    let node = TechnologyNode::N70;
+    let rows: Vec<Fig3Row> = suite::names()
+        .into_iter()
+        .map(|name| {
+            let spec = SystemSpec {
+                d_policy: PolicyKind::Oracle,
+                i_policy: PolicyKind::Oracle,
+                instructions: instrs,
+                ..SystemSpec::default()
+            };
+            let run = run_benchmark(name, &spec);
+            let (policy, baseline) = run.energy(node);
+            Fig3Row {
+                benchmark: name.to_owned(),
+                d_relative: policy.d.relative_discharge(&baseline.d),
+                i_relative: policy.i.relative_discharge(&baseline.i),
+            }
+        })
+        .collect();
+    let avg = Fig3Row {
+        benchmark: "AVG".into(),
+        d_relative: rows.iter().map(|r| r.d_relative).sum::<f64>() / rows.len() as f64,
+        i_relative: rows.iter().map(|r| r.i_relative).sum::<f64>() / rows.len() as f64,
+    };
+    (rows, avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_removes_most_discharge_on_a_quick_run() {
+        let (rows, avg) = run(6_000);
+        assert_eq!(rows.len(), 16);
+        assert!(avg.d_relative < 0.45, "avg D relative discharge {}", avg.d_relative);
+        assert!(avg.i_relative < 0.45, "avg I relative discharge {}", avg.i_relative);
+        for r in &rows {
+            assert!(r.d_relative > 0.0 && r.d_relative < 1.0, "{}: {}", r.benchmark, r.d_relative);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's headline result (abstract / conclusions).
+
+use bitline_cmos::TechnologyNode;
+use bitline_energy::ProcessorEnergyModel;
+use bitline_workloads::suite;
+
+use crate::experiments::fig8;
+use crate::{run_benchmark, PolicyKind, SystemSpec};
+
+/// The headline numbers at 70 nm.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Average D-cache bitline discharge reduction (paper: 83%).
+    pub d_discharge_reduction: f64,
+    /// Average I-cache bitline discharge reduction (paper: 87%).
+    pub i_discharge_reduction: f64,
+    /// Average overall D-cache energy reduction (paper: 42%).
+    pub d_overall_reduction: f64,
+    /// Average overall I-cache energy reduction (paper: 36%).
+    pub i_overall_reduction: f64,
+    /// Average slowdown (paper: ~1%).
+    pub d_slowdown: f64,
+    /// Average slowdown for the I-cache configuration.
+    pub i_slowdown: f64,
+    /// Average fraction of subarrays precharged, D (paper: ~10%).
+    pub d_precharged: f64,
+    /// Average fraction of subarrays precharged, I (paper: ~6%).
+    pub i_precharged: f64,
+    /// L1 caches' share of whole-processor energy under static pull-up at
+    /// 70 nm (Section 1's premise).
+    pub cache_fraction_of_processor: f64,
+    /// Replay energy as a fraction of processor energy under gated
+    /// precharging (paper: <1%, Section 6.4).
+    pub replay_overhead: f64,
+}
+
+/// Computes the headline from the Figure 8 experiment, plus the
+/// processor-level context (cache fraction, replay overhead).
+#[must_use]
+pub fn run(instrs: u64) -> Headline {
+    let (_, summary) = fig8::run(instrs);
+    let avg = &summary.avg;
+
+    // Processor-level context at the constant threshold, averaged over a
+    // representative subset.
+    let node = TechnologyNode::N70;
+    let pmodel = ProcessorEnergyModel::new(node);
+    let mut cache_frac = 0.0;
+    let mut replay_ovh = 0.0;
+    let context_names: Vec<&str> = suite::names().into_iter().step_by(4).collect();
+    for name in &context_names {
+        let gated = run_benchmark(
+            name,
+            &SystemSpec {
+                d_policy: PolicyKind::GatedPredecode { threshold: 100 },
+                i_policy: PolicyKind::Gated { threshold: 100 },
+                instructions: instrs,
+                ..SystemSpec::default()
+            },
+        );
+        let (policy, baseline) = gated.energy(node);
+        let static_proc =
+            pmodel.assess(gated.stats.committed, 0, baseline.d, baseline.i);
+        cache_frac += static_proc.cache_fraction();
+        let gated_proc =
+            pmodel.assess(gated.stats.committed, gated.stats.replays, policy.d, policy.i);
+        replay_ovh += gated_proc.replay_overhead();
+    }
+    let n = context_names.len() as f64;
+
+    Headline {
+        d_discharge_reduction: 1.0 - avg.d_discharge,
+        i_discharge_reduction: 1.0 - avg.i_discharge,
+        d_overall_reduction: avg.d_overall_reduction,
+        i_overall_reduction: avg.i_overall_reduction,
+        d_slowdown: avg.d_slowdown,
+        i_slowdown: avg.i_slowdown,
+        d_precharged: avg.d_precharged,
+        i_precharged: avg.i_precharged,
+        cache_fraction_of_processor: cache_frac / n,
+        replay_overhead: replay_ovh / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_shape_holds_on_a_quick_run() {
+        let h = run(5_000);
+        assert!(h.d_discharge_reduction > 0.4, "D discharge reduction {}", h.d_discharge_reduction);
+        assert!(h.i_discharge_reduction > 0.4, "I discharge reduction {}", h.i_discharge_reduction);
+        assert!(h.d_overall_reduction > 0.1);
+        assert!(h.i_overall_reduction > 0.1);
+        assert!(h.d_precharged < 0.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figures 5 and 6: subarray reference locality.
+
+use bitline_workloads::suite;
+
+use crate::{run_benchmark, LocalityStats, PolicyKind, SystemSpec, FIG5_BUCKETS, FIG6_THRESHOLDS};
+
+/// One benchmark's locality profile for one cache.
+#[derive(Debug, Clone)]
+pub struct LocalityRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Figure 5: cumulative fraction of accesses with access interval at
+    /// most `FIG5_BUCKETS[i]` cycles.
+    pub access_cdf: [f64; 5],
+    /// Figure 6: time-averaged fraction of subarrays hot at threshold
+    /// `FIG6_THRESHOLDS[i]`.
+    pub hot_fraction: [f64; 5],
+}
+
+/// Both caches' locality profiles.
+#[derive(Debug, Clone)]
+pub struct LocalityResult {
+    /// Per-benchmark D-cache rows.
+    pub data: Vec<LocalityRow>,
+    /// Per-benchmark I-cache rows.
+    pub inst: Vec<LocalityRow>,
+}
+
+fn row(benchmark: &str, stats: &LocalityStats) -> LocalityRow {
+    LocalityRow {
+        benchmark: benchmark.to_owned(),
+        access_cdf: stats.cumulative_access_fraction(),
+        hot_fraction: stats.hot_subarray_fraction(),
+    }
+}
+
+/// Gathers Figures 5 and 6 for all sixteen benchmarks.
+#[must_use]
+pub fn run(instrs: u64) -> LocalityResult {
+    let mut data = Vec::new();
+    let mut inst = Vec::new();
+    for name in suite::names() {
+        let spec = SystemSpec {
+            d_policy: PolicyKind::LocalityRecorder,
+            i_policy: PolicyKind::LocalityRecorder,
+            instructions: instrs,
+            ..SystemSpec::default()
+        };
+        let result = run_benchmark(name, &spec);
+        data.push(row(name, result.d_locality.as_ref().expect("recorder attached")));
+        inst.push(row(name, result.i_locality.as_ref().expect("recorder attached")));
+    }
+    LocalityResult { data, inst }
+}
+
+/// The bucket labels, for printing.
+#[must_use]
+pub fn bucket_labels() -> Vec<String> {
+    FIG5_BUCKETS.iter().map(|b| format!("1/{b}")).collect()
+}
+
+/// The threshold labels, for printing.
+#[must_use]
+pub fn threshold_labels() -> Vec<String> {
+    FIG6_THRESHOLDS.iter().map(|t| format!("1/{t}")).collect()
+}
+
+/// Average hot-subarray fraction across benchmarks at one threshold index.
+#[must_use]
+pub fn average_hot_fraction(rows: &[LocalityRow], idx: usize) -> f64 {
+    rows.iter().map(|r| r.hot_fraction[idx]).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_profiles_are_monotone_and_plausible() {
+        let res = run(6_000);
+        assert_eq!(res.data.len(), 16);
+        for r in res.data.iter().chain(res.inst.iter()) {
+            assert!(r.access_cdf.windows(2).all(|w| w[1] >= w[0]), "{}", r.benchmark);
+            assert!(r.hot_fraction.windows(2).all(|w| w[1] >= w[0]), "{}", r.benchmark);
+            assert!(r.hot_fraction[4] <= 1.0 + 1e-9);
+        }
+        // I-streams are more concentrated than D-streams on average
+        // (Section 6.4: "instruction streams have more stable footprints").
+        let d_avg = average_hot_fraction(&res.data, 2);
+        let i_avg = average_hot_fraction(&res.inst, 2);
+        assert!(i_avg < d_avg + 0.15, "I hot {i_avg:.3} vs D hot {d_avg:.3}");
+    }
+}

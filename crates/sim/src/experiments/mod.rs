@@ -1,0 +1,19 @@
+//! Typed experiment drivers, one per table/figure of the paper.
+//!
+//! Every driver returns plain data rows; the `bitline-bench` harnesses
+//! print them. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured values.
+
+pub mod export;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod locality;
+pub mod ondemand;
+mod sweep;
+pub mod tables;
+
+pub use sweep::{optimal_gated, GatedSweep, SweptCache, MAX_SLOWDOWN, THRESHOLDS};

@@ -1,0 +1,72 @@
+//! Section 5: the performance cost of on-demand precharging.
+
+use bitline_workloads::suite;
+
+use crate::{run_benchmark, PolicyKind, SystemSpec};
+
+/// One benchmark's on-demand slowdowns.
+#[derive(Debug, Clone)]
+pub struct OnDemandRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Slowdown with on-demand precharging on the D-cache only.
+    pub d_slowdown: f64,
+    /// Slowdown with on-demand precharging on the I-cache only.
+    pub i_slowdown: f64,
+}
+
+/// Reproduces the Section 5 result: on-demand precharging delays every
+/// access by one cycle; the paper measures 9% (D) / 7% (I) average
+/// slowdown.
+#[must_use]
+pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
+    let rows: Vec<OnDemandRow> = suite::names()
+        .into_iter()
+        .map(|name| {
+            let base = run_benchmark(
+                name,
+                &SystemSpec { instructions: instrs, ..SystemSpec::default() },
+            );
+            let d = run_benchmark(
+                name,
+                &SystemSpec {
+                    d_policy: PolicyKind::OnDemand,
+                    instructions: instrs,
+                    ..SystemSpec::default()
+                },
+            );
+            let i = run_benchmark(
+                name,
+                &SystemSpec {
+                    i_policy: PolicyKind::OnDemand,
+                    instructions: instrs,
+                    ..SystemSpec::default()
+                },
+            );
+            OnDemandRow {
+                benchmark: name.to_owned(),
+                d_slowdown: d.slowdown_vs(&base),
+                i_slowdown: i.slowdown_vs(&base),
+            }
+        })
+        .collect();
+    let avg = OnDemandRow {
+        benchmark: "AVG".into(),
+        d_slowdown: rows.iter().map(|r| r.d_slowdown).sum::<f64>() / rows.len() as f64,
+        i_slowdown: rows.iter().map(|r| r.i_slowdown).sum::<f64>() / rows.len() as f64,
+    };
+    (rows, avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_costs_real_performance() {
+        let (rows, avg) = run(6_000);
+        assert_eq!(rows.len(), 16);
+        assert!(avg.d_slowdown > 0.01, "avg D slowdown {}", avg.d_slowdown);
+        assert!(avg.i_slowdown > 0.005, "avg I slowdown {}", avg.i_slowdown);
+    }
+}

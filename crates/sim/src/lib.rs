@@ -1,0 +1,52 @@
+//! Full-system simulation driver and experiment harness.
+//!
+//! Binds the workspace together — synthetic workloads feeding the
+//! out-of-order core, whose L1s run a chosen precharge policy — and
+//! provides a typed driver per table/figure of the paper under
+//! [`experiments`]. The `bitline-bench` crate's harnesses are thin wrappers
+//! over those drivers.
+//!
+//! A key structural property the harness exploits: the pipeline is scaled
+//! so cycle-counted latencies are identical across technology nodes
+//! (8-FO4 clock, Section 3), so one *architectural* run per (benchmark,
+//! policy) serves every node — only the energy pricing is node-specific
+//! ([`RunResult::energy`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bitline_cmos::TechnologyNode;
+//! use bitline_sim::{PolicyKind, SystemSpec};
+//!
+//! let spec = SystemSpec {
+//!     d_policy: PolicyKind::Gated { threshold: 100 },
+//!     i_policy: PolicyKind::Gated { threshold: 100 },
+//!     instructions: 5_000,
+//!     ..SystemSpec::default()
+//! };
+//! let run = bitline_sim::run_benchmark("health", &spec);
+//! let (policy, baseline) = run.energy(TechnologyNode::N70);
+//! assert!(policy.d.bitline_discharge_j() < baseline.d.bitline_discharge_j());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod recorder;
+mod runner;
+
+pub use config::{PolicyKind, SystemSpec};
+pub use recorder::{LocalityRecorder, LocalityStats, FIG5_BUCKETS, FIG6_THRESHOLDS};
+pub use runner::{run_benchmark, EnergyPair, RunEnergy, RunResult};
+
+/// Default instruction count per simulation run; override with the
+/// `BITLINE_INSTRS` environment variable.
+#[must_use]
+pub fn default_instructions() -> u64 {
+    std::env::var("BITLINE_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}

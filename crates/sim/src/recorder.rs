@@ -1,0 +1,196 @@
+//! Subarray reference locality recording (Figures 5 and 6).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bitline_cache::{ActivityReport, PrechargePolicy, SubarrayActivity};
+
+/// Access-interval buckets for Figure 5's x-axis: intervals of at most 1,
+/// 10, 100, 1000, 10000 cycles, and longer.
+pub const FIG5_BUCKETS: [u64; 5] = [1, 10, 100, 1_000, 10_000];
+
+/// Hotness thresholds for Figure 6's x-axis (access at least once every N
+/// cycles).
+pub const FIG6_THRESHOLDS: [u64; 5] = [1, 10, 100, 1_000, 10_000];
+
+/// Locality statistics gathered by a [`LocalityRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct LocalityStats {
+    /// Accesses whose interval since the previous access to the same
+    /// subarray was at most `FIG5_BUCKETS[i]` cycles (cumulative counts are
+    /// derived, not stored).
+    pub interval_counts: [u64; 6],
+    /// Total accesses with a defined interval.
+    pub intervals_total: u64,
+    /// Hot subarray-cycles at each `FIG6_THRESHOLDS` value.
+    pub hot_cycles: [f64; 5],
+    /// Subarray count (for normalising `hot_cycles`).
+    pub subarrays: usize,
+    /// Cycles covered.
+    pub end_cycle: u64,
+}
+
+impl LocalityStats {
+    /// Figure 5: cumulative fraction of accesses with access frequency at
+    /// least `1/FIG5_BUCKETS[i]` (interval at most that many cycles).
+    #[must_use]
+    pub fn cumulative_access_fraction(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        let mut sum = 0;
+        for i in 0..5 {
+            sum += self.interval_counts[i];
+            out[i] = if self.intervals_total == 0 {
+                0.0
+            } else {
+                sum as f64 / self.intervals_total as f64
+            };
+        }
+        out
+    }
+
+    /// Figure 6: time-averaged fraction of subarrays hotter than each
+    /// threshold.
+    #[must_use]
+    pub fn hot_subarray_fraction(&self) -> [f64; 5] {
+        let denom = self.subarrays as f64 * self.end_cycle as f64;
+        let mut out = [0.0; 5];
+        for i in 0..5 {
+            out[i] = if denom == 0.0 { 0.0 } else { self.hot_cycles[i] / denom };
+        }
+        out
+    }
+}
+
+/// A precharge "policy" with static-pull-up timing (never delays) that
+/// records subarray reference locality.
+///
+/// On every access it buckets the interval since the subarray's previous
+/// access (Figure 5) and credits hot residency time `min(interval, T)` for
+/// each threshold `T` (Figure 6) — the exact time-weighted definition of
+/// "fraction of hot subarrays".
+pub struct LocalityRecorder {
+    last: Vec<u64>,
+    acts: Vec<SubarrayActivity>,
+    sink: Rc<RefCell<LocalityStats>>,
+}
+
+impl std::fmt::Debug for LocalityRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalityRecorder").field("subarrays", &self.last.len()).finish()
+    }
+}
+
+impl LocalityRecorder {
+    /// Creates the recorder; results land in `sink` at finalize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero.
+    #[must_use]
+    pub fn new(subarrays: usize, sink: Rc<RefCell<LocalityStats>>) -> LocalityRecorder {
+        assert!(subarrays > 0, "cache must have at least one subarray");
+        sink.borrow_mut().subarrays = subarrays;
+        LocalityRecorder {
+            last: vec![u64::MAX; subarrays],
+            acts: vec![SubarrayActivity::default(); subarrays],
+            sink,
+        }
+    }
+}
+
+impl PrechargePolicy for LocalityRecorder {
+    fn name(&self) -> String {
+        "locality-recorder".into()
+    }
+
+    fn access(&mut self, subarray: usize, cycle: u64) -> u32 {
+        self.acts[subarray].accesses += 1;
+        let last = self.last[subarray];
+        if last != u64::MAX {
+            let interval = cycle - last;
+            let mut stats = self.sink.borrow_mut();
+            let bucket = FIG5_BUCKETS
+                .iter()
+                .position(|&b| interval <= b)
+                .unwrap_or(FIG5_BUCKETS.len());
+            stats.interval_counts[bucket] += 1;
+            stats.intervals_total += 1;
+            for (i, &t) in FIG6_THRESHOLDS.iter().enumerate() {
+                stats.hot_cycles[i] += interval.min(t) as f64;
+            }
+        }
+        self.last[subarray] = cycle;
+        0
+    }
+
+    fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+        {
+            let mut stats = self.sink.borrow_mut();
+            stats.end_cycle = end_cycle;
+            for &last in &self.last {
+                if last != u64::MAX {
+                    let tail = end_cycle.saturating_sub(last);
+                    for (i, &t) in FIG6_THRESHOLDS.iter().enumerate() {
+                        stats.hot_cycles[i] += tail.min(t) as f64;
+                    }
+                }
+            }
+        }
+        let mut per_subarray = std::mem::take(&mut self.acts);
+        for s in &mut per_subarray {
+            s.pulled_up_cycles = end_cycle as f64; // timing-wise static pull-up
+        }
+        ActivityReport { policy: self.name(), end_cycle, per_subarray }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_bucket_correctly() {
+        let sink = Rc::new(RefCell::new(LocalityStats::default()));
+        let mut r = LocalityRecorder::new(4, Rc::clone(&sink));
+        r.access(0, 0);
+        r.access(0, 1); // interval 1 -> bucket 0
+        r.access(0, 50); // 49 -> bucket 2 (<=100)
+        r.access(0, 20_050); // 20000 -> bucket 5 (beyond 10000)
+        r.finalize(30_000);
+        let s = sink.borrow();
+        assert_eq!(s.intervals_total, 3);
+        assert_eq!(s.interval_counts[0], 1);
+        assert_eq!(s.interval_counts[2], 1);
+        assert_eq!(s.interval_counts[5], 1);
+        let cdf = s.cumulative_access_fraction();
+        assert!((cdf[4] - 2.0 / 3.0).abs() < 1e-12, "two of three within 10k cycles");
+    }
+
+    #[test]
+    fn hot_fraction_matches_hand_computation() {
+        let sink = Rc::new(RefCell::new(LocalityStats::default()));
+        let mut r = LocalityRecorder::new(2, Rc::clone(&sink));
+        // Subarray 0 accessed every 5 cycles for 100 cycles; subarray 1
+        // never accessed.
+        for c in (0..=100u64).step_by(5) {
+            r.access(0, c);
+        }
+        r.finalize(100);
+        let s = sink.borrow();
+        let hot = s.hot_subarray_fraction();
+        // Threshold 10 > interval 5: subarray 0 hot the whole time; of 2
+        // subarrays over 100 cycles that is 0.5.
+        assert!((hot[1] - 0.5).abs() < 0.02, "hot fraction {:?}", hot);
+        // Threshold 1: only 1 cycle of each 5-cycle gap is "hot": 0.1.
+        assert!((hot[0] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn never_delays() {
+        let sink = Rc::new(RefCell::new(LocalityStats::default()));
+        let mut r = LocalityRecorder::new(2, sink);
+        for c in 0..100 {
+            assert_eq!(r.access((c % 2) as usize, c), 0);
+        }
+    }
+}

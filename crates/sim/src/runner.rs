@@ -1,0 +1,265 @@
+//! One full-system simulation run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bitline_cache::{ActivityReport, CacheConfig, MemorySystem, MemorySystemConfig, WayStats};
+use bitline_cmos::TechnologyNode;
+use bitline_cpu::{Cpu, CpuConfig, SimStats};
+use bitline_energy::{CacheEnergyBreakdown, EnergyAccountant};
+use bitline_workloads::suite;
+
+use crate::config::{PolicyKind, SystemSpec};
+use crate::recorder::LocalityStats;
+
+/// Energy breakdowns for both L1s.
+#[derive(Debug, Clone, Copy)]
+pub struct RunEnergy {
+    /// Data cache breakdown.
+    pub d: CacheEnergyBreakdown,
+    /// Instruction cache breakdown.
+    pub i: CacheEnergyBreakdown,
+}
+
+/// `(policy, static-baseline)` energy pair at one node.
+pub type EnergyPair = (RunEnergy, RunEnergy);
+
+/// Everything measured in one run. Architectural results are
+/// node-independent (the 8-FO4 pipeline has identical cycle counts at
+/// every node); energies are priced per node via [`RunResult::energy`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The spec that produced this run.
+    pub spec: SystemSpec,
+    /// Core statistics.
+    pub stats: SimStats,
+    /// D-cache activity report.
+    pub d_report: ActivityReport,
+    /// I-cache activity report.
+    pub i_report: ActivityReport,
+    /// D-cache (hits, misses).
+    pub d_hit_miss: (u64, u64),
+    /// I-cache (hits, misses).
+    pub i_hit_miss: (u64, u64),
+    /// Locality statistics when the D policy was a recorder.
+    pub d_locality: Option<LocalityStats>,
+    /// Locality statistics when the I policy was a recorder.
+    pub i_locality: Option<LocalityStats>,
+    /// D-cache way-prediction outcomes (when enabled).
+    pub d_way_stats: Option<WayStats>,
+    /// I-cache way-prediction outcomes (when enabled).
+    pub i_way_stats: Option<WayStats>,
+}
+
+impl RunResult {
+    /// Cycles the run took.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// D-cache miss ratio.
+    #[must_use]
+    pub fn d_miss_ratio(&self) -> f64 {
+        let (h, m) = self.d_hit_miss;
+        m as f64 / (h + m).max(1) as f64
+    }
+
+    /// I-cache miss ratio.
+    #[must_use]
+    pub fn i_miss_ratio(&self) -> f64 {
+        let (h, m) = self.i_hit_miss;
+        m as f64 / (h + m).max(1) as f64
+    }
+
+    /// Slowdown relative to a baseline run of the same benchmark/length
+    /// (positive = slower).
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &RunResult) -> f64 {
+        self.cycles() as f64 / baseline.cycles() as f64 - 1.0
+    }
+
+    /// Prices both caches at `node`, returning `(policy, baseline)` where
+    /// the baseline is the analytic static-pull-up cache over the same
+    /// cycles and access counts.
+    #[must_use]
+    pub fn energy(&self, node: TechnologyNode) -> EnergyPair {
+        let d_cfg = CacheConfig::l1_data().with_subarray_bytes(self.spec.subarray_bytes);
+        let i_cfg = CacheConfig::l1_inst().with_subarray_bytes(self.spec.subarray_bytes);
+        let d_acct = EnergyAccountant::new(node, d_cfg);
+        let i_acct = EnergyAccountant::new(node, i_cfg);
+        let d_reads = self.stats.loads;
+        let d_writes = self.stats.stores;
+        let i_reads = self.i_hit_miss.0 + self.i_hit_miss.1;
+        let policy = RunEnergy {
+            d: d_acct.account(
+                &self.d_report,
+                d_reads,
+                d_writes,
+                self.spec.d_policy.has_decay_counters(),
+                self.d_way_stats,
+            ),
+            i: i_acct.account(
+                &self.i_report,
+                i_reads,
+                0,
+                self.spec.i_policy.has_decay_counters(),
+                self.i_way_stats,
+            ),
+        };
+        let baseline = RunEnergy {
+            d: d_acct.static_baseline(self.cycles(), d_reads, d_writes),
+            i: i_acct.static_baseline(self.cycles(), i_reads, 0),
+        };
+        (policy, baseline)
+    }
+}
+
+/// Runs one benchmark under a system spec.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the sixteen benchmarks.
+#[must_use]
+pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
+    let workload = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let mut trace = workload.build(spec.seed);
+
+    // The architectural pipeline is node-independent; build policies at the
+    // newest node (their cycle penalties are identical across nodes).
+    let node = TechnologyNode::N70;
+    let mut d_cfg = CacheConfig::l1_data().with_subarray_bytes(spec.subarray_bytes);
+    let mut i_cfg = CacheConfig::l1_inst().with_subarray_bytes(spec.subarray_bytes);
+    if spec.way_prediction {
+        d_cfg = d_cfg.with_way_prediction();
+        i_cfg = i_cfg.with_way_prediction();
+    }
+
+    let d_sink = matches!(spec.d_policy, PolicyKind::LocalityRecorder)
+        .then(|| Rc::new(RefCell::new(LocalityStats::default())));
+    let i_sink = matches!(spec.i_policy, PolicyKind::LocalityRecorder)
+        .then(|| Rc::new(RefCell::new(LocalityStats::default())));
+
+    let mem = MemorySystem::new(
+        MemorySystemConfig { l1d: d_cfg, l1i: i_cfg, ..MemorySystemConfig::default() },
+        spec.d_policy.build(&d_cfg, node, d_sink.clone()),
+        spec.i_policy.build(&i_cfg, node, i_sink.clone()),
+    );
+    let mut cpu_cfg = CpuConfig::default();
+    cpu_cfg.predecode_hints = spec.d_policy.wants_predecode();
+    let mut cpu = Cpu::new(cpu_cfg, mem);
+    let stats = cpu.run(&mut trace, spec.instructions);
+    let end_cycle = stats.cycles;
+    let mut mem = cpu.into_memory();
+    let d_hit_miss = (mem.l1d().hits(), mem.l1d().misses());
+    let i_hit_miss = (mem.l1i().hits(), mem.l1i().misses());
+    let d_way_stats = mem.l1d().way_stats();
+    let i_way_stats = mem.l1i().way_stats();
+    let (d_report, i_report) = mem.finalize(end_cycle);
+
+    RunResult {
+        benchmark: name.to_owned(),
+        spec: *spec,
+        stats,
+        d_report,
+        i_report,
+        d_hit_miss,
+        i_hit_miss,
+        d_locality: d_sink.map(|s| s.borrow().clone()),
+        i_locality: i_sink.map(|s| s.borrow().clone()),
+        d_way_stats,
+        i_way_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(d: PolicyKind, i: PolicyKind) -> SystemSpec {
+        SystemSpec { d_policy: d, i_policy: i, instructions: 8_000, ..SystemSpec::default() }
+    }
+
+    #[test]
+    fn oracle_never_slows_down_and_saves_discharge() {
+        let base = run_benchmark("health", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        let oracle = run_benchmark("health", &spec(PolicyKind::Oracle, PolicyKind::Oracle));
+        assert_eq!(oracle.cycles(), base.cycles(), "the oracle is delay-free");
+        let (pol, basln) = oracle.energy(TechnologyNode::N70);
+        assert!(pol.d.relative_discharge(&basln.d) < 0.5);
+        assert!(pol.i.relative_discharge(&basln.i) < 0.5);
+    }
+
+    #[test]
+    fn on_demand_slows_execution() {
+        let base = run_benchmark("mesa", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        let od = run_benchmark("mesa", &spec(PolicyKind::OnDemand, PolicyKind::StaticPullUp));
+        assert!(od.slowdown_vs(&base) > 0.005, "slowdown {}", od.slowdown_vs(&base));
+    }
+
+    #[test]
+    fn gated_saves_discharge_with_small_slowdown() {
+        let base =
+            run_benchmark("mesa", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        let gated = run_benchmark(
+            "mesa",
+            &spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 }),
+        );
+        let slowdown = gated.slowdown_vs(&base);
+        assert!(slowdown < 0.08, "gated slowdown {slowdown}");
+        let (pol, basln) = gated.energy(TechnologyNode::N70);
+        assert!(pol.d.relative_discharge(&basln.d) < 0.6);
+    }
+
+    #[test]
+    fn recorder_produces_locality_stats() {
+        let run = run_benchmark(
+            "health",
+            &spec(PolicyKind::LocalityRecorder, PolicyKind::LocalityRecorder),
+        );
+        let d = run.d_locality.expect("d locality recorded");
+        assert!(d.intervals_total > 0);
+        let cdf = d.cumulative_access_fraction();
+        assert!(cdf.windows(2).all(|w| w[1] >= w[0]), "CDF must be monotone");
+        let hot = d.hot_subarray_fraction();
+        assert!(hot.windows(2).all(|w| w[1] >= w[0]), "hot fraction grows with threshold");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::StaticPullUp);
+        let a = run_benchmark("tsp", &s);
+        let b = run_benchmark("tsp", &s);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.stats.committed, b.stats.committed);
+        assert_eq!(a.d_hit_miss, b.d_hit_miss);
+    }
+}
+
+#[cfg(test)]
+mod debug_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_ondemand() {
+        for name in ["mesa", "health", "gcc"] {
+            for n in [8_000u64, 40_000] {
+                let s = SystemSpec { instructions: n, ..SystemSpec::default() };
+                let base = run_benchmark(name, &s);
+                let od = run_benchmark(
+                    name,
+                    &SystemSpec { d_policy: PolicyKind::OnDemand, ..s },
+                );
+                println!(
+                    "{name} n={n}: base {} cyc (fstall {} mispred {} dmiss {:.3} loads {}), od {} cyc (fstall {} mispred {} dmiss {:.3} loads {}), slowdown {:.3}",
+                    base.cycles(), base.stats.fetch_stall_cycles, base.stats.mispredicts, base.d_miss_ratio(), base.stats.loads,
+                    od.cycles(), od.stats.fetch_stall_cycles, od.stats.mispredicts, od.d_miss_ratio(), od.stats.loads,
+                    od.slowdown_vs(&base)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Plain-text trace serialisation.
+//!
+//! One instruction per line, in a compact, diff-friendly format:
+//!
+//! ```text
+//! 400000 L d=8 s=1 m=10001008:10001000:8
+//! 400004 B s=3 b=T:400010
+//! ```
+//!
+//! Useful for capturing a workload once and replaying it across policy
+//! configurations, or for inspecting generator output with ordinary text
+//! tools.
+
+use std::io::{self, BufRead, Write};
+
+use crate::{BranchInfo, Instr, InstrKind, MemRef, TraceSource};
+
+fn kind_code(kind: InstrKind) -> char {
+    match kind {
+        InstrKind::IntAlu => 'A',
+        InstrKind::IntMul => 'M',
+        InstrKind::FpAlu => 'F',
+        InstrKind::Load => 'L',
+        InstrKind::Store => 'S',
+        InstrKind::Branch => 'B',
+        InstrKind::Jump => 'J',
+    }
+}
+
+fn kind_from_code(c: char) -> Option<InstrKind> {
+    Some(match c {
+        'A' => InstrKind::IntAlu,
+        'M' => InstrKind::IntMul,
+        'F' => InstrKind::FpAlu,
+        'L' => InstrKind::Load,
+        'S' => InstrKind::Store,
+        'B' => InstrKind::Branch,
+        'J' => InstrKind::Jump,
+        _ => return None,
+    })
+}
+
+/// Writes one instruction as a text line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instr<W: Write>(w: &mut W, i: &Instr) -> io::Result<()> {
+    write!(w, "{:x} {}", i.pc, kind_code(i.kind))?;
+    if let Some(d) = i.dest {
+        write!(w, " d={d}")?;
+    }
+    match i.srcs {
+        [Some(a), Some(b)] => write!(w, " s={a},{b}")?,
+        [Some(a), None] => write!(w, " s={a}")?,
+        [None, Some(b)] => write!(w, " s=,{b}")?,
+        [None, None] => {}
+    }
+    if let Some(m) = i.mem {
+        write!(w, " m={:x}:{:x}:{}", m.addr, m.base, m.size)?;
+    }
+    if let Some(b) = i.branch {
+        write!(w, " b={}:{:x}", if b.taken { 'T' } else { 'N' }, b.target)?;
+    }
+    writeln!(w)
+}
+
+/// Captures `count` instructions from a source into a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn capture<W: Write>(
+    source: &mut dyn TraceSource,
+    count: u64,
+    w: &mut W,
+) -> io::Result<()> {
+    for _ in 0..count {
+        write_instr(w, &source.next_instr())?;
+    }
+    Ok(())
+}
+
+fn bad(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("trace line {line_no}: {msg}"))
+}
+
+/// Parses one trace line.
+///
+/// # Errors
+///
+/// Returns `InvalidData` with the line number on malformed input.
+pub fn parse_instr(line: &str, line_no: usize) -> io::Result<Instr> {
+    let mut parts = line.split_whitespace();
+    let pc = u64::from_str_radix(parts.next().ok_or_else(|| bad(line_no, "missing pc"))?, 16)
+        .map_err(|_| bad(line_no, "bad pc"))?;
+    let kind_str = parts.next().ok_or_else(|| bad(line_no, "missing kind"))?;
+    let kind = kind_str
+        .chars()
+        .next()
+        .and_then(kind_from_code)
+        .ok_or_else(|| bad(line_no, "unknown kind"))?;
+    let mut instr = Instr::new(pc, kind);
+    for field in parts {
+        let (key, value) =
+            field.split_once('=').ok_or_else(|| bad(line_no, "field without `=`"))?;
+        match key {
+            "d" => {
+                instr.dest =
+                    Some(value.parse().map_err(|_| bad(line_no, "bad dest register"))?);
+            }
+            "s" => {
+                let mut it = value.split(',');
+                let a = it.next().unwrap_or("");
+                let b = it.next().unwrap_or("");
+                let parse = |t: &str| -> io::Result<Option<u8>> {
+                    if t.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(t.parse().map_err(|_| bad(line_no, "bad src register"))?))
+                    }
+                };
+                instr.srcs = [parse(a)?, parse(b)?];
+            }
+            "m" => {
+                let mut it = value.split(':');
+                let addr = u64::from_str_radix(it.next().unwrap_or(""), 16)
+                    .map_err(|_| bad(line_no, "bad mem addr"))?;
+                let base = u64::from_str_radix(it.next().unwrap_or(""), 16)
+                    .map_err(|_| bad(line_no, "bad mem base"))?;
+                let size = it
+                    .next()
+                    .unwrap_or("8")
+                    .parse()
+                    .map_err(|_| bad(line_no, "bad mem size"))?;
+                instr.mem = Some(MemRef { addr, base, size });
+            }
+            "b" => {
+                let (t, target) =
+                    value.split_once(':').ok_or_else(|| bad(line_no, "bad branch field"))?;
+                let taken = match t {
+                    "T" => true,
+                    "N" => false,
+                    _ => return Err(bad(line_no, "branch direction must be T or N")),
+                };
+                let target = u64::from_str_radix(target, 16)
+                    .map_err(|_| bad(line_no, "bad branch target"))?;
+                instr.branch = Some(BranchInfo { taken, target });
+            }
+            _ => return Err(bad(line_no, "unknown field")),
+        }
+    }
+    Ok(instr)
+}
+
+/// Reads a whole trace from a reader.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed lines and propagates I/O errors.
+pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_instr(trimmed, idx + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplayTrace;
+
+    fn sample() -> Vec<Instr> {
+        vec![
+            Instr::new(0x40_0000, InstrKind::IntAlu).with_dest(8).with_srcs(Some(1), Some(2)),
+            Instr::new(0x40_0004, InstrKind::Load)
+                .with_dest(9)
+                .with_srcs(Some(8), None)
+                .with_mem(MemRef { addr: 0x1000_1008, base: 0x1000_1000, size: 8 }),
+            Instr::new(0x40_0008, InstrKind::Branch)
+                .with_srcs(Some(9), None)
+                .with_branch(BranchInfo { taken: true, target: 0x40_0000 }),
+            Instr::new(0x40_000c, InstrKind::Jump)
+                .with_branch(BranchInfo { taken: true, target: 0x40_1000 }),
+            Instr::new(0x40_1000, InstrKind::Store)
+                .with_srcs(Some(1), Some(2))
+                .with_mem(MemRef { addr: 0x1000_2000, base: 0x1000_2000, size: 8 }),
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let instrs = sample();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            write_instr(&mut buf, i).unwrap();
+        }
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn capture_writes_the_requested_count() {
+        let mut t = ReplayTrace::new(sample());
+        let mut buf = Vec::new();
+        capture(&mut t, 12, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.len(), 12);
+        assert_eq!(back[0], sample()[0]);
+        assert_eq!(back[5], sample()[0], "wraps after 5 instructions");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# a comment\n\n400000 A d=3\n";
+        let back = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].dest, Some(3));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "400000 A\nnot-a-pc A\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_fields() {
+        assert!(parse_instr("400000 Z", 1).is_err());
+        assert!(parse_instr("400000 A q=1", 1).is_err());
+        assert!(parse_instr("400000 B b=X:4", 1).is_err());
+    }
+
+    #[test]
+    fn synthetic_workloads_round_trip() {
+        use bitline_trace_test_helpers::gcc_slice;
+        let instrs = gcc_slice();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            write_instr(&mut buf, i).unwrap();
+        }
+        assert_eq!(read_trace(&buf[..]).unwrap(), instrs);
+    }
+
+    /// Minimal stand-in for a workload sample without a cyclic dev-dep on
+    /// `bitline-workloads`.
+    mod bitline_trace_test_helpers {
+        use super::super::*;
+        use crate::Instr;
+
+        pub fn gcc_slice() -> Vec<Instr> {
+            // A mix with awkward values: zero registers, max registers,
+            // huge addresses.
+            vec![
+                Instr::new(0, InstrKind::IntAlu).with_dest(0),
+                Instr::new(u64::MAX - 3, InstrKind::Load)
+                    .with_dest(63)
+                    .with_mem(MemRef { addr: u64::MAX - 8, base: 0, size: 8 }),
+                Instr::new(4, InstrKind::Branch)
+                    .with_branch(BranchInfo { taken: false, target: 0 }),
+            ]
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The synthetic trace generator.
+//!
+//! A workload is a set of loop bodies laid out contiguously in a synthetic
+//! code segment. Execution walks a body slot by slot, re-enters it at the
+//! back-edge with probability `1 - 1/mean_iters`, and on exit jumps to
+//! another loop inside the current phase's *active window*. Each slot has a
+//! fixed instruction class and, for memory slots, a fixed access pattern —
+//! mirroring how a static load instruction in real code has a
+//! characteristic behaviour. This static structure is what gives the
+//! generated streams realistic instruction-cache locality and branch
+//! predictability.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use bitline_trace::{BranchInfo, Instr, InstrKind, MemRef, Reg, TraceSource};
+
+use crate::spec::{AccessMix, WorkloadSpec};
+use crate::{CODE_BASE, DATA_BASE, STACK_BASE};
+
+/// Data access pattern bound to one static memory slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    Hot,
+    Stream,
+    Chase,
+    Stack,
+}
+
+/// One static instruction slot in a loop body.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Alu,
+    Mul,
+    Fp,
+    Load(Pattern),
+    Store(Pattern),
+    /// Forward conditional branch. `bias` is the probability of being
+    /// taken; unpredictable slots re-roll a fair coin every execution.
+    /// `skip` is the static number of slots the taken path jumps over.
+    Cond { bias: f64, unpredictable: bool, skip: u8 },
+    /// Loop back-edge: taken (to slot 0) with probability `p_back`.
+    Back { p_back: f64 },
+    /// Exit jump to the next loop (target chosen dynamically).
+    Exit,
+}
+
+#[derive(Debug, Clone)]
+struct LoopBody {
+    base_pc: u64,
+    slots: Vec<Slot>,
+    /// Preferred next loop (a call site usually targets the same callee,
+    /// which lets the BTB predict the transition).
+    successor: usize,
+}
+
+/// Deterministic synthetic workload trace (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use bitline_trace::TraceSource;
+/// use bitline_workloads::suite;
+///
+/// let spec = suite::by_name("gcc").unwrap();
+/// let mut a = spec.build(7);
+/// let mut b = spec.build(7);
+/// for _ in 0..100 {
+///     assert_eq!(a.next_instr(), b.next_instr());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    program: Vec<LoopBody>,
+    cur_loop: usize,
+    slot: usize,
+    instrs_emitted: u64,
+    // Data-side state.
+    hot_base: u64,
+    stream_ptr: u64,
+    stack_frame: u64,
+    /// Recently chased node addresses; pointer codes revisit hot nodes.
+    chase_ring: [u64; 64],
+    chase_head: usize,
+    // Phase state: active loops are program[active_lo..active_hi].
+    active_lo: usize,
+    active_hi: usize,
+    // Register dependence ring: recently written destinations.
+    recent_dests: [Reg; 16],
+    ring_head: usize,
+    next_dest: Reg,
+}
+
+impl SyntheticWorkload {
+    /// Builds the generator; equivalent to [`WorkloadSpec::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's mixes are out of range (see
+    /// [`crate::InstrMix`]) or its structural parameters are zero.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, seed: u64) -> SyntheticWorkload {
+        spec.instr_mix.validate();
+        assert!(spec.num_loops > 0 && spec.mean_body_len >= 4, "degenerate program shape");
+        assert!(spec.footprint_bytes >= 4096, "footprint must be at least one page");
+        assert!(spec.phase_instrs > 0, "phases must be non-empty");
+        let mix = spec.access_mix.normalized();
+        // Structure and dynamics draw from independent streams so that
+        // changing dynamic parameters does not reshape the static program.
+        let mut build_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let program = build_program(&spec, mix, &mut build_rng);
+        let mut w = SyntheticWorkload {
+            rng: SmallRng::seed_from_u64(seed),
+            cur_loop: 0,
+            slot: 0,
+            instrs_emitted: 0,
+            hot_base: DATA_BASE,
+            stream_ptr: DATA_BASE,
+            stack_frame: STACK_BASE,
+            chase_ring: [DATA_BASE; 64],
+            chase_head: 0,
+            active_lo: 0,
+            active_hi: program.len(),
+            recent_dests: [1; 16],
+            ring_head: 0,
+            next_dest: 8,
+            program,
+            spec,
+        };
+        w.enter_phase();
+        w
+    }
+
+    /// The spec this generator was built from.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn instrs_emitted(&self) -> u64 {
+        self.instrs_emitted
+    }
+
+    fn enter_phase(&mut self) {
+        // Slide the hot region by a quarter of its size (program phases
+        // shift working sets gradually, not wholesale), wrapping the
+        // footprint. The slide is 512 B-aligned so it crosses subarray
+        // boundaries.
+        let span = self.spec.footprint_bytes.saturating_sub(self.spec.hot_bytes).max(512);
+        self.hot_base = if self.rng.gen_bool(0.25) {
+            // Major phase change: relocate the working set entirely.
+            DATA_BASE + (self.rng.gen_range(0..span) & !511)
+        } else {
+            let slide = (self.spec.hot_bytes / 4).max(512) & !511;
+            DATA_BASE + (self.hot_base - DATA_BASE + slide) % span
+        };
+        // Move the stack frame a little (call depth changes).
+        self.stack_frame = STACK_BASE + (self.rng.gen_range(0..8u64)) * 256;
+        // Pick the active code window.
+        let n = self.program.len();
+        let active = ((n as f64 * self.spec.active_loop_frac).ceil() as usize).clamp(1, n);
+        let lo = self.rng.gen_range(0..=(n - active));
+        self.active_lo = lo;
+        self.active_hi = lo + active;
+        if !(self.active_lo..self.active_hi).contains(&self.cur_loop) {
+            self.cur_loop = self.active_lo;
+            self.slot = 0;
+        }
+    }
+
+    fn pick_next_loop(&mut self) -> usize {
+        let preferred = self.program[self.cur_loop].successor;
+        if self.rng.gen_bool(0.7) && (self.active_lo..self.active_hi).contains(&preferred) {
+            return preferred;
+        }
+        let range = self.active_hi - self.active_lo;
+        self.active_lo + self.rng.gen_range(0..range)
+    }
+
+    fn data_address(&mut self, pattern: Pattern) -> u64 {
+        match pattern {
+            Pattern::Hot => {
+                // Quadratic skew: the head of the hot region is touched far
+                // more often than its tail (zipf-like reuse), so the truly
+                // hot lines stay resident under LRU.
+                let r: f64 = self.rng.gen();
+                let skew = r * r * r * r;
+                let off = ((skew * self.spec.hot_bytes.max(8) as f64) as u64) & !7;
+                self.hot_base + off
+            }
+            Pattern::Stream => {
+                let a = self.stream_ptr;
+                self.stream_ptr += 8;
+                if self.stream_ptr >= DATA_BASE + self.spec.footprint_bytes {
+                    self.stream_ptr = DATA_BASE;
+                }
+                a
+            }
+            Pattern::Chase => {
+                // Pointer codes revisit recently touched nodes (parents,
+                // list heads) slightly more often than they discover new
+                // ones.
+                if self.rng.gen_bool(0.70) {
+                    self.chase_ring[self.rng.gen_range(0..self.chase_ring.len())]
+                } else {
+                    let a =
+                        DATA_BASE + (self.rng.gen_range(0..self.spec.footprint_bytes) & !7);
+                    self.chase_ring[self.chase_head] = a;
+                    self.chase_head = (self.chase_head + 1) % self.chase_ring.len();
+                    a
+                }
+            }
+            Pattern::Stack => self.stack_frame + (self.rng.gen_range(0..1024u64) & !7),
+        }
+    }
+
+    /// Displacement distribution calibrated so that predecoding accuracy
+    /// matches Section 6.3: ~80% at 1 KB subarrays (512 B address
+    /// granularity), ~61% at line-sized subarrays.
+    fn displacement(&mut self) -> u64 {
+        let r: f64 = self.rng.gen();
+        if r < 0.72 {
+            self.rng.gen_range(0..=8)
+        } else if r < 0.84 {
+            self.rng.gen_range(8..128)
+        } else {
+            self.rng.gen_range(128..4096)
+        }
+    }
+
+    fn mem_ref(&mut self, pattern: Pattern) -> MemRef {
+        let addr = self.data_address(pattern);
+        let disp = self.displacement();
+        MemRef { addr, base: addr.saturating_sub(disp), size: 8 }
+    }
+
+    fn alloc_dest(&mut self) -> Reg {
+        let d = self.next_dest;
+        self.next_dest = if self.next_dest >= 47 { 8 } else { self.next_dest + 1 };
+        self.recent_dests[self.ring_head] = d;
+        self.ring_head = (self.ring_head + 1) % self.recent_dests.len();
+        d
+    }
+
+    /// Picks a source register. A minority of operands chain tightly on
+    /// very recent results (the critical path); the rest reach much further
+    /// back, giving the instruction window the independent strands real
+    /// programs expose (ILP well above 1 on an 8-wide core).
+    fn pick_src(&mut self) -> Reg {
+        let back = if self.rng.gen_bool(0.3) {
+            1 + (self.rng.gen::<u8>() % 3) as usize // tight chain
+        } else {
+            4 + (self.rng.gen::<u8>() % 12) as usize // far, usually ready
+        };
+        let idx = (self.ring_head + self.recent_dests.len() - back) % self.recent_dests.len();
+        self.recent_dests[idx]
+    }
+}
+
+impl TraceSource for SyntheticWorkload {
+    fn next_instr(&mut self) -> Instr {
+        if self.instrs_emitted > 0 && self.instrs_emitted % self.spec.phase_instrs == 0 {
+            self.enter_phase();
+        }
+        self.instrs_emitted += 1;
+
+        let body = &self.program[self.cur_loop];
+        let base_pc = body.base_pc;
+        let pc = base_pc + 4 * self.slot as u64;
+        let slot = body.slots[self.slot];
+        let last = body.slots.len() - 1;
+
+        let instr = match slot {
+            Slot::Alu => {
+                let (a, b) = (self.pick_src(), self.pick_src());
+                let d = self.alloc_dest();
+                self.slot += 1;
+                Instr::new(pc, InstrKind::IntAlu).with_dest(d).with_srcs(Some(a), Some(b))
+            }
+            Slot::Mul => {
+                let (a, b) = (self.pick_src(), self.pick_src());
+                let d = self.alloc_dest();
+                self.slot += 1;
+                Instr::new(pc, InstrKind::IntMul).with_dest(d).with_srcs(Some(a), Some(b))
+            }
+            Slot::Fp => {
+                let (a, b) = (self.pick_src(), self.pick_src());
+                let d = self.alloc_dest();
+                self.slot += 1;
+                Instr::new(pc, InstrKind::FpAlu).with_dest(d).with_srcs(Some(a), Some(b))
+            }
+            Slot::Load(p) => {
+                let m = self.mem_ref(p);
+                let a = self.pick_src();
+                let d = self.alloc_dest();
+                self.slot += 1;
+                Instr::new(pc, InstrKind::Load).with_dest(d).with_srcs(Some(a), None).with_mem(m)
+            }
+            Slot::Store(p) => {
+                let m = self.mem_ref(p);
+                let (a, b) = (self.pick_src(), self.pick_src());
+                self.slot += 1;
+                Instr::new(pc, InstrKind::Store).with_srcs(Some(a), Some(b)).with_mem(m)
+            }
+            Slot::Cond { bias, unpredictable, skip } => {
+                let p = if unpredictable { 0.5 } else { bias };
+                let taken = self.rng.gen_bool(p);
+                // Most branches fold their compare (flags are ready when
+                // the branch issues); a minority wait on a register, which
+                // is what makes some mispredictions resolve late.
+                let src = self.rng.gen_bool(0.25).then(|| self.pick_src());
+                // Static forward skip, staying inside the body.
+                let target_slot = (self.slot + 1 + skip as usize).min(last);
+                let target = base_pc + 4 * target_slot as u64;
+                self.slot = if taken { target_slot } else { self.slot + 1 };
+                Instr::new(pc, InstrKind::Branch)
+                    .with_srcs(src, None)
+                    .with_branch(BranchInfo { taken, target })
+            }
+            Slot::Back { p_back } => {
+                let taken = self.rng.gen_bool(p_back);
+                let target = base_pc;
+                self.slot = if taken { 0 } else { self.slot + 1 };
+                // Loop back-edges test an induction variable that is
+                // essentially always ready: no register dependence.
+                Instr::new(pc, InstrKind::Branch)
+                    .with_branch(BranchInfo { taken, target })
+            }
+            Slot::Exit => {
+                let next = self.pick_next_loop();
+                let target = self.program[next].base_pc;
+                self.cur_loop = next;
+                self.slot = 0;
+                Instr::new(pc, InstrKind::Jump).with_branch(BranchInfo { taken: true, target })
+            }
+        };
+        instr
+    }
+
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+}
+
+/// Lays out the static program: loop bodies packed contiguously from
+/// [`CODE_BASE`], each ending in a back-edge and an exit jump.
+fn build_program(spec: &WorkloadSpec, mix: AccessMix, rng: &mut SmallRng) -> Vec<LoopBody> {
+    let mut program = Vec::with_capacity(spec.num_loops);
+    let mut pc = CODE_BASE;
+    for _ in 0..spec.num_loops {
+        // Body length varies around the mean (at least 4: work + branches).
+        let len = ((spec.mean_body_len as f64) * rng.gen_range(0.6..1.4)).round() as usize;
+        let len = len.max(4);
+        let inner = len - 2; // last two slots are Back + Exit.
+
+        let m = &spec.instr_mix;
+        let loads = (len as f64 * m.load).round() as usize;
+        let stores = (len as f64 * m.store).round() as usize;
+        let conds = ((len as f64 * m.branch).round() as usize).saturating_sub(1);
+        let fps = (len as f64 * m.fp).round() as usize;
+        let muls = (len as f64 * m.mul).round() as usize;
+
+        let mut slots: Vec<Slot> = Vec::with_capacity(len);
+        for _ in 0..loads.min(inner) {
+            slots.push(Slot::Load(pick_pattern(mix, rng)));
+        }
+        for _ in 0..stores {
+            slots.push(Slot::Store(pick_pattern(mix, rng)));
+        }
+        for _ in 0..conds {
+            // Real branch populations mix mostly-not-taken guard branches
+            // with mostly-taken if-then-else main paths; predictable
+            // branches are strongly biased (2-bit counters learn them to a
+            // few percent error).
+            let bias = if rng.gen_bool(0.6) {
+                rng.gen_range(0.01..0.08)
+            } else {
+                rng.gen_range(0.92..0.99)
+            };
+            slots.push(Slot::Cond {
+                bias,
+                unpredictable: rng.gen_bool(spec.unpredictable_branch_frac),
+                skip: 1 + rng.gen::<u8>() % 3,
+            });
+        }
+        for _ in 0..fps {
+            slots.push(Slot::Fp);
+        }
+        for _ in 0..muls {
+            slots.push(Slot::Mul);
+        }
+        while slots.len() < inner {
+            slots.push(Slot::Alu);
+        }
+        slots.truncate(inner);
+        // Deterministic shuffle of the body interior.
+        for i in (1..slots.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            slots.swap(i, j);
+        }
+        let p_back = 1.0 - 1.0 / spec.mean_iters.max(1.0);
+        slots.push(Slot::Back { p_back });
+        slots.push(Slot::Exit);
+
+        let body_len = slots.len() as u64;
+        program.push(LoopBody { base_pc: pc, slots, successor: 0 });
+        pc += 4 * body_len + 16; // small inter-function padding
+    }
+    // Wire preferred successors (mostly nearby, occasionally far).
+    let n = program.len();
+    for i in 0..n {
+        program[i].successor = if rng.gen_bool(0.8) {
+            (i + 1 + rng.gen_range(0..3usize)) % n
+        } else {
+            rng.gen_range(0..n)
+        };
+    }
+    program
+}
+
+fn pick_pattern(mix: AccessMix, rng: &mut SmallRng) -> Pattern {
+    let r: f64 = rng.gen();
+    if r < mix.hot {
+        Pattern::Hot
+    } else if r < mix.hot + mix.stream {
+        Pattern::Stream
+    } else if r < mix.hot + mix.stream + mix.chase {
+        Pattern::Chase
+    } else {
+        Pattern::Stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn sample(name: &str, n: usize) -> Vec<Instr> {
+        let mut w = suite::by_name(name).unwrap().build(1);
+        (0..n).map(|_| w.next_instr()).collect()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = sample("vpr", 5000);
+        let b = sample("vpr", 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let spec = suite::by_name("vpr").unwrap();
+        let mut a = spec.build(1);
+        let mut b = spec.build(2);
+        let same = (0..1000).filter(|_| a.next_instr() == b.next_instr()).count();
+        assert!(same < 1000);
+    }
+
+    #[test]
+    fn instruction_mix_roughly_matches_spec() {
+        let spec = suite::by_name("gcc").unwrap();
+        let instrs = sample("gcc", 60_000);
+        let n = instrs.len() as f64;
+        let frac = |k: InstrKind| instrs.iter().filter(|i| i.kind == k).count() as f64 / n;
+        assert!((frac(InstrKind::Load) - spec.instr_mix.load).abs() < 0.05);
+        assert!((frac(InstrKind::Store) - spec.instr_mix.store).abs() < 0.05);
+        // Branch fraction includes back-edges, so allow a wider band.
+        assert!((frac(InstrKind::Branch) - spec.instr_mix.branch).abs() < 0.08);
+    }
+
+    #[test]
+    fn memory_addresses_stay_in_segments() {
+        for name in ["mcf", "health", "art"] {
+            let spec = suite::by_name(name).unwrap();
+            for i in sample(name, 20_000) {
+                if let Some(m) = i.mem {
+                    let in_heap = (DATA_BASE..DATA_BASE + spec.footprint_bytes + 4096)
+                        .contains(&m.addr);
+                    let in_stack = (STACK_BASE..STACK_BASE + 4096).contains(&m.addr);
+                    assert!(in_heap || in_stack, "{name}: addr {:#x}", m.addr);
+                    assert!(m.base <= m.addr, "base must not exceed addr");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_stay_in_code_segment() {
+        for name in ["gcc", "treeadd"] {
+            let spec = suite::by_name(name).unwrap();
+            let limit = CODE_BASE + spec.code_bytes() * 2;
+            for i in sample(name, 20_000) {
+                assert!((CODE_BASE..limit).contains(&i.pc), "{name}: pc {:#x}", i.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn predecode_accuracy_emerges_at_both_granularities() {
+        // subarray(base) == subarray(addr) should hold ~80% of the time at
+        // 512 B granularity (1 KB subarrays) and ~61% at 32 B granularity
+        // (line-sized subarrays): Section 6.3 of the paper.
+        let mut hits512 = 0u64;
+        let mut hits32 = 0u64;
+        let mut total = 0u64;
+        for name in ["gcc", "mcf", "mesa", "bh"] {
+            for i in sample(name, 40_000) {
+                if let Some(m) = i.mem {
+                    total += 1;
+                    if m.addr >> 9 == m.base >> 9 {
+                        hits512 += 1;
+                    }
+                    if m.addr >> 5 == m.base >> 5 {
+                        hits32 += 1;
+                    }
+                }
+            }
+        }
+        let acc512 = hits512 as f64 / total as f64;
+        let acc32 = hits32 as f64 / total as f64;
+        assert!((0.72..=0.88).contains(&acc512), "512 B accuracy {acc512:.3}");
+        assert!((0.52..=0.70).contains(&acc32), "32 B accuracy {acc32:.3}");
+    }
+
+    #[test]
+    fn branches_are_mostly_biased() {
+        let instrs = sample("wupwise", 50_000);
+        let taken = instrs
+            .iter()
+            .filter(|i| i.kind == InstrKind::Branch)
+            .filter(|i| i.branch.unwrap().taken)
+            .count() as f64;
+        let branches = instrs.iter().filter(|i| i.kind == InstrKind::Branch).count() as f64;
+        // Mixed population: biased guards, biased main paths, taken
+        // back-edges. The rate must sit well away from both extremes.
+        let rate = taken / branches;
+        assert!((0.35..=0.85).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // After a taken branch the next pc equals the recorded target; after
+        // anything else it is pc + 4.
+        let mut w = suite::by_name("bzip2").unwrap().build(3);
+        let mut prev: Option<Instr> = None;
+        for _ in 0..20_000 {
+            let i = w.next_instr();
+            if let Some(p) = prev {
+                assert_eq!(i.pc, p.next_pc(), "discontinuity after {:#x}", p.pc);
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn phases_move_the_hot_region() {
+        // The most-touched 4 KB page (the hot region) must move between
+        // phases, even though pointer chasing sprays the whole footprint.
+        let spec = suite::by_name("health").unwrap();
+        let mut w = spec.build(9);
+        let phase = spec.phase_instrs as usize;
+        let mode_page = |w: &mut SyntheticWorkload| -> u64 {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..phase {
+                if let Some(m) = w.next_instr().mem {
+                    *counts.entry(m.addr >> 9).or_insert(0u64) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).expect("phase touches memory").0
+        };
+        let modes: std::collections::HashSet<u64> = (0..6).map(|_| mode_page(&mut w)).collect();
+        assert!(modes.len() >= 2, "hot page never moved: {modes:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Workload parameterisation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::SyntheticWorkload;
+
+/// Benchmark suite a workload imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU2000 (run with SimPoint sampling in the paper).
+    Spec2000,
+    /// Olden pointer-intensive suite (run to completion in the paper).
+    Olden,
+}
+
+/// Relative weights of the four data-access patterns.
+///
+/// Weights need not sum to one; they are normalised at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessMix {
+    /// Reuse within a small contiguous hot region (moves every phase).
+    pub hot: f64,
+    /// Sequential streaming through the whole footprint.
+    pub stream: f64,
+    /// Pointer chasing: near-random jumps through the whole footprint.
+    pub chase: f64,
+    /// Stack traffic within a ~1 KB frame region.
+    pub stack: f64,
+}
+
+impl AccessMix {
+    pub(crate) fn normalized(self) -> AccessMix {
+        let sum = self.hot + self.stream + self.chase + self.stack;
+        assert!(sum > 0.0, "access mix must have positive weight");
+        AccessMix {
+            hot: self.hot / sum,
+            stream: self.stream / sum,
+            chase: self.chase / sum,
+            stack: self.stack / sum,
+        }
+    }
+}
+
+/// Dynamic instruction-class fractions.
+///
+/// The remainder after loads, stores, branches, floating-point and multiply
+/// operations is single-cycle integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of conditional branches (including loop back-edges).
+    pub branch: f64,
+    /// Fraction of floating-point operations.
+    pub fp: f64,
+    /// Fraction of integer multiplies.
+    pub mul: f64,
+}
+
+impl InstrMix {
+    pub(crate) fn validate(&self) {
+        let sum = self.load + self.store + self.branch + self.fp + self.mul;
+        assert!(
+            (0.0..=1.0).contains(&sum),
+            "instruction mix fractions sum to {sum}, must be within [0, 1]"
+        );
+        for (name, f) in [
+            ("load", self.load),
+            ("store", self.store),
+            ("branch", self.branch),
+            ("fp", self.fp),
+            ("mul", self.mul),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{name} fraction {f} out of range");
+        }
+    }
+}
+
+/// Full parameterisation of one synthetic benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use bitline_workloads::suite;
+///
+/// let spec = suite::by_name("mcf").unwrap();
+/// assert!(spec.footprint_bytes > 1 << 20, "mcf is memory-bound");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Total data footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Size of the per-phase hot region in bytes (contiguous, so it maps to
+    /// a small number of cache subarrays).
+    pub hot_bytes: u64,
+    /// Instructions per program phase; the hot region, chase seed and
+    /// active code window move at phase boundaries.
+    pub phase_instrs: u64,
+    /// Data access pattern mix.
+    pub access_mix: AccessMix,
+    /// Instruction class mix.
+    pub instr_mix: InstrMix,
+    /// Fraction of conditional branches whose outcome is data-dependent
+    /// (essentially unpredictable).
+    pub unpredictable_branch_frac: f64,
+    /// Number of distinct loop bodies (static code regions).
+    pub num_loops: usize,
+    /// Mean loop body length in instructions.
+    pub mean_body_len: usize,
+    /// Mean iterations per loop entry.
+    pub mean_iters: f64,
+    /// Fraction of loops active in any one phase (instruction working set).
+    pub active_loop_frac: f64,
+}
+
+impl WorkloadSpec {
+    /// Instantiates the deterministic generator for this spec.
+    ///
+    /// The same `(spec, seed)` pair always produces the same trace.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload::new(self.clone(), seed)
+    }
+
+    /// Approximate static code footprint in bytes (4-byte instructions).
+    #[must_use]
+    pub fn code_bytes(&self) -> u64 {
+        (self.num_loops * (self.mean_body_len + 4) * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_mix_normalises() {
+        let m = AccessMix { hot: 2.0, stream: 1.0, chase: 1.0, stack: 0.0 }.normalized();
+        assert!((m.hot - 0.5).abs() < 1e-12);
+        assert!((m.hot + m.stream + m.chase + m.stack - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn access_mix_rejects_all_zero() {
+        let _ = AccessMix { hot: 0.0, stream: 0.0, chase: 0.0, stack: 0.0 }.normalized();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instr_mix_rejects_negative() {
+        InstrMix { load: -0.1, store: 0.1, branch: 0.1, fp: 0.0, mul: 0.0 }.validate();
+    }
+}

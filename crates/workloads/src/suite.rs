@@ -1,0 +1,179 @@
+//! The sixteen synthetic benchmarks of the paper's evaluation.
+//!
+//! Parameter choices encode the qualitative behaviour the paper reports:
+//!
+//! * **ammp, art** — large streaming FP footprints that thrash the L1
+//!   ("receive virtually no benefit from having L1 caches", Section 6.4);
+//! * **mcf, em3d, treeadd** — big pointer-chasing footprints, high miss
+//!   ratios;
+//! * **health** — high miss ratio but a *small, concentrated* hot region
+//!   ("small footprint and high subarray reference locality", Section 6.4);
+//! * **gcc, vortex** — instruction footprints larger than the 32 KB
+//!   I-cache (the applications with the widest gated-vs-resizable gap in
+//!   I-caches, Section 6.4);
+//! * **mesa, wupwise** — regular loop nests with predictable branches and
+//!   compact hot data;
+//! * **bzip2, vpr, bh, bisort, tsp, equake** — intermediate mixes.
+
+use crate::spec::{AccessMix, InstrMix, Suite, WorkloadSpec};
+
+macro_rules! workload {
+    ($name:literal, $suite:ident, fp: $fp:expr, hot: $hot:expr, phase: $phase:expr,
+     mix: [$h:expr, $s:expr, $c:expr, $k:expr],
+     imix: [$ld:expr, $st:expr, $br:expr, $fpx:expr, $mul:expr],
+     unpred: $u:expr, loops: $loops:expr, body: $body:expr, iters: $it:expr,
+     active: $act:expr) => {
+        WorkloadSpec {
+            name: $name,
+            suite: Suite::$suite,
+            footprint_bytes: $fp,
+            hot_bytes: $hot,
+            phase_instrs: $phase,
+            access_mix: AccessMix { hot: $h, stream: $s, chase: $c, stack: $k },
+            instr_mix: InstrMix { load: $ld, store: $st, branch: $br, fp: $fpx, mul: $mul },
+            unpredictable_branch_frac: $u,
+            num_loops: $loops,
+            mean_body_len: $body,
+            mean_iters: $it,
+            active_loop_frac: $act,
+        }
+    };
+}
+
+/// All sixteen benchmark specs, in the paper's (alphabetical) figure order.
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        workload!("ammp", Spec2000, fp: 2 << 20, hot: 8 << 10, phase: 40_000,
+            mix: [0.25, 0.55, 0.10, 0.10], imix: [0.28, 0.10, 0.12, 0.28, 0.02],
+            unpred: 0.03, loops: 24, body: 40, iters: 30.0, active: 0.5),
+        workload!("art", Spec2000, fp: 4 << 20, hot: 4 << 10, phase: 50_000,
+            mix: [0.15, 0.70, 0.05, 0.10], imix: [0.30, 0.08, 0.10, 0.33, 0.01],
+            unpred: 0.04, loops: 12, body: 30, iters: 100.0, active: 0.5),
+        workload!("bh", Olden, fp: 256 << 10, hot: 4 << 10, phase: 30_000,
+            mix: [0.45, 0.05, 0.30, 0.20], imix: [0.30, 0.10, 0.16, 0.14, 0.02],
+            unpred: 0.05, loops: 10, body: 25, iters: 8.0, active: 0.8),
+        workload!("bisort", Olden, fp: 192 << 10, hot: 4 << 10, phase: 25_000,
+            mix: [0.42, 0.00, 0.38, 0.20], imix: [0.28, 0.12, 0.18, 0.00, 0.01],
+            unpred: 0.03, loops: 8, body: 20, iters: 5.0, active: 0.8),
+        workload!("bzip2", Spec2000, fp: 384 << 10, hot: 16 << 10, phase: 45_000,
+            mix: [0.52, 0.22, 0.10, 0.16], imix: [0.26, 0.12, 0.15, 0.00, 0.02],
+            unpred: 0.03, loops: 30, body: 35, iters: 40.0, active: 0.4),
+        workload!("em3d", Olden, fp: 768 << 10, hot: 8 << 10, phase: 35_000,
+            mix: [0.30, 0.15, 0.42, 0.13], imix: [0.32, 0.08, 0.14, 0.10, 0.01],
+            unpred: 0.08, loops: 6, body: 22, iters: 50.0, active: 0.9),
+        workload!("equake", Spec2000, fp: 1 << 20, hot: 16 << 10, phase: 40_000,
+            mix: [0.38, 0.42, 0.08, 0.12], imix: [0.30, 0.10, 0.12, 0.28, 0.02],
+            unpred: 0.05, loops: 28, body: 45, iters: 60.0, active: 0.35),
+        workload!("gcc", Spec2000, fp: 640 << 10, hot: 24 << 10, phase: 30_000,
+            mix: [0.50, 0.12, 0.20, 0.18], imix: [0.25, 0.12, 0.18, 0.02, 0.02],
+            unpred: 0.05, loops: 400, body: 30, iters: 6.0, active: 0.25),
+        workload!("health", Olden, fp: 512 << 10, hot: 2 << 10, phase: 30_000,
+            mix: [0.52, 0.00, 0.36, 0.12], imix: [0.30, 0.10, 0.16, 0.02, 0.01],
+            unpred: 0.04, loops: 6, body: 18, iters: 10.0, active: 0.9),
+        workload!("mcf", Spec2000, fp: 2 << 20, hot: 4 << 10, phase: 35_000,
+            mix: [0.22, 0.08, 0.58, 0.12], imix: [0.32, 0.08, 0.16, 0.00, 0.01],
+            unpred: 0.05, loops: 10, body: 24, iters: 15.0, active: 0.7),
+        workload!("mesa", Spec2000, fp: 192 << 10, hot: 24 << 10, phase: 60_000,
+            mix: [0.62, 0.18, 0.04, 0.16], imix: [0.26, 0.12, 0.10, 0.28, 0.03],
+            unpred: 0.04, loops: 50, body: 50, iters: 80.0, active: 0.3),
+        workload!("treeadd", Olden, fp: 512 << 10, hot: 8 << 10, phase: 30_000,
+            mix: [0.25, 0.10, 0.52, 0.13], imix: [0.30, 0.06, 0.15, 0.00, 0.00],
+            unpred: 0.03, loops: 3, body: 14, iters: 4.0, active: 1.0),
+        workload!("tsp", Olden, fp: 320 << 10, hot: 8 << 10, phase: 30_000,
+            mix: [0.42, 0.05, 0.35, 0.18], imix: [0.28, 0.08, 0.15, 0.14, 0.02],
+            unpred: 0.04, loops: 6, body: 26, iters: 12.0, active: 0.9),
+        workload!("vortex", Spec2000, fp: 512 << 10, hot: 32 << 10, phase: 35_000,
+            mix: [0.52, 0.08, 0.22, 0.18], imix: [0.28, 0.14, 0.16, 0.00, 0.01],
+            unpred: 0.08, loops: 300, body: 28, iters: 8.0, active: 0.3),
+        workload!("vpr", Spec2000, fp: 320 << 10, hot: 16 << 10, phase: 40_000,
+            mix: [0.50, 0.12, 0.22, 0.16], imix: [0.28, 0.10, 0.16, 0.08, 0.02],
+            unpred: 0.05, loops: 70, body: 32, iters: 15.0, active: 0.35),
+        workload!("wupwise", Spec2000, fp: 3 << 19, hot: 32 << 10, phase: 60_000,
+            mix: [0.35, 0.50, 0.05, 0.10], imix: [0.30, 0.10, 0.08, 0.32, 0.04],
+            unpred: 0.03, loops: 10, body: 60, iters: 200.0, active: 0.6),
+    ]
+}
+
+/// Looks up one benchmark spec by its paper name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(bitline_workloads::suite::by_name("gcc").is_some());
+/// assert!(bitline_workloads::suite::by_name("linpack").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The benchmark names, in figure order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    all().into_iter().map(|w| w.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_benchmarks_matching_the_paper() {
+        let names = names();
+        assert_eq!(names.len(), 16);
+        let expected = [
+            "ammp", "art", "bh", "bisort", "bzip2", "em3d", "equake", "gcc", "health", "mcf",
+            "mesa", "treeadd", "tsp", "vortex", "vpr", "wupwise",
+        ];
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn suites_are_split_ten_six() {
+        let all = all();
+        let spec = all.iter().filter(|w| w.suite == Suite::Spec2000).count();
+        let olden = all.iter().filter(|w| w.suite == Suite::Olden).count();
+        assert_eq!((spec, olden), (10, 6));
+    }
+
+    #[test]
+    fn big_code_benchmarks_exceed_the_icache() {
+        for name in ["gcc", "vortex"] {
+            let w = by_name(name).unwrap();
+            assert!(w.code_bytes() > 32 << 10, "{name}: {} B of code", w.code_bytes());
+        }
+        // Olden kernels are tiny.
+        for name in ["treeadd", "health"] {
+            let w = by_name(name).unwrap();
+            assert!(w.code_bytes() < 4 << 10, "{name}: {} B of code", w.code_bytes());
+        }
+    }
+
+    #[test]
+    fn thrashing_benchmarks_have_multi_megabyte_footprints() {
+        for name in ["ammp", "art", "mcf"] {
+            assert!(by_name(name).unwrap().footprint_bytes >= 2 << 20, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_and_generates() {
+        use bitline_trace::TraceSource;
+        for spec in all() {
+            let mut w = spec.build(11);
+            for _ in 0..200 {
+                let _ = w.next_instr();
+            }
+            assert_eq!(w.name(), spec.name);
+        }
+    }
+}

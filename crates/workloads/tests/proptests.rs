@@ -1,0 +1,81 @@
+//! Property-based tests for the synthetic workload generators.
+
+use proptest::prelude::*;
+
+use bitline_trace::TraceSource;
+use bitline_workloads::{suite, CODE_BASE, DATA_BASE, STACK_BASE};
+
+fn benchmark_names() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(suite::names())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Control flow is always consistent: each instruction's pc equals the
+    /// previous instruction's next_pc, for any benchmark and seed.
+    #[test]
+    fn control_flow_consistent(name in benchmark_names(), seed in any::<u64>()) {
+        let mut w = suite::by_name(name).unwrap().build(seed);
+        let mut prev = w.next_instr();
+        for _ in 0..2_000 {
+            let i = w.next_instr();
+            prop_assert_eq!(i.pc, prev.next_pc(), "discontinuity in {}", name);
+            prev = i;
+        }
+    }
+
+    /// Memory references stay inside the declared segments and bases never
+    /// exceed effective addresses.
+    #[test]
+    fn memory_stays_in_segments(name in benchmark_names(), seed in any::<u64>()) {
+        let spec = suite::by_name(name).unwrap();
+        let mut w = spec.build(seed);
+        for _ in 0..2_000 {
+            let i = w.next_instr();
+            prop_assert!(i.pc >= CODE_BASE && i.pc < DATA_BASE, "{}: pc {:#x}", name, i.pc);
+            if let Some(m) = i.mem {
+                let heap = (DATA_BASE..DATA_BASE + spec.footprint_bytes + 8192).contains(&m.addr);
+                let stack = (STACK_BASE..STACK_BASE + 8192).contains(&m.addr);
+                prop_assert!(heap || stack, "{}: addr {:#x}", name, m.addr);
+                prop_assert!(m.base <= m.addr);
+                prop_assert!(m.addr - m.base < 4096, "displacement bounded");
+            }
+        }
+    }
+
+    /// Determinism: two generators with the same seed agree arbitrarily far
+    /// into the stream.
+    #[test]
+    fn deterministic(name in benchmark_names(), seed in any::<u64>(), skip in 0usize..5_000) {
+        let spec = suite::by_name(name).unwrap();
+        let mut a = spec.build(seed);
+        let mut b = spec.build(seed);
+        for _ in 0..skip {
+            let _ = a.next_instr();
+            let _ = b.next_instr();
+        }
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    /// Every instruction with a destination register writes a register in
+    /// the architected range, and memory ops always carry a reference.
+    #[test]
+    fn well_formed_instructions(name in benchmark_names(), seed in any::<u64>()) {
+        let mut w = suite::by_name(name).unwrap().build(seed);
+        for _ in 0..2_000 {
+            let i = w.next_instr();
+            if let Some(d) = i.dest {
+                prop_assert!((d as usize) < bitline_trace::NUM_REGS);
+            }
+            if i.kind.is_mem() {
+                prop_assert!(i.mem.is_some());
+            }
+            if i.kind.is_control() {
+                prop_assert!(i.branch.is_some());
+            }
+        }
+    }
+}

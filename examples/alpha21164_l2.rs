@@ -1,0 +1,75 @@
+//! Where bitline isolation started: on-demand precharging in the Alpha
+//! 21164's L2 (paper Section 2).
+//!
+//! The first application of bitline isolation predecode-identified the
+//! accessed L2 subarray and precharged it on demand — viable there because
+//! the pull-up hides under the L2's long access latency, and worth doing
+//! even in older CMOS because the L2 is large and mostly idle. This
+//! example reproduces that design point: an on-demand (delay-hidden) L2
+//! precharge policy against the conventional statically pulled-up L2,
+//! across all four technology nodes.
+//!
+//! ```sh
+//! cargo run --release --example alpha21164_l2
+//! ```
+
+use bitline::cache::{MemorySystem, MemorySystemConfig};
+use bitline::cmos::TechnologyNode;
+use bitline::cpu::{Cpu, CpuConfig};
+use bitline::energy::EnergyAccountant;
+use bitline::precharge::{LeakageBiasedPolicy, StaticPullUp};
+use bitline::workloads::suite;
+
+fn main() {
+    let benchmark = "mcf"; // L2-heavy: big footprint, frequent L1 misses
+    let instructions = 80_000;
+
+    let cfg = MemorySystemConfig::default();
+    let l2_cfg = MemorySystem::l2_config(&cfg);
+
+    // L2 with on-demand precharging: the 12-cycle access hides the 1-cycle
+    // pull-up, so the policy is delay-free (LeakageBiasedPolicy models
+    // exactly that: on-demand isolation with the penalty hidden).
+    let mem = MemorySystem::with_l2_policy(
+        cfg,
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+        Box::new(LeakageBiasedPolicy::new(l2_cfg.subarrays())),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = suite::by_name(benchmark).expect("known benchmark").build(42);
+    let stats = cpu.run(&mut trace, instructions);
+    let mut mem = cpu.into_memory();
+    let l2_accesses = mem.l2().hits() + mem.l2().misses();
+    let l2_report = mem.finalize_l2(stats.cycles);
+
+    println!(
+        "benchmark {benchmark}: {instructions} instructions, {} cycles, {} L2 accesses",
+        stats.cycles, l2_accesses
+    );
+    println!(
+        "L2: {} subarrays of 4KB; precharged fraction under on-demand: {:.1}%\n",
+        l2_cfg.subarrays(),
+        100.0 * l2_report.precharged_fraction()
+    );
+    println!(
+        "{:>6} {:>16} {:>16} {:>12}",
+        "node", "static L2 (uJ)", "on-demand (uJ)", "saved"
+    );
+    for node in TechnologyNode::ALL {
+        let acct = EnergyAccountant::new(node, l2_cfg);
+        let on_demand = acct.account(&l2_report, l2_accesses, 0, false, None);
+        let baseline = acct.static_baseline(stats.cycles, l2_accesses, 0);
+        println!(
+            "{:>6} {:>16.3} {:>16.3} {:>11.1}%",
+            node.to_string(),
+            1e6 * baseline.total_j(),
+            1e6 * on_demand.total_j(),
+            100.0 * on_demand.overall_reduction(&baseline),
+        );
+    }
+    println!();
+    println!("The L2 is big (128 subarrays) and mostly idle, so isolating it pays");
+    println!("even before 70nm — which is why the 21164 shipped it in 1995, while");
+    println!("L1s had to wait for gated precharging (the paper's contribution).");
+}
