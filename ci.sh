@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint, format. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci.sh: all green"

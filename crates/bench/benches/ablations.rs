@@ -127,9 +127,9 @@ fn main() {
         );
         let (g, gb) = gated_only.energy(node);
         let (c, cb) = combined.energy(node);
-        let accuracy = combined.d_way_stats.map_or(0.0, |ws| {
-            ws.correct as f64 / (ws.correct + ws.wrong).max(1) as f64
-        });
+        let accuracy = combined
+            .d_way_stats
+            .map_or(0.0, |ws| ws.correct as f64 / (ws.correct + ws.wrong).max(1) as f64);
         println!(
             "{:>10} {:>12} {:>14} {:>14} {:>12}",
             name,

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use bitline_cache::PrechargePolicy;
 use bitline_cache::{CacheConfig, MemorySystem, MemorySystemConfig};
 use bitline_circuit::{BitlineModel, TransientSim};
 use bitline_cmos::TechnologyNode;
@@ -10,7 +11,6 @@ use bitline_cpu::{Cpu, CpuConfig};
 use bitline_trace::TraceSource;
 use bitline_workloads::suite;
 use gated_precharge::{GatedPolicy, StaticPullUp};
-use bitline_cache::PrechargePolicy;
 
 fn bench_workload_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload");

@@ -6,8 +6,10 @@ use bitline_sim::{default_instructions, experiments::fig3};
 fn main() {
     banner("Figure 3: Potential bitline discharge savings (oracle, 70nm)", "Figure 3");
     let (rows, avg) = fig3::run(default_instructions());
-    println!("{:>10} {:>12} {:>12}   (relative bitline discharge; lower is better)",
-        "benchmark", "data", "instruction");
+    println!(
+        "{:>10} {:>12} {:>12}   (relative bitline discharge; lower is better)",
+        "benchmark", "data", "instruction"
+    );
     for r in rows.iter().chain(std::iter::once(&avg)) {
         println!("{:>10} {:>12} {:>12}", r.benchmark, rel(r.d_relative), rel(r.i_relative));
     }

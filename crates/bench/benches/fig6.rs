@@ -23,8 +23,10 @@ fn main() {
         }
         let avg100 = locality::average_hot_fraction(rows, 2);
         let avg1000 = locality::average_hot_fraction(rows, 3);
-        println!("{:>10}  hot@1/100 avg {:.3} (paper ~0.22); hot@1/1000 avg {:.3} (paper <=0.40)",
-            "AVG", avg100, avg1000);
+        println!(
+            "{:>10}  hot@1/100 avg {:.3} (paper ~0.22); hot@1/1000 avg {:.3} (paper <=0.40)",
+            "AVG", avg100, avg1000
+        );
         println!();
     }
 }

@@ -6,16 +6,33 @@ use bitline_sim::{default_instructions, experiments::headline};
 fn main() {
     banner("Headline: gated precharging at 70nm", "Abstract & Section 8");
     let h = headline::run(default_instructions());
-    println!("  bitline discharge reduction:  D {}  I {}   (paper: 83% / 87%)",
-        pct(h.d_discharge_reduction), pct(h.i_discharge_reduction));
-    println!("  overall cache energy saved:   D {}  I {}   (paper: 42% / 36%)",
-        pct(h.d_overall_reduction), pct(h.i_overall_reduction));
-    println!("  performance degradation:      D {}  I {}   (paper: ~1%)",
-        pct(h.d_slowdown), pct(h.i_slowdown));
-    println!("  subarrays kept precharged:    D {}  I {}   (paper: ~10% / ~6%)",
-        pct(h.d_precharged), pct(h.i_precharged));
+    println!(
+        "  bitline discharge reduction:  D {}  I {}   (paper: 83% / 87%)",
+        pct(h.d_discharge_reduction),
+        pct(h.i_discharge_reduction)
+    );
+    println!(
+        "  overall cache energy saved:   D {}  I {}   (paper: 42% / 36%)",
+        pct(h.d_overall_reduction),
+        pct(h.i_overall_reduction)
+    );
+    println!(
+        "  performance degradation:      D {}  I {}   (paper: ~1%)",
+        pct(h.d_slowdown),
+        pct(h.i_slowdown)
+    );
+    println!(
+        "  subarrays kept precharged:    D {}  I {}   (paper: ~10% / ~6%)",
+        pct(h.d_precharged),
+        pct(h.i_precharged)
+    );
     println!();
-    println!("  L1 share of processor energy (static pull-up): {}", pct(h.cache_fraction_of_processor));
-    println!("  replay energy overhead under gated precharging: {}  (paper: <1%)",
-        pct(h.replay_overhead));
+    println!(
+        "  L1 share of processor energy (static pull-up): {}",
+        pct(h.cache_fraction_of_processor)
+    );
+    println!(
+        "  replay energy overhead under gated precharging: {}  (paper: <1%)",
+        pct(h.replay_overhead)
+    );
 }

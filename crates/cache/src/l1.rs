@@ -1,7 +1,7 @@
 //! Set-associative L1 cache with subarray precharge accounting.
 
 use crate::config::CacheConfig;
-use crate::policy::{ActivityReport, PrechargePolicy, ResizeRequest};
+use crate::policy::{ActivityReport, FaultEvent, PrechargePolicy, ResizeRequest};
 use crate::waypred::{WayPredictor, WayStats};
 
 /// One tag-array entry.
@@ -69,6 +69,9 @@ pub struct L1Cache {
     misses: u64,
     writebacks: u64,
     resizes: u64,
+    upset_replays: u64,
+    silent_upsets: u64,
+    fault_retry_cycles: u64,
 }
 
 impl std::fmt::Debug for L1Cache {
@@ -93,9 +96,7 @@ impl L1Cache {
             active_ways: config.assoc,
             sets: vec![vec![Line::default(); config.assoc]; sets],
             subarray_accesses: vec![0; config.subarrays()],
-            way_predictor: config
-                .way_prediction
-                .then(|| WayPredictor::new(sets, config.assoc)),
+            way_predictor: config.way_prediction.then(|| WayPredictor::new(sets, config.assoc)),
             config,
             policy,
             lru_clock: 0,
@@ -103,6 +104,9 @@ impl L1Cache {
             misses: 0,
             writebacks: 0,
             resizes: 0,
+            upset_replays: 0,
+            silent_upsets: 0,
+            fault_retry_cycles: 0,
         }
     }
 
@@ -177,8 +181,7 @@ impl L1Cache {
                 if set[victim].valid && set[victim].dirty {
                     self.writebacks += 1;
                 }
-                set[victim] =
-                    Line { valid: true, dirty: is_write, tag, lru: self.lru_clock };
+                set[victim] = Line { valid: true, dirty: is_write, tag, lru: self.lru_clock };
                 false
             }
         };
@@ -188,6 +191,20 @@ impl L1Cache {
             self.misses += 1;
         }
         self.policy.observe_outcome(hit);
+        // Recovery: a detected sense-margin upset is replayed against a
+        // freshly precharged subarray; the replay latency rides on
+        // `extra_latency`, so dependent instructions see it exactly like a
+        // slow pull-up (and the core's load-hit speculation replays them).
+        if let Some(fault) = self.policy.take_fault() {
+            match fault {
+                FaultEvent::DetectedUpset { retry_cycles } => {
+                    self.upset_replays += 1;
+                    self.fault_retry_cycles += u64::from(retry_cycles);
+                    extra_latency += retry_cycles;
+                }
+                FaultEvent::SilentUpset => self.silent_upsets += 1,
+            }
+        }
         if let Some(req) = self.policy.resize_request() {
             self.apply_resize(req, cycle);
         }
@@ -221,9 +238,7 @@ impl L1Cache {
                 *line = Line::default();
             }
         }
-        let active_subarrays =
-            (self.active_sets + self.config.sets_per_subarray() - 1)
-                / self.config.sets_per_subarray();
+        let active_subarrays = self.active_sets.div_ceil(self.config.sets_per_subarray());
         let way_fraction = self.active_ways as f64 / self.config.assoc as f64;
         self.policy.notify_resize(active_subarrays, way_fraction, cycle);
     }
@@ -275,6 +290,24 @@ impl L1Cache {
     #[must_use]
     pub fn resizes(&self) -> u64 {
         self.resizes
+    }
+
+    /// Reads replayed after a detected sense-margin upset.
+    #[must_use]
+    pub fn upset_replays(&self) -> u64 {
+        self.upset_replays
+    }
+
+    /// Upsets that escaped detection (silent data corruption).
+    #[must_use]
+    pub fn silent_upsets(&self) -> u64 {
+        self.silent_upsets
+    }
+
+    /// Total extra cycles spent on upset replays.
+    #[must_use]
+    pub fn fault_retry_cycles(&self) -> u64 {
+        self.fault_retry_cycles
     }
 
     /// Miss ratio so far (0 when no accesses).
@@ -417,6 +450,46 @@ mod tests {
         let r1 = c.access(0x0, false, 3);
         let r2 = c.access(4096, false, 4);
         assert_eq!(r1.subarray, r2.subarray);
+    }
+
+    #[test]
+    fn faults_add_retry_latency_and_are_counted() {
+        /// Raises a detected upset on every 3rd access and a silent one on
+        /// every 7th.
+        struct Faulty {
+            n: u64,
+            pending: Option<crate::policy::FaultEvent>,
+        }
+        impl PrechargePolicy for Faulty {
+            fn name(&self) -> String {
+                "faulty".into()
+            }
+            fn access(&mut self, _s: usize, _c: u64) -> u32 {
+                self.n += 1;
+                if self.n % 3 == 0 {
+                    self.pending =
+                        Some(crate::policy::FaultEvent::DetectedUpset { retry_cycles: 2 });
+                } else if self.n % 7 == 0 {
+                    self.pending = Some(crate::policy::FaultEvent::SilentUpset);
+                }
+                0
+            }
+            fn take_fault(&mut self) -> Option<crate::policy::FaultEvent> {
+                self.pending.take()
+            }
+            fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+                ActivityReport { policy: self.name(), end_cycle, per_subarray: vec![] }
+            }
+        }
+        let mut c = L1Cache::new(CacheConfig::l1_data(), Box::new(Faulty { n: 0, pending: None }));
+        let mut total_extra = 0;
+        for i in 0..21u64 {
+            total_extra += c.access(i * 32, false, i).extra_latency;
+        }
+        assert_eq!(c.upset_replays(), 7, "accesses 3,6,9,12,15,18,21");
+        assert_eq!(c.silent_upsets(), 2, "accesses 7 and 14 (21 went to the upset arm)");
+        assert_eq!(c.fault_retry_cycles(), 14);
+        assert_eq!(total_extra, 14, "replay latency must reach the access result");
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl L2Cache {
     /// Panics if the geometry does not divide evenly.
     #[must_use]
     pub fn new(size_bytes: usize, assoc: usize, line_bytes: usize) -> L2Cache {
-        assert!(size_bytes % (assoc * line_bytes) == 0, "L2 geometry must divide evenly");
+        assert!(size_bytes.is_multiple_of(assoc * line_bytes), "L2 geometry must divide evenly");
         let n_sets = size_bytes / (assoc * line_bytes);
         L2Cache {
             line_bytes,

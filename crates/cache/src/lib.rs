@@ -43,7 +43,7 @@ pub use l1::{AccessResult, L1Cache};
 pub use l2::L2Cache;
 pub use mshr::Mshr;
 pub use policy::{
-    ActivityReport, AlwaysPrecharged, IdleHistogram, PrechargePolicy, ResizeRequest,
+    ActivityReport, AlwaysPrecharged, FaultEvent, IdleHistogram, PrechargePolicy, ResizeRequest,
     SubarrayActivity, IDLE_BUCKETS,
 };
 pub use system::{AccessOutcome, MemorySystem, MemorySystemConfig};

@@ -63,7 +63,7 @@ impl IdleHistogram {
 }
 
 /// Per-subarray activity gathered over a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SubarrayActivity {
     /// Total accesses that touched this subarray.
     pub accesses: u64,
@@ -83,6 +83,23 @@ pub struct SubarrayActivity {
     pub idle_histogram: IdleHistogram,
 }
 
+/// A fault raised by a fault-injecting policy during the access that just
+/// completed, polled by the cache via
+/// [`PrechargePolicy::take_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A read fell below sense margin and the margin detector caught it:
+    /// the cache replays the read against a freshly precharged subarray,
+    /// paying `retry_cycles` of extra latency.
+    DetectedUpset {
+        /// Full-precharge replay penalty in cycles.
+        retry_cycles: u32,
+    },
+    /// An upset that escaped detection — silent data corruption. Counted,
+    /// but timing is unaffected (nothing noticed).
+    SilentUpset,
+}
+
 /// A resize request from a resizable-cache policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResizeRequest {
@@ -93,7 +110,7 @@ pub struct ResizeRequest {
 }
 
 /// Whole-run activity summary produced by [`PrechargePolicy::finalize`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityReport {
     /// Policy name (for reporting).
     pub policy: String,
@@ -198,12 +215,7 @@ pub trait PrechargePolicy {
     /// earlier. A correct prediction lets the pull-up start during address
     /// calculation and hides the cold-access penalty. Default: the
     /// prediction is ignored.
-    fn access_with_prediction(
-        &mut self,
-        subarray: usize,
-        _predicted: usize,
-        cycle: u64,
-    ) -> u32 {
+    fn access_with_prediction(&mut self, subarray: usize, _predicted: usize, cycle: u64) -> u32 {
         self.access(subarray, cycle)
     }
 
@@ -218,11 +230,17 @@ pub trait PrechargePolicy {
         None
     }
 
+    /// Polled by the cache after each access: did the access just performed
+    /// suffer a fault? Only fault-injecting decorators ever return `Some`;
+    /// the default (and every plain policy) reports a fault-free access.
+    fn take_fault(&mut self) -> Option<FaultEvent> {
+        None
+    }
+
     /// Informs the policy that the cache now has `active_subarrays` active
     /// (after honouring a resize request) and `active_way_fraction` of each
     /// subarray's bitlines enabled.
-    fn notify_resize(&mut self, _active_subarrays: usize, _active_way_fraction: f64, _cycle: u64) {
-    }
+    fn notify_resize(&mut self, _active_subarrays: usize, _active_way_fraction: f64, _cycle: u64) {}
 
     /// Closes the books and returns the activity report.
     fn finalize(&mut self, end_cycle: u64) -> ActivityReport;
@@ -316,11 +334,7 @@ mod tests {
         let mut b = SubarrayActivity::default();
         b.accesses = 30;
         b.pulled_up_cycles = 150.0;
-        let r = ActivityReport {
-            policy: "test".into(),
-            end_cycle: 100,
-            per_subarray: vec![a, b],
-        };
+        let r = ActivityReport { policy: "test".into(), end_cycle: 100, per_subarray: vec![a, b] };
         assert_eq!(r.total_accesses(), 40);
         assert_eq!(r.total_delayed(), 2);
         assert!((r.precharged_fraction() - 1.0).abs() < 1e-12); // 200 / (2*100)

@@ -183,12 +183,7 @@ impl MemorySystem {
             let line = addr / self.cfg.l1d.line_bytes as u64;
             latency += self.mshr_d.request(line, cycle, fill);
         }
-        AccessOutcome {
-            latency,
-            l1_hit: r.hit,
-            delayed: r.extra_latency > 0,
-            subarray: r.subarray,
-        }
+        AccessOutcome { latency, l1_hit: r.hit, delayed: r.extra_latency > 0, subarray: r.subarray }
     }
 
     /// One instruction fetch of the line containing `pc` at `cycle`.
@@ -205,12 +200,7 @@ impl MemorySystem {
             let line = pc / self.cfg.l1i.line_bytes as u64;
             latency += self.mshr_i.request(line, cycle, fill);
         }
-        AccessOutcome {
-            latency,
-            l1_hit: r.hit,
-            delayed: r.extra_latency > 0,
-            subarray: r.subarray,
-        }
+        AccessOutcome { latency, l1_hit: r.hit, delayed: r.extra_latency > 0, subarray: r.subarray }
     }
 
     /// Forwards a predecode hint for an upcoming data access (Section 6.3).
@@ -301,7 +291,7 @@ mod tests {
     fn l2_hit_adds_twelve_cycles() {
         let mut m = system();
         m.data_access(0x2000, false, 0); // into L1 + L2
-        // Evict from L1 by filling its set, then re-access: L2 hit.
+                                         // Evict from L1 by filling its set, then re-access: L2 hit.
         m.data_access(0x2000 + 16 * 1024, false, 100);
         m.data_access(0x2000 + 32 * 1024, false, 200);
         let r = m.data_access(0x2000, false, 1000);
@@ -373,8 +363,8 @@ mod tests {
     fn data_and_inst_streams_share_the_l2() {
         let mut m = system();
         m.data_access(0x5000, false, 0); // fills L2
-        // Evict 0x5000 from L1D, then fetch the same line as an instruction:
-        // it should hit in the unified L2.
+                                         // Evict 0x5000 from L1D, then fetch the same line as an instruction:
+                                         // it should hit in the unified L2.
         let r = m.inst_fetch(0x5000, 400);
         assert!(!r.l1_hit);
         assert_eq!(r.latency, 2 + 12);

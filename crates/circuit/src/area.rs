@@ -120,14 +120,10 @@ mod tests {
 
     #[test]
     fn more_ports_cost_quadratic_pitch() {
-        let one = cache_area(
-            TechnologyNode::N70,
-            SubarrayGeometry::for_cache(1024, 32, 1, 32 * 1024),
-        );
-        let four = cache_area(
-            TechnologyNode::N70,
-            SubarrayGeometry::for_cache(1024, 32, 4, 32 * 1024),
-        );
+        let one =
+            cache_area(TechnologyNode::N70, SubarrayGeometry::for_cache(1024, 32, 1, 32 * 1024));
+        let four =
+            cache_area(TechnologyNode::N70, SubarrayGeometry::for_cache(1024, 32, 4, 32 * 1024));
         let ratio = four.cells_mm2 / one.cells_mm2;
         // (1 + 0.4*3)^2 = 4.84
         assert!((ratio - 4.84).abs() < 1e-9, "ratio {ratio}");

@@ -240,10 +240,7 @@ mod tests {
         for bytes in [1024, 4096] {
             for node in TechnologyNode::ALL {
                 let m = DecoderModel::new(node, geom(bytes));
-                assert!(
-                    m.worst_case_pullup_ns() > m.final_decode_ns(),
-                    "{bytes} B @ {node}"
-                );
+                assert!(m.worst_case_pullup_ns() > m.final_decode_ns(), "{bytes} B @ {node}");
                 assert_eq!(m.on_demand_penalty_cycles(), 1, "{bytes} B @ {node}");
             }
         }

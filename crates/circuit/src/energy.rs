@@ -162,8 +162,7 @@ impl SubarrayEnergyModel {
     /// access, in joules (<0.02% of a base access; Section 6.2).
     #[must_use]
     pub fn decay_counter_energy_j(&self) -> f64 {
-        DECAY_COUNTER_ACCESS_FRACTION
-            * (self.read_access_energy_j() + self.peripheral_access_j)
+        DECAY_COUNTER_ACCESS_FRACTION * (self.read_access_energy_j() + self.peripheral_access_j)
     }
 }
 

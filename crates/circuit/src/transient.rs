@@ -95,8 +95,7 @@ impl TransientSim {
         let dt_s = horizon_s / steps as f64;
         let c = model.c_bitline_f();
         let i0 = model.i_leak_per_bitline_a();
-        let i_pre_off =
-            PRECHARGE_OFF_LEAK_CELLS * model.device_params().i_bitline_leak_per_cell_a;
+        let i_pre_off = PRECHARGE_OFF_LEAK_CELLS * model.device_params().i_bitline_leak_per_cell_a;
         let knee = LEAK_KNEE_FRACTION * vdd;
 
         let mut voltage = Vec::with_capacity(steps + 1);
@@ -202,8 +201,7 @@ impl TransientSim {
         let (mut lo, mut hi) = (0.0f64, 1e7f64);
         for _ in 0..64 {
             let mid = 0.5 * (lo + hi);
-            let saves =
-                self.static_episode_energy_j(mid) > self.isolation_episode_energy_j(mid);
+            let saves = self.static_episode_energy_j(mid) > self.isolation_episode_energy_j(mid);
             if saves {
                 hi = mid;
             } else {

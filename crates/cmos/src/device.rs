@@ -168,10 +168,7 @@ mod tests {
             let bitline = 4.0 * p.i_bitline_leak_per_cell_a;
             let total = bitline + p.i_cell_internal_leak_a;
             let share = bitline / total;
-            assert!(
-                (0.74..=0.78).contains(&share),
-                "bitline leakage share {share:.3} at {node}"
-            );
+            assert!((0.74..=0.78).contains(&share), "bitline leakage share {share:.3} at {node}");
         }
     }
 

@@ -40,12 +40,8 @@ pub enum TechnologyNode {
 
 impl TechnologyNode {
     /// All nodes, from oldest (180 nm) to newest (70 nm).
-    pub const ALL: [TechnologyNode; 4] = [
-        TechnologyNode::N180,
-        TechnologyNode::N130,
-        TechnologyNode::N100,
-        TechnologyNode::N70,
-    ];
+    pub const ALL: [TechnologyNode; 4] =
+        [TechnologyNode::N180, TechnologyNode::N130, TechnologyNode::N100, TechnologyNode::N70];
 
     /// Drawn feature size in nanometres.
     #[must_use]

@@ -133,8 +133,7 @@ impl AdaptiveGatedPolicy {
     }
 
     fn end_interval(&mut self, cycle: u64) {
-        let delayed =
-            self.interval_delayed as f64 / self.interval_accesses.max(1) as f64;
+        let delayed = self.interval_delayed as f64 / self.interval_accesses.max(1) as f64;
         self.interval_accesses = 0;
         self.interval_delayed = 0;
         let current = self.inner.threshold();

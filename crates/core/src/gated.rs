@@ -194,9 +194,12 @@ mod tests {
         p.access(0, 60); // +60
         p.access(0, 400); // cold: +100 (decay window), episode idle 240
         let r = p.finalize(400); // trailing: capped at end_cycle
-        // 0 (first) + 60 + 100 + 0 trailing (end == last access).
-        assert!((r.total_pulled_up_cycles() - 160.0).abs() < 1e-12, "{}",
-            r.total_pulled_up_cycles());
+                                 // 0 (first) + 60 + 100 + 0 trailing (end == last access).
+        assert!(
+            (r.total_pulled_up_cycles() - 160.0).abs() < 1e-12,
+            "{}",
+            r.total_pulled_up_cycles()
+        );
         assert_eq!(r.total_precharge_events(), 1);
     }
 

@@ -316,7 +316,7 @@ mod tests {
         };
         assert!(run_interval(&mut p, true).is_some()); // down
         assert!(run_interval(&mut p, false).is_some()); // up + cooldown
-        // During cooldown, clean intervals must not shrink again.
+                                                        // During cooldown, clean intervals must not shrink again.
         assert!(run_interval(&mut p, true).is_none());
         assert!(run_interval(&mut p, true).is_none());
         assert!(run_interval(&mut p, true).is_some(), "cooldown expired");

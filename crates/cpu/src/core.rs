@@ -11,8 +11,8 @@ use std::collections::VecDeque;
 use bitline_cache::MemorySystem;
 use bitline_trace::{Instr, InstrKind, TraceSource, NUM_REGS};
 
-use crate::config::{CpuConfig, ReplayScope};
 use crate::bpred::BranchPredictor;
+use crate::config::{CpuConfig, ReplayScope};
 use crate::stats::SimStats;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +134,14 @@ impl Cpu {
                     self.iq_count,
                     self.lsq_count,
                     self.fetch_queue.len(),
-                    self.rob.front().map(|e| (e.instr.kind, e.state, e.ready_cycle, e.resolve_cycle, e.misspeculated, e.replay_handled)),
+                    self.rob.front().map(|e| (
+                        e.instr.kind,
+                        e.state,
+                        e.ready_cycle,
+                        e.resolve_cycle,
+                        e.misspeculated,
+                        e.replay_handled
+                    )),
                     self.fetch_blocked_on,
                     self.fetch_stall_until,
                 );
@@ -237,9 +244,11 @@ impl Cpu {
                 continue;
             }
             let hit = match self.cfg.replay_scope {
-                ReplayScope::DependentsOnly => e.producers.iter().flatten().any(|&p| {
-                    p == load_seq || squashed.binary_search(&p).is_ok()
-                }),
+                ReplayScope::DependentsOnly => e
+                    .producers
+                    .iter()
+                    .flatten()
+                    .any(|&p| p == load_seq || squashed.binary_search(&p).is_ok()),
                 ReplayScope::AllYounger => e.issue_cycle > load_issue,
             };
             if hit {
@@ -340,11 +349,7 @@ impl Cpu {
             if is_store && store_ops >= self.cfg.dcache_write_ports {
                 continue;
             }
-            let ready = e
-                .producers
-                .iter()
-                .flatten()
-                .all(|&p| self.operand_ready(p, cycle));
+            let ready = e.producers.iter().flatten().all(|&p| self.operand_ready(p, cycle));
             if !ready {
                 continue;
             }
@@ -585,9 +590,7 @@ mod tests {
                     .with_srcs(Some(1), None)
                     .with_mem(MemRef { addr: 0x1000, base: 0x1000, size: 8 }),
             );
-            v.push(
-                Instr::new(pc + 4, InstrKind::IntAlu).with_dest(1).with_srcs(Some(1), None),
-            );
+            v.push(Instr::new(pc + 4, InstrKind::IntAlu).with_dest(1).with_srcs(Some(1), None));
         }
         let mut trace = ReplayTrace::new(v);
         let mut cpu = Cpu::new(CpuConfig::default(), memsys());
@@ -622,14 +625,12 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..8 {
             let pc = 0x40_0000 + 8 * i as u64;
-            v.push(
-                Instr::new(pc, InstrKind::Load)
-                    .with_dest(2)
-                    .with_mem(MemRef { addr: 0x2000, base: 0x2000, size: 8 }),
-            );
-            v.push(
-                Instr::new(pc + 4, InstrKind::IntAlu).with_dest(3).with_srcs(Some(2), None),
-            );
+            v.push(Instr::new(pc, InstrKind::Load).with_dest(2).with_mem(MemRef {
+                addr: 0x2000,
+                base: 0x2000,
+                size: 8,
+            }));
+            v.push(Instr::new(pc + 4, InstrKind::IntAlu).with_dest(3).with_srcs(Some(2), None));
         }
         let mut trace = ReplayTrace::new(v);
         let mut cpu = Cpu::new(CpuConfig::default(), mem);
@@ -647,8 +648,7 @@ mod tests {
             } else {
                 Box::new(StaticPullUp::new(cfg.l1d.subarrays()))
             };
-            let mem =
-                MemorySystem::new(cfg, d, Box::new(StaticPullUp::new(cfg.l1i.subarrays())));
+            let mem = MemorySystem::new(cfg, d, Box::new(StaticPullUp::new(cfg.l1i.subarrays())));
             let mut v = Vec::new();
             for i in 0..16 {
                 let pc = 0x40_0000 + 8 * i as u64;
@@ -658,9 +658,7 @@ mod tests {
                         .with_srcs(Some(2), None)
                         .with_mem(MemRef { addr: 0x2000 + 8 * i as u64, base: 0x2000, size: 8 }),
                 );
-                v.push(
-                    Instr::new(pc + 4, InstrKind::IntAlu).with_dest(2).with_srcs(Some(2), None),
-                );
+                v.push(Instr::new(pc + 4, InstrKind::IntAlu).with_dest(2).with_srcs(Some(2), None));
             }
             let mut trace = ReplayTrace::new(v);
             let mut cpu = Cpu::new(CpuConfig::default(), mem);
@@ -718,11 +716,11 @@ mod tests {
     fn predecode_hints_are_emitted_when_enabled() {
         let mut v = Vec::new();
         for i in 0..4 {
-            v.push(
-                Instr::new(0x40_0000 + 4 * i, InstrKind::Load)
-                    .with_dest(1)
-                    .with_mem(MemRef { addr: 0x3000, base: 0x3000, size: 8 }),
-            );
+            v.push(Instr::new(0x40_0000 + 4 * i, InstrKind::Load).with_dest(1).with_mem(MemRef {
+                addr: 0x3000,
+                base: 0x3000,
+                size: 8,
+            }));
         }
         let mut cpu = Cpu::new(CpuConfig::default().with_predecode_hints(), memsys());
         let stats = cpu.run(&mut ReplayTrace::new(v), 400);
@@ -744,11 +742,11 @@ mod tests {
             let mut v = Vec::new();
             for i in 0..8 {
                 let pc = 0x40_0000 + 20 * i as u64;
-                v.push(
-                    Instr::new(pc, InstrKind::Load)
-                        .with_dest(2)
-                        .with_mem(MemRef { addr: 0x2000, base: 0x2000, size: 8 }),
-                );
+                v.push(Instr::new(pc, InstrKind::Load).with_dest(2).with_mem(MemRef {
+                    addr: 0x2000,
+                    base: 0x2000,
+                    size: 8,
+                }));
                 v.push(Instr::new(pc + 4, InstrKind::IntAlu).with_dest(3).with_srcs(Some(2), None));
                 // Independent fillers that only AllYounger squashes.
                 v.push(Instr::new(pc + 8, InstrKind::IntAlu).with_dest(9));

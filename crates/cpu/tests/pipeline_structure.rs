@@ -20,9 +20,11 @@ fn independent_loads(n: usize, line_stride: u64) -> ReplayTrace {
         .map(|i| {
             let pc = 0x40_0000 + 4 * i as u64;
             let addr = 0x1000_0000 + line_stride * i as u64;
-            Instr::new(pc, InstrKind::Load)
-                .with_dest((8 + i % 32) as u8)
-                .with_mem(MemRef { addr, base: addr, size: 8 })
+            Instr::new(pc, InstrKind::Load).with_dest((8 + i % 32) as u8).with_mem(MemRef {
+                addr,
+                base: addr,
+                size: 8,
+            })
         })
         .collect();
     ReplayTrace::new(v)
@@ -102,9 +104,11 @@ fn store_ports_bound_store_throughput() {
         .map(|i| {
             let pc = 0x40_0000 + 4 * i as u64;
             let addr = 0x1000_0000 + 32 * (i % 16) as u64;
-            Instr::new(pc, InstrKind::Store)
-                .with_srcs(Some(1), Some(2))
-                .with_mem(MemRef { addr, base: addr, size: 8 })
+            Instr::new(pc, InstrKind::Store).with_srcs(Some(1), Some(2)).with_mem(MemRef {
+                addr,
+                base: addr,
+                size: 8,
+            })
         })
         .collect();
     let mut cpu = Cpu::new(CpuConfig::default(), memsys());

@@ -20,9 +20,9 @@ fn arb_trace() -> impl Strategy<Value = Vec<Instr>> {
                 let dest = 8 + dest % 32;
                 let src = 8 + src % 32;
                 match kind {
-                    0 | 1 => Instr::new(pc, InstrKind::IntAlu)
-                        .with_dest(dest)
-                        .with_srcs(Some(src), None),
+                    0 | 1 => {
+                        Instr::new(pc, InstrKind::IntAlu).with_dest(dest).with_srcs(Some(src), None)
+                    }
                     2 => Instr::new(pc, InstrKind::IntMul)
                         .with_dest(dest)
                         .with_srcs(Some(src), Some(src)),
@@ -57,8 +57,7 @@ fn run(trace: Vec<Instr>, scope: ReplayScope, gated: bool) -> bitline_cpu::SimSt
         Box::new(StaticPullUp::new(cfg.l1d.subarrays()))
     };
     let mem = MemorySystem::new(cfg, d, Box::new(StaticPullUp::new(cfg.l1i.subarrays())));
-    let mut cpu =
-        Cpu::new(CpuConfig { replay_scope: scope, ..CpuConfig::default() }, mem);
+    let mut cpu = Cpu::new(CpuConfig { replay_scope: scope, ..CpuConfig::default() }, mem);
     cpu.run(&mut ReplayTrace::new(trace), 3_000)
 }
 

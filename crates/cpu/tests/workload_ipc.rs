@@ -44,10 +44,7 @@ fn ipcs_are_plausible_and_signatures_match_the_paper() {
             stats.replay_rate(),
             stats.fetch_stall_cycles as f64 / stats.cycles as f64,
         );
-        assert!(
-            (0.15..=8.0).contains(&ipc),
-            "{name}: IPC {ipc} outside plausible range"
-        );
+        assert!((0.15..=8.0).contains(&ipc), "{name}: IPC {ipc} outside plausible range");
         assert!(stats.mispredict_rate() < 0.30, "{name}: mispredict rate");
         results.insert(name, (ipc, dm, im));
     }
@@ -74,9 +71,8 @@ fn ipcs_are_plausible_and_signatures_match_the_paper() {
         );
     }
     // Memory-bound benchmarks run slower than regular ones on average.
-    let avg = |names: &[&str]| {
-        names.iter().map(|n| results[*n].0).sum::<f64>() / names.len() as f64
-    };
+    let avg =
+        |names: &[&str]| names.iter().map(|n| results[*n].0).sum::<f64>() / names.len() as f64;
     assert!(avg(&["ammp", "art", "mcf", "em3d"]) < avg(&["mesa", "bzip2", "health", "vpr"]));
 }
 
@@ -84,8 +80,5 @@ fn ipcs_are_plausible_and_signatures_match_the_paper() {
 fn memory_bound_benchmarks_run_slower_than_regular_ones() {
     let mcf = run("mcf", 30_000).ipc();
     let mesa = run("mesa", 30_000).ipc();
-    assert!(
-        mcf < mesa,
-        "mcf (memory-bound, {mcf:.2}) should trail mesa (regular, {mesa:.2})"
-    );
+    assert!(mcf < mesa, "mcf (memory-bound, {mcf:.2}) should trail mesa (regular, {mesa:.2})");
 }

@@ -166,9 +166,7 @@ impl EnergyAccountant {
             Some(ws) => {
                 let resolved = ws.correct + ws.wrong;
                 let unpredicted = reads.saturating_sub(resolved) as f64;
-                (ws.correct as f64
-                    + ws.wrong as f64 * (assoc + 1.0)
-                    + unpredicted * assoc)
+                (ws.correct as f64 + ws.wrong as f64 * (assoc + 1.0) + unpredicted * assoc)
                     * per_way
             }
         }
@@ -255,7 +253,12 @@ mod tests {
 
     /// Drives a policy with a synthetic access stream: one access per
     /// `stride` cycles, round-robin over `hot` subarrays.
-    fn drive(policy: &mut dyn PrechargePolicy, cycles: u64, stride: u64, hot: usize) -> ActivityReport {
+    fn drive(
+        policy: &mut dyn PrechargePolicy,
+        cycles: u64,
+        stride: u64,
+        hot: usize,
+    ) -> ActivityReport {
         let mut c = 0;
         let mut i = 0usize;
         while c < cycles {
@@ -373,13 +376,8 @@ mod tests {
         assert!((predicted.pullup_leak_j - conventional.pullup_leak_j).abs() < 1e-18);
         // Perfect prediction on a 2-way cache halves the array read energy
         // (periphery unchanged), so the saving is bounded.
-        let perfect = acct.account(
-            &report,
-            reads,
-            0,
-            false,
-            Some(WayStats { correct: reads, wrong: 0 }),
-        );
+        let perfect =
+            acct.account(&report, reads, 0, false, Some(WayStats { correct: reads, wrong: 0 }));
         assert!(perfect.dynamic_j < predicted.dynamic_j);
     }
 

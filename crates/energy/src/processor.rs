@@ -108,10 +108,16 @@ mod tests {
     use bitline_cache::CacheConfig;
 
     fn caches(node: TechnologyNode, cycles: u64) -> (CacheEnergyBreakdown, CacheEnergyBreakdown) {
-        let d = EnergyAccountant::new(node, CacheConfig::l1_data())
-            .static_baseline(cycles, cycles / 6, cycles / 16);
-        let i = EnergyAccountant::new(node, CacheConfig::l1_inst())
-            .static_baseline(cycles, cycles / 3, 0);
+        let d = EnergyAccountant::new(node, CacheConfig::l1_data()).static_baseline(
+            cycles,
+            cycles / 6,
+            cycles / 16,
+        );
+        let i = EnergyAccountant::new(node, CacheConfig::l1_inst()).static_baseline(
+            cycles,
+            cycles / 3,
+            0,
+        );
         (d, i)
     }
 

@@ -1,0 +1,112 @@
+//! Fault-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the fault model (see DESIGN.md, "Fault model & recovery
+/// semantics").
+///
+/// Rates are per *cold* access — an access that found its subarray isolated
+/// and had to pull the bitlines up. Warm accesses read from fully-precharged
+/// bitlines and are never upset candidates; decay-counter flips are the one
+/// mechanism by which a nominally-warm access becomes cold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Base probability that a cold access reads below sense margin. The
+    /// effective per-subarray probability is this times the subarray's
+    /// process-variation leakage multiplier.
+    pub upset_rate: f64,
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// σ of the log-normal per-subarray leakage multipliers (Mukhopadhyay
+    /// et al. report ~30–40% σ for nanoscale leakage under loading effects).
+    pub variation_sigma: f64,
+    /// Probability per access that a decay counter takes a bit flip,
+    /// spuriously isolating a subarray the policy meant to keep precharged.
+    pub decay_flip_rate: f64,
+    /// Probability that the sense-margin detector catches an upset; misses
+    /// are silent data corruption.
+    pub detection_rate: f64,
+    /// Extra cycles a detected upset pays to replay against a freshly
+    /// precharged subarray (full pull-up + re-sense).
+    pub retry_cycles: u32,
+    /// Cycles a spuriously-isolated access pays for bitline pull-up (the
+    /// same cold-access penalty the gated policy charges).
+    pub pullup_penalty: u32,
+    /// Graceful degradation: pin a subarray back to static pull-up once its
+    /// detected-upset count reaches this threshold (`None` disables).
+    pub fail_safe_threshold: Option<u32>,
+}
+
+impl FaultConfig {
+    /// The all-off configuration: injects nothing, perturbs nothing.
+    #[must_use]
+    pub fn disabled() -> FaultConfig {
+        FaultConfig {
+            upset_rate: 0.0,
+            seed: 0,
+            variation_sigma: 0.0,
+            decay_flip_rate: 0.0,
+            detection_rate: 1.0,
+            retry_cycles: 0,
+            pullup_penalty: 0,
+            fail_safe_threshold: None,
+        }
+    }
+
+    /// A representative configuration at `upset_rate` with defaults for the
+    /// secondary knobs: σ = 0.35 variation, decay flips at 1/8 the upset
+    /// rate, 98% detection coverage, 2-cycle replay, 1-cycle pull-up.
+    #[must_use]
+    pub fn with_rate(upset_rate: f64, seed: u64) -> FaultConfig {
+        FaultConfig {
+            upset_rate,
+            seed,
+            variation_sigma: 0.35,
+            decay_flip_rate: upset_rate / 8.0,
+            detection_rate: 0.98,
+            retry_cycles: 2,
+            pullup_penalty: 1,
+            fail_safe_threshold: None,
+        }
+    }
+
+    /// Same as [`FaultConfig::with_rate`] but with graceful degradation
+    /// armed at `threshold` detected upsets per subarray.
+    #[must_use]
+    pub fn with_fail_safe(upset_rate: f64, seed: u64, threshold: u32) -> FaultConfig {
+        FaultConfig {
+            fail_safe_threshold: Some(threshold),
+            ..FaultConfig::with_rate(upset_rate, seed)
+        }
+    }
+
+    /// Whether this configuration can ever inject a fault.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.upset_rate > 0.0 || self.decay_flip_rate > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let c = FaultConfig::disabled();
+        assert!(!c.enabled());
+    }
+
+    #[test]
+    fn with_rate_enables() {
+        assert!(FaultConfig::with_rate(0.01, 1).enabled());
+        assert!(!FaultConfig::with_rate(0.0, 1).enabled());
+        assert_eq!(FaultConfig::with_fail_safe(0.01, 1, 10).fail_safe_threshold, Some(10));
+    }
+}

@@ -1,0 +1,126 @@
+//! The seeded fault source.
+
+use crate::config::FaultConfig;
+use crate::rng::SplitMix64;
+
+/// Deterministic fault source for one cache.
+///
+/// On construction it draws a log-normal leakage multiplier per subarray
+/// (process variation makes some subarrays leak faster and hence upset more
+/// often); afterwards it answers Bernoulli queries from the decorator in
+/// access order. Same seed, same access stream → same fault sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SplitMix64,
+    multipliers: Vec<f64>,
+}
+
+/// Cap on the effective per-access upset probability, so a pathological
+/// multiplier cannot make every access fail and livelock the retry path.
+const MAX_UPSET_P: f64 = 0.95;
+
+impl FaultInjector {
+    /// Creates the injector for `subarrays` subarrays.
+    #[must_use]
+    pub fn new(config: FaultConfig, subarrays: usize) -> FaultInjector {
+        let mut rng = SplitMix64::new(config.seed);
+        let multipliers = (0..subarrays)
+            .map(|_| {
+                if config.variation_sigma > 0.0 {
+                    (config.variation_sigma * rng.normal()).exp()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        FaultInjector { config, rng, multipliers }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Process-variation leakage multiplier of `subarray`.
+    #[must_use]
+    pub fn leakage_multiplier(&self, subarray: usize) -> f64 {
+        self.multipliers[subarray]
+    }
+
+    /// Does this cold access to `subarray` read below sense margin?
+    pub fn draw_upset(&mut self, subarray: usize) -> bool {
+        if self.config.upset_rate <= 0.0 {
+            return false;
+        }
+        let p = (self.config.upset_rate * self.multipliers[subarray]).min(MAX_UPSET_P);
+        self.rng.chance(p)
+    }
+
+    /// Does the sense-margin detector catch the upset just injected?
+    pub fn draw_detected(&mut self) -> bool {
+        self.rng.chance(self.config.detection_rate)
+    }
+
+    /// Does a decay counter take a bit flip on this access?
+    pub fn draw_decay_flip(&mut self) -> bool {
+        if self.config.decay_flip_rate <= 0.0 {
+            return false;
+        }
+        self.rng.chance(self.config.decay_flip_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = FaultInjector::new(FaultConfig::disabled(), 8);
+        for s in 0..8 {
+            assert!((inj.leakage_multiplier(s) - 1.0).abs() < 1e-12);
+            for _ in 0..100 {
+                assert!(!inj.draw_upset(s));
+                assert!(!inj.draw_decay_flip());
+            }
+        }
+    }
+
+    #[test]
+    fn multipliers_are_seed_stable_and_positive() {
+        let a = FaultInjector::new(FaultConfig::with_rate(0.1, 99), 32);
+        let b = FaultInjector::new(FaultConfig::with_rate(0.1, 99), 32);
+        for s in 0..32 {
+            let m = a.leakage_multiplier(s);
+            assert!(m > 0.0, "log-normal multiplier must be positive");
+            assert!((m - b.leakage_multiplier(s)).abs() < 1e-15);
+        }
+        // σ = 0.35 keeps the body within a decade.
+        assert!(a.multipliers.iter().all(|&m| m > 0.05 && m < 20.0));
+    }
+
+    #[test]
+    fn upset_rate_scales_frequency() {
+        let mut low = FaultInjector::new(FaultConfig::with_rate(0.01, 5), 4);
+        let mut high = FaultInjector::new(FaultConfig::with_rate(0.30, 5), 4);
+        let trials = 20_000;
+        let count = |inj: &mut FaultInjector| (0..trials).filter(|i| inj.draw_upset(i % 4)).count();
+        let lo = count(&mut low);
+        let hi = count(&mut high);
+        assert!(lo > 0, "1% rate over {trials} cold accesses must fire");
+        assert!(hi > lo * 5, "30% rate must fire far more often ({hi} vs {lo})");
+    }
+
+    #[test]
+    fn same_seed_same_draw_sequence() {
+        let cfg = FaultConfig::with_rate(0.2, 1234);
+        let mut a = FaultInjector::new(cfg, 16);
+        let mut b = FaultInjector::new(cfg, 16);
+        for i in 0..5_000 {
+            assert_eq!(a.draw_upset(i % 16), b.draw_upset(i % 16));
+            assert_eq!(a.draw_decay_flip(), b.draw_decay_flip());
+        }
+    }
+}

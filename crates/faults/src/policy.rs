@@ -1,0 +1,176 @@
+//! The fault-injecting policy decorator.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bitline_cache::{ActivityReport, FaultEvent, PrechargePolicy, ResizeRequest};
+
+use crate::config::FaultConfig;
+use crate::injector::FaultInjector;
+use crate::report::FaultReport;
+
+/// Wraps any [`PrechargePolicy`] and injects faults into its cold accesses.
+///
+/// Semantics (see DESIGN.md, "Fault model & recovery semantics"):
+///
+/// * **Warm accesses** (inner policy charged no pull-up delay) read from
+///   fully precharged bitlines; their only exposure is a decay-counter bit
+///   flip, which spuriously isolates the subarray and turns the access cold
+///   (it pays [`FaultConfig::pullup_penalty`]).
+/// * **Cold accesses** may read below sense margin with probability
+///   `upset_rate × leakage_multiplier(subarray)`. A detected upset raises
+///   [`FaultEvent::DetectedUpset`], which the cache turns into a
+///   full-precharge replay; an undetected one raises
+///   [`FaultEvent::SilentUpset`] and costs nothing (nothing noticed).
+/// * **Graceful degradation**: once a subarray's detected-upset count
+///   reaches `fail_safe_threshold`, the subarray is pinned back to static
+///   pull-up — no further delays, flips, or upsets there, at the price of
+///   full leakage (accounted in `finalize`).
+///
+/// With a disabled [`FaultConfig`] the decorator is fully transparent: it
+/// forwards every call, consumes no randomness, and `finalize` returns the
+/// inner policy's report unchanged (`name()` also forwards, so reports are
+/// bit-identical to the undecorated policy).
+pub struct FaultInjectingPolicy {
+    inner: Box<dyn PrechargePolicy>,
+    injector: FaultInjector,
+    report: FaultReport,
+    pending: Option<FaultEvent>,
+    /// Per-subarray: cycle at which graceful degradation pinned the
+    /// subarray to static pull-up (`None` while it still gates).
+    pinned_at: Vec<Option<u64>>,
+    sink: Option<Rc<RefCell<FaultReport>>>,
+}
+
+impl FaultInjectingPolicy {
+    /// Decorates `inner`, which controls `subarrays` subarrays.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn PrechargePolicy>,
+        config: FaultConfig,
+        subarrays: usize,
+    ) -> FaultInjectingPolicy {
+        FaultInjectingPolicy {
+            inner,
+            injector: FaultInjector::new(config, subarrays),
+            report: FaultReport::new(subarrays),
+            pending: None,
+            pinned_at: vec![None; subarrays],
+            sink: None,
+        }
+    }
+
+    /// Also mirrors the final [`FaultReport`] into `sink` at `finalize`
+    /// (same idiom as the locality recorder: the driver keeps the `Rc` and
+    /// reads the report after the run).
+    #[must_use]
+    pub fn with_sink(mut self, sink: Rc<RefCell<FaultReport>>) -> FaultInjectingPolicy {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The fault counters so far.
+    #[must_use]
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+
+    /// The injector (for inspecting leakage multipliers).
+    #[must_use]
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Shared fault-injection path for plain and predicted accesses.
+    /// `inner_extra` is what the wrapped policy charged for this access.
+    fn inject(&mut self, subarray: usize, cycle: u64, inner_extra: u32) -> u32 {
+        if self.pinned_at[subarray].is_some() {
+            // Statically pulled up: never delayed, never upset.
+            return 0;
+        }
+        let cfg = *self.injector.config();
+        let mut extra = inner_extra;
+        let mut cold = extra > 0;
+        if !cold && self.injector.draw_decay_flip() {
+            // A counter bit flipped and the subarray was isolated although
+            // the policy meant it precharged: the access turns cold.
+            self.report.per_subarray[subarray].decay_flips += 1;
+            extra += cfg.pullup_penalty;
+            cold = true;
+        }
+        if cold && self.injector.draw_upset(subarray) {
+            self.report.per_subarray[subarray].injected += 1;
+            if self.injector.draw_detected() {
+                self.report.per_subarray[subarray].detected += 1;
+                self.report.per_subarray[subarray].replayed += 1;
+                self.pending = Some(FaultEvent::DetectedUpset { retry_cycles: cfg.retry_cycles });
+                if let Some(limit) = cfg.fail_safe_threshold {
+                    if self.report.per_subarray[subarray].detected >= u64::from(limit) {
+                        self.pinned_at[subarray] = Some(cycle);
+                        self.report.per_subarray[subarray].pinned = true;
+                    }
+                }
+            } else {
+                self.report.per_subarray[subarray].silent += 1;
+                self.pending = Some(FaultEvent::SilentUpset);
+            }
+        }
+        extra
+    }
+}
+
+impl PrechargePolicy for FaultInjectingPolicy {
+    fn name(&self) -> String {
+        // Transparent on purpose: reports compare bit-identical to the
+        // undecorated policy when injection is disabled.
+        self.inner.name()
+    }
+
+    fn access(&mut self, subarray: usize, cycle: u64) -> u32 {
+        let inner_extra = self.inner.access(subarray, cycle);
+        self.inject(subarray, cycle, inner_extra)
+    }
+
+    fn access_with_prediction(&mut self, subarray: usize, predicted: usize, cycle: u64) -> u32 {
+        let inner_extra = self.inner.access_with_prediction(subarray, predicted, cycle);
+        self.inject(subarray, cycle, inner_extra)
+    }
+
+    fn hint(&mut self, subarray: usize, cycle: u64) {
+        self.inner.hint(subarray, cycle);
+    }
+
+    fn observe_outcome(&mut self, hit: bool) {
+        self.inner.observe_outcome(hit);
+    }
+
+    fn resize_request(&mut self) -> Option<ResizeRequest> {
+        self.inner.resize_request()
+    }
+
+    fn notify_resize(&mut self, active_subarrays: usize, active_way_fraction: f64, cycle: u64) {
+        self.inner.notify_resize(active_subarrays, active_way_fraction, cycle);
+    }
+
+    fn take_fault(&mut self) -> Option<FaultEvent> {
+        self.pending.take()
+    }
+
+    fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+        let mut activity = self.inner.finalize(end_cycle);
+        // A pinned subarray burned full static leakage from its pin cycle
+        // on; the inner policy does not know, so charge it here. The inner
+        // pull-up time is an underestimate only over the pinned span, hence
+        // the additive correction capped at the run length.
+        for (s, pinned) in self.pinned_at.iter().enumerate() {
+            if let (Some(cycle), Some(act)) = (pinned, activity.per_subarray.get_mut(s)) {
+                let span = end_cycle.saturating_sub(*cycle) as f64;
+                act.pulled_up_cycles = (act.pulled_up_cycles + span).min(end_cycle as f64);
+            }
+        }
+        if let Some(sink) = &self.sink {
+            *sink.borrow_mut() = self.report.clone();
+        }
+        activity
+    }
+}

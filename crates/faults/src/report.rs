@@ -1,0 +1,135 @@
+//! Fault accounting: what was injected, what was caught, what slipped
+//! through.
+
+use serde::{Deserialize, Serialize};
+
+/// Fault counters for one subarray.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayFaults {
+    /// Upsets injected (reads that fell below sense margin).
+    pub injected: u64,
+    /// Upsets the sense-margin detector caught.
+    pub detected: u64,
+    /// Upsets that escaped detection (silent data corruption).
+    pub silent: u64,
+    /// Reads replayed against a freshly precharged subarray (one per
+    /// detected upset).
+    pub replayed: u64,
+    /// Decay-counter bit flips (spurious isolation events).
+    pub decay_flips: u64,
+    /// Whether graceful degradation pinned this subarray back to static
+    /// pull-up.
+    pub pinned: bool,
+}
+
+/// Whole-run fault summary, per subarray plus totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Per-subarray counters.
+    pub per_subarray: Vec<SubarrayFaults>,
+}
+
+impl FaultReport {
+    /// An empty report over `subarrays` subarrays.
+    #[must_use]
+    pub fn new(subarrays: usize) -> FaultReport {
+        FaultReport { per_subarray: vec![SubarrayFaults::default(); subarrays] }
+    }
+
+    /// Total upsets injected.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.injected).sum()
+    }
+
+    /// Total upsets detected.
+    #[must_use]
+    pub fn detected(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.detected).sum()
+    }
+
+    /// Total silent upsets.
+    #[must_use]
+    pub fn silent(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.silent).sum()
+    }
+
+    /// Total replayed reads.
+    #[must_use]
+    pub fn replayed(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.replayed).sum()
+    }
+
+    /// Total decay-counter flips.
+    #[must_use]
+    pub fn decay_flips(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.decay_flips).sum()
+    }
+
+    /// Subarrays pinned back to static pull-up by graceful degradation.
+    #[must_use]
+    pub fn degraded_subarrays(&self) -> usize {
+        self.per_subarray.iter().filter(|s| s.pinned).count()
+    }
+
+    /// Counter invariant: every injected upset is either detected (and
+    /// replayed) or silent.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.per_subarray
+            .iter()
+            .all(|s| s.detected + s.silent == s.injected && s.replayed == s.detected)
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "injected {}  detected {}  replayed {}  silent {}  decay flips {}  degraded {}/{} subarrays",
+            self.injected(),
+            self.detected(),
+            self.replayed(),
+            self.silent(),
+            self.decay_flips(),
+            self.degraded_subarrays(),
+            self.per_subarray.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_subarrays() {
+        let mut r = FaultReport::new(2);
+        r.per_subarray[0].injected = 3;
+        r.per_subarray[0].detected = 2;
+        r.per_subarray[0].silent = 1;
+        r.per_subarray[0].replayed = 2;
+        r.per_subarray[1].injected = 1;
+        r.per_subarray[1].detected = 1;
+        r.per_subarray[1].replayed = 1;
+        assert_eq!(r.injected(), 4);
+        assert_eq!(r.detected(), 3);
+        assert_eq!(r.silent(), 1);
+        assert!(r.is_consistent());
+    }
+
+    #[test]
+    fn inconsistency_is_caught() {
+        let mut r = FaultReport::new(1);
+        r.per_subarray[0].injected = 2;
+        r.per_subarray[0].detected = 1;
+        // silent missing
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn summary_mentions_degradation() {
+        let mut r = FaultReport::new(4);
+        r.per_subarray[2].pinned = true;
+        assert!(r.summary().contains("degraded 1/4"));
+    }
+}

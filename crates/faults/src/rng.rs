@@ -1,0 +1,109 @@
+//! Deterministic random-number source for fault injection.
+//!
+//! Fault draws must be reproducible under a fixed seed and independent of
+//! the workload generator's `rand` streams, so the injector carries its own
+//! SplitMix64 — small, seedable, and with well-understood equidistribution
+//! for the modest draw counts a run makes.
+
+/// SplitMix64 generator (Steele, Lea & Flood; the `java.util.SplittableRandom`
+/// finalizer).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Bernoulli draw. `p <= 0` never consumes entropy and is always
+    /// `false`, so a disabled injector leaves the stream untouched.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            // Consume a draw so call sequences stay aligned with 0 < p < 1.
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit_f64() < p
+    }
+
+    /// Approximately standard-normal draw (Irwin–Hall sum of 12 uniforms).
+    /// Adequate for process-variation multipliers, which only need the
+    /// central ±3σ body of the distribution.
+    pub fn normal(&mut self) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.unit_f64()).sum();
+        sum - 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(0xDEAD);
+        let mut b = SplitMix64::new(0xDEAD);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range_and_cover_it() {
+        let mut rng = SplitMix64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_zero_consumes_nothing() {
+        let mut a = SplitMix64::new(3);
+        let mut b = SplitMix64::new(3);
+        assert!(!a.chance(0.0));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn normal_is_roughly_centred() {
+        let mut rng = SplitMix64::new(11);
+        let n = 5_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let z = rng.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

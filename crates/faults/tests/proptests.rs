@@ -1,0 +1,130 @@
+//! Property tests for the fault layer (ISSUE satellite): rate-0
+//! transparency, seed determinism, and counter consistency.
+
+use bitline_cache::PrechargePolicy;
+use bitline_faults::{FaultConfig, FaultInjectingPolicy, FaultReport};
+use gated_precharge::GatedPolicy;
+use proptest::prelude::*;
+
+const SUBARRAYS: usize = 8;
+
+fn gated() -> Box<GatedPolicy> {
+    Box::new(GatedPolicy::new(SUBARRAYS, 50, 1))
+}
+
+/// Sparse access stream: (subarray, cycle gap) pairs, gaps large enough to
+/// cross the decay threshold now and then.
+fn access_stream() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0usize..SUBARRAYS, 1u64..200), 1..400)
+}
+
+fn drive(policy: &mut dyn PrechargePolicy, accesses: &[(usize, u64)]) -> (Vec<u32>, u64) {
+    let mut cycle = 0;
+    let mut latencies = Vec::with_capacity(accesses.len());
+    for &(s, gap) in accesses {
+        cycle += gap;
+        latencies.push(policy.access(s, cycle));
+        // Faults must be drained like the cache drains them, or `pending`
+        // would coalesce across accesses.
+        let _ = policy.take_fault();
+    }
+    (latencies, cycle)
+}
+
+proptest! {
+    /// With rate 0 the decorator is bit-identical to the undecorated
+    /// policy: same per-access latencies, same finalize report, no events.
+    fn rate_zero_is_transparent(accesses in access_stream()) {
+        let mut plain = gated();
+        let mut wrapped =
+            FaultInjectingPolicy::new(gated(), FaultConfig::disabled(), SUBARRAYS);
+
+        let mut cycle = 0;
+        for &(s, gap) in &accesses {
+            cycle += gap;
+            prop_assert_eq!(plain.access(s, cycle), wrapped.access(s, cycle));
+            prop_assert!(wrapped.take_fault().is_none());
+        }
+        let end = cycle + 10;
+        prop_assert_eq!(plain.finalize(end), wrapped.finalize(end));
+        prop_assert_eq!(wrapped.report().injected(), 0);
+        prop_assert_eq!(wrapped.report().decay_flips(), 0);
+    }
+
+    /// A fixed fault seed gives a reproducible run: identical latencies and
+    /// identical fault counters.
+    fn fixed_seed_is_deterministic(accesses in access_stream(), seed in any::<u64>()) {
+        let cfg = FaultConfig::with_rate(0.2, seed);
+        let mut a = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        let mut b = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        let (lat_a, _) = drive(&mut a, &accesses);
+        let (lat_b, _) = drive(&mut b, &accesses);
+        prop_assert_eq!(lat_a, lat_b);
+        prop_assert_eq!(a.report(), b.report());
+    }
+
+    /// Counter invariant under any stream, rate, and seed:
+    /// detected + silent == injected and replayed == detected.
+    fn counters_are_consistent(
+        accesses in access_stream(),
+        seed in any::<u64>(),
+        rate_milli in 0u64..=1000,
+    ) {
+        let cfg = FaultConfig::with_rate(rate_milli as f64 / 1000.0, seed);
+        let mut p = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        drive(&mut p, &accesses);
+        prop_assert!(p.report().is_consistent(), "{}", p.report().summary());
+    }
+
+    /// Different fault seeds leave the leakage multipliers different (the
+    /// log-normal draw actually depends on the seed).
+    fn multipliers_depend_on_seed(seed in any::<u64>()) {
+        let a = FaultInjectingPolicy::new(gated(), FaultConfig::with_rate(0.1, seed), SUBARRAYS);
+        let b = FaultInjectingPolicy::new(
+            gated(),
+            FaultConfig::with_rate(0.1, seed.wrapping_add(1)),
+            SUBARRAYS,
+        );
+        let differs = (0..SUBARRAYS).any(|s| {
+            (a.injector().leakage_multiplier(s) - b.injector().leakage_multiplier(s)).abs()
+                > 1e-12
+        });
+        prop_assert!(differs);
+    }
+}
+
+#[test]
+fn fail_safe_pins_a_noisy_subarray() {
+    // Every access cold (threshold 50, gaps 100), certain upset, certain
+    // detection: the second detected upset must pin subarray 0.
+    let cfg = FaultConfig {
+        upset_rate: 1.0,
+        detection_rate: 1.0,
+        decay_flip_rate: 0.0,
+        fail_safe_threshold: Some(2),
+        ..FaultConfig::with_rate(1.0, 7)
+    };
+    let mut p = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+    let mut cycle = 0;
+    let mut extras = Vec::new();
+    let mut pinned_after = None;
+    for i in 0..50 {
+        cycle += 100;
+        extras.push(p.access(0, cycle));
+        let _ = p.take_fault();
+        if pinned_after.is_none() && p.report().per_subarray[0].pinned {
+            pinned_after = Some(i);
+        }
+    }
+    let report: FaultReport = p.report().clone();
+    let pinned_after = pinned_after.expect("50 near-certain upsets must trip a threshold of 2");
+    assert_eq!(report.degraded_subarrays(), 1);
+    assert_eq!(report.per_subarray[0].detected, 2, "{}", report.summary());
+    // Every pre-pin access was cold (threshold 50, gaps of 100); once
+    // pinned, the subarray is statically pulled up and never delays.
+    assert!(extras[..=pinned_after].iter().all(|&e| e > 0), "{extras:?}");
+    assert!(extras[pinned_after + 1..].iter().all(|&e| e == 0), "{extras:?}");
+    // Pinned subarray burns full leakage from the pin cycle on.
+    let act = p.finalize(cycle + 50);
+    assert!(act.per_subarray[0].pulled_up_cycles > 50.0);
+}

@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 
 use bitline_cmos::TechnologyNode;
-use bitline_sim::{run_benchmark, PolicyKind, SystemSpec};
+use bitline_sim::{try_run_benchmark, FaultSpec, PolicyKind, SystemSpec};
 use bitline_workloads::suite;
 
 #[derive(Debug)]
@@ -25,6 +25,7 @@ struct Args {
     subarray_bytes: usize,
     seed: u64,
     way_prediction: bool,
+    faults: FaultSpec,
     list: bool,
 }
 
@@ -39,6 +40,7 @@ impl Default for Args {
             subarray_bytes: 1024,
             seed: 42,
             way_prediction: false,
+            faults: FaultSpec::default(),
             list: false,
         }
     }
@@ -99,11 +101,27 @@ fn parse_args() -> Result<Args, String> {
             "--subarray" => {
                 args.subarray_bytes =
                     value(&flag)?.parse().map_err(|_| "bad subarray size".to_owned())?;
+                if !args.subarray_bytes.is_power_of_two() {
+                    return Err(format!(
+                        "--subarray {} is not a power of two (try 256, 1024, 4096)",
+                        args.subarray_bytes
+                    ));
+                }
             }
             "--seed" => {
                 args.seed = value(&flag)?.parse().map_err(|_| "bad seed".to_owned())?;
             }
             "--way-prediction" => args.way_prediction = true,
+            "--fault-rate" => {
+                args.faults.rate = value(&flag)?
+                    .parse()
+                    .map_err(|_| "bad fault rate (want a probability, e.g. 0.01)".to_owned())?;
+            }
+            "--fault-seed" => {
+                args.faults.seed =
+                    value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
+            }
+            "--fail-safe" => args.faults.fail_safe = true,
             "--list" | "-l" => args.list = true,
             "--help" | "-h" => {
                 print_help();
@@ -130,6 +148,9 @@ fn print_help() {
     println!("      --subarray BYTES    subarray size (default 1024)");
     println!("      --seed S            workload seed (default 42)");
     println!("      --way-prediction    enable MRU way prediction on both L1s");
+    println!("      --fault-rate P      per-cold-access upset probability (default 0 = off)");
+    println!("      --fault-seed S      fault-injector seed (default: fixed constant)");
+    println!("      --fail-safe         pin upset-prone subarrays back to static pull-up");
     println!("  -l, --list              list benchmarks and exit");
 }
 
@@ -141,7 +162,7 @@ fn icache_default(d: PolicyKind) -> PolicyKind {
     }
 }
 
-fn run_one(name: &str, args: &Args) {
+fn run_one(name: &str, args: &Args) -> Result<(), String> {
     let spec = SystemSpec {
         d_policy: args.policy,
         i_policy: args.icache_policy.unwrap_or_else(|| icache_default(args.policy)),
@@ -149,14 +170,19 @@ fn run_one(name: &str, args: &Args) {
         instructions: args.instructions,
         seed: args.seed,
         way_prediction: args.way_prediction,
+        faults: args.faults,
     };
+    // The slowdown/energy reference is the clean static-pull-up machine:
+    // faults model leakage upsets in *gated* bitlines, so the baseline
+    // runs fault-free.
     let baseline_spec = SystemSpec {
         d_policy: PolicyKind::StaticPullUp,
         i_policy: PolicyKind::StaticPullUp,
+        faults: FaultSpec { rate: 0.0, ..args.faults },
         ..spec
     };
-    let run = run_benchmark(name, &spec);
-    let baseline = run_benchmark(name, &baseline_spec);
+    let run = try_run_benchmark(name, &spec).map_err(|e| e.to_string())?;
+    let baseline = try_run_benchmark(name, &baseline_spec).map_err(|e| e.to_string())?;
     let (policy, base) = run.energy(args.node);
 
     println!("== {name} @ {} ==", args.node);
@@ -186,6 +212,11 @@ fn run_one(name: &str, args: &Args) {
         100.0 * run.stats.mispredict_rate(),
         100.0 * run.d_report.delayed_fraction(),
     );
+    if let (Some(d), Some(i)) = (&run.d_faults, &run.i_faults) {
+        println!("  faults D: {}", d.summary());
+        println!("  faults I: {}", i.summary());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -208,15 +239,16 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if args.benchmark == "all" {
-        for name in suite::names() {
-            run_one(name, &args);
-        }
-    } else if suite::by_name(&args.benchmark).is_some() {
-        run_one(&args.benchmark, &args);
+    let outcome = if args.benchmark == "all" {
+        suite::names().iter().try_for_each(|name| run_one(name, &args))
     } else {
-        eprintln!("error: unknown benchmark `{}` (use --list)", args.benchmark);
-        return ExitCode::FAILURE;
+        run_one(&args.benchmark, &args)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

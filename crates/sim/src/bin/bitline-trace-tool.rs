@@ -41,12 +41,31 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// Parses an optional numeric flag. Absence yields `default`; a flag with a
+/// missing or malformed value is a hard error, never a silent default.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    let Some(value) = args.get(i + 1) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    value.parse().map_err(|_| format!("{flag}: cannot parse `{value}` as a number"))
+}
+
 fn capture(args: &[String]) -> ExitCode {
     let Some(benchmark) = flag_value(args, "--benchmark") else {
         return usage();
     };
-    let count: u64 = flag_value(args, "--count").and_then(|v| v.parse().ok()).unwrap_or(50_000);
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let (count, seed) =
+        match (parsed_flag::<u64>(args, "--count", 50_000), parsed_flag::<u64>(args, "--seed", 42))
+        {
+            (Ok(c), Ok(s)) => (c, s),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let Some(out) = flag_value(args, "--out") else {
         return usage();
     };
@@ -91,9 +110,7 @@ fn stat(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let n = instrs.len() as f64;
-    let frac = |k: InstrKind| {
-        100.0 * instrs.iter().filter(|i| i.kind == k).count() as f64 / n
-    };
+    let frac = |k: InstrKind| 100.0 * instrs.iter().filter(|i| i.kind == k).count() as f64 / n;
     let distinct_pcs: std::collections::HashSet<u64> = instrs.iter().map(|i| i.pc).collect();
     let distinct_lines: std::collections::HashSet<u64> =
         instrs.iter().filter_map(|i| i.mem.map(|m| m.addr / 32)).collect();
@@ -133,11 +150,16 @@ fn replay(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(code) => return code,
     };
-    let count: u64 = flag_value(args, "--instructions")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(instrs.len() as u64);
-    let threshold: u64 =
-        flag_value(args, "--policy-threshold").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let (count, threshold) = match (
+        parsed_flag::<u64>(args, "--instructions", instrs.len() as u64),
+        parsed_flag::<u64>(args, "--policy-threshold", 100),
+    ) {
+        (Ok(c), Ok(t)) => (c, t),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cfg = MemorySystemConfig::default();
     let mem = MemorySystem::new(
         cfg,

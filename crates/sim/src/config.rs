@@ -9,6 +9,9 @@ use gated_precharge::{
 };
 use serde::{Deserialize, Serialize};
 
+use bitline_faults::FaultConfig;
+
+use crate::error::SimError;
 use crate::recorder::LocalityRecorder;
 
 /// Which precharge controller to attach to a cache.
@@ -79,12 +82,10 @@ impl PolicyKind {
             PolicyKind::Gated { threshold } | PolicyKind::GatedPredecode { threshold } => {
                 Box::new(GatedPolicy::new(n, threshold, decoder.cold_access_penalty_cycles()))
             }
-            PolicyKind::AdaptiveGated { interval_accesses } => Box::new(
-                AdaptiveGatedPolicy::new(
-                    n,
-                    AdaptiveConfig { interval_accesses, ..AdaptiveConfig::default() },
-                ),
-            ),
+            PolicyKind::AdaptiveGated { interval_accesses } => Box::new(AdaptiveGatedPolicy::new(
+                n,
+                AdaptiveConfig { interval_accesses, ..AdaptiveConfig::default() },
+            )),
             PolicyKind::LeakageBiased => Box::new(LeakageBiasedPolicy::new(n)),
             PolicyKind::Drowsy { threshold } => Box::new(DrowsyPolicy::new(n, threshold, 1)),
             PolicyKind::Resizable { interval_accesses, slack } => Box::new(ResizablePolicy::new(
@@ -107,10 +108,7 @@ impl PolicyKind {
     /// configuration, runs with predecoding.
     #[must_use]
     pub fn wants_predecode(&self) -> bool {
-        matches!(
-            self,
-            PolicyKind::GatedPredecode { .. } | PolicyKind::AdaptiveGated { .. }
-        )
+        matches!(self, PolicyKind::GatedPredecode { .. } | PolicyKind::AdaptiveGated { .. })
     }
 
     /// Whether the decay-counter hardware overhead applies.
@@ -122,6 +120,55 @@ impl PolicyKind {
                 | PolicyKind::GatedPredecode { .. }
                 | PolicyKind::AdaptiveGated { .. }
         )
+    }
+}
+
+/// Fault-injection parameters for a run. Disabled by default: the stock
+/// simulation is fault-free and cycle-identical to a build without the
+/// fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Sense-margin upset probability per cold access (0 disables the
+    /// whole fault layer).
+    pub rate: f64,
+    /// Seed of the injector's private RNG (independent of the workload
+    /// seed).
+    pub seed: u64,
+    /// Arm graceful degradation: pin a subarray back to static pull-up
+    /// after [`FaultSpec::FAIL_SAFE_UPSETS`] detected upsets.
+    pub fail_safe: bool,
+}
+
+impl FaultSpec {
+    /// Detected upsets per subarray before fail-safe pinning.
+    pub const FAIL_SAFE_UPSETS: u32 = 25;
+
+    /// Whether any fault can ever be injected.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Expands to the full fault-model configuration. `pullup_penalty` is
+    /// the cache's cold-access penalty (the decoder-dependent cycles a
+    /// spuriously-isolated access pays); the replay penalty is one cycle of
+    /// re-sense on top of that. `seed_salt` decouples the D- and I-cache
+    /// fault streams.
+    #[must_use]
+    pub fn to_config(&self, pullup_penalty: u32, seed_salt: u64) -> FaultConfig {
+        let base = FaultConfig::with_rate(self.rate, self.seed.wrapping_add(seed_salt));
+        FaultConfig {
+            retry_cycles: pullup_penalty + 1,
+            pullup_penalty,
+            fail_safe_threshold: self.fail_safe.then_some(Self::FAIL_SAFE_UPSETS),
+            ..base
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec { rate: 0.0, seed: 0xB17F_A017, fail_safe: false }
     }
 }
 
@@ -141,6 +188,44 @@ pub struct SystemSpec {
     /// Enable MRU way prediction on both L1s (orthogonal dynamic-energy
     /// technique; paper's related work [12, 15]).
     pub way_prediction: bool,
+    /// Fault injection (disabled by default; see [`FaultSpec`]).
+    pub faults: FaultSpec,
+}
+
+impl SystemSpec {
+    /// Subarray sizes the cache model can realise: a power of two between
+    /// one line (32 B) and the whole 32 KB L1.
+    const MIN_SUBARRAY: usize = 32;
+    const MAX_SUBARRAY: usize = 32 * 1024;
+
+    /// Rejects specs the simulator cannot run instead of panicking deep in
+    /// the cache model.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidSpec`] when the subarray size is not a power of
+    /// two in `[32, 32768]`, the instruction count is zero, or the fault
+    /// rate is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let sa = self.subarray_bytes;
+        if !sa.is_power_of_two() || !(Self::MIN_SUBARRAY..=Self::MAX_SUBARRAY).contains(&sa) {
+            return Err(SimError::InvalidSpec(format!(
+                "subarray_bytes = {sa}; must be a power of two between {} and {}",
+                Self::MIN_SUBARRAY,
+                Self::MAX_SUBARRAY
+            )));
+        }
+        if self.instructions == 0 {
+            return Err(SimError::InvalidSpec("instructions = 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.faults.rate) || self.faults.rate.is_nan() {
+            return Err(SimError::InvalidSpec(format!(
+                "fault rate = {}; must be a probability in [0, 1]",
+                self.faults.rate
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemSpec {
@@ -152,6 +237,7 @@ impl Default for SystemSpec {
             instructions: crate::default_instructions(),
             seed: 42,
             way_prediction: false,
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -179,6 +265,32 @@ mod tests {
                 assert!(!p.name().is_empty());
             }
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        assert!(SystemSpec::default().validate().is_ok());
+        let bad = SystemSpec { subarray_bytes: 1000, ..SystemSpec::default() };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        let bad = SystemSpec { subarray_bytes: 65536, ..SystemSpec::default() };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        let bad = SystemSpec { instructions: 0, ..SystemSpec::default() };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        let bad = SystemSpec {
+            faults: FaultSpec { rate: 1.5, ..FaultSpec::default() },
+            ..SystemSpec::default()
+        };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn fault_spec_default_is_disabled() {
+        let spec = FaultSpec::default();
+        assert!(!spec.enabled());
+        let cfg = spec.to_config(3, 0);
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.retry_cycles, 4);
+        assert_eq!(cfg.pullup_penalty, 3);
     }
 
     #[test]

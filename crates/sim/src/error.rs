@@ -1,0 +1,51 @@
+//! Driver-level error type.
+
+use std::fmt;
+
+/// Why a simulation run could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The benchmark name is not one of the suite's sixteen.
+    UnknownBenchmark(String),
+    /// The [`SystemSpec`](crate::SystemSpec) is invalid (bad subarray size,
+    /// zero instructions, out-of-range fault rate, ...).
+    InvalidSpec(String),
+    /// A run aborted mid-flight (panic caught by an isolation harness).
+    RunFailed {
+        /// Benchmark that was running.
+        benchmark: String,
+        /// Panic/abort message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}` (use suite::names() or --list)")
+            }
+            SimError::InvalidSpec(why) => write!(f, "invalid system spec: {why}"),
+            SimError::RunFailed { benchmark, reason } => {
+                write!(f, "run of `{benchmark}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = SimError::UnknownBenchmark("nosuch".into());
+        assert!(e.to_string().contains("nosuch"));
+        let e = SimError::InvalidSpec("subarray_bytes = 33".into());
+        assert!(e.to_string().contains("subarray_bytes"));
+        let e = SimError::RunFailed { benchmark: "gcc".into(), reason: "boom".into() };
+        assert!(e.to_string().contains("gcc") && e.to_string().contains("boom"));
+    }
+}

@@ -1,8 +1,8 @@
 //! Figure 10: effect of subarray size on gated precharging.
 
 use bitline_cmos::TechnologyNode;
-use bitline_workloads::suite;
 
+use crate::experiments::harness;
 use crate::experiments::sweep::MAX_SLOWDOWN;
 use crate::{run_benchmark, PolicyKind, SystemSpec};
 
@@ -34,17 +34,10 @@ pub fn run(instrs: u64) -> Vec<Fig10Row> {
     SIZES
         .into_iter()
         .map(|subarray_bytes| {
-            let mut d_sum = 0.0;
-            let mut i_sum = 0.0;
-            let names = suite::names();
-            for name in &names {
+            let outcome = harness::map_suite(|name| {
                 let baseline = run_benchmark(
                     name,
-                    &SystemSpec {
-                        subarray_bytes,
-                        instructions: instrs,
-                        ..SystemSpec::default()
-                    },
+                    &SystemSpec { subarray_bytes, instructions: instrs, ..SystemSpec::default() },
                 );
                 // Gate both caches with a shared threshold and pick the
                 // best-energy point within the slowdown budget.
@@ -63,30 +56,31 @@ pub fn run(instrs: u64) -> Vec<Fig10Row> {
                     );
                     let slowdown = run.slowdown_vs(&baseline);
                     let (policy, base) = run.energy(node);
-                    let discharge = policy.d.relative_discharge(&base.d)
-                        + policy.i.relative_discharge(&base.i);
+                    let discharge =
+                        policy.d.relative_discharge(&base.d) + policy.i.relative_discharge(&base.i);
                     let d_frac = run.d_report.precharged_fraction();
                     let i_frac = run.i_report.precharged_fraction();
                     if slowdown <= MAX_SLOWDOWN {
-                        if best.map_or(true, |(b, _, _)| discharge < b) {
+                        if best.is_none_or(|(b, _, _)| discharge < b) {
                             best = Some((discharge, d_frac, i_frac));
                         }
-                    } else if fallback.map_or(true, |(_, _, _, s)| slowdown < s) {
+                    } else if fallback.is_none_or(|(_, _, _, s)| slowdown < s) {
                         fallback = Some((discharge, d_frac, i_frac, slowdown));
                     }
                 }
-                let (d_frac, i_frac) = match (best, fallback) {
-                    (Some((_, d, i)), _) => (d, i),
-                    (None, Some((_, d, i, _))) => (d, i),
+                match (best, fallback) {
+                    (Some((_, d, i)), _) => Ok((d, i)),
+                    (None, Some((_, d, i, _))) => Ok((d, i)),
                     (None, None) => unreachable!("threshold ladder is non-empty"),
-                };
-                d_sum += d_frac;
-                i_sum += i_frac;
-            }
+                }
+            });
+            outcome.report_skipped("fig10");
+            let fracs = outcome.expect_rows("fig10");
+            let n = fracs.len() as f64;
             Fig10Row {
                 subarray_bytes,
-                d_precharged: d_sum / names.len() as f64,
-                i_precharged: i_sum / names.len() as f64,
+                d_precharged: fracs.iter().map(|(d, _)| d).sum::<f64>() / n,
+                i_precharged: fracs.iter().map(|(_, i)| i).sum::<f64>() / n,
             }
         })
         .collect()

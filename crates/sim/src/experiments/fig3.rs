@@ -1,8 +1,8 @@
 //! Figure 3: potential bitline discharge savings (the oracle study).
 
 use bitline_cmos::TechnologyNode;
-use bitline_workloads::suite;
 
+use crate::experiments::harness;
 use crate::{run_benchmark, PolicyKind, SystemSpec};
 
 /// One benchmark's oracle result.
@@ -21,24 +21,23 @@ pub struct Fig3Row {
 #[must_use]
 pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
     let node = TechnologyNode::N70;
-    let rows: Vec<Fig3Row> = suite::names()
-        .into_iter()
-        .map(|name| {
-            let spec = SystemSpec {
-                d_policy: PolicyKind::Oracle,
-                i_policy: PolicyKind::Oracle,
-                instructions: instrs,
-                ..SystemSpec::default()
-            };
-            let run = run_benchmark(name, &spec);
-            let (policy, baseline) = run.energy(node);
-            Fig3Row {
-                benchmark: name.to_owned(),
-                d_relative: policy.d.relative_discharge(&baseline.d),
-                i_relative: policy.i.relative_discharge(&baseline.i),
-            }
+    let outcome = harness::map_suite(|name| {
+        let spec = SystemSpec {
+            d_policy: PolicyKind::Oracle,
+            i_policy: PolicyKind::Oracle,
+            instructions: instrs,
+            ..SystemSpec::default()
+        };
+        let run = run_benchmark(name, &spec);
+        let (policy, baseline) = run.energy(node);
+        Ok(Fig3Row {
+            benchmark: name.to_owned(),
+            d_relative: policy.d.relative_discharge(&baseline.d),
+            i_relative: policy.i.relative_discharge(&baseline.i),
         })
-        .collect();
+    });
+    outcome.report_skipped("fig3");
+    let rows = outcome.expect_rows("fig3");
     let avg = Fig3Row {
         benchmark: "AVG".into(),
         d_relative: rows.iter().map(|r| r.d_relative).sum::<f64>() / rows.len() as f64,

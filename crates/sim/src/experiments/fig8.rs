@@ -2,8 +2,8 @@
 //! bitline discharge, per benchmark, at 70 nm.
 
 use bitline_cmos::TechnologyNode;
-use bitline_workloads::suite;
 
+use crate::experiments::harness;
 use crate::experiments::sweep::{fixed_gated, optimal_gated, GatedSweep, SweptCache};
 use crate::{run_benchmark, SystemSpec};
 
@@ -47,9 +47,7 @@ pub struct Fig8Summary {
 
 fn precharged_fraction(sweep: &GatedSweep, which: SweptCache) -> f64 {
     match which {
-        SweptCache::Data | SweptCache::DataNoPredecode => {
-            sweep.run.d_report.precharged_fraction()
-        }
+        SweptCache::Data | SweptCache::DataNoPredecode => sweep.run.d_report.precharged_fraction(),
         SweptCache::Inst => sweep.run.i_report.precharged_fraction(),
     }
 }
@@ -60,21 +58,16 @@ fn precharged_fraction(sweep: &GatedSweep, which: SweptCache) -> f64 {
 #[must_use]
 pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
     let node = TechnologyNode::N70;
-    let mut rows = Vec::new();
-    let mut const_d = 0.0;
-    let mut const_i = 0.0;
-    for name in suite::names() {
+    let outcome = harness::map_suite(|name| {
         let baseline =
             run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
         let d = optimal_gated(name, SweptCache::Data, node, &baseline, instrs);
         let i = optimal_gated(name, SweptCache::Inst, node, &baseline, instrs);
         let dc = fixed_gated(name, SweptCache::Data, node, &baseline, 100, instrs);
         let ic = fixed_gated(name, SweptCache::Inst, node, &baseline, 100, instrs);
-        const_d += dc.relative_discharge;
-        const_i += ic.relative_discharge;
         let (d_pol, d_base) = d.run.energy(node);
         let (i_pol, i_base) = i.run.energy(node);
-        rows.push(Fig8Row {
+        let row = Fig8Row {
             benchmark: name.to_owned(),
             d_precharged: precharged_fraction(&d, SweptCache::Data),
             d_discharge: d.relative_discharge,
@@ -86,7 +79,17 @@ pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
             i_slowdown: i.slowdown,
             d_overall_reduction: d_pol.d.overall_reduction(&d_base.d),
             i_overall_reduction: i_pol.i.overall_reduction(&i_base.i),
-        });
+        };
+        Ok((row, dc.relative_discharge, ic.relative_discharge))
+    });
+    outcome.report_skipped("fig8");
+    let mut rows = Vec::new();
+    let mut const_d = 0.0;
+    let mut const_i = 0.0;
+    for (row, dc, ic) in outcome.expect_rows("fig8") {
+        rows.push(row);
+        const_d += dc;
+        const_i += ic;
     }
     let n = rows.len() as f64;
     let avg = Fig8Row {

@@ -8,8 +8,8 @@
 //! exactly as the paper tunes each point.
 
 use bitline_cmos::TechnologyNode;
-use bitline_workloads::suite;
 
+use crate::experiments::harness;
 use crate::experiments::sweep::{MAX_SLOWDOWN, THRESHOLDS};
 use crate::{run_benchmark, PolicyKind, RunResult, SystemSpec};
 
@@ -63,10 +63,7 @@ impl Candidates {
                 .expect("candidate set is non-empty");
             rel(run)
         } else {
-            within
-                .iter()
-                .map(|(run, _)| rel(run))
-                .fold(f64::INFINITY, f64::min)
+            within.iter().map(|(run, _)| rel(run)).fold(f64::INFINITY, f64::min)
         }
     }
 }
@@ -105,16 +102,12 @@ fn resizable_candidates(name: &str, cache: Cache, baseline: &RunResult, instrs: 
         .map(|&slack| {
             let policy = PolicyKind::Resizable { interval_accesses, slack };
             let spec = match cache {
-                Cache::D => SystemSpec {
-                    d_policy: policy,
-                    instructions: instrs,
-                    ..SystemSpec::default()
-                },
-                Cache::I => SystemSpec {
-                    i_policy: policy,
-                    instructions: instrs,
-                    ..SystemSpec::default()
-                },
+                Cache::D => {
+                    SystemSpec { d_policy: policy, instructions: instrs, ..SystemSpec::default() }
+                }
+                Cache::I => {
+                    SystemSpec { i_policy: policy, instructions: instrs, ..SystemSpec::default() }
+                }
             };
             let run = run_benchmark(name, &spec);
             let slowdown = run.slowdown_vs(baseline);
@@ -135,30 +128,26 @@ pub fn run(instrs: u64) -> Vec<Fig9Row> {
         resz_d: Candidates,
         resz_i: Candidates,
     }
-    let per_benchmark: Vec<PerBenchmark> = suite::names()
-        .into_iter()
-        .map(|name| {
-            let baseline = run_benchmark(
-                name,
-                &SystemSpec { instructions: instrs, ..SystemSpec::default() },
-            );
-            PerBenchmark {
-                gated_d: gated_candidates(name, Cache::D, &baseline, instrs),
-                gated_i: gated_candidates(name, Cache::I, &baseline, instrs),
-                resz_d: resizable_candidates(name, Cache::D, &baseline, instrs),
-                resz_i: resizable_candidates(name, Cache::I, &baseline, instrs),
-            }
+    let outcome = harness::map_suite(|name| {
+        let baseline =
+            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        Ok(PerBenchmark {
+            gated_d: gated_candidates(name, Cache::D, &baseline, instrs),
+            gated_i: gated_candidates(name, Cache::I, &baseline, instrs),
+            resz_d: resizable_candidates(name, Cache::D, &baseline, instrs),
+            resz_i: resizable_candidates(name, Cache::I, &baseline, instrs),
         })
-        .collect();
+    });
+    outcome.report_skipped("fig9");
+    let per_benchmark = outcome.expect_rows("fig9");
 
     // Per-node selection and averaging.
     TechnologyNode::ALL
         .into_iter()
         .map(|node| {
             let n = per_benchmark.len() as f64;
-            let avg = |f: &dyn Fn(&PerBenchmark) -> f64| {
-                per_benchmark.iter().map(f).sum::<f64>() / n
-            };
+            let avg =
+                |f: &dyn Fn(&PerBenchmark) -> f64| per_benchmark.iter().map(f).sum::<f64>() / n;
             Fig9Row {
                 node,
                 gated_d: avg(&|b| b.gated_d.best_at(node, Cache::D)),

@@ -1,0 +1,195 @@
+//! Per-run failure isolation for suite-wide experiments.
+//!
+//! Experiment drivers loop over sixteen benchmarks × several
+//! configurations; one poisoned run (a panic deep in the model, an invalid
+//! derived spec) used to abort the whole figure. This harness catches the
+//! panic, retries once (transient state is rebuilt from scratch each run,
+//! so a retry is cheap and occasionally saves a flaky run), and lets the
+//! driver finish with partial results plus an explicit skip summary.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::error::SimError;
+
+/// A run the harness gave up on.
+#[derive(Debug, Clone)]
+pub struct SkippedRun {
+    /// Which unit of work was skipped (benchmark name, or
+    /// `benchmark@threshold` for sweeps).
+    pub name: String,
+    /// Attempts made before giving up (1 for deterministic spec errors,
+    /// 2 after a retried panic).
+    pub attempts: u32,
+    /// The terminal error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for SkippedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} attempt(s)): {}", self.name, self.attempts, self.error)
+    }
+}
+
+/// Results of a suite-wide experiment: the rows that completed plus the
+/// runs that did not.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome<T> {
+    /// One entry per completed unit of work, in suite order.
+    pub rows: Vec<T>,
+    /// Units of work that failed both attempts.
+    pub skipped: Vec<SkippedRun>,
+}
+
+impl<T> SuiteOutcome<T> {
+    /// Whether every unit of work completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// Prints one line per skipped run to stderr (no-op when complete).
+    pub fn report_skipped(&self, what: &str) {
+        for s in &self.skipped {
+            eprintln!("warning: {what}: skipped {s}");
+        }
+    }
+
+    /// The completed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when *no* unit of work completed — partial results are
+    /// useful, an empty figure is not.
+    #[must_use]
+    pub fn expect_rows(self, what: &str) -> Vec<T> {
+        assert!(
+            !self.rows.is_empty(),
+            "{what}: every run failed; first error: {}",
+            self.skipped.first().map_or_else(|| "none recorded".into(), ToString::to_string)
+        );
+        self.rows
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Runs `f` with panic isolation and a single retry.
+///
+/// Panics become [`SimError::RunFailed`] and are retried once; deterministic
+/// errors ([`SimError::UnknownBenchmark`], [`SimError::InvalidSpec`]) are
+/// not retried — they would fail identically.
+///
+/// # Errors
+///
+/// The [`SkippedRun`] (name, attempt count, terminal error) when both
+/// attempts fail.
+pub fn isolated<T>(name: &str, f: impl Fn() -> Result<T, SimError>) -> Result<T, SkippedRun> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        let error = match outcome {
+            Ok(Ok(value)) => return Ok(value),
+            Ok(Err(e)) => {
+                let retryable = matches!(e, SimError::RunFailed { .. });
+                if !retryable || attempts >= 2 {
+                    return Err(SkippedRun { name: name.to_owned(), attempts, error: e });
+                }
+                continue;
+            }
+            Err(payload) => SimError::RunFailed {
+                benchmark: name.to_owned(),
+                reason: panic_message(payload.as_ref()),
+            },
+        };
+        if attempts >= 2 {
+            return Err(SkippedRun { name: name.to_owned(), attempts, error });
+        }
+    }
+}
+
+/// Maps `f` over the benchmark suite with per-run isolation, collecting
+/// completed rows and skipped runs.
+pub fn map_suite<T>(f: impl Fn(&str) -> Result<T, SimError>) -> SuiteOutcome<T> {
+    map_names(&bitline_workloads::suite::names(), f)
+}
+
+/// [`map_suite`] over an explicit name list (sweeps label units of work
+/// `benchmark@threshold` and pass those here).
+pub fn map_names<T>(names: &[&str], f: impl Fn(&str) -> Result<T, SimError>) -> SuiteOutcome<T> {
+    let mut rows = Vec::with_capacity(names.len());
+    let mut skipped = Vec::new();
+    for name in names {
+        match isolated(name, || f(name)) {
+            Ok(row) => rows.push(row),
+            Err(skip) => skipped.push(skip),
+        }
+    }
+    SuiteOutcome { rows, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+
+    use super::*;
+
+    #[test]
+    fn isolated_passes_values_through() {
+        assert_eq!(isolated("ok", || Ok::<_, SimError>(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn isolated_retries_panics_once() {
+        let calls = Cell::new(0u32);
+        let out = isolated("flaky", || {
+            calls.set(calls.get() + 1);
+            if calls.get() == 1 {
+                panic!("transient");
+            }
+            Ok::<_, SimError>(42)
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls.get(), 2);
+    }
+
+    #[test]
+    fn isolated_gives_up_after_two_panics() {
+        let skip = isolated("poisoned", || -> Result<(), SimError> { panic!("boom") }).unwrap_err();
+        assert_eq!(skip.attempts, 2);
+        assert!(matches!(skip.error, SimError::RunFailed { ref reason, .. } if reason == "boom"));
+    }
+
+    #[test]
+    fn deterministic_errors_are_not_retried() {
+        let calls = Cell::new(0u32);
+        let skip = isolated("bad", || -> Result<(), SimError> {
+            calls.set(calls.get() + 1);
+            Err(SimError::InvalidSpec("subarray_bytes = 48".into()))
+        })
+        .unwrap_err();
+        assert_eq!(skip.attempts, 1);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn map_names_collects_partial_results_around_a_poisoned_run() {
+        let outcome = map_names(&["a", "b", "c"], |name| {
+            if name == "b" {
+                panic!("poisoned");
+            }
+            Ok(name.to_owned())
+        });
+        assert_eq!(outcome.rows, vec!["a", "c"]);
+        assert_eq!(outcome.skipped.len(), 1);
+        assert_eq!(outcome.skipped[0].name, "b");
+        assert_eq!(outcome.skipped[0].attempts, 2);
+        assert!(!outcome.is_complete());
+    }
+}

@@ -59,8 +59,7 @@ pub fn run(instrs: u64) -> Headline {
             },
         );
         let (policy, baseline) = gated.energy(node);
-        let static_proc =
-            pmodel.assess(gated.stats.committed, 0, baseline.d, baseline.i);
+        let static_proc = pmodel.assess(gated.stats.committed, 0, baseline.d, baseline.i);
         cache_frac += static_proc.cache_fraction();
         let gated_proc =
             pmodel.assess(gated.stats.committed, gated.stats.replays, policy.d, policy.i);

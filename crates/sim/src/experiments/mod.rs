@@ -5,6 +5,8 @@
 //! `EXPERIMENTS.md` for paper-vs-measured values.
 
 pub mod export;
+pub mod harness;
+
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;

@@ -1,7 +1,6 @@
 //! Section 5: the performance cost of on-demand precharging.
 
-use bitline_workloads::suite;
-
+use crate::experiments::harness;
 use crate::{run_benchmark, PolicyKind, SystemSpec};
 
 /// One benchmark's on-demand slowdowns.
@@ -20,36 +19,33 @@ pub struct OnDemandRow {
 /// slowdown.
 #[must_use]
 pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
-    let rows: Vec<OnDemandRow> = suite::names()
-        .into_iter()
-        .map(|name| {
-            let base = run_benchmark(
-                name,
-                &SystemSpec { instructions: instrs, ..SystemSpec::default() },
-            );
-            let d = run_benchmark(
-                name,
-                &SystemSpec {
-                    d_policy: PolicyKind::OnDemand,
-                    instructions: instrs,
-                    ..SystemSpec::default()
-                },
-            );
-            let i = run_benchmark(
-                name,
-                &SystemSpec {
-                    i_policy: PolicyKind::OnDemand,
-                    instructions: instrs,
-                    ..SystemSpec::default()
-                },
-            );
-            OnDemandRow {
-                benchmark: name.to_owned(),
-                d_slowdown: d.slowdown_vs(&base),
-                i_slowdown: i.slowdown_vs(&base),
-            }
+    let outcome = harness::map_suite(|name| {
+        let base =
+            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let d = run_benchmark(
+            name,
+            &SystemSpec {
+                d_policy: PolicyKind::OnDemand,
+                instructions: instrs,
+                ..SystemSpec::default()
+            },
+        );
+        let i = run_benchmark(
+            name,
+            &SystemSpec {
+                i_policy: PolicyKind::OnDemand,
+                instructions: instrs,
+                ..SystemSpec::default()
+            },
+        );
+        Ok(OnDemandRow {
+            benchmark: name.to_owned(),
+            d_slowdown: d.slowdown_vs(&base),
+            i_slowdown: i.slowdown_vs(&base),
         })
-        .collect();
+    });
+    outcome.report_skipped("ondemand");
+    let rows = outcome.expect_rows("ondemand");
     let avg = OnDemandRow {
         benchmark: "AVG".into(),
         d_slowdown: rows.iter().map(|r| r.d_slowdown).sum::<f64>() / rows.len() as f64,

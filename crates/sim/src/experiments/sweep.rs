@@ -8,7 +8,8 @@
 
 use bitline_cmos::TechnologyNode;
 
-use crate::{run_benchmark, PolicyKind, RunResult, SystemSpec};
+use crate::experiments::harness;
+use crate::{run_benchmark, try_run_benchmark, PolicyKind, RunResult, SystemSpec};
 
 /// Threshold ladder swept for the per-benchmark optimum. The paper's
 /// optima are "on the order of 10 to 1000, with most clustered around 100".
@@ -44,12 +45,8 @@ pub struct GatedSweep {
 
 fn spec_for(which: SweptCache, threshold: u64, instrs: u64) -> SystemSpec {
     let (d, i) = match which {
-        SweptCache::Data => {
-            (PolicyKind::GatedPredecode { threshold }, PolicyKind::StaticPullUp)
-        }
-        SweptCache::DataNoPredecode => {
-            (PolicyKind::Gated { threshold }, PolicyKind::StaticPullUp)
-        }
+        SweptCache::Data => (PolicyKind::GatedPredecode { threshold }, PolicyKind::StaticPullUp),
+        SweptCache::DataNoPredecode => (PolicyKind::Gated { threshold }, PolicyKind::StaticPullUp),
         SweptCache::Inst => (PolicyKind::StaticPullUp, PolicyKind::Gated { threshold }),
     };
     SystemSpec { d_policy: d, i_policy: i, instructions: instrs, ..SystemSpec::default() }
@@ -58,9 +55,7 @@ fn spec_for(which: SweptCache, threshold: u64, instrs: u64) -> SystemSpec {
 fn discharge_at(run: &RunResult, which: SweptCache, node: TechnologyNode) -> f64 {
     let (policy, baseline) = run.energy(node);
     match which {
-        SweptCache::Data | SweptCache::DataNoPredecode => {
-            policy.d.relative_discharge(&baseline.d)
-        }
+        SweptCache::Data | SweptCache::DataNoPredecode => policy.d.relative_discharge(&baseline.d),
         SweptCache::Inst => policy.i.relative_discharge(&baseline.i),
     }
 }
@@ -68,7 +63,13 @@ fn discharge_at(run: &RunResult, which: SweptCache, node: TechnologyNode) -> f64
 /// Finds the per-benchmark optimum threshold for one cache at one node:
 /// minimum relative discharge subject to `MAX_SLOWDOWN`; if no threshold
 /// meets the budget, the least-slowing candidate wins (matching how an
-/// aggressive profile-based tuner would back off).
+/// aggressive profile-based tuner would back off). Individual threshold
+/// runs are panic-isolated: a poisoned point is skipped (with a stderr
+/// warning) and the sweep picks among the survivors.
+///
+/// # Panics
+///
+/// Panics only when *every* threshold run fails.
 #[must_use]
 pub fn optimal_gated(
     benchmark: &str,
@@ -80,26 +81,34 @@ pub fn optimal_gated(
     let mut best: Option<GatedSweep> = None;
     let mut fallback: Option<GatedSweep> = None;
     for &threshold in &THRESHOLDS {
-        let run = run_benchmark(benchmark, &spec_for(which, threshold, instrs));
+        let label = format!("{benchmark}@{threshold}");
+        let run = match harness::isolated(&label, || {
+            try_run_benchmark(benchmark, &spec_for(which, threshold, instrs))
+        }) {
+            Ok(run) => run,
+            Err(skip) => {
+                eprintln!("warning: gated sweep: skipped {skip}");
+                continue;
+            }
+        };
         let slowdown = run.slowdown_vs(baseline);
         let relative_discharge = discharge_at(&run, which, node);
         let candidate = GatedSweep { threshold, run, slowdown, relative_discharge };
         if slowdown <= MAX_SLOWDOWN {
-            let better = best
-                .as_ref()
-                .map_or(true, |b| candidate.relative_discharge < b.relative_discharge);
+            let better =
+                best.as_ref().is_none_or(|b| candidate.relative_discharge < b.relative_discharge);
             if better {
                 best = Some(candidate);
                 continue;
             }
         } else {
-            let better = fallback.as_ref().map_or(true, |f| candidate.slowdown < f.slowdown);
+            let better = fallback.as_ref().is_none_or(|f| candidate.slowdown < f.slowdown);
             if better {
                 fallback = Some(candidate);
             }
         }
     }
-    best.or(fallback).expect("sweep is non-empty")
+    best.or(fallback).unwrap_or_else(|| panic!("every threshold run of `{benchmark}` failed"))
 }
 
 /// Runs gated precharging at one fixed threshold (the paper's constant-100
@@ -127,12 +136,9 @@ mod tests {
     #[test]
     fn sweep_respects_the_slowdown_budget_when_possible() {
         let instrs = 6_000;
-        let baseline = run_benchmark(
-            "mesa",
-            &SystemSpec { instructions: instrs, ..SystemSpec::default() },
-        );
-        let best =
-            optimal_gated("mesa", SweptCache::Inst, TechnologyNode::N70, &baseline, instrs);
+        let baseline =
+            run_benchmark("mesa", &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let best = optimal_gated("mesa", SweptCache::Inst, TechnologyNode::N70, &baseline, instrs);
         assert!(best.relative_discharge < 1.0, "must save something");
         assert!(THRESHOLDS.contains(&best.threshold));
     }

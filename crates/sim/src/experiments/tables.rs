@@ -63,7 +63,12 @@ pub fn table2() -> Vec<(String, String)> {
         ),
         (
             "L2 unified cache".into(),
-            format!("{}K; {}-way; {}-cycle latency", mem.l2_size / 1024, mem.l2_assoc, mem.l2_latency),
+            format!(
+                "{}K; {}-way; {}-cycle latency",
+                mem.l2_size / 1024,
+                mem.l2_assoc,
+                mem.l2_latency
+            ),
         ),
         (
             "Memory".into(),

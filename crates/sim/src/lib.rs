@@ -33,20 +33,19 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 pub mod experiments;
 mod recorder;
 mod runner;
 
-pub use config::{PolicyKind, SystemSpec};
+pub use config::{FaultSpec, PolicyKind, SystemSpec};
+pub use error::SimError;
 pub use recorder::{LocalityRecorder, LocalityStats, FIG5_BUCKETS, FIG6_THRESHOLDS};
-pub use runner::{run_benchmark, EnergyPair, RunEnergy, RunResult};
+pub use runner::{run_benchmark, try_run_benchmark, EnergyPair, RunEnergy, RunResult};
 
 /// Default instruction count per simulation run; override with the
 /// `BITLINE_INSTRS` environment variable.
 #[must_use]
 pub fn default_instructions() -> u64 {
-    std::env::var("BITLINE_INSTRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150_000)
+    std::env::var("BITLINE_INSTRS").ok().and_then(|v| v.parse().ok()).unwrap_or(150_000)
 }

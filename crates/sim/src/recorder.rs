@@ -37,9 +37,9 @@ impl LocalityStats {
     pub fn cumulative_access_fraction(&self) -> [f64; 5] {
         let mut out = [0.0; 5];
         let mut sum = 0;
-        for i in 0..5 {
+        for (i, frac) in out.iter_mut().enumerate() {
             sum += self.interval_counts[i];
-            out[i] = if self.intervals_total == 0 {
+            *frac = if self.intervals_total == 0 {
                 0.0
             } else {
                 sum as f64 / self.intervals_total as f64
@@ -54,8 +54,8 @@ impl LocalityStats {
     pub fn hot_subarray_fraction(&self) -> [f64; 5] {
         let denom = self.subarrays as f64 * self.end_cycle as f64;
         let mut out = [0.0; 5];
-        for i in 0..5 {
-            out[i] = if denom == 0.0 { 0.0 } else { self.hot_cycles[i] / denom };
+        for (i, frac) in out.iter_mut().enumerate() {
+            *frac = if denom == 0.0 { 0.0 } else { self.hot_cycles[i] / denom };
         }
         out
     }
@@ -109,10 +109,8 @@ impl PrechargePolicy for LocalityRecorder {
         if last != u64::MAX {
             let interval = cycle - last;
             let mut stats = self.sink.borrow_mut();
-            let bucket = FIG5_BUCKETS
-                .iter()
-                .position(|&b| interval <= b)
-                .unwrap_or(FIG5_BUCKETS.len());
+            let bucket =
+                FIG5_BUCKETS.iter().position(|&b| interval <= b).unwrap_or(FIG5_BUCKETS.len());
             stats.interval_counts[bucket] += 1;
             stats.intervals_total += 1;
             for (i, &t) in FIG6_THRESHOLDS.iter().enumerate() {

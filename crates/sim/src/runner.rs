@@ -4,12 +4,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bitline_cache::{ActivityReport, CacheConfig, MemorySystem, MemorySystemConfig, WayStats};
+use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
 use bitline_energy::{CacheEnergyBreakdown, EnergyAccountant};
+use bitline_faults::{FaultInjectingPolicy, FaultReport};
 use bitline_workloads::suite;
 
 use crate::config::{PolicyKind, SystemSpec};
+use crate::error::SimError;
 use crate::recorder::LocalityStats;
 
 /// Energy breakdowns for both L1s.
@@ -51,6 +54,10 @@ pub struct RunResult {
     pub d_way_stats: Option<WayStats>,
     /// I-cache way-prediction outcomes (when enabled).
     pub i_way_stats: Option<WayStats>,
+    /// D-cache fault accounting (when fault injection was enabled).
+    pub d_faults: Option<FaultReport>,
+    /// I-cache fault accounting (when fault injection was enabled).
+    pub i_faults: Option<FaultReport>,
 }
 
 impl RunResult {
@@ -117,14 +124,16 @@ impl RunResult {
     }
 }
 
-/// Runs one benchmark under a system spec.
+/// Runs one benchmark under a system spec, reporting failures as values.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `name` is not one of the sixteen benchmarks.
-#[must_use]
-pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
-    let workload = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+/// [`SimError::UnknownBenchmark`] when `name` is not in the suite;
+/// [`SimError::InvalidSpec`] when [`SystemSpec::validate`] rejects `spec`.
+pub fn try_run_benchmark(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
+    spec.validate()?;
+    let workload =
+        suite::by_name(name).ok_or_else(|| SimError::UnknownBenchmark(name.to_owned()))?;
     let mut trace = workload.build(spec.seed);
 
     // The architectural pipeline is node-independent; build policies at the
@@ -142,13 +151,46 @@ pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
     let i_sink = matches!(spec.i_policy, PolicyKind::LocalityRecorder)
         .then(|| Rc::new(RefCell::new(LocalityStats::default())));
 
+    let mut d_policy = spec.d_policy.build(&d_cfg, node, d_sink.clone());
+    let mut i_policy = spec.i_policy.build(&i_cfg, node, i_sink.clone());
+    // Decorate with the fault layer only when armed: a disabled FaultSpec
+    // leaves the policy objects — and hence every cycle and every joule —
+    // exactly as before this layer existed.
+    let mut d_fault_sink = None;
+    let mut i_fault_sink = None;
+    if spec.faults.enabled() {
+        let penalty = |cfg: &CacheConfig| {
+            DecoderModel::new(node, cfg.geometry()).cold_access_penalty_cycles()
+        };
+        let d_fs = Rc::new(RefCell::new(FaultReport::new(d_cfg.subarrays())));
+        let i_fs = Rc::new(RefCell::new(FaultReport::new(i_cfg.subarrays())));
+        d_policy = Box::new(
+            FaultInjectingPolicy::new(
+                d_policy,
+                spec.faults.to_config(penalty(&d_cfg), 0),
+                d_cfg.subarrays(),
+            )
+            .with_sink(d_fs.clone()),
+        );
+        i_policy = Box::new(
+            FaultInjectingPolicy::new(
+                i_policy,
+                spec.faults.to_config(penalty(&i_cfg), 1),
+                i_cfg.subarrays(),
+            )
+            .with_sink(i_fs.clone()),
+        );
+        d_fault_sink = Some(d_fs);
+        i_fault_sink = Some(i_fs);
+    }
+
     let mem = MemorySystem::new(
         MemorySystemConfig { l1d: d_cfg, l1i: i_cfg, ..MemorySystemConfig::default() },
-        spec.d_policy.build(&d_cfg, node, d_sink.clone()),
-        spec.i_policy.build(&i_cfg, node, i_sink.clone()),
+        d_policy,
+        i_policy,
     );
-    let mut cpu_cfg = CpuConfig::default();
-    cpu_cfg.predecode_hints = spec.d_policy.wants_predecode();
+    let cpu_cfg =
+        CpuConfig { predecode_hints: spec.d_policy.wants_predecode(), ..CpuConfig::default() };
     let mut cpu = Cpu::new(cpu_cfg, mem);
     let stats = cpu.run(&mut trace, spec.instructions);
     let end_cycle = stats.cycles;
@@ -159,7 +201,7 @@ pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
     let i_way_stats = mem.l1i().way_stats();
     let (d_report, i_report) = mem.finalize(end_cycle);
 
-    RunResult {
+    Ok(RunResult {
         benchmark: name.to_owned(),
         spec: *spec,
         stats,
@@ -171,7 +213,21 @@ pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
         i_locality: i_sink.map(|s| s.borrow().clone()),
         d_way_stats,
         i_way_stats,
-    }
+        d_faults: d_fault_sink.map(|s| s.borrow().clone()),
+        i_faults: i_fault_sink.map(|s| s.borrow().clone()),
+    })
+}
+
+/// Runs one benchmark under a system spec.
+///
+/// # Panics
+///
+/// Panics when [`try_run_benchmark`] would return an error (unknown
+/// benchmark or invalid spec). Use the fallible variant in drivers that
+/// want to keep going.
+#[must_use]
+pub fn run_benchmark(name: &str, spec: &SystemSpec) -> RunResult {
+    try_run_benchmark(name, spec).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -184,7 +240,8 @@ mod tests {
 
     #[test]
     fn oracle_never_slows_down_and_saves_discharge() {
-        let base = run_benchmark("health", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        let base =
+            run_benchmark("health", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
         let oracle = run_benchmark("health", &spec(PolicyKind::Oracle, PolicyKind::Oracle));
         assert_eq!(oracle.cycles(), base.cycles(), "the oracle is delay-free");
         let (pol, basln) = oracle.energy(TechnologyNode::N70);
@@ -201,8 +258,7 @@ mod tests {
 
     #[test]
     fn gated_saves_discharge_with_small_slowdown() {
-        let base =
-            run_benchmark("mesa", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        let base = run_benchmark("mesa", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
         let gated = run_benchmark(
             "mesa",
             &spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 }),
@@ -228,6 +284,63 @@ mod tests {
     }
 
     #[test]
+    fn unknown_benchmark_is_an_error_not_a_panic() {
+        let err = try_run_benchmark("nosuch", &SystemSpec::default()).unwrap_err();
+        assert_eq!(err, SimError::UnknownBenchmark("nosuch".into()));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_running() {
+        let bad = SystemSpec { subarray_bytes: 48, ..SystemSpec::default() };
+        assert!(matches!(try_run_benchmark("mesa", &bad), Err(SimError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn zero_fault_rate_is_cycle_identical() {
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let plain = run_benchmark("mesa", &s);
+        let zeroed = run_benchmark(
+            "mesa",
+            &SystemSpec { faults: crate::FaultSpec { rate: 0.0, seed: 99, fail_safe: true }, ..s },
+        );
+        assert_eq!(plain.cycles(), zeroed.cycles());
+        assert_eq!(plain.d_report, zeroed.d_report);
+        assert_eq!(plain.i_report, zeroed.i_report);
+        assert!(zeroed.d_faults.is_none(), "disabled faults leave no report");
+    }
+
+    #[test]
+    fn fault_injection_on_gated_replays_and_completes() {
+        let s = SystemSpec {
+            faults: crate::FaultSpec { rate: 0.05, seed: 7, fail_safe: false },
+            ..spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 })
+        };
+        let run = run_benchmark("mesa", &s);
+        let d = run.d_faults.as_ref().expect("fault report present");
+        assert!(d.is_consistent(), "{}", d.summary());
+        assert!(d.injected() > 0, "{}", d.summary());
+        assert!(d.replayed() > 0, "{}", d.summary());
+        // Replays cost cycles: the faulty run is slower than the clean one.
+        let clean = run_benchmark(
+            "mesa",
+            &spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 }),
+        );
+        assert!(run.cycles() > clean.cycles());
+    }
+
+    #[test]
+    fn fail_safe_degrades_instead_of_thrashing() {
+        let s = SystemSpec {
+            faults: crate::FaultSpec { rate: 0.9, seed: 11, fail_safe: true },
+            ..spec(PolicyKind::Gated { threshold: 50 }, PolicyKind::Gated { threshold: 50 })
+        };
+        let run = run_benchmark("health", &s);
+        let d = run.d_faults.expect("fault report present");
+        assert!(d.degraded_subarrays() > 0, "{}", d.summary());
+        assert!(d.is_consistent(), "{}", d.summary());
+    }
+
+    #[test]
     fn runs_are_deterministic() {
         let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::StaticPullUp);
         let a = run_benchmark("tsp", &s);
@@ -249,10 +362,7 @@ mod debug_probe {
             for n in [8_000u64, 40_000] {
                 let s = SystemSpec { instructions: n, ..SystemSpec::default() };
                 let base = run_benchmark(name, &s);
-                let od = run_benchmark(
-                    name,
-                    &SystemSpec { d_policy: PolicyKind::OnDemand, ..s },
-                );
+                let od = run_benchmark(name, &SystemSpec { d_policy: PolicyKind::OnDemand, ..s });
                 println!(
                     "{name} n={n}: base {} cyc (fstall {} mispred {} dmiss {:.3} loads {}), od {} cyc (fstall {} mispred {} dmiss {:.3} loads {}), slowdown {:.3}",
                     base.cycles(), base.stats.fetch_stall_cycles, base.stats.mispredicts, base.d_miss_ratio(), base.stats.loads,

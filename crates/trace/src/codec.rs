@@ -70,11 +70,7 @@ pub fn write_instr<W: Write>(w: &mut W, i: &Instr) -> io::Result<()> {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn capture<W: Write>(
-    source: &mut dyn TraceSource,
-    count: u64,
-    w: &mut W,
-) -> io::Result<()> {
+pub fn capture<W: Write>(source: &mut dyn TraceSource, count: u64, w: &mut W) -> io::Result<()> {
     for _ in 0..count {
         write_instr(w, &source.next_instr())?;
     }
@@ -106,8 +102,7 @@ pub fn parse_instr(line: &str, line_no: usize) -> io::Result<Instr> {
             field.split_once('=').ok_or_else(|| bad(line_no, "field without `=`"))?;
         match key {
             "d" => {
-                instr.dest =
-                    Some(value.parse().map_err(|_| bad(line_no, "bad dest register"))?);
+                instr.dest = Some(value.parse().map_err(|_| bad(line_no, "bad dest register"))?);
             }
             "s" => {
                 let mut it = value.split(',');
@@ -128,11 +123,8 @@ pub fn parse_instr(line: &str, line_no: usize) -> io::Result<Instr> {
                     .map_err(|_| bad(line_no, "bad mem addr"))?;
                 let base = u64::from_str_radix(it.next().unwrap_or(""), 16)
                     .map_err(|_| bad(line_no, "bad mem base"))?;
-                let size = it
-                    .next()
-                    .unwrap_or("8")
-                    .parse()
-                    .map_err(|_| bad(line_no, "bad mem size"))?;
+                let size =
+                    it.next().unwrap_or("8").parse().map_err(|_| bad(line_no, "bad mem size"))?;
                 instr.mem = Some(MemRef { addr, base, size });
             }
             "b" => {
@@ -188,9 +180,11 @@ mod tests {
                 .with_branch(BranchInfo { taken: true, target: 0x40_0000 }),
             Instr::new(0x40_000c, InstrKind::Jump)
                 .with_branch(BranchInfo { taken: true, target: 0x40_1000 }),
-            Instr::new(0x40_1000, InstrKind::Store)
-                .with_srcs(Some(1), Some(2))
-                .with_mem(MemRef { addr: 0x1000_2000, base: 0x1000_2000, size: 8 }),
+            Instr::new(0x40_1000, InstrKind::Store).with_srcs(Some(1), Some(2)).with_mem(MemRef {
+                addr: 0x1000_2000,
+                base: 0x1000_2000,
+                size: 8,
+            }),
         ]
     }
 
@@ -260,9 +254,11 @@ mod tests {
             // huge addresses.
             vec![
                 Instr::new(0, InstrKind::IntAlu).with_dest(0),
-                Instr::new(u64::MAX - 3, InstrKind::Load)
-                    .with_dest(63)
-                    .with_mem(MemRef { addr: u64::MAX - 8, base: 0, size: 8 }),
+                Instr::new(u64::MAX - 3, InstrKind::Load).with_dest(63).with_mem(MemRef {
+                    addr: u64::MAX - 8,
+                    base: 0,
+                    size: 8,
+                }),
                 Instr::new(4, InstrKind::Branch)
                     .with_branch(BranchInfo { taken: false, target: 0 }),
             ]

@@ -251,11 +251,11 @@ mod tests {
 
     #[test]
     fn next_pc_follows_taken_branches() {
-        let b = Instr::new(100, InstrKind::Branch)
-            .with_branch(BranchInfo { taken: true, target: 64 });
+        let b =
+            Instr::new(100, InstrKind::Branch).with_branch(BranchInfo { taken: true, target: 64 });
         assert_eq!(b.next_pc(), 64);
-        let n = Instr::new(100, InstrKind::Branch)
-            .with_branch(BranchInfo { taken: false, target: 64 });
+        let n =
+            Instr::new(100, InstrKind::Branch).with_branch(BranchInfo { taken: false, target: 64 });
         assert_eq!(n.next_pc(), 104);
         let plain = Instr::new(100, InstrKind::IntAlu);
         assert_eq!(plain.next_pc(), 104);

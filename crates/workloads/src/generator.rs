@@ -38,9 +38,15 @@ enum Slot {
     /// Forward conditional branch. `bias` is the probability of being
     /// taken; unpredictable slots re-roll a fair coin every execution.
     /// `skip` is the static number of slots the taken path jumps over.
-    Cond { bias: f64, unpredictable: bool, skip: u8 },
+    Cond {
+        bias: f64,
+        unpredictable: bool,
+        skip: u8,
+    },
     /// Loop back-edge: taken (to slot 0) with probability `p_back`.
-    Back { p_back: f64 },
+    Back {
+        p_back: f64,
+    },
     /// Exit jump to the next loop (target chosen dynamically).
     Exit,
 }
@@ -207,8 +213,7 @@ impl SyntheticWorkload {
                 if self.rng.gen_bool(0.70) {
                     self.chase_ring[self.rng.gen_range(0..self.chase_ring.len())]
                 } else {
-                    let a =
-                        DATA_BASE + (self.rng.gen_range(0..self.spec.footprint_bytes) & !7);
+                    let a = DATA_BASE + (self.rng.gen_range(0..self.spec.footprint_bytes) & !7);
                     self.chase_ring[self.chase_head] = a;
                     self.chase_head = (self.chase_head + 1) % self.chase_ring.len();
                     a
@@ -263,7 +268,7 @@ impl SyntheticWorkload {
 
 impl TraceSource for SyntheticWorkload {
     fn next_instr(&mut self) -> Instr {
-        if self.instrs_emitted > 0 && self.instrs_emitted % self.spec.phase_instrs == 0 {
+        if self.instrs_emitted > 0 && self.instrs_emitted.is_multiple_of(self.spec.phase_instrs) {
             self.enter_phase();
         }
         self.instrs_emitted += 1;
@@ -274,7 +279,7 @@ impl TraceSource for SyntheticWorkload {
         let slot = body.slots[self.slot];
         let last = body.slots.len() - 1;
 
-        let instr = match slot {
+        match slot {
             Slot::Alu => {
                 let (a, b) = (self.pick_src(), self.pick_src());
                 let d = self.alloc_dest();
@@ -327,8 +332,7 @@ impl TraceSource for SyntheticWorkload {
                 self.slot = if taken { 0 } else { self.slot + 1 };
                 // Loop back-edges test an induction variable that is
                 // essentially always ready: no register dependence.
-                Instr::new(pc, InstrKind::Branch)
-                    .with_branch(BranchInfo { taken, target })
+                Instr::new(pc, InstrKind::Branch).with_branch(BranchInfo { taken, target })
             }
             Slot::Exit => {
                 let next = self.pick_next_loop();
@@ -337,8 +341,7 @@ impl TraceSource for SyntheticWorkload {
                 self.slot = 0;
                 Instr::new(pc, InstrKind::Jump).with_branch(BranchInfo { taken: true, target })
             }
-        };
-        instr
+        }
     }
 
     fn name(&self) -> &str {
@@ -412,8 +415,8 @@ fn build_program(spec: &WorkloadSpec, mix: AccessMix, rng: &mut SmallRng) -> Vec
     }
     // Wire preferred successors (mostly nearby, occasionally far).
     let n = program.len();
-    for i in 0..n {
-        program[i].successor = if rng.gen_bool(0.8) {
+    for (i, body) in program.iter_mut().enumerate() {
+        body.successor = if rng.gen_bool(0.8) {
             (i + 1 + rng.gen_range(0..3usize)) % n
         } else {
             rng.gen_range(0..n)
@@ -479,8 +482,8 @@ mod tests {
             let spec = suite::by_name(name).unwrap();
             for i in sample(name, 20_000) {
                 if let Some(m) = i.mem {
-                    let in_heap = (DATA_BASE..DATA_BASE + spec.footprint_bytes + 4096)
-                        .contains(&m.addr);
+                    let in_heap =
+                        (DATA_BASE..DATA_BASE + spec.footprint_bytes + 4096).contains(&m.addr);
                     let in_stack = (STACK_BASE..STACK_BASE + 4096).contains(&m.addr);
                     assert!(in_heap || in_stack, "{name}: addr {:#x}", m.addr);
                     assert!(m.base <= m.addr, "base must not exceed addr");

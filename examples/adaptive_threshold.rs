@@ -74,13 +74,7 @@ fn main() {
         );
     }
     let n = names.len() as f64;
-    println!(
-        "{:>10} {:>12.3} {:>14.3} {:>12.3}",
-        "AVG",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n
-    );
+    println!("{:>10} {:>12.3} {:>14.3} {:>12.3}", "AVG", sums[0] / n, sums[1] / n, sums[2] / n);
     println!();
     println!("The feedback controller needs no per-benchmark profiling run, yet");
     println!("lands between the constant threshold and the profiled optimum —");

@@ -52,10 +52,7 @@ fn main() {
         l2_cfg.subarrays(),
         100.0 * l2_report.precharged_fraction()
     );
-    println!(
-        "{:>6} {:>16} {:>16} {:>12}",
-        "node", "static L2 (uJ)", "on-demand (uJ)", "saved"
-    );
+    println!("{:>6} {:>16} {:>16} {:>12}", "node", "static L2 (uJ)", "on-demand (uJ)", "saved");
     for node in TechnologyNode::ALL {
         let acct = EnergyAccountant::new(node, l2_cfg);
         let on_demand = acct.account(&l2_report, l2_accesses, 0, false, None);

@@ -18,10 +18,7 @@ fn main() {
         ("on-demand", PolicyKind::OnDemand),
         ("gated (t=100)", PolicyKind::Gated { threshold: 100 }),
         ("gated+predec", PolicyKind::GatedPredecode { threshold: 100 }),
-        (
-            "resizable",
-            PolicyKind::Resizable { interval_accesses: 4_000, slack: 0.005 },
-        ),
+        ("resizable", PolicyKind::Resizable { interval_accesses: 4_000, slack: 0.005 }),
         ("adaptive", PolicyKind::AdaptiveGated { interval_accesses: 2_000 }),
         ("leakage-biased", PolicyKind::LeakageBiased),
         ("drowsy (t=100)", PolicyKind::Drowsy { threshold: 100 }),

@@ -1,0 +1,141 @@
+//! Offline shim for `criterion`.
+//!
+//! The workspace builds hermetically (no network, no registry cache), so the
+//! real crate cannot be fetched. This shim keeps the `criterion_group!` /
+//! `criterion_main!` benches compiling and runnable: each `bench_function`
+//! runs a short calibrated timing loop and prints mean wall-clock time per
+//! iteration (plus throughput when configured). There is no statistical
+//! analysis, warm-up modelling, or report output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; printed as elements/sec or bytes/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Per-iteration timer handed to `Bencher::iter` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the iteration count until the batch takes ~20 ms,
+        // then time one final batch.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(20) || n >= 1 << 20 {
+                self.iters = n;
+                self.elapsed = took;
+                return;
+            }
+            n = (n * 4).max(4);
+        }
+    }
+
+    fn per_iter_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sample count is meaningless for the single-batch shim; accepted and
+    /// ignored so call sites keep compiling.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let ns = b.per_iter_ns();
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (n, "B/s"),
+        };
+        let per_sec = count as f64 * 1e9 / ns.max(1.0);
+        format!("  ({per_sec:.3e} {unit})")
+    });
+    println!("  {id}: {:.1} ns/iter over {} iters{}", ns, b.iters, rate.unwrap_or_default());
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

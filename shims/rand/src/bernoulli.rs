@@ -1,0 +1,53 @@
+//! Bernoulli distribution, matching rand 0.8.5's integer-comparison
+//! implementation exactly (`gen_bool` routes through this).
+
+use super::distributions::Distribution;
+use super::RngCore;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// Probability scaled to the full u64 range; `u64::MAX` is the
+    /// always-true sentinel (rand's `ALWAYS_TRUE`).
+    p_int: u64,
+}
+
+/// 2^64 + 2^32, as used by rand 0.8 to scale probabilities so that the
+/// always-true case is distinguishable.
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+const ALWAYS_TRUE: u64 = u64::MAX;
+
+/// Error type returned from `Bernoulli::new`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl core::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("p is outside [0, 1] in Bernoulli distribution")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+impl Bernoulli {
+    #[inline]
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Bernoulli { p_int: (p * SCALE) as u64 })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = rng.next_u64();
+        v < self.p_int
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! The workspace builds with no network and no registry cache, so the real
+//! crate cannot be fetched. This shim reimplements the slice of the rand 0.8
+//! API the workspace consumes — `SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_bool, gen_range}` — **bit-faithfully**: the generator is
+//! xoshiro256++ seeded via SplitMix64 (exactly what rand 0.8 uses for
+//! `SmallRng` on 64-bit targets), and the `Standard`, `Bernoulli`, and
+//! uniform-range sampling algorithms follow rand 0.8.5's implementations, so
+//! a given seed yields the same value stream as the real crate. Synthetic
+//! workload traces are therefore unchanged by the shim.
+
+mod bernoulli;
+pub mod uniform;
+mod xoshiro;
+
+pub use bernoulli::Bernoulli;
+
+/// The core generator interface (rand_core 0.6 subset).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators (rand_core 0.6 subset).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed from a single `u64` by expanding it with SplitMix64, matching
+    /// `rand_core::SeedableRng::seed_from_u64` (which xoshiro-family rngs
+    /// in rand 0.8 also use verbatim).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: uniform::SampleUniform,
+        R: uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        let d = Bernoulli::new(p).expect("p is outside range [0.0, 1.0]");
+        d.sample(self)
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    pub use super::bernoulli::Bernoulli;
+    pub use super::uniform;
+
+    /// A sampling distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "default" distribution: uniform over a type's full value range
+    /// (floats: `[0, 1)`). Sampling matches rand 0.8.5 bit-for-bit.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_small_uint {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                #[inline]
+                fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u32() as $ty
+                }
+            }
+        )*};
+    }
+    impl_standard_small_uint!(u8, u16, u32);
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u128> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            // rand 0.8: low word first.
+            let lo = rng.next_u64() as u128;
+            let hi = rng.next_u64() as u128;
+            (hi << 64) | lo
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            // rand 0.8 maps usize to u64 on 64-bit targets.
+            rng.next_u64() as usize
+        }
+    }
+
+    macro_rules! impl_standard_signed {
+        ($($ty:ty => $uty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                #[inline]
+                fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    <Standard as Distribution<$uty>>::sample(self, rng) as $ty
+                }
+            }
+        )*};
+    }
+    impl_standard_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // rand 0.8 compares against the most significant bit of a u32.
+            rng.next_u32() & (1 << 31) != 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit "Standard" float conversion from rand 0.8.
+            let value = rng.next_u64() >> (64 - 53);
+            value as f64 * (1.0 / ((1u64 << 53) as f64))
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> (32 - 24);
+            value as f32 * (1.0 / ((1u32 << 24) as f32))
+        }
+    }
+}
+
+pub mod rngs {
+    use super::xoshiro::Xoshiro256PlusPlus;
+    use super::{RngCore, SeedableRng};
+
+    /// Port of rand 0.8's `SmallRng` on 64-bit targets: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng(Xoshiro256PlusPlus);
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        #[inline]
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        #[inline]
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng(Xoshiro256PlusPlus::from_seed(seed))
+        }
+
+        #[inline]
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng(Xoshiro256PlusPlus::seed_from_u64(state))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

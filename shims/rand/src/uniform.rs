@@ -1,0 +1,209 @@
+//! Uniform range sampling, following rand 0.8.5's `UniformInt` /
+//! `UniformFloat` single-sample algorithms (widening-multiply rejection for
+//! integers, the [1, 2) mantissa trick for floats) so that `gen_range`
+//! produces the same stream as the real crate.
+
+use core::ops::{Range, RangeInclusive};
+
+use super::distributions::{Distribution, Standard};
+use super::RngCore;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    type Sampler: UniformSampler<X = Self>;
+}
+
+/// Range-sampling backend for one type.
+pub trait UniformSampler: Sized {
+    type X;
+
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self::X, high: Self::X, rng: &mut R) -> Self::X;
+
+    /// Sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(
+        low: Self::X,
+        high: Self::X,
+        rng: &mut R,
+    ) -> Self::X;
+}
+
+/// Anything `Rng::gen_range` accepts: `a..b` and `a..=b`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::Sampler::sample_single(self.start, self.end, rng)
+    }
+    #[inline]
+    // Negated on purpose, as in rand 0.8: a NaN endpoint makes the range
+    // empty, which `>=` alone would not capture.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::Sampler::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+pub struct UniformInt<X>(core::marker::PhantomData<X>);
+pub struct UniformFloat<X>(core::marker::PhantomData<X>);
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            type Sampler = UniformInt<$ty>;
+        }
+
+        impl UniformSampler for UniformInt<$ty> {
+            type X = $ty;
+
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(
+                low: Self::X,
+                high: Self::X,
+                rng: &mut R,
+            ) -> Self::X {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self::X,
+                high: Self::X,
+                rng: &mut R,
+            ) -> Self::X {
+                assert!(low <= high, "UniformSampler::sample_single_inclusive: low > high");
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                // Wrap-around to 0 means the range covers the whole type.
+                if range == 0 {
+                    let v: $u_large = Standard.sample(rng);
+                    return v as $ty;
+                }
+
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // rand uses an exact modulus for 8/16-bit types.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    // Conservative power-of-two zone for wider types.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+
+                loop {
+                    let v: $u_large = Standard.sample(rng);
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$u_large>::BITS) as $u_large;
+                    let lo = wide as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(usize, usize, usize, u128);
+uniform_int_impl!(i8, u8, u32, u64);
+uniform_int_impl!(i16, u16, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+uniform_int_impl!(isize, usize, usize, u128);
+
+impl SampleUniform for f64 {
+    type Sampler = UniformFloat<f64>;
+}
+
+impl UniformSampler for UniformFloat<f64> {
+    type X = f64;
+
+    fn sample_single<R: RngCore + ?Sized>(low: Self::X, high: Self::X, rng: &mut R) -> Self::X {
+        assert!(low < high, "UniformSampler::sample_single: low >= high");
+        let mut scale = high - low;
+        loop {
+            // A value in [1, 2): 52 random mantissa bits under exponent 0.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            // Edge case (rounding hit `high`): shave one ulp off the scale,
+            // mirroring rand's `decrease_masked`.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    #[inline]
+    fn sample_single_inclusive<R: RngCore + ?Sized>(
+        low: Self::X,
+        high: Self::X,
+        rng: &mut R,
+    ) -> Self::X {
+        // Unused by this workspace; the open-range sampler is a close
+        // approximation for non-degenerate ranges.
+        if low == high {
+            return low;
+        }
+        Self::sample_single(low, high, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(0u64..17);
+            assert!(a < 17);
+            let b = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&b));
+            let c = rng.gen_range(0.25f64..1.75);
+            assert!((0.25..1.75).contains(&c));
+            let d = rng.gen_range(-4i64..5);
+            assert!((-4..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn full_width_range_does_not_loop() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+            assert_eq!(a.gen_bool(0.3), b.gen_bool(0.3));
+        }
+    }
+}

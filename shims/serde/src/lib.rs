@@ -1,0 +1,30 @@
+//! Offline shim for `serde`.
+//!
+//! This workspace builds hermetically (no network, no registry cache), so the
+//! real `serde` cannot be fetched. Every use in the tree is of the form
+//! `#[derive(Serialize, Deserialize)]` — the traits are never invoked and no
+//! bound ever requires a real implementation — so the shim only has to supply
+//! the derive macros (re-exported from the companion `serde_derive` shim,
+//! where they expand to nothing) plus marker traits for any explicit `impl`s
+//! or bounds that might appear later.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Never called; exists so that
+/// explicit `T: Serialize` bounds keep compiling against the shim.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serialises at runtime and no generic code takes serde trait bounds — so
+//! the derives can expand to nothing. `attributes(serde)` is declared so
+//! field-level `#[serde(...)]` attributes, should any appear, are consumed
+//! rather than rejected by the compiler.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

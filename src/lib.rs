@@ -25,6 +25,7 @@
 //! | [`precharge`] | `gated-precharge` | **the paper's contribution**: precharge policies |
 //! | [`cpu`] | `bitline-cpu` | 8-wide 16-stage out-of-order core |
 //! | [`energy`] | `bitline-energy` | Wattch-like accounting and reductions |
+//! | [`faults`] | `bitline-faults` | leakage-upset injection, detection/replay, fail-safe pinning |
 //! | [`sim`] | `bitline-sim` | full-system runner and per-figure experiments |
 //!
 //! # Quick start
@@ -47,6 +48,7 @@ pub use bitline_circuit as circuit;
 pub use bitline_cmos as cmos;
 pub use bitline_cpu as cpu;
 pub use bitline_energy as energy;
+pub use bitline_faults as faults;
 pub use bitline_sim as sim;
 pub use bitline_trace as trace;
 pub use bitline_workloads as workloads;

@@ -15,11 +15,16 @@ fn spec(d: PolicyKind, i: PolicyKind, instructions: u64) -> SystemSpec {
 fn policy_ordering_holds_end_to_end() {
     for name in ["health", "mesa", "mcf"] {
         let n = 12_000;
-        let baseline = run_benchmark(name, &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp, n));
+        let baseline =
+            run_benchmark(name, &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp, n));
         let oracle = run_benchmark(name, &spec(PolicyKind::Oracle, PolicyKind::Oracle, n));
         let gated = run_benchmark(
             name,
-            &spec(PolicyKind::GatedPredecode { threshold: 100 }, PolicyKind::Gated { threshold: 100 }, n),
+            &spec(
+                PolicyKind::GatedPredecode { threshold: 100 },
+                PolicyKind::Gated { threshold: 100 },
+                n,
+            ),
         );
         let node = TechnologyNode::N70;
         let (o, ob) = oracle.energy(node);
@@ -89,10 +94,7 @@ fn resizable_cannot_match_gated_at_70nm() {
     let (r, rb) = resizable.energy(node);
     let g_rel = g.d.relative_discharge(&gb.d);
     let r_rel = r.d.relative_discharge(&rb.d);
-    assert!(
-        g_rel < r_rel,
-        "gated ({g_rel:.3}) must beat resizable ({r_rel:.3}) at 70 nm"
-    );
+    assert!(g_rel < r_rel, "gated ({g_rel:.3}) must beat resizable ({r_rel:.3}) at 70 nm");
     // And the resizable cache never delays an access for pull-up.
     assert_eq!(resizable.d_report.total_delayed(), 0);
 }
@@ -123,7 +125,11 @@ fn predecoding_reduces_delayed_accesses() {
 /// Full determinism across the whole stack.
 #[test]
 fn end_to_end_determinism() {
-    let s = spec(PolicyKind::GatedPredecode { threshold: 50 }, PolicyKind::Gated { threshold: 200 }, 10_000);
+    let s = spec(
+        PolicyKind::GatedPredecode { threshold: 50 },
+        PolicyKind::Gated { threshold: 200 },
+        10_000,
+    );
     let a = run_benchmark("vortex", &s);
     let b = run_benchmark("vortex", &s);
     assert_eq!(a.cycles(), b.cycles());
