@@ -1,7 +1,77 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: build, test, lint, format. Run from the repo root.
+#
+#   ./ci.sh          full gate
+#   ./ci.sh smoke    timed headline smoke: runs the headline figure at
+#                    jobs=1 and jobs=N, fails if the figure differs, and
+#                    writes wall-clock + run-cache stats to
+#                    BENCH_headline.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+smoke() {
+    local instrs="${BITLINE_INSTRS:-4000}"
+    local jobs_n
+    jobs_n="$(nproc 2>/dev/null || echo 4)"
+    # A single-core box would make the parallel leg vacuous; the workers
+    # are about determinism, not speed, so oversubscribe.
+    if [[ "$jobs_n" -lt 2 ]]; then jobs_n=4; fi
+
+    echo "==> smoke: build headline driver"
+    cargo bench -p bitline-bench --bench headline --no-run -q
+
+    SMOKE_TMP="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_TMP"' EXIT
+    local out_serial="$SMOKE_TMP/out1" out_parallel="$SMOKE_TMP/outN"
+    local err_serial="$SMOKE_TMP/err1" err_parallel="$SMOKE_TMP/errN"
+
+    echo "==> smoke: headline at jobs=1 (BITLINE_INSTRS=$instrs)"
+    local t0 t1 secs_serial secs_parallel
+    t0=$(date +%s.%N)
+    BITLINE_INSTRS="$instrs" BITLINE_JOBS=1 \
+        cargo bench -p bitline-bench --bench headline -q >"$out_serial" 2>"$err_serial"
+    t1=$(date +%s.%N)
+    secs_serial=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+
+    echo "==> smoke: headline at jobs=$jobs_n"
+    t0=$(date +%s.%N)
+    BITLINE_INSTRS="$instrs" BITLINE_JOBS="$jobs_n" \
+        cargo bench -p bitline-bench --bench headline -q >"$out_parallel" 2>"$err_parallel"
+    t1=$(date +%s.%N)
+    secs_parallel=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+
+    echo "==> smoke: comparing figure output"
+    if ! diff -u "$out_serial" "$out_parallel"; then
+        echo "==> smoke: FAIL — headline output depends on the job count" >&2
+        exit 1
+    fi
+
+    # The drivers report "[exec] jobs=N; run-cache: H hits, M misses, ..."
+    # on stderr; pull the parallel run's cache stats into the report.
+    local hits misses
+    hits=$(sed -n 's/.*run-cache: \([0-9]*\) hits.*/\1/p' "$err_parallel" | tail -n 1)
+    misses=$(sed -n 's/.*hits, \([0-9]*\) misses.*/\1/p' "$err_parallel" | tail -n 1)
+
+    cat >BENCH_headline.json <<EOF
+{
+  "bench": "headline",
+  "instructions": $instrs,
+  "jobs_parallel": $jobs_n,
+  "seconds_serial": $secs_serial,
+  "seconds_parallel": $secs_parallel,
+  "run_cache_hits": ${hits:-0},
+  "run_cache_misses": ${misses:-0},
+  "output_identical": true
+}
+EOF
+    echo "==> smoke: serial ${secs_serial}s, parallel(${jobs_n}) ${secs_parallel}s"
+    echo "==> smoke: wrote BENCH_headline.json"
+}
+
+if [[ "${1:-}" == "smoke" ]]; then
+    smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release

@@ -142,4 +142,5 @@ fn main() {
     println!();
     println!("  way prediction attacks dynamic read energy, gated precharging the");
     println!("  static bitline discharge: the savings compose (paper, Section 7).");
+    bitline_bench::exec_summary();
 }

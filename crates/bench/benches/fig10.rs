@@ -27,4 +27,5 @@ fn main() {
     println!();
     println!("  paper: D 28/10/8/7 %, I 18/8/6/5 % for 4KB/1KB/256B/64B; saturation");
     println!("  below 256B.");
+    bitline_bench::exec_summary();
 }

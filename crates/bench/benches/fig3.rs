@@ -25,4 +25,5 @@ fn main() {
             Err(e) => eprintln!("  export failed: {e}"),
         }
     }
+    bitline_bench::exec_summary();
 }

@@ -33,4 +33,5 @@ fn main() {
     println!(
         "  paper AVG: D precharged ~0.10, D discharge 0.17; I precharged ~0.06, I discharge 0.13"
     );
+    bitline_bench::exec_summary();
 }

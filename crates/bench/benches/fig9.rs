@@ -29,4 +29,5 @@ fn main() {
     println!();
     println!("  paper: resizable nearly flat across nodes; gated varies widely and");
     println!("  wins decisively at 70nm.");
+    bitline_bench::exec_summary();
 }

@@ -35,4 +35,5 @@ fn main() {
         "  replay energy overhead under gated precharging: {}  (paper: <1%)",
         pct(h.replay_overhead)
     );
+    bitline_bench::exec_summary();
 }

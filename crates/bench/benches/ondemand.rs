@@ -12,4 +12,5 @@ fn main() {
     }
     println!();
     println!("  paper: 9% (data) / 7% (instruction) average slowdown");
+    bitline_bench::exec_summary();
 }

@@ -27,6 +27,15 @@ pub fn rel(x: f64) -> String {
     format!("{x:5.3}")
 }
 
+/// Prints the execution layer's job count and cache statistics to stderr.
+///
+/// Drivers call this after their figure so the stats reflect the whole
+/// run; stderr keeps the figure's stdout byte-identical whatever the job
+/// count or cache state.
+pub fn exec_summary() {
+    eprintln!("[exec] {}", bitline_sim::exec_summary_line());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,51 @@
+//! Execution layer for suite-wide experiments.
+//!
+//! Every figure/table driver walks the sixteen-benchmark suite through the
+//! same three steps: generate a synthetic trace, simulate it under some
+//! system configuration, and price the result. That work is
+//! embarrassingly parallel across benchmarks and heavily redundant across
+//! configurations (every sweep re-runs the static baseline, every driver
+//! regenerates the same trace). This crate supplies the three primitives
+//! the drivers are rebuilt on:
+//!
+//! * [`pool`] — a scoped work pool over [`std::thread::scope`] with a
+//!   `BITLINE_JOBS` env knob (default: available parallelism). Results are
+//!   returned in submission order, so callers are deterministic regardless
+//!   of the job count.
+//! * [`MemoCache`] — a concurrent memoization table with per-key
+//!   once-only computation and hit/miss counters. `bitline-sim` keys it by
+//!   `(benchmark, SystemSpec)` so baselines and repeated sweep points are
+//!   simulated once per process.
+//! * [`TraceStore`] — a shared, lazily-materialised store of synthetic
+//!   workload traces keyed by `(benchmark, seed)`; concurrent runs replay
+//!   the same generated prefix through cheap [`TraceCursor`]s instead of
+//!   regenerating it.
+//!
+//! The determinism argument is simple: each unit of work is a pure
+//! function of its inputs (simulations are seeded and self-contained), the
+//! pool reorders only *scheduling*, never results, and both caches hand
+//! every reader the exact value a cold computation would have produced.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitline_exec::{pool, MemoCache};
+//!
+//! let squares = pool::run_indexed(4, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//!
+//! let cache: MemoCache<u32, u32> = MemoCache::new();
+//! assert_eq!(cache.get_or_insert_with(7, || 49), 49);
+//! assert_eq!(cache.get_or_insert_with(7, || unreachable!()), 49);
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memo;
+pub mod pool;
+mod traces;
+
+pub use memo::{CacheStats, MemoCache};
+pub use traces::{TraceCursor, TraceStore, TraceStoreStats};

@@ -1,0 +1,182 @@
+//! Concurrent memoization with per-key once-only computation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Hit/miss counters and size of a [`MemoCache`].
+///
+/// Because each key is computed exactly once (under its slot lock), the
+/// counters are deterministic for a deterministic workload: they do not
+/// depend on the job count or on scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Completed entries currently stored.
+    pub entries: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits, {} misses, {} entries", self.hits, self.misses, self.entries)
+    }
+}
+
+/// A value slot: `None` until its first successful computation.
+type Slot<V> = Mutex<Option<V>>;
+
+/// A concurrent memoization table.
+///
+/// Unlike a plain `Mutex<HashMap>`, computation happens under a *per-key*
+/// lock: concurrent requests for the same key compute it once (the losers
+/// block briefly and read the winner's value), while requests for
+/// different keys never contend beyond the brief map lookup. A failed
+/// computation leaves the slot empty so a later request can retry.
+///
+/// Locks are poison-tolerant — a panic inside the computing closure (the
+/// experiment harness catches those) leaves the slot empty, not wedged.
+///
+/// Re-entrancy on the *same key* from the computing closure would
+/// deadlock; computations must not consult the cache they are filling with
+/// their own key.
+#[derive(Debug, Default)]
+pub struct MemoCache<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> MemoCache<K, V> {
+        MemoCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` on first
+    /// use. `Err` results are returned but **not** cached.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns; the slot stays empty in that case.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: K,
+        f: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let slot = Arc::clone(relock(self.slots.lock()).entry(key).or_default());
+        let mut value = relock(slot.lock());
+        if let Some(v) = value.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = f()?;
+        *value = Some(v.clone());
+        Ok(v)
+    }
+
+    /// Infallible [`MemoCache::get_or_try_insert_with`].
+    pub fn get_or_insert_with(&self, key: K, f: impl FnOnce() -> V) -> V {
+        self.get_or_try_insert_with(key, || Ok::<V, std::convert::Infallible>(f()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// Current counters and completed-entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let entries = relock(self.slots.lock())
+            .values()
+            .filter(|slot| slot.try_lock().is_ok_and(|v| v.is_some()))
+            .count();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every entry and resets the counters (for cold-vs-warm
+    /// comparisons in tests and the CI smoke target).
+    pub fn clear(&self) {
+        relock(self.slots.lock()).clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache: MemoCache<&'static str, u32> = MemoCache::new();
+        assert_eq!(cache.get_or_insert_with("a", || 1), 1);
+        assert_eq!(cache.get_or_insert_with("a", || unreachable!()), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: MemoCache<u8, u8> = MemoCache::new();
+        let r: Result<u8, &str> = cache.get_or_try_insert_with(1, || Err("nope"));
+        assert_eq!(r, Err("nope"));
+        assert_eq!(cache.get_or_try_insert_with(1, || Ok::<_, &str>(9)), Ok(9));
+        // Both attempts count as misses; only the success is stored.
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, entries: 1 });
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        let computed = AtomicU64::new(0);
+        let out = pool::with_jobs(8, || {
+            pool::run_indexed(32, |_| {
+                cache.get_or_insert_with(42, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    7
+                })
+            })
+        });
+        assert!(out.iter().all(|&v| v == 7));
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "one computation for 32 requests");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (31, 1, 1));
+    }
+
+    #[test]
+    fn panicking_fill_leaves_the_slot_retryable() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_insert_with(5, || panic!("poisoned fill"))
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(cache.get_or_insert_with(5, || 11), 11);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache: MemoCache<u8, u8> = MemoCache::new();
+        let _ = cache.get_or_insert_with(1, || 1);
+        let _ = cache.get_or_insert_with(1, || unreachable!());
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.get_or_insert_with(1, || 3), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Shared, lazily-materialised synthetic traces.
+//!
+//! `WorkloadSpec::build(seed)` is deterministic, so every run of the same
+//! `(benchmark, seed)` pair consumes the same instruction stream — yet the
+//! serial drivers used to regenerate it for every configuration of every
+//! sweep. A [`TraceStore`] generates each stream once, on demand, into a
+//! shared append-only buffer; concurrent runs replay it through
+//! [`TraceCursor`]s that copy chunks out under a read lock.
+//!
+//! Laziness subsumes the instruction-count dimension of the key: a run
+//! that consumes more instructions simply extends the shared prefix, and
+//! every other reader sees the identical stream it would have generated
+//! itself.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use bitline_trace::{Instr, TraceSource};
+use bitline_workloads::{suite, SyntheticWorkload};
+
+/// Instructions copied per cursor refill: one brief read-lock per `CHUNK`
+/// instructions instead of one per instruction.
+const CHUNK: usize = 4096;
+
+/// One benchmark's shared stream for one seed.
+#[derive(Debug)]
+struct SharedTrace {
+    name: String,
+    /// The generator; locked only to extend `buf`.
+    generator: Mutex<SyntheticWorkload>,
+    /// Everything generated so far, in generator order.
+    buf: RwLock<Vec<Instr>>,
+}
+
+impl SharedTrace {
+    /// Copies up to `CHUNK` instructions starting at global index `start`
+    /// into `out`, generating more of the stream if needed.
+    fn fill(&self, start: usize, out: &mut Vec<Instr>) {
+        {
+            let buf = self.buf.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if start < buf.len() {
+                out.extend_from_slice(&buf[start..buf.len().min(start + CHUNK)]);
+                return;
+            }
+        }
+        // Lock order is always generator → buffer, and appends happen with
+        // both held, so the buffer extends strictly in generator order no
+        // matter which reader gets here first.
+        let mut generator =
+            self.generator.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut buf = self.buf.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while buf.len() < start + CHUNK {
+            buf.push(generator.next_instr());
+        }
+        out.extend_from_slice(&buf[start..start + CHUNK]);
+    }
+
+    fn len(&self) -> usize {
+        self.buf.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+}
+
+/// Size and coverage of a [`TraceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStoreStats {
+    /// Distinct `(benchmark, seed)` streams materialised.
+    pub traces: usize,
+    /// Total instructions held across all streams.
+    pub instructions: u64,
+}
+
+impl std::fmt::Display for TraceStoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} shared traces, {} instrs materialised", self.traces, self.instructions)
+    }
+}
+
+/// A process-wide store of shared synthetic traces.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    traces: Mutex<HashMap<(String, u64), Arc<SharedTrace>>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    /// A cursor over the shared stream of `benchmark` at `seed`, or `None`
+    /// when the benchmark is not in the suite.
+    #[must_use]
+    pub fn cursor(&self, benchmark: &str, seed: u64) -> Option<TraceCursor> {
+        let mut traces = self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let trace = match traces.get(&(benchmark.to_owned(), seed)) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let spec = suite::by_name(benchmark)?;
+                let t = Arc::new(SharedTrace {
+                    name: benchmark.to_owned(),
+                    generator: Mutex::new(spec.build(seed)),
+                    buf: RwLock::new(Vec::new()),
+                });
+                traces.insert((benchmark.to_owned(), seed), Arc::clone(&t));
+                t
+            }
+        };
+        Some(TraceCursor { trace, chunk: Vec::new(), chunk_start: 0, pos: 0 })
+    }
+
+    /// Stream count and total materialised instructions.
+    #[must_use]
+    pub fn stats(&self) -> TraceStoreStats {
+        let traces = self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        TraceStoreStats {
+            traces: traces.len(),
+            instructions: traces.values().map(|t| t.len() as u64).sum(),
+        }
+    }
+
+    /// Drops every stream (for cold-vs-warm comparisons in tests).
+    pub fn clear(&self) {
+        self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    }
+}
+
+/// A per-run replay position into a [`SharedTrace`].
+///
+/// Implements [`TraceSource`] by copying chunks out of the shared buffer,
+/// so the hot `next_instr` path is an array read with no locking.
+#[derive(Debug)]
+pub struct TraceCursor {
+    trace: Arc<SharedTrace>,
+    chunk: Vec<Instr>,
+    /// Global index of `chunk[0]`.
+    chunk_start: usize,
+    /// Global index of the next instruction to deliver.
+    pos: usize,
+}
+
+impl TraceSource for TraceCursor {
+    fn next_instr(&mut self) -> Instr {
+        if self.pos - self.chunk_start >= self.chunk.len() {
+            self.chunk_start = self.pos;
+            self.chunk.clear();
+            self.trace.fill(self.pos, &mut self.chunk);
+        }
+        let instr = self.chunk[self.pos - self.chunk_start];
+        self.pos += 1;
+        instr
+    }
+
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+
+    #[test]
+    fn cursor_replays_the_generator_stream_exactly() {
+        let store = TraceStore::new();
+        let mut cursor = store.cursor("mesa", 42).expect("mesa is in the suite");
+        let mut direct = suite::by_name("mesa").unwrap().build(42);
+        for i in 0..(2 * CHUNK + 17) {
+            assert_eq!(cursor.next_instr(), direct.next_instr(), "instr {i}");
+        }
+        assert_eq!(cursor.name(), "mesa");
+    }
+
+    #[test]
+    fn unknown_benchmark_has_no_cursor() {
+        assert!(TraceStore::new().cursor("linpack", 42).is_none());
+    }
+
+    #[test]
+    fn seeds_get_distinct_streams() {
+        let store = TraceStore::new();
+        let a: Vec<Instr> = std::iter::repeat_with({
+            let mut c = store.cursor("gcc", 1).unwrap();
+            move || c.next_instr()
+        })
+        .take(200)
+        .collect();
+        let b: Vec<Instr> = std::iter::repeat_with({
+            let mut c = store.cursor("gcc", 2).unwrap();
+            move || c.next_instr()
+        })
+        .take(200)
+        .collect();
+        assert_ne!(a, b);
+        assert_eq!(store.stats().traces, 2);
+    }
+
+    #[test]
+    fn concurrent_cursors_see_the_identical_prefix() {
+        let store = TraceStore::new();
+        let reference: Vec<Instr> = {
+            let mut direct = suite::by_name("health").unwrap().build(7);
+            std::iter::repeat_with(|| direct.next_instr()).take(CHUNK + 100).collect()
+        };
+        let streams = pool::with_jobs(8, || {
+            pool::run_indexed(8, |i| {
+                let mut cursor = store.cursor("health", 7).expect("health is in the suite");
+                // Readers consume different lengths to exercise extension
+                // racing: every prefix must still match the generator.
+                let n = CHUNK / 2 + i * 64;
+                std::iter::repeat_with(|| cursor.next_instr()).take(n).collect::<Vec<_>>()
+            })
+        });
+        for (i, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.as_slice(), &reference[..stream.len()], "reader {i}");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.traces, 1);
+        assert!(stats.instructions >= (CHUNK / 2) as u64);
+    }
+}

@@ -5,14 +5,15 @@
 //!
 //! ```sh
 //! bitline-sim --benchmark mcf --policy gated:100 --node 70nm --instructions 200000
-//! bitline-sim --benchmark all --policy oracle
+//! bitline-sim --benchmark all --policy oracle --jobs 8
 //! bitline-sim --list
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use bitline_cmos::TechnologyNode;
-use bitline_sim::{try_run_benchmark, FaultSpec, PolicyKind, SystemSpec};
+use bitline_sim::{exec_summary_line, try_run_benchmark_cached, FaultSpec, PolicyKind, SystemSpec};
 use bitline_workloads::suite;
 
 #[derive(Debug)]
@@ -122,6 +123,13 @@ fn parse_args() -> Result<Args, String> {
                     value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
             }
             "--fail-safe" => args.faults.fail_safe = true,
+            "--jobs" | "-j" => {
+                let n: usize = value(&flag)?.parse().map_err(|_| "bad job count".to_owned())?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                bitline_exec::pool::set_jobs(n);
+            }
             "--list" | "-l" => args.list = true,
             "--help" | "-h" => {
                 print_help();
@@ -151,6 +159,8 @@ fn print_help() {
     println!("      --fault-rate P      per-cold-access upset probability (default 0 = off)");
     println!("      --fault-seed S      fault-injector seed (default: fixed constant)");
     println!("      --fail-safe         pin upset-prone subarrays back to static pull-up");
+    println!("  -j, --jobs N            worker threads for `all` (default: BITLINE_JOBS");
+    println!("                          env, else available parallelism)");
     println!("  -l, --list              list benchmarks and exit");
 }
 
@@ -162,7 +172,10 @@ fn icache_default(d: PolicyKind) -> PolicyKind {
     }
 }
 
-fn run_one(name: &str, args: &Args) -> Result<(), String> {
+/// Runs one benchmark and renders its report. Returning the text (rather
+/// than printing directly) lets the `all` mode run benchmarks on the work
+/// pool and still print reports in suite order.
+fn run_one(name: &str, args: &Args) -> Result<String, String> {
     let spec = SystemSpec {
         d_policy: args.policy,
         i_policy: args.icache_policy.unwrap_or_else(|| icache_default(args.policy)),
@@ -181,42 +194,47 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
         faults: FaultSpec { rate: 0.0, ..args.faults },
         ..spec
     };
-    let run = try_run_benchmark(name, &spec).map_err(|e| e.to_string())?;
-    let baseline = try_run_benchmark(name, &baseline_spec).map_err(|e| e.to_string())?;
+    let run = try_run_benchmark_cached(name, &spec).map_err(|e| e.to_string())?;
+    let baseline = try_run_benchmark_cached(name, &baseline_spec).map_err(|e| e.to_string())?;
     let (policy, base) = run.energy(args.node);
 
-    println!("== {name} @ {} ==", args.node);
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(out, "== {name} @ {} ==", args.node);
+    let _ = writeln!(
+        out,
         "  cycles {:>10}   IPC {:.2}   slowdown vs static {:+.2}%",
         run.cycles(),
         run.stats.ipc(),
         100.0 * run.slowdown_vs(&baseline)
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  D: miss {:>5.1}%  precharged {:>5.1}%  discharge {:>5.3}x  energy saved {:>5.1}%",
         100.0 * run.d_miss_ratio(),
         100.0 * run.d_report.precharged_fraction(),
         policy.d.relative_discharge(&base.d),
         100.0 * policy.d.overall_reduction(&base.d),
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  I: miss {:>5.1}%  precharged {:>5.1}%  discharge {:>5.3}x  energy saved {:>5.1}%",
         100.0 * run.i_miss_ratio(),
         100.0 * run.i_report.precharged_fraction(),
         policy.i.relative_discharge(&base.i),
         100.0 * policy.i.overall_reduction(&base.i),
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  replays {:>6}  mispredict rate {:>5.2}%  delayed D accesses {:>5.2}%",
         run.stats.replays,
         100.0 * run.stats.mispredict_rate(),
         100.0 * run.d_report.delayed_fraction(),
     );
     if let (Some(d), Some(i)) = (&run.d_faults, &run.i_faults) {
-        println!("  faults D: {}", d.summary());
-        println!("  faults I: {}", i.summary());
+        let _ = writeln!(out, "  faults D: {}", d.summary());
+        let _ = writeln!(out, "  faults I: {}", i.summary());
     }
-    Ok(())
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -240,9 +258,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let outcome = if args.benchmark == "all" {
-        suite::names().iter().try_for_each(|name| run_one(name, &args))
+        // Fan the suite out over the work pool; reports come back in suite
+        // order so the output is identical whatever the job count.
+        let names = suite::names();
+        let reports = bitline_exec::pool::run_indexed(names.len(), |i| run_one(names[i], &args));
+        let result = reports.into_iter().try_for_each(|report| {
+            print!("{}", report?);
+            Ok(())
+        });
+        eprintln!("{}", exec_summary_line());
+        result
     } else {
-        run_one(&args.benchmark, &args)
+        run_one(&args.benchmark, &args).map(|report| print!("{report}"))
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

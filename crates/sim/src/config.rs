@@ -15,7 +15,11 @@ use crate::error::SimError;
 use crate::recorder::LocalityRecorder;
 
 /// Which precharge controller to attach to a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Equality and hashing are total (`Eq + Hash`): the one `f64` field
+/// (`Resizable::slack`) compares and hashes by bit pattern, so the type
+/// can key the process-wide run cache. See [`SystemSpec`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// Conventional static pull-up (the baseline).
     StaticPullUp,
@@ -60,6 +64,56 @@ pub enum PolicyKind {
     /// Static-pull-up timing plus subarray locality recording (Figures
     /// 5/6).
     LocalityRecorder,
+}
+
+impl PartialEq for PolicyKind {
+    fn eq(&self, other: &Self) -> bool {
+        use PolicyKind::{
+            AdaptiveGated, Drowsy, Gated, GatedPredecode, LeakageBiased, LocalityRecorder,
+            OnDemand, Oracle, Resizable, StaticPullUp,
+        };
+        match (self, other) {
+            (StaticPullUp, StaticPullUp)
+            | (Oracle, Oracle)
+            | (OnDemand, OnDemand)
+            | (LeakageBiased, LeakageBiased)
+            | (LocalityRecorder, LocalityRecorder) => true,
+            (Gated { threshold: a }, Gated { threshold: b })
+            | (GatedPredecode { threshold: a }, GatedPredecode { threshold: b })
+            | (Drowsy { threshold: a }, Drowsy { threshold: b }) => a == b,
+            (AdaptiveGated { interval_accesses: a }, AdaptiveGated { interval_accesses: b }) => {
+                a == b
+            }
+            (
+                Resizable { interval_accesses: ia, slack: sa },
+                Resizable { interval_accesses: ib, slack: sb },
+            ) => ia == ib && sa.to_bits() == sb.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PolicyKind {}
+
+impl std::hash::Hash for PolicyKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match *self {
+            PolicyKind::Gated { threshold }
+            | PolicyKind::GatedPredecode { threshold }
+            | PolicyKind::Drowsy { threshold } => threshold.hash(state),
+            PolicyKind::AdaptiveGated { interval_accesses } => interval_accesses.hash(state),
+            PolicyKind::Resizable { interval_accesses, slack } => {
+                interval_accesses.hash(state);
+                slack.to_bits().hash(state);
+            }
+            PolicyKind::StaticPullUp
+            | PolicyKind::Oracle
+            | PolicyKind::OnDemand
+            | PolicyKind::LeakageBiased
+            | PolicyKind::LocalityRecorder => {}
+        }
+    }
 }
 
 impl PolicyKind {
@@ -126,7 +180,13 @@ impl PolicyKind {
 /// Fault-injection parameters for a run. Disabled by default: the stock
 /// simulation is fault-free and cycle-identical to a build without the
 /// fault layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Equality and hashing treat [`FaultSpec::rate`] by bit pattern
+/// (`f64::to_bits`), making the type a valid `HashMap` key; two specs with
+/// numerically equal rates written the same way are equal, and `NaN`
+/// (which [`SystemSpec::validate`] rejects anyway) at least compares equal
+/// to itself.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Sense-margin upset probability per cold access (0 disables the
     /// whole fault layer).
@@ -137,6 +197,24 @@ pub struct FaultSpec {
     /// Arm graceful degradation: pin a subarray back to static pull-up
     /// after [`FaultSpec::FAIL_SAFE_UPSETS`] detected upsets.
     pub fail_safe: bool,
+}
+
+impl PartialEq for FaultSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.rate.to_bits() == other.rate.to_bits()
+            && self.seed == other.seed
+            && self.fail_safe == other.fail_safe
+    }
+}
+
+impl Eq for FaultSpec {}
+
+impl std::hash::Hash for FaultSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rate.to_bits().hash(state);
+        self.seed.hash(state);
+        self.fail_safe.hash(state);
+    }
 }
 
 impl FaultSpec {
@@ -173,7 +251,11 @@ impl Default for FaultSpec {
 }
 
 /// Full specification of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq + Hash` (total, with the two `f64` fields compared by bit pattern —
+/// see [`FaultSpec`] and [`PolicyKind`]) so `(benchmark, SystemSpec)` can
+/// key the process-wide memoized run cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SystemSpec {
     /// D-cache precharge policy.
     pub d_policy: PolicyKind,
@@ -291,6 +373,52 @@ mod tests {
         assert!(!cfg.enabled());
         assert_eq!(cfg.retry_cycles, 4);
         assert_eq!(cfg.pullup_penalty, 3);
+    }
+
+    #[test]
+    fn distinct_specs_never_collide_on_the_obvious_fields() {
+        // One variant per field the run cache must discriminate: policies
+        // (including same-threshold Gated vs GatedPredecode and
+        // bit-different Resizable slacks), subarray size, instruction
+        // count, seed, way prediction and every FaultSpec field.
+        let base = SystemSpec::default();
+        let specs = vec![
+            base,
+            SystemSpec { d_policy: PolicyKind::Oracle, ..base },
+            SystemSpec { d_policy: PolicyKind::OnDemand, ..base },
+            SystemSpec { d_policy: PolicyKind::Gated { threshold: 100 }, ..base },
+            SystemSpec { d_policy: PolicyKind::Gated { threshold: 200 }, ..base },
+            SystemSpec { d_policy: PolicyKind::GatedPredecode { threshold: 100 }, ..base },
+            SystemSpec { d_policy: PolicyKind::Drowsy { threshold: 100 }, ..base },
+            SystemSpec { d_policy: PolicyKind::AdaptiveGated { interval_accesses: 100 }, ..base },
+            SystemSpec {
+                d_policy: PolicyKind::Resizable { interval_accesses: 100, slack: 0.005 },
+                ..base
+            },
+            SystemSpec {
+                d_policy: PolicyKind::Resizable { interval_accesses: 100, slack: 0.01 },
+                ..base
+            },
+            SystemSpec { i_policy: PolicyKind::Gated { threshold: 100 }, ..base },
+            SystemSpec { subarray_bytes: 2048, ..base },
+            SystemSpec { instructions: base.instructions + 1, ..base },
+            SystemSpec { seed: 43, ..base },
+            SystemSpec { way_prediction: true, ..base },
+            SystemSpec { faults: FaultSpec { rate: 0.01, ..FaultSpec::default() }, ..base },
+            SystemSpec { faults: FaultSpec { rate: 0.02, ..FaultSpec::default() }, ..base },
+            SystemSpec { faults: FaultSpec { seed: 1, ..FaultSpec::default() }, ..base },
+            SystemSpec { faults: FaultSpec { fail_safe: true, ..FaultSpec::default() }, ..base },
+        ];
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a, b, "specs at different fields must differ");
+            }
+        }
+        // As HashMap keys, every distinct spec is a distinct entry...
+        let keyed: std::collections::HashSet<SystemSpec> = specs.iter().copied().collect();
+        assert_eq!(keyed.len(), specs.len());
+        // ...and an equal spec finds the existing one.
+        assert!(keyed.contains(&SystemSpec::default()));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Process-wide memoization behind the experiment drivers.
+//!
+//! Three shared stores, all built on `bitline-exec`:
+//!
+//! * the **run cache** — completed [`RunResult`]s keyed by
+//!   `(benchmark, SystemSpec)`, so the static baseline every figure
+//!   recomputes and the repeated points of a threshold sweep are simulated
+//!   once per process;
+//! * the **trace store** — each `(benchmark, seed)` synthetic instruction
+//!   stream, generated once and replayed into concurrent runs;
+//! * the **accountant cache** — the `(d, i)` [`EnergyAccountant`] pair per
+//!   `(node, subarray bytes)`, so re-pricing a run at another node does
+//!   not rebuild cache geometry and energy models.
+//!
+//! Every cached value is a pure function of its key (runs are seeded and
+//! deterministic), so cache hits are indistinguishable from recomputation
+//! and figure output stays byte-identical whatever the hit pattern.
+
+use std::sync::OnceLock;
+
+use bitline_cache::CacheConfig;
+use bitline_cmos::TechnologyNode;
+use bitline_energy::EnergyAccountant;
+use bitline_exec::{CacheStats, MemoCache, TraceCursor, TraceStore, TraceStoreStats};
+
+use crate::config::SystemSpec;
+use crate::error::SimError;
+use crate::runner::{try_run_benchmark, RunResult};
+
+fn run_cache() -> &'static MemoCache<(String, SystemSpec), RunResult> {
+    static CACHE: OnceLock<MemoCache<(String, SystemSpec), RunResult>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+fn trace_store() -> &'static TraceStore {
+    static STORE: OnceLock<TraceStore> = OnceLock::new();
+    STORE.get_or_init(TraceStore::new)
+}
+
+fn accountant_cache(
+) -> &'static MemoCache<(TechnologyNode, usize), (EnergyAccountant, EnergyAccountant)> {
+    static CACHE: OnceLock<
+        MemoCache<(TechnologyNode, usize), (EnergyAccountant, EnergyAccountant)>,
+    > = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// A replay cursor into the shared trace of `benchmark` at `seed`, or
+/// `None` when the benchmark is not in the suite.
+pub(crate) fn trace_cursor(benchmark: &str, seed: u64) -> Option<TraceCursor> {
+    trace_store().cursor(benchmark, seed)
+}
+
+/// The cached `(data, inst)` accountant pair for a node and subarray size.
+pub(crate) fn accountants(
+    node: TechnologyNode,
+    subarray_bytes: usize,
+) -> (EnergyAccountant, EnergyAccountant) {
+    accountant_cache().get_or_insert_with((node, subarray_bytes), || {
+        let d_cfg = CacheConfig::l1_data().with_subarray_bytes(subarray_bytes);
+        let i_cfg = CacheConfig::l1_inst().with_subarray_bytes(subarray_bytes);
+        (EnergyAccountant::new(node, d_cfg), EnergyAccountant::new(node, i_cfg))
+    })
+}
+
+/// Memoized [`try_run_benchmark`]: the first request for a
+/// `(benchmark, spec)` pair simulates it, every later request returns the
+/// stored result. Errors are returned but never cached.
+///
+/// # Errors
+///
+/// Exactly those of [`try_run_benchmark`].
+pub fn try_run_benchmark_cached(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
+    run_cache().get_or_try_insert_with((name.to_owned(), *spec), || try_run_benchmark(name, spec))
+}
+
+/// Memoized [`run_benchmark`](crate::run_benchmark).
+///
+/// # Panics
+///
+/// Panics when [`try_run_benchmark_cached`] would return an error.
+#[must_use]
+pub fn run_benchmark_cached(name: &str, spec: &SystemSpec) -> RunResult {
+    try_run_benchmark_cached(name, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Counters of the process-wide run cache.
+#[must_use]
+pub fn run_cache_stats() -> CacheStats {
+    run_cache().stats()
+}
+
+/// Size of the process-wide shared trace store.
+#[must_use]
+pub fn trace_store_stats() -> TraceStoreStats {
+    trace_store().stats()
+}
+
+/// One-line execution summary for driver output (written to stderr by the
+/// bench harnesses so stdout rows stay byte-identical across job counts).
+#[must_use]
+pub fn exec_summary_line() -> String {
+    format!(
+        "jobs={}; run-cache: {}; {}",
+        bitline_exec::pool::jobs(),
+        run_cache_stats(),
+        trace_store_stats()
+    )
+}
+
+/// Empties the run cache and trace store (cold-vs-warm comparisons in
+/// tests and the CI smoke target). The accountant cache is kept — it holds
+/// no run state.
+pub fn clear_run_caches() {
+    run_cache().clear();
+    trace_store().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+
+    #[test]
+    fn cached_run_equals_cold_run_and_counts_hits() {
+        let spec = SystemSpec {
+            d_policy: PolicyKind::Gated { threshold: 75 },
+            instructions: 3_000,
+            seed: 1234,
+            ..SystemSpec::default()
+        };
+        let cold = try_run_benchmark("tsp", &spec).expect("cold run");
+        let first = try_run_benchmark_cached("tsp", &spec).expect("fill");
+        let before = run_cache_stats();
+        let second = try_run_benchmark_cached("tsp", &spec).expect("hit");
+        let after = run_cache_stats();
+        assert!(after.hits > before.hits, "second lookup must hit");
+        for run in [&first, &second] {
+            assert_eq!(run.cycles(), cold.cycles());
+            assert_eq!(run.stats.committed, cold.stats.committed);
+            assert_eq!(run.d_hit_miss, cold.d_hit_miss);
+            assert_eq!(run.i_hit_miss, cold.i_hit_miss);
+            assert_eq!(run.d_report, cold.d_report);
+        }
+    }
+
+    #[test]
+    fn errors_pass_through_uncached() {
+        let err = try_run_benchmark_cached("nosuch", &SystemSpec::default()).unwrap_err();
+        assert_eq!(err, SimError::UnknownBenchmark("nosuch".into()));
+        let bad = SystemSpec { subarray_bytes: 48, ..SystemSpec::default() };
+        assert!(matches!(try_run_benchmark_cached("mesa", &bad), Err(SimError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn accountants_are_shared_per_node_and_size() {
+        let (d1, i1) = accountants(TechnologyNode::N70, 1024);
+        let (d2, _) = accountants(TechnologyNode::N70, 1024);
+        // Same models, as priced: identical static baselines.
+        let a = d1.static_baseline(10_000, 500, 100);
+        let b = d2.static_baseline(10_000, 500, 100);
+        assert!((a.total_j() - b.total_j()).abs() < 1e-18);
+        let c = i1.static_baseline(10_000, 500, 0);
+        assert!(c.total_j() > 0.0);
+    }
+}

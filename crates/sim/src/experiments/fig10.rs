@@ -4,7 +4,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::MAX_SLOWDOWN;
-use crate::{run_benchmark, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
 
 /// Subarray sizes swept by the figure.
 pub const SIZES: [usize; 4] = [4096, 1024, 256, 64];
@@ -35,7 +35,7 @@ pub fn run(instrs: u64) -> Vec<Fig10Row> {
         .into_iter()
         .map(|subarray_bytes| {
             let outcome = harness::map_suite(|name| {
-                let baseline = run_benchmark(
+                let baseline = run_benchmark_cached(
                     name,
                     &SystemSpec { subarray_bytes, instructions: instrs, ..SystemSpec::default() },
                 );
@@ -44,7 +44,7 @@ pub fn run(instrs: u64) -> Vec<Fig10Row> {
                 let mut best: Option<(f64, f64, f64)> = None; // (discharge, d_frac, i_frac)
                 let mut fallback: Option<(f64, f64, f64, f64)> = None; // +slowdown
                 for &threshold in &THRESHOLDS {
-                    let run = run_benchmark(
+                    let run = run_benchmark_cached(
                         name,
                         &SystemSpec {
                             d_policy: PolicyKind::GatedPredecode { threshold },

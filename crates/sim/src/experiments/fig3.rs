@@ -3,7 +3,7 @@
 use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
-use crate::{run_benchmark, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
 
 /// One benchmark's oracle result.
 #[derive(Debug, Clone)]
@@ -28,7 +28,7 @@ pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
             instructions: instrs,
             ..SystemSpec::default()
         };
-        let run = run_benchmark(name, &spec);
+        let run = run_benchmark_cached(name, &spec);
         let (policy, baseline) = run.energy(node);
         Ok(Fig3Row {
             benchmark: name.to_owned(),

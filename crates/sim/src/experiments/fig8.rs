@@ -5,7 +5,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::{fixed_gated, optimal_gated, GatedSweep, SweptCache};
-use crate::{run_benchmark, SystemSpec};
+use crate::{run_benchmark_cached, SystemSpec};
 
 /// One benchmark's Figure 8 bars.
 #[derive(Debug, Clone)]
@@ -59,14 +59,18 @@ fn precharged_fraction(sweep: &GatedSweep, which: SweptCache) -> f64 {
 pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
     let node = TechnologyNode::N70;
     let outcome = harness::map_suite(|name| {
-        let baseline =
-            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let baseline = run_benchmark_cached(
+            name,
+            &SystemSpec { instructions: instrs, ..SystemSpec::default() },
+        );
         let d = optimal_gated(name, SweptCache::Data, node, &baseline, instrs);
         let i = optimal_gated(name, SweptCache::Inst, node, &baseline, instrs);
         let dc = fixed_gated(name, SweptCache::Data, node, &baseline, 100, instrs);
         let ic = fixed_gated(name, SweptCache::Inst, node, &baseline, 100, instrs);
-        let (d_pol, d_base) = d.run.energy(node);
-        let (i_pol, i_base) = i.run.energy(node);
+        // The sweep already priced its winning runs at `node`; reuse those
+        // energies instead of re-pricing.
+        let (d_pol, d_base) = &d.energy;
+        let (i_pol, i_base) = &i.energy;
         let row = Fig8Row {
             benchmark: name.to_owned(),
             d_precharged: precharged_fraction(&d, SweptCache::Data),

@@ -11,7 +11,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::{MAX_SLOWDOWN, THRESHOLDS};
-use crate::{run_benchmark, PolicyKind, RunResult, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, RunResult, SystemSpec};
 
 /// Average relative bitline discharge at one node.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +84,7 @@ fn gated_candidates(name: &str, cache: Cache, baseline: &RunResult, instrs: u64)
                     ..SystemSpec::default()
                 },
             };
-            let run = run_benchmark(name, &spec);
+            let run = run_benchmark_cached(name, &spec);
             let slowdown = run.slowdown_vs(baseline);
             (run, slowdown)
         })
@@ -109,7 +109,7 @@ fn resizable_candidates(name: &str, cache: Cache, baseline: &RunResult, instrs: 
                     SystemSpec { i_policy: policy, instructions: instrs, ..SystemSpec::default() }
                 }
             };
-            let run = run_benchmark(name, &spec);
+            let run = run_benchmark_cached(name, &spec);
             let slowdown = run.slowdown_vs(baseline);
             (run, slowdown)
         })
@@ -129,8 +129,10 @@ pub fn run(instrs: u64) -> Vec<Fig9Row> {
         resz_i: Candidates,
     }
     let outcome = harness::map_suite(|name| {
-        let baseline =
-            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let baseline = run_benchmark_cached(
+            name,
+            &SystemSpec { instructions: instrs, ..SystemSpec::default() },
+        );
         Ok(PerBenchmark {
             gated_d: gated_candidates(name, Cache::D, &baseline, instrs),
             gated_i: gated_candidates(name, Cache::I, &baseline, instrs),

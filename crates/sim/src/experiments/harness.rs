@@ -6,8 +6,17 @@
 //! panic, retries once (transient state is rebuilt from scratch each run,
 //! so a retry is cheap and occasionally saves a flaky run), and lets the
 //! driver finish with partial results plus an explicit skip summary.
+//!
+//! [`map_suite`]/[`map_names`] additionally fan the units of work out over
+//! the `bitline-exec` work pool (`BITLINE_JOBS` jobs). Rows come back in
+//! suite order whatever the job count, each unit keeps the same
+//! panic-isolation and retry semantics it had serially, and a process-wide
+//! panic hook records the panic *location and thread* so a failure on
+//! `exec-worker-3` is still attributable in the skip summary.
 
+use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 
 use crate::error::SimError;
 
@@ -36,7 +45,7 @@ impl std::fmt::Display for SkippedRun {
 pub struct SuiteOutcome<T> {
     /// One entry per completed unit of work, in suite order.
     pub rows: Vec<T>,
-    /// Units of work that failed both attempts.
+    /// Units of work that failed both attempts, in suite order.
     pub skipped: Vec<SkippedRun>,
 }
 
@@ -71,6 +80,34 @@ impl<T> SuiteOutcome<T> {
     }
 }
 
+thread_local! {
+    /// Location + thread of the most recent panic on this thread, captured
+    /// by the harness panic hook.
+    static LAST_PANIC_SITE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// location and thread name into a thread-local before delegating to the
+/// previous hook. A literal scoped swap (`take_hook`/`set_hook` around
+/// each run) would race under the parallel suite map — the hook registry
+/// is process-global — so the delegating hook is installed permanently and
+/// the thread-local keeps attribution per worker.
+fn install_panic_site_capture() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let location =
+                info.location().map_or_else(|| "unknown location".to_owned(), ToString::to_string);
+            let thread = std::thread::current().name().unwrap_or("unnamed").to_owned();
+            LAST_PANIC_SITE.with(|site| {
+                *site.borrow_mut() = Some(format!("{location}, thread {thread}"));
+            });
+            previous(info);
+        }));
+    });
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
@@ -79,17 +116,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".into())
 }
 
+/// The panic message plus the site the hook captured on this thread (the
+/// panic unwound to here, so the capturing thread is this one).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = panic_message(payload);
+    match LAST_PANIC_SITE.with(|site| site.borrow_mut().take()) {
+        Some(site) => format!("{message} (at {site})"),
+        None => message,
+    }
+}
+
 /// Runs `f` with panic isolation and a single retry.
 ///
-/// Panics become [`SimError::RunFailed`] and are retried once; deterministic
-/// errors ([`SimError::UnknownBenchmark`], [`SimError::InvalidSpec`]) are
-/// not retried — they would fail identically.
+/// Panics become [`SimError::RunFailed`] — carrying the originating panic
+/// location and thread — and are retried once; deterministic errors
+/// ([`SimError::UnknownBenchmark`], [`SimError::InvalidSpec`]) are not
+/// retried — they would fail identically.
 ///
 /// # Errors
 ///
 /// The [`SkippedRun`] (name, attempt count, terminal error) when both
 /// attempts fail.
 pub fn isolated<T>(name: &str, f: impl Fn() -> Result<T, SimError>) -> Result<T, SkippedRun> {
+    install_panic_site_capture();
     let mut attempts = 0;
     loop {
         attempts += 1;
@@ -105,7 +154,7 @@ pub fn isolated<T>(name: &str, f: impl Fn() -> Result<T, SimError>) -> Result<T,
             }
             Err(payload) => SimError::RunFailed {
                 benchmark: name.to_owned(),
-                reason: panic_message(payload.as_ref()),
+                reason: panic_reason(payload.as_ref()),
             },
         };
         if attempts >= 2 {
@@ -114,19 +163,28 @@ pub fn isolated<T>(name: &str, f: impl Fn() -> Result<T, SimError>) -> Result<T,
     }
 }
 
-/// Maps `f` over the benchmark suite with per-run isolation, collecting
-/// completed rows and skipped runs.
-pub fn map_suite<T>(f: impl Fn(&str) -> Result<T, SimError>) -> SuiteOutcome<T> {
+/// Maps `f` over the benchmark suite in parallel with per-run isolation,
+/// collecting completed rows and skipped runs in suite order.
+pub fn map_suite<T: Send>(f: impl Fn(&str) -> Result<T, SimError> + Sync) -> SuiteOutcome<T> {
     map_names(&bitline_workloads::suite::names(), f)
 }
 
 /// [`map_suite`] over an explicit name list (sweeps label units of work
 /// `benchmark@threshold` and pass those here).
-pub fn map_names<T>(names: &[&str], f: impl Fn(&str) -> Result<T, SimError>) -> SuiteOutcome<T> {
+///
+/// Units run on the `bitline-exec` pool — `BITLINE_JOBS` workers, default
+/// available parallelism — but `rows` and `skipped` always come back in
+/// `names` order, so driver output is independent of the job count.
+pub fn map_names<T: Send>(
+    names: &[&str],
+    f: impl Fn(&str) -> Result<T, SimError> + Sync,
+) -> SuiteOutcome<T> {
+    let results =
+        bitline_exec::pool::run_indexed(names.len(), |i| isolated(names[i], || f(names[i])));
     let mut rows = Vec::with_capacity(names.len());
     let mut skipped = Vec::new();
-    for name in names {
-        match isolated(name, || f(name)) {
+    for result in results {
+        match result {
             Ok(row) => rows.push(row),
             Err(skip) => skipped.push(skip),
         }
@@ -163,7 +221,20 @@ mod tests {
     fn isolated_gives_up_after_two_panics() {
         let skip = isolated("poisoned", || -> Result<(), SimError> { panic!("boom") }).unwrap_err();
         assert_eq!(skip.attempts, 2);
-        assert!(matches!(skip.error, SimError::RunFailed { ref reason, .. } if reason == "boom"));
+        assert!(matches!(skip.error, SimError::RunFailed { ref reason, .. }
+            if reason.starts_with("boom")));
+    }
+
+    #[test]
+    fn panic_reasons_carry_the_originating_location() {
+        let skip =
+            isolated("located", || -> Result<(), SimError> { panic!("find me") }).unwrap_err();
+        let SimError::RunFailed { reason, .. } = skip.error else {
+            panic!("expected RunFailed, got {:?}", skip.error)
+        };
+        assert!(reason.contains("find me"), "message survives: {reason}");
+        assert!(reason.contains("harness.rs"), "location captured: {reason}");
+        assert!(reason.contains("thread "), "thread captured: {reason}");
     }
 
     #[test]
@@ -191,5 +262,25 @@ mod tests {
         assert_eq!(outcome.skipped[0].name, "b");
         assert_eq!(outcome.skipped[0].attempts, 2);
         assert!(!outcome.is_complete());
+    }
+
+    #[test]
+    fn map_names_order_is_job_count_independent() {
+        let run = |jobs| {
+            bitline_exec::pool::with_jobs(jobs, || {
+                map_names(&["w", "x", "y", "z"], |name| {
+                    if name == "y" {
+                        return Err(SimError::InvalidSpec("y is bad".into()));
+                    }
+                    Ok(name.to_owned())
+                })
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.rows, vec!["w", "x", "z"]);
+        assert_eq!(parallel.rows, serial.rows);
+        assert_eq!(parallel.skipped.len(), 1);
+        assert_eq!(parallel.skipped[0].name, "y");
     }
 }

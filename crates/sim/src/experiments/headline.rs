@@ -5,7 +5,7 @@ use bitline_energy::ProcessorEnergyModel;
 use bitline_workloads::suite;
 
 use crate::experiments::fig8;
-use crate::{run_benchmark, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
 
 /// The headline numbers at 70 nm.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +49,7 @@ pub fn run(instrs: u64) -> Headline {
     let mut replay_ovh = 0.0;
     let context_names: Vec<&str> = suite::names().into_iter().step_by(4).collect();
     for name in &context_names {
-        let gated = run_benchmark(
+        let gated = run_benchmark_cached(
             name,
             &SystemSpec {
                 d_policy: PolicyKind::GatedPredecode { threshold: 100 },

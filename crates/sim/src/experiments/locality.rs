@@ -1,8 +1,9 @@
 //! Figures 5 and 6: subarray reference locality.
 
-use bitline_workloads::suite;
-
-use crate::{run_benchmark, LocalityStats, PolicyKind, SystemSpec, FIG5_BUCKETS, FIG6_THRESHOLDS};
+use crate::experiments::harness;
+use crate::{
+    run_benchmark_cached, LocalityStats, PolicyKind, SystemSpec, FIG5_BUCKETS, FIG6_THRESHOLDS,
+};
 
 /// One benchmark's locality profile for one cache.
 #[derive(Debug, Clone)]
@@ -37,19 +38,20 @@ fn row(benchmark: &str, stats: &LocalityStats) -> LocalityRow {
 /// Gathers Figures 5 and 6 for all sixteen benchmarks.
 #[must_use]
 pub fn run(instrs: u64) -> LocalityResult {
-    let mut data = Vec::new();
-    let mut inst = Vec::new();
-    for name in suite::names() {
+    let outcome = harness::map_suite(|name| {
         let spec = SystemSpec {
             d_policy: PolicyKind::LocalityRecorder,
             i_policy: PolicyKind::LocalityRecorder,
             instructions: instrs,
             ..SystemSpec::default()
         };
-        let result = run_benchmark(name, &spec);
-        data.push(row(name, result.d_locality.as_ref().expect("recorder attached")));
-        inst.push(row(name, result.i_locality.as_ref().expect("recorder attached")));
-    }
+        let result = run_benchmark_cached(name, &spec);
+        let d = row(name, result.d_locality.as_ref().expect("recorder attached"));
+        let i = row(name, result.i_locality.as_ref().expect("recorder attached"));
+        Ok((d, i))
+    });
+    outcome.report_skipped("locality");
+    let (data, inst) = outcome.expect_rows("locality").into_iter().unzip();
     LocalityResult { data, inst }
 }
 

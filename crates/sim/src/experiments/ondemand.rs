@@ -1,7 +1,7 @@
 //! Section 5: the performance cost of on-demand precharging.
 
 use crate::experiments::harness;
-use crate::{run_benchmark, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
 
 /// One benchmark's on-demand slowdowns.
 #[derive(Debug, Clone)]
@@ -20,9 +20,11 @@ pub struct OnDemandRow {
 #[must_use]
 pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
     let outcome = harness::map_suite(|name| {
-        let base =
-            run_benchmark(name, &SystemSpec { instructions: instrs, ..SystemSpec::default() });
-        let d = run_benchmark(
+        let base = run_benchmark_cached(
+            name,
+            &SystemSpec { instructions: instrs, ..SystemSpec::default() },
+        );
+        let d = run_benchmark_cached(
             name,
             &SystemSpec {
                 d_policy: PolicyKind::OnDemand,
@@ -30,7 +32,7 @@ pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
                 ..SystemSpec::default()
             },
         );
-        let i = run_benchmark(
+        let i = run_benchmark_cached(
             name,
             &SystemSpec {
                 i_policy: PolicyKind::OnDemand,

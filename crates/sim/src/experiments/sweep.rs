@@ -9,7 +9,9 @@
 use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
-use crate::{run_benchmark, try_run_benchmark, PolicyKind, RunResult, SystemSpec};
+use crate::{
+    run_benchmark_cached, try_run_benchmark_cached, EnergyPair, PolicyKind, RunResult, SystemSpec,
+};
 
 /// Threshold ladder swept for the per-benchmark optimum. The paper's
 /// optima are "on the order of 10 to 1000, with most clustered around 100".
@@ -41,6 +43,10 @@ pub struct GatedSweep {
     pub slowdown: f64,
     /// Its relative bitline discharge at the optimised node.
     pub relative_discharge: f64,
+    /// The winning run's `(policy, baseline)` energies at the optimised
+    /// node, carried so downstream consumers (Figure 8, headline) reuse
+    /// the sweep's pricing instead of re-pricing the run.
+    pub energy: EnergyPair,
 }
 
 fn spec_for(which: SweptCache, threshold: u64, instrs: u64) -> SystemSpec {
@@ -52,12 +58,16 @@ fn spec_for(which: SweptCache, threshold: u64, instrs: u64) -> SystemSpec {
     SystemSpec { d_policy: d, i_policy: i, instructions: instrs, ..SystemSpec::default() }
 }
 
-fn discharge_at(run: &RunResult, which: SweptCache, node: TechnologyNode) -> f64 {
-    let (policy, baseline) = run.energy(node);
-    match which {
+/// Prices `run` once at `node`, returning the energies and the swept
+/// cache's relative discharge.
+fn priced_at(run: &RunResult, which: SweptCache, node: TechnologyNode) -> (EnergyPair, f64) {
+    let energy = run.energy(node);
+    let (policy, baseline) = &energy;
+    let relative = match which {
         SweptCache::Data | SweptCache::DataNoPredecode => policy.d.relative_discharge(&baseline.d),
         SweptCache::Inst => policy.i.relative_discharge(&baseline.i),
-    }
+    };
+    (energy, relative)
 }
 
 /// Finds the per-benchmark optimum threshold for one cache at one node:
@@ -83,7 +93,7 @@ pub fn optimal_gated(
     for &threshold in &THRESHOLDS {
         let label = format!("{benchmark}@{threshold}");
         let run = match harness::isolated(&label, || {
-            try_run_benchmark(benchmark, &spec_for(which, threshold, instrs))
+            try_run_benchmark_cached(benchmark, &spec_for(which, threshold, instrs))
         }) {
             Ok(run) => run,
             Err(skip) => {
@@ -92,8 +102,8 @@ pub fn optimal_gated(
             }
         };
         let slowdown = run.slowdown_vs(baseline);
-        let relative_discharge = discharge_at(&run, which, node);
-        let candidate = GatedSweep { threshold, run, slowdown, relative_discharge };
+        let (energy, relative_discharge) = priced_at(&run, which, node);
+        let candidate = GatedSweep { threshold, run, slowdown, relative_discharge, energy };
         if slowdown <= MAX_SLOWDOWN {
             let better =
                 best.as_ref().is_none_or(|b| candidate.relative_discharge < b.relative_discharge);
@@ -122,10 +132,10 @@ pub fn fixed_gated(
     threshold: u64,
     instrs: u64,
 ) -> GatedSweep {
-    let run = run_benchmark(benchmark, &spec_for(which, threshold, instrs));
+    let run = run_benchmark_cached(benchmark, &spec_for(which, threshold, instrs));
     let slowdown = run.slowdown_vs(baseline);
-    let relative_discharge = discharge_at(&run, which, node);
-    GatedSweep { threshold, run, slowdown, relative_discharge }
+    let (energy, relative_discharge) = priced_at(&run, which, node);
+    GatedSweep { threshold, run, slowdown, relative_discharge, energy }
 }
 
 #[cfg(test)]
@@ -136,8 +146,10 @@ mod tests {
     #[test]
     fn sweep_respects_the_slowdown_budget_when_possible() {
         let instrs = 6_000;
-        let baseline =
-            run_benchmark("mesa", &SystemSpec { instructions: instrs, ..SystemSpec::default() });
+        let baseline = run_benchmark_cached(
+            "mesa",
+            &SystemSpec { instructions: instrs, ..SystemSpec::default() },
+        );
         let best = optimal_gated("mesa", SweptCache::Inst, TechnologyNode::N70, &baseline, instrs);
         assert!(best.relative_discharge < 1.0, "must save something");
         assert!(THRESHOLDS.contains(&best.threshold));

@@ -12,6 +12,14 @@
 //! policy) serves every node — only the energy pricing is node-specific
 //! ([`RunResult::energy`]).
 //!
+//! Suite-wide experiments run on the `bitline-exec` execution layer:
+//! benchmarks execute in parallel (`BITLINE_JOBS` jobs, default available
+//! parallelism), completed runs are memoized by `(benchmark,
+//! [`SystemSpec`])` ([`try_run_benchmark_cached`], stats via
+//! [`run_cache_stats`]), and each `(benchmark, seed)` synthetic trace is
+//! generated once and replayed into every run that wants it. Figure
+//! output is byte-identical regardless of job count.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,12 +42,17 @@
 
 mod config;
 mod error;
+mod execution;
 pub mod experiments;
 mod recorder;
 mod runner;
 
 pub use config::{FaultSpec, PolicyKind, SystemSpec};
 pub use error::SimError;
+pub use execution::{
+    clear_run_caches, exec_summary_line, run_benchmark_cached, run_cache_stats, trace_store_stats,
+    try_run_benchmark_cached,
+};
 pub use recorder::{LocalityRecorder, LocalityStats, FIG5_BUCKETS, FIG6_THRESHOLDS};
 pub use runner::{run_benchmark, try_run_benchmark, EnergyPair, RunEnergy, RunResult};
 

@@ -7,12 +7,12 @@ use bitline_cache::{ActivityReport, CacheConfig, MemorySystem, MemorySystemConfi
 use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
-use bitline_energy::{CacheEnergyBreakdown, EnergyAccountant};
+use bitline_energy::CacheEnergyBreakdown;
 use bitline_faults::{FaultInjectingPolicy, FaultReport};
-use bitline_workloads::suite;
 
 use crate::config::{PolicyKind, SystemSpec};
 use crate::error::SimError;
+use crate::execution;
 use crate::recorder::LocalityStats;
 
 /// Energy breakdowns for both L1s.
@@ -91,12 +91,13 @@ impl RunResult {
     /// Prices both caches at `node`, returning `(policy, baseline)` where
     /// the baseline is the analytic static-pull-up cache over the same
     /// cycles and access counts.
+    ///
+    /// The accountants (cache geometry + energy models) are memoized per
+    /// `(node, subarray_bytes)` process-wide: sweeps re-pricing hundreds
+    /// of runs across nodes build each model once.
     #[must_use]
     pub fn energy(&self, node: TechnologyNode) -> EnergyPair {
-        let d_cfg = CacheConfig::l1_data().with_subarray_bytes(self.spec.subarray_bytes);
-        let i_cfg = CacheConfig::l1_inst().with_subarray_bytes(self.spec.subarray_bytes);
-        let d_acct = EnergyAccountant::new(node, d_cfg);
-        let i_acct = EnergyAccountant::new(node, i_cfg);
+        let (d_acct, i_acct) = execution::accountants(node, self.spec.subarray_bytes);
         let d_reads = self.stats.loads;
         let d_writes = self.stats.stores;
         let i_reads = self.i_hit_miss.0 + self.i_hit_miss.1;
@@ -132,9 +133,11 @@ impl RunResult {
 /// [`SimError::InvalidSpec`] when [`SystemSpec::validate`] rejects `spec`.
 pub fn try_run_benchmark(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
     spec.validate()?;
-    let workload =
-        suite::by_name(name).ok_or_else(|| SimError::UnknownBenchmark(name.to_owned()))?;
-    let mut trace = workload.build(spec.seed);
+    // Replay the benchmark's shared trace: the synthetic stream for this
+    // (benchmark, seed) is generated once per process and every run —
+    // concurrent or repeated — reads the same materialised prefix.
+    let mut trace = execution::trace_cursor(name, spec.seed)
+        .ok_or_else(|| SimError::UnknownBenchmark(name.to_owned()))?;
 
     // The architectural pipeline is node-independent; build policies at the
     // newest node (their cycle penalties are identical across nodes).
