@@ -5,7 +5,11 @@
 #   ./ci.sh smoke    timed headline smoke: runs the headline figure at
 #                    jobs=1 and jobs=N, fails if the figure differs, and
 #                    writes wall-clock + run-cache stats to
-#                    BENCH_headline.json
+#                    BENCH_headline.json; then exercises run supervision:
+#                    a tiny --run-budget must surface as timed-out, and a
+#                    SIGKILL-interrupted --checkpoint sweep must resume to
+#                    byte-identical output without recomputing journaled
+#                    runs
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -52,7 +56,9 @@ smoke() {
     hits=$(sed -n 's/.*run-cache: \([0-9]*\) hits.*/\1/p' "$err_parallel" | tail -n 1)
     misses=$(sed -n 's/.*hits, \([0-9]*\) misses.*/\1/p' "$err_parallel" | tail -n 1)
 
-    cat >BENCH_headline.json <<EOF
+    # Temp-file + rename in the same directory: a crash mid-write never
+    # leaves a truncated BENCH_headline.json behind.
+    cat >"BENCH_headline.json.tmp.$$" <<EOF
 {
   "bench": "headline",
   "instructions": $instrs,
@@ -64,8 +70,72 @@ smoke() {
   "output_identical": true
 }
 EOF
+    mv "BENCH_headline.json.tmp.$$" BENCH_headline.json
     echo "==> smoke: serial ${secs_serial}s, parallel(${jobs_n}) ${secs_parallel}s"
     echo "==> smoke: wrote BENCH_headline.json"
+
+    resume_smoke "$instrs" "$jobs_n"
+}
+
+resume_smoke() {
+    local instrs="$1" jobs_n="$2"
+    local sim=./target/debug/bitline-sim
+    echo "==> smoke: build bitline-sim"
+    cargo build -q -p bitline-sim
+
+    echo "==> smoke: a run over budget surfaces as timed-out"
+    local to_err="$SMOKE_TMP/timeout.err"
+    if "$sim" -b gcc -i 500000 --run-budget 0.001ms >/dev/null 2>"$to_err"; then
+        echo "==> smoke: FAIL — a 1us budget cannot complete a 500k-instruction run" >&2
+        exit 1
+    fi
+    if ! grep -q "timed-out" "$to_err" || ! grep -q "2 attempt" "$to_err"; then
+        echo "==> smoke: FAIL — timeout must be reported as timed-out after 2 attempts" >&2
+        cat "$to_err" >&2
+        exit 1
+    fi
+
+    echo "==> smoke: resume — reference sweep (no checkpoint)"
+    local ref="$SMOKE_TMP/ref.out" ckpt="$SMOKE_TMP/ckpt"
+    "$sim" -b all -i "$instrs" -j "$jobs_n" >"$ref" 2>/dev/null
+
+    echo "==> smoke: resume — cold sweep SIGKILLed mid-flight"
+    "$sim" -b all -i "$instrs" -j 1 --checkpoint "$ckpt" >/dev/null 2>&1 &
+    local pid=$!
+    sleep 0.3
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+
+    echo "==> smoke: resume — restarted sweep completes from the journal"
+    local resumed="$SMOKE_TMP/resumed.out"
+    "$sim" -b all -i "$instrs" -j "$jobs_n" --checkpoint "$ckpt" \
+        >"$resumed" 2>"$SMOKE_TMP/resumed.err"
+    if ! diff -u "$ref" "$resumed"; then
+        echo "==> smoke: FAIL — resumed sweep differs from the uncheckpointed reference" >&2
+        exit 1
+    fi
+
+    echo "==> smoke: resume — warm sweep replays every journaled run"
+    local warm="$SMOKE_TMP/warm.out" warm_err="$SMOKE_TMP/warm.err"
+    "$sim" -b all -i "$instrs" -j "$jobs_n" --checkpoint "$ckpt" >"$warm" 2>"$warm_err"
+    if ! diff -u "$ref" "$warm"; then
+        echo "==> smoke: FAIL — warm sweep differs from the reference" >&2
+        exit 1
+    fi
+    local replayed recomputed
+    replayed=$(sed -n 's/.*journal: \([0-9]*\) replayed.*/\1/p' "$warm_err" | tail -n 1)
+    recomputed=$(sed -n 's/.*appended, \([0-9]*\) recomputed.*/\1/p' "$warm_err" | tail -n 1)
+    if [[ -z "$replayed" || "$replayed" -eq 0 ]]; then
+        echo "==> smoke: FAIL — warm sweep replayed nothing from the journal" >&2
+        cat "$warm_err" >&2
+        exit 1
+    fi
+    if [[ -z "$recomputed" || "$recomputed" -ne 0 ]]; then
+        echo "==> smoke: FAIL — warm sweep recomputed ${recomputed:-?} journaled run(s)" >&2
+        cat "$warm_err" >&2
+        exit 1
+    fi
+    echo "==> smoke: resume OK — $replayed runs replayed, 0 recomputed"
 }
 
 if [[ "${1:-}" == "smoke" ]]; then

@@ -12,6 +12,7 @@ use bitline_sim::experiments::{optimal_gated, SweptCache};
 use bitline_sim::{default_instructions, run_benchmark, SystemSpec};
 
 fn main() {
+    bitline_bench::init_supervision();
     let instrs = default_instructions();
     banner("Ablations: replay scope and predecoding", "Sections 6.3-6.4");
 

@@ -1,11 +1,12 @@
 //! Figure 10: effect of subarray size.
 
-use bitline_bench::{banner, rel};
+use bitline_bench::{banner, rel, run_or_exit};
 use bitline_sim::{default_instructions, experiments::fig10};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 10: Effect of subarray size (gated precharging, 70nm)", "Figure 10");
-    let rows = fig10::run(default_instructions());
+    let rows = run_or_exit("fig10", fig10::run(default_instructions()));
     if let Some(dir) = bitline_sim::experiments::export::export_dir() {
         match bitline_sim::experiments::export::write_fig10(&dir, &rows) {
             Ok(p) => println!("  exported {}", p.display()),

@@ -1,11 +1,12 @@
 //! Figure 3: potential bitline discharge savings (oracle).
 
-use bitline_bench::{banner, rel};
+use bitline_bench::{banner, rel, run_or_exit};
 use bitline_sim::{default_instructions, experiments::fig3};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 3: Potential bitline discharge savings (oracle, 70nm)", "Figure 3");
-    let (rows, avg) = fig3::run(default_instructions());
+    let (rows, avg) = run_or_exit("fig3", fig3::run(default_instructions()));
     println!(
         "{:>10} {:>12} {:>12}   (relative bitline discharge; lower is better)",
         "benchmark", "data", "instruction"

@@ -1,12 +1,13 @@
 //! Figure 5: cumulative distribution of cache accesses vs. subarray access
 //! frequency.
 
-use bitline_bench::banner;
+use bitline_bench::{banner, run_or_exit};
 use bitline_sim::{default_instructions, experiments::locality};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 5: Cache-access CDF vs. subarray access frequency", "Figure 5");
-    let res = locality::run(default_instructions());
+    let res = run_or_exit("fig5", locality::run(default_instructions()));
     let labels = locality::bucket_labels();
     for (title, rows) in [("(a) Data Cache", &res.data), ("(b) Instruction Cache", &res.inst)] {
         println!("{title}");

@@ -1,11 +1,12 @@
 //! Figure 6: fraction of hot subarrays vs. access-frequency threshold.
 
-use bitline_bench::banner;
+use bitline_bench::{banner, run_or_exit};
 use bitline_sim::{default_instructions, experiments::locality};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 6: Fraction of hot subarrays", "Figure 6");
-    let res = locality::run(default_instructions());
+    let res = run_or_exit("fig6", locality::run(default_instructions()));
     let labels = locality::threshold_labels();
     for (title, rows) in [("(a) Data Cache", &res.data), ("(b) Instruction Cache", &res.inst)] {
         println!("{title}");

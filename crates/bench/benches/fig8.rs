@@ -1,11 +1,12 @@
 //! Figure 8: gated precharging per benchmark at 70nm.
 
-use bitline_bench::{banner, pct, rel};
+use bitline_bench::{banner, pct, rel, run_or_exit};
 use bitline_sim::{default_instructions, experiments::fig8};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 8: Gated precharging (70nm, per-benchmark optimum thresholds)", "Figure 8");
-    let (rows, summary) = fig8::run(default_instructions());
+    let (rows, summary) = run_or_exit("fig8", fig8::run(default_instructions()));
     println!(
         "{:>10} | {:>9} {:>9} {:>5} {:>8} | {:>9} {:>9} {:>5} {:>8}",
         "benchmark", "D prechg", "D disch", "D t", "D slow", "I prechg", "I disch", "I t", "I slow"

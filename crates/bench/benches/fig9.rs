@@ -1,11 +1,12 @@
 //! Figure 9: gated precharging vs. resizable caches across nodes.
 
-use bitline_bench::{banner, rel};
+use bitline_bench::{banner, rel, run_or_exit};
 use bitline_sim::{default_instructions, experiments::fig9};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Figure 9: Gated precharging vs. resizable caches", "Figure 9");
-    let rows = fig9::run(default_instructions());
+    let rows = run_or_exit("fig9", fig9::run(default_instructions()));
     if let Some(dir) = bitline_sim::experiments::export::export_dir() {
         match bitline_sim::experiments::export::write_fig9(&dir, &rows) {
             Ok(p) => println!("  exported {}", p.display()),

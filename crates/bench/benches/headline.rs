@@ -1,11 +1,12 @@
 //! The headline result (abstract / conclusions).
 
-use bitline_bench::{banner, pct};
+use bitline_bench::{banner, pct, run_or_exit};
 use bitline_sim::{default_instructions, experiments::headline};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Headline: gated precharging at 70nm", "Abstract & Section 8");
-    let h = headline::run(default_instructions());
+    let h = run_or_exit("headline", headline::run(default_instructions()));
     println!(
         "  bitline discharge reduction:  D {}  I {}   (paper: 83% / 87%)",
         pct(h.d_discharge_reduction),

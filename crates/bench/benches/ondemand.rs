@@ -1,11 +1,12 @@
 //! Section 5: on-demand precharging performance cost.
 
-use bitline_bench::{banner, pct};
+use bitline_bench::{banner, pct, run_or_exit};
 use bitline_sim::{default_instructions, experiments::ondemand};
 
 fn main() {
+    bitline_bench::init_supervision();
     banner("Section 5: On-demand precharging slowdown", "Section 5 (Table 3 discussion)");
-    let (rows, avg) = ondemand::run(default_instructions());
+    let (rows, avg) = run_or_exit("ondemand", ondemand::run(default_instructions()));
     println!("{:>10} {:>10} {:>10}   (slowdown vs. static pull-up)", "benchmark", "data", "inst");
     for r in rows.iter().chain(std::iter::once(&avg)) {
         println!("{:>10} {:>10} {:>10}", r.benchmark, pct(r.d_slowdown), pct(r.i_slowdown));

@@ -27,6 +27,32 @@ pub fn rel(x: f64) -> String {
     format!("{x:5.3}")
 }
 
+/// Arms run supervision from `BITLINE_RUN_BUDGET` / `BITLINE_CHECKPOINT` /
+/// `BITLINE_NO_RESUME` before the figure starts; a malformed configuration
+/// aborts the driver with exit status 1.
+///
+/// Drivers call this first so every simulated run is covered by the budget
+/// and lands in the checkpoint journal.
+pub fn init_supervision() {
+    if let Err(e) = bitline_sim::init_supervision_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Unwraps a figure result, aborting the driver with exit status 1 when
+/// every run in the suite failed (partial suites return `Ok` with fewer
+/// rows and a stderr warning).
+pub fn run_or_exit<T>(what: &str, result: Result<T, bitline_sim::SimError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints the execution layer's job count and cache statistics to stderr.
 ///
 /// Drivers call this after their figure so the stats reflect the whole

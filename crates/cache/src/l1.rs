@@ -466,10 +466,10 @@ mod tests {
             }
             fn access(&mut self, _s: usize, _c: u64) -> u32 {
                 self.n += 1;
-                if self.n % 3 == 0 {
+                if self.n.is_multiple_of(3) {
                     self.pending =
                         Some(crate::policy::FaultEvent::DetectedUpset { retry_cycles: 2 });
-                } else if self.n % 7 == 0 {
+                } else if self.n.is_multiple_of(7) {
                     self.pending = Some(crate::policy::FaultEvent::SilentUpset);
                 }
                 0

@@ -54,6 +54,20 @@ impl IdleHistogram {
             .map(|(b, &c)| (1.5 * (1u64 << b) as f64, c))
     }
 
+    /// Raw bucket counts, index `b` covering idle durations around
+    /// `1.5 * 2^b` cycles (for external serialization).
+    #[must_use]
+    pub fn counts(&self) -> &[u64; IDLE_BUCKETS] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the inverse of
+    /// [`IdleHistogram::counts`]).
+    #[must_use]
+    pub fn from_counts(counts: [u64; IDLE_BUCKETS]) -> IdleHistogram {
+        IdleHistogram { counts }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &IdleHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -327,13 +341,13 @@ mod tests {
 
     #[test]
     fn report_aggregates() {
-        let mut a = SubarrayActivity::default();
-        a.accesses = 10;
-        a.delayed_accesses = 2;
-        a.pulled_up_cycles = 50.0;
-        let mut b = SubarrayActivity::default();
-        b.accesses = 30;
-        b.pulled_up_cycles = 150.0;
+        let a = SubarrayActivity {
+            accesses: 10,
+            delayed_accesses: 2,
+            pulled_up_cycles: 50.0,
+            ..Default::default()
+        };
+        let b = SubarrayActivity { accesses: 30, pulled_up_cycles: 150.0, ..Default::default() };
         let r = ActivityReport { policy: "test".into(), end_cycle: 100, per_subarray: vec![a, b] };
         assert_eq!(r.total_accesses(), 40);
         assert_eq!(r.total_delayed(), 2);

@@ -199,10 +199,8 @@ mod tests {
 
     #[test]
     fn generations_are_sequential() {
-        let mut expected = 0;
-        for node in TechnologyNode::ALL {
-            assert_eq!(node.generation(), expected);
-            expected += 1;
+        for (expected, node) in TechnologyNode::ALL.into_iter().enumerate() {
+            assert_eq!(node.generation(), u32::try_from(expected).unwrap());
         }
     }
 

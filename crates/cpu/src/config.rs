@@ -135,8 +135,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fetch queue")]
     fn validate_rejects_tiny_fetch_queue() {
-        let mut c = CpuConfig::default();
-        c.fetch_queue = 4;
+        let c = CpuConfig { fetch_queue: 4, ..Default::default() };
         c.validate();
     }
 }

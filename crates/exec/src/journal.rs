@@ -1,0 +1,434 @@
+//! Crash-safe append-only checkpoint journal.
+//!
+//! A [`Journal`] records completed units of work so a killed sweep can be
+//! resumed without recomputing the finished prefix. The format is built
+//! for exactly one failure model — the process dies (crash, SIGKILL, power
+//! loss) at an arbitrary byte boundary — and favours simplicity over
+//! density:
+//!
+//! ```text
+//! file   := magic entry*
+//! magic  := "BLJRNL1\n"                      (8 bytes)
+//! entry  := len:u32le crc:u32le payload      (crc = CRC-32/IEEE of payload)
+//! payload:= klen:u32le key[klen] value[..]   (value = len - 4 - klen bytes)
+//! ```
+//!
+//! * **Appends are atomic enough**: an entry is written with a single
+//!   `write_all` and flushed + `sync_data`'d before `append` returns. A
+//!   crash mid-append leaves a truncated tail, which the loader detects
+//!   (length runs past EOF) and drops — every previously synced entry
+//!   survives.
+//! * **Corruption is quarantined, never trusted**: a CRC mismatch skips
+//!   that entry (its length prefix still frames it) and keeps scanning;
+//!   an implausible length ends the scan. Either way the journal is
+//!   compacted — rewritten with only the verified entries via a temp file
+//!   in the same directory plus an atomic rename — so damage cannot
+//!   accumulate.
+//! * **Duplicate keys resolve to the newest entry**, letting a writer
+//!   re-append rather than rewrite in place.
+//!
+//! The journal stores opaque byte values; serialization of the domain type
+//! (`RunResult` in `bitline-sim`) lives with the domain.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// File magic: identifies a bitline run journal, version 1.
+const MAGIC: &[u8; 8] = b"BLJRNL1\n";
+
+/// Journal filename inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "runs.journal";
+
+/// Upper bound on a single entry's length prefix. Entries are run results
+/// (a few KiB); anything past this is treated as corruption, not data.
+const MAX_ENTRY_BYTES: u32 = 64 * 1024 * 1024;
+
+/// One verified entry loaded from a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The unit-of-work key (e.g. `benchmark@spec-hash`).
+    pub key: String,
+    /// Opaque serialized value.
+    pub value: Vec<u8>,
+}
+
+/// What a [`Journal::open`] scan found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries that passed framing + CRC and were returned.
+    pub loaded: usize,
+    /// Entries dropped for CRC mismatch or bad framing.
+    pub quarantined: usize,
+    /// Whether the file ended in a partial entry (crash mid-append).
+    pub truncated_tail: bool,
+    /// Whether the file was compacted (rewritten without damage).
+    pub compacted: bool,
+}
+
+/// Append-only checkpoint journal; see the module docs for the format.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    keys: HashSet<String>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal in `dir`, returning the verified
+    /// entries already on disk and a report of what the scan found.
+    ///
+    /// If the scan detects any damage — a truncated tail or quarantined
+    /// entries — the file is compacted: rewritten with only the verified
+    /// entries via temp-file + rename, so the damage is gone before the
+    /// first new append.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory, reading, or rewriting the
+    /// journal. Corruption inside the file is never an error — it is
+    /// quarantined and reported.
+    pub fn open(dir: &Path) -> std::io::Result<(Journal, Vec<JournalEntry>, LoadReport)> {
+        Journal::open_inner(dir, true)
+    }
+
+    /// Opens the journal in `dir`, discarding any existing entries
+    /// (`--no-resume`): the file is truncated and started afresh.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory or the journal file.
+    pub fn open_fresh(dir: &Path) -> std::io::Result<Journal> {
+        let (journal, _, _) = Journal::open_inner(dir, false)?;
+        Ok(journal)
+    }
+
+    fn open_inner(
+        dir: &Path,
+        resume: bool,
+    ) -> std::io::Result<(Journal, Vec<JournalEntry>, LoadReport)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+
+        let (entries, report) = if resume && path.exists() {
+            let bytes = fs::read(&path)?;
+            scan(&bytes)
+        } else {
+            (Vec::new(), LoadReport::default())
+        };
+
+        let needs_rewrite = !resume || report.quarantined > 0 || report.truncated_tail;
+        let mut report = report;
+        if needs_rewrite {
+            let mut clean = Vec::with_capacity(MAGIC.len());
+            clean.extend_from_slice(MAGIC);
+            for e in &entries {
+                clean.extend_from_slice(&frame(&e.key, &e.value));
+            }
+            atomic_write(&path, &clean)?;
+            report.compacted = resume;
+        } else if !path.exists() {
+            atomic_write(&path, MAGIC)?;
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        let keys = entries.iter().map(|e| e.key.clone()).collect();
+        Ok((Journal { file, path, keys }, entries, report))
+    }
+
+    /// Whether `key` already has a journaled entry (loaded or appended).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of distinct journaled keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the journal holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Path of the journal file on disk.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry and syncs it to disk before returning; a crash
+    /// after `append` returns cannot lose the entry.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing or syncing the journal file.
+    pub fn append(&mut self, key: &str, value: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(&frame(key, value))?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.keys.insert(key.to_owned());
+        Ok(())
+    }
+}
+
+/// Frames one `(key, value)` pair as a journal entry.
+fn frame(key: &str, value: &[u8]) -> Vec<u8> {
+    let klen = u32::try_from(key.len()).expect("journal key fits in u32");
+    let mut payload = Vec::with_capacity(4 + key.len() + value.len());
+    payload.extend_from_slice(&klen.to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload.extend_from_slice(value);
+
+    let len = u32::try_from(payload.len()).expect("journal entry fits in u32");
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Scans raw journal bytes, returning every verified entry (newest wins on
+/// duplicate keys is the *caller's* concern — entries are returned in file
+/// order) and a report of the damage encountered.
+fn scan(bytes: &[u8]) -> (Vec<JournalEntry>, LoadReport) {
+    let mut report = LoadReport::default();
+    let mut entries = Vec::new();
+
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Wrong or missing magic: nothing in the file can be trusted.
+        if !bytes.is_empty() {
+            report.quarantined += 1;
+        }
+        report.truncated_tail = !bytes.is_empty() && bytes.len() < MAGIC.len();
+        return (entries, report);
+    }
+
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            report.truncated_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+        if len < 4 || len > MAX_ENTRY_BYTES as usize {
+            // Implausible frame: cannot re-synchronise, stop scanning.
+            report.quarantined += 1;
+            break;
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            report.truncated_tail = true;
+            break;
+        };
+        pos += 8 + len;
+        if crc32(payload) != crc {
+            report.quarantined += 1;
+            continue;
+        }
+        let klen = u32::from_le_bytes(payload[..4].try_into().expect("4-byte slice")) as usize;
+        let Some(key_bytes) = payload.get(4..4 + klen) else {
+            report.quarantined += 1;
+            continue;
+        };
+        let Ok(key) = std::str::from_utf8(key_bytes) else {
+            report.quarantined += 1;
+            continue;
+        };
+        entries.push(JournalEntry { key: key.to_owned(), value: payload[4 + klen..].to_vec() });
+        report.loaded += 1;
+    }
+    (entries, report)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the destination
+/// directory, flush + sync, then rename over the target. Readers see
+/// either the old contents or the new, never a truncated mix.
+///
+/// # Errors
+///
+/// I/O failure creating, writing, syncing, or renaming the temp file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.flush()?;
+    file.sync_data()?;
+    drop(file);
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Reads a journal file's verified entries without opening it for append.
+///
+/// # Errors
+///
+/// I/O failure reading the file; a missing file yields zero entries.
+pub fn read_entries(path: &Path) -> std::io::Result<(Vec<JournalEntry>, LoadReport)> {
+    if !path.exists() {
+        return Ok((Vec::new(), LoadReport::default()));
+    }
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(scan(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bitline-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/IEEE of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (mut j, entries, report) = Journal::open(&dir).expect("open");
+            assert!(entries.is_empty());
+            assert_eq!(report, LoadReport::default());
+            j.append("a", b"alpha").expect("append");
+            j.append("b", &[0, 1, 2, 255]).expect("append");
+            assert!(j.contains("a") && j.contains("b"));
+            assert_eq!(j.len(), 2);
+        }
+        let (j, entries, report) = Journal::open(&dir).expect("reopen");
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.quarantined, 0);
+        assert!(!report.compacted);
+        assert_eq!(
+            entries,
+            vec![
+                JournalEntry { key: "a".into(), value: b"alpha".to_vec() },
+                JournalEntry { key: "b".into(), value: vec![0, 1, 2, 255] },
+            ]
+        );
+        assert!(j.contains("b"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_fresh_discards_existing_entries() {
+        let dir = tmp_dir("fresh");
+        {
+            let (mut j, _, _) = Journal::open(&dir).expect("open");
+            j.append("a", b"alpha").expect("append");
+        }
+        let j = Journal::open_fresh(&dir).expect("open fresh");
+        assert!(j.is_empty());
+        let (_, entries, _) = Journal::open(&dir).expect("reopen");
+        assert!(entries.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_compacted() {
+        let dir = tmp_dir("trunc");
+        {
+            let (mut j, _, _) = Journal::open(&dir).expect("open");
+            j.append("whole", b"kept").expect("append");
+            j.append("partial", b"lost-on-crash").expect("append");
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+
+        let (_, entries, report) = Journal::open(&dir).expect("reopen");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "whole");
+        assert!(report.truncated_tail);
+        assert!(report.compacted);
+
+        // After compaction the file is clean again.
+        let (_, entries, report) = Journal::open(&dir).expect("re-reopen");
+        assert_eq!(entries.len(), 1);
+        assert!(!report.truncated_tail && !report.compacted);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bit_is_quarantined() {
+        let dir = tmp_dir("crc");
+        {
+            let (mut j, _, _) = Journal::open(&dir).expect("open");
+            j.append("good", b"first").expect("append");
+            j.append("bad", b"second").expect("append");
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40; // flip a bit in the last entry's value
+        fs::write(&path, &bytes).expect("write");
+
+        let (j, entries, report) = Journal::open(&dir).expect("reopen");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "good");
+        assert_eq!(report.quarantined, 1);
+        assert!(report.compacted);
+        assert!(!j.contains("bad"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmp_dir("atomic");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"one").expect("write");
+        atomic_write(&path, b"two").expect("rewrite");
+        assert_eq!(fs::read(&path).expect("read"), b"two");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

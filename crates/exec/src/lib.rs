@@ -21,6 +21,12 @@
 //!   the same generated prefix through cheap [`TraceCursor`]s instead of
 //!   regenerating it.
 //!
+//! Two supervision primitives ride on top: [`CancelToken`]/[`Deadline`]
+//! give every unit of work a pollable wall-clock budget
+//! ([`pool::run_indexed_supervised`] arms one per unit), and [`journal`]
+//! is a crash-safe append-only checkpoint journal so a killed sweep can
+//! resume from its completed prefix instead of recomputing it.
+//!
 //! The determinism argument is simple: each unit of work is a pure
 //! function of its inputs (simulations are seeded and self-contained), the
 //! pool reorders only *scheduling*, never results, and both caches hand
@@ -43,9 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 mod memo;
 pub mod pool;
+mod supervise;
 mod traces;
 
+pub use journal::{atomic_write, Journal, JournalEntry, LoadReport};
 pub use memo::{CacheStats, MemoCache};
+pub use supervise::{CancelToken, Deadline};
 pub use traces::{TraceCursor, TraceStore, TraceStoreStats};

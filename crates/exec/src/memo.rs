@@ -96,6 +96,17 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
             .unwrap_or_else(|e| match e {})
     }
 
+    /// Stores `value` for `key` without touching the hit/miss counters;
+    /// the first write wins if the key is already filled. Used to warm
+    /// the cache from a checkpoint journal before any lookups happen.
+    pub fn insert(&self, key: K, value: V) {
+        let slot = Arc::clone(relock(self.slots.lock()).entry(key).or_default());
+        let mut stored = relock(slot.lock());
+        if stored.is_none() {
+            *stored = Some(value);
+        }
+    }
+
     /// Current counters and completed-entry count.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -168,6 +179,16 @@ mod tests {
         }));
         assert!(attempt.is_err());
         assert_eq!(cache.get_or_insert_with(5, || 11), 11);
+    }
+
+    #[test]
+    fn insert_warms_without_counting_and_first_write_wins() {
+        let cache: MemoCache<&'static str, u32> = MemoCache::new();
+        cache.insert("warm", 7);
+        cache.insert("warm", 9); // loses: first write wins
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0, entries: 1 });
+        assert_eq!(cache.get_or_insert_with("warm", || unreachable!()), 7);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0, entries: 1 });
     }
 
     #[test]

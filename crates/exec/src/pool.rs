@@ -17,6 +17,9 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::supervise::CancelToken;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -80,9 +83,30 @@ pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// `f` in their own `catch_unwind` (as `bitline-sim`'s experiment harness
 /// does) so one poisoned run cannot take down the whole suite.
 pub fn run_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_indexed_supervised(n, None, |i, _| f(i))
+}
+
+/// [`run_indexed`] with per-unit supervision: each unit receives a fresh
+/// [`CancelToken`] armed with `budget` (or an unbounded token when
+/// `budget` is `None`).
+///
+/// The token is created by the worker *when the unit is picked up*, not
+/// at submission, so queueing delay behind earlier units is never charged
+/// against a unit's budget. `f` is expected to poll
+/// [`CancelToken::cancelled`] and return an error value when asked to
+/// stop; the pool itself never kills a unit.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`, like [`run_indexed`].
+pub fn run_indexed_supervised<T: Send>(
+    n: usize,
+    budget: Option<Duration>,
+    f: impl Fn(usize, &CancelToken) -> T + Sync,
+) -> Vec<T> {
     let workers = jobs().min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| f(i, &CancelToken::for_budget(budget))).collect();
     }
     let next = AtomicUsize::new(0);
     let mut collected = std::thread::scope(|s| {
@@ -99,7 +123,7 @@ pub fn run_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
                             if i >= n {
                                 break;
                             }
-                            out.push((i, f(i)));
+                            out.push((i, f(i, &CancelToken::for_budget(budget))));
                         }
                         out
                     })
@@ -162,6 +186,27 @@ mod tests {
     fn zero_units_is_fine() {
         let out: Vec<u32> = with_jobs(4, || run_indexed(0, |_| unreachable!()));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn supervised_units_get_fresh_tokens_with_the_budget() {
+        let budget = Duration::from_secs(3600);
+        let out = with_jobs(4, || {
+            run_indexed_supervised(8, Some(budget), |i, token| {
+                assert!(!token.cancelled());
+                assert_eq!(token.budget(), Some(budget));
+                i
+            })
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn supervised_zero_budget_is_observed_by_every_unit() {
+        let cancelled = with_jobs(3, || {
+            run_indexed_supervised(6, Some(Duration::ZERO), |_, token| token.cancelled())
+        });
+        assert!(cancelled.iter().all(|&c| c));
     }
 
     #[test]

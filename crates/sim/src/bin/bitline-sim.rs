@@ -10,10 +10,16 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use bitline_cmos::TechnologyNode;
-use bitline_sim::{exec_summary_line, try_run_benchmark_cached, FaultSpec, PolicyKind, SystemSpec};
+use bitline_sim::experiments::harness;
+use bitline_sim::{
+    exec_summary_line, set_checkpoint, supervise, try_run_benchmark_cached, FaultSpec, PolicyKind,
+    SimError, SystemSpec,
+};
 use bitline_workloads::suite;
 
 #[derive(Debug)]
@@ -27,6 +33,9 @@ struct Args {
     seed: u64,
     way_prediction: bool,
     faults: FaultSpec,
+    run_budget: Option<Duration>,
+    checkpoint: Option<PathBuf>,
+    no_resume: bool,
     list: bool,
 }
 
@@ -42,6 +51,9 @@ impl Default for Args {
             seed: 42,
             way_prediction: false,
             faults: FaultSpec::default(),
+            run_budget: None,
+            checkpoint: None,
+            no_resume: false,
             list: false,
         }
     }
@@ -123,6 +135,11 @@ fn parse_args() -> Result<Args, String> {
                     value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
             }
             "--fail-safe" => args.faults.fail_safe = true,
+            "--run-budget" => {
+                args.run_budget = Some(supervise::parse_budget(&value(&flag)?)?);
+            }
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value(&flag)?)),
+            "--no-resume" => args.no_resume = true,
             "--jobs" | "-j" => {
                 let n: usize = value(&flag)?.parse().map_err(|_| "bad job count".to_owned())?;
                 if n == 0 {
@@ -159,6 +176,12 @@ fn print_help() {
     println!("      --fault-rate P      per-cold-access upset probability (default 0 = off)");
     println!("      --fault-seed S      fault-injector seed (default: fixed constant)");
     println!("      --fail-safe         pin upset-prone subarrays back to static pull-up");
+    println!("      --run-budget DUR    wall-clock budget per run, e.g. 500ms, 30s, 2m");
+    println!("                          (default: BITLINE_RUN_BUDGET env, else unbounded);");
+    println!("                          timed-out runs are retried once at twice the budget");
+    println!("      --checkpoint DIR    append finished runs to DIR/runs.journal and replay");
+    println!("                          them on the next invocation (crash-safe resume)");
+    println!("      --no-resume         keep journaling but ignore any existing journal");
     println!("  -j, --jobs N            worker threads for `all` (default: BITLINE_JOBS");
     println!("                          env, else available parallelism)");
     println!("  -l, --list              list benchmarks and exit");
@@ -175,7 +198,7 @@ fn icache_default(d: PolicyKind) -> PolicyKind {
 /// Runs one benchmark and renders its report. Returning the text (rather
 /// than printing directly) lets the `all` mode run benchmarks on the work
 /// pool and still print reports in suite order.
-fn run_one(name: &str, args: &Args) -> Result<String, String> {
+fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
     let spec = SystemSpec {
         d_policy: args.policy,
         i_policy: args.icache_policy.unwrap_or_else(|| icache_default(args.policy)),
@@ -194,8 +217,8 @@ fn run_one(name: &str, args: &Args) -> Result<String, String> {
         faults: FaultSpec { rate: 0.0, ..args.faults },
         ..spec
     };
-    let run = try_run_benchmark_cached(name, &spec).map_err(|e| e.to_string())?;
-    let baseline = try_run_benchmark_cached(name, &baseline_spec).map_err(|e| e.to_string())?;
+    let run = try_run_benchmark_cached(name, &spec)?;
+    let baseline = try_run_benchmark_cached(name, &baseline_spec)?;
     let (policy, base) = run.energy(args.node);
 
     let mut out = String::new();
@@ -237,6 +260,18 @@ fn run_one(name: &str, args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Arms run supervision from the environment, then lets CLI flags win.
+fn arm_supervision(args: &Args) -> Result<(), String> {
+    bitline_sim::init_supervision_from_env()?;
+    if args.run_budget.is_some() {
+        supervise::set_run_budget(args.run_budget);
+    }
+    if let Some(dir) = &args.checkpoint {
+        set_checkpoint(dir, !args.no_resume)?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -257,25 +292,38 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let outcome = if args.benchmark == "all" {
+    if let Err(e) = arm_supervision(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.benchmark == "all" {
         // Fan the suite out over the work pool; reports come back in suite
-        // order so the output is identical whatever the job count.
+        // order so the output is identical whatever the job count. A suite
+        // with some timed-out or failed benchmarks still succeeds (with a
+        // stderr warning); only an empty suite is a failure.
         let names = suite::names();
-        let reports = bitline_exec::pool::run_indexed(names.len(), |i| run_one(names[i], &args));
-        let result = reports.into_iter().try_for_each(|report| {
-            print!("{}", report?);
-            Ok(())
-        });
+        let outcome = harness::map_names(&names, |name| run_one(name, &args));
+        outcome.report_skipped("bitline-sim");
         eprintln!("{}", exec_summary_line());
-        result
+        match outcome.rows_or_error("bitline-sim") {
+            Ok(reports) => {
+                for report in reports {
+                    print!("{report}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(_) => ExitCode::FAILURE,
+        }
     } else {
-        run_one(&args.benchmark, &args).map(|report| print!("{report}"))
-    };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        match harness::isolated(&args.benchmark, || run_one(&args.benchmark, &args)) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(skip) => {
+                eprintln!("error: bitline-sim: {skip}");
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -1,0 +1,512 @@
+//! Binary codec for journaling [`RunResult`]s.
+//!
+//! The checkpoint journal (`bitline_exec::journal`) stores opaque bytes;
+//! this module is the domain half: a hand-rolled, versioned, fixed-order
+//! binary encoding of a completed run. Floats travel as `f64::to_bits`,
+//! so a replayed run is **bit-exact** — warm figure output is
+//! byte-identical to a cold computation, which is what the resume
+//! acceptance test diffs on.
+//!
+//! Decoding is total: any truncation, bad tag, or implausible length
+//! yields `None` (the caller quarantines the entry) rather than a panic.
+//! The version byte guards the whole layout; bump [`VERSION`] on any
+//! format change and stale entries are quarantined instead of misread.
+
+use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
+use bitline_cpu::SimStats;
+use bitline_faults::{FaultReport, SubarrayFaults};
+
+use crate::config::{FaultSpec, PolicyKind, SystemSpec};
+use crate::recorder::LocalityStats;
+use crate::runner::RunResult;
+use crate::supervise::fnv64;
+
+/// Codec version; bump on any layout change.
+const VERSION: u8 = 1;
+
+/// Upper bound for decoded collection lengths — far above any real cache
+/// (a 32 KB L1 has at most 1024 subarrays) but small enough that a
+/// corrupt length cannot trigger a giant allocation.
+const MAX_VEC: usize = 1 << 20;
+
+/// The journal key for a run: `benchmark@<16-hex spec hash>`. The hash is
+/// FNV-1a over the canonical spec encoding, so it is stable across
+/// processes and Rust versions (unlike `DefaultHasher`).
+#[must_use]
+pub fn spec_key(benchmark: &str, spec: &SystemSpec) -> String {
+    let mut enc = Enc::default();
+    enc.spec(spec);
+    format!("{benchmark}@{:016x}", fnv64(&enc.out))
+}
+
+/// Encodes a run for the journal.
+#[must_use]
+pub fn encode_run(run: &RunResult) -> Vec<u8> {
+    let mut enc = Enc::default();
+    enc.u8(VERSION);
+    enc.str(&run.benchmark);
+    enc.spec(&run.spec);
+    enc.stats(&run.stats);
+    enc.report(&run.d_report);
+    enc.report(&run.i_report);
+    enc.u64(run.d_hit_miss.0);
+    enc.u64(run.d_hit_miss.1);
+    enc.u64(run.i_hit_miss.0);
+    enc.u64(run.i_hit_miss.1);
+    enc.opt(run.d_locality.as_ref(), Enc::locality);
+    enc.opt(run.i_locality.as_ref(), Enc::locality);
+    enc.opt(run.d_way_stats.as_ref(), Enc::way_stats);
+    enc.opt(run.i_way_stats.as_ref(), Enc::way_stats);
+    enc.opt(run.d_faults.as_ref(), Enc::faults);
+    enc.opt(run.i_faults.as_ref(), Enc::faults);
+    enc.out
+}
+
+/// Decodes a journaled run; `None` on any corruption or version skew.
+#[must_use]
+pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
+    let mut dec = Dec { bytes, pos: 0 };
+    if dec.u8()? != VERSION {
+        return None;
+    }
+    let run = RunResult {
+        benchmark: dec.str()?,
+        spec: dec.spec()?,
+        stats: dec.stats()?,
+        d_report: dec.report()?,
+        i_report: dec.report()?,
+        d_hit_miss: (dec.u64()?, dec.u64()?),
+        i_hit_miss: (dec.u64()?, dec.u64()?),
+        d_locality: dec.opt(Dec::locality)?,
+        i_locality: dec.opt(Dec::locality)?,
+        d_way_stats: dec.opt(Dec::way_stats)?,
+        i_way_stats: dec.opt(Dec::way_stats)?,
+        d_faults: dec.opt(Dec::faults)?,
+        i_faults: dec.opt(Dec::faults)?,
+    };
+    // Trailing garbage means the entry is not what we wrote.
+    (dec.pos == bytes.len()).then_some(run)
+}
+
+#[derive(Default)]
+struct Enc {
+    out: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.out.extend_from_slice(s.as_bytes());
+    }
+    fn opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Enc, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                f(self, v);
+            }
+        }
+    }
+
+    fn policy(&mut self, p: &PolicyKind) {
+        match *p {
+            PolicyKind::StaticPullUp => self.u8(0),
+            PolicyKind::Oracle => self.u8(1),
+            PolicyKind::OnDemand => self.u8(2),
+            PolicyKind::Gated { threshold } => {
+                self.u8(3);
+                self.u64(threshold);
+            }
+            PolicyKind::GatedPredecode { threshold } => {
+                self.u8(4);
+                self.u64(threshold);
+            }
+            PolicyKind::AdaptiveGated { interval_accesses } => {
+                self.u8(5);
+                self.u64(interval_accesses);
+            }
+            PolicyKind::LeakageBiased => self.u8(6),
+            PolicyKind::Drowsy { threshold } => {
+                self.u8(7);
+                self.u64(threshold);
+            }
+            PolicyKind::Resizable { interval_accesses, slack } => {
+                self.u8(8);
+                self.u64(interval_accesses);
+                self.f64(slack);
+            }
+            PolicyKind::LocalityRecorder => self.u8(9),
+        }
+    }
+
+    fn spec(&mut self, s: &SystemSpec) {
+        self.policy(&s.d_policy);
+        self.policy(&s.i_policy);
+        self.usize(s.subarray_bytes);
+        self.u64(s.instructions);
+        self.u64(s.seed);
+        self.bool(s.way_prediction);
+        self.f64(s.faults.rate);
+        self.u64(s.faults.seed);
+        self.bool(s.faults.fail_safe);
+    }
+
+    fn stats(&mut self, s: &SimStats) {
+        for v in [
+            s.cycles,
+            s.committed,
+            s.fetched,
+            s.branches,
+            s.mispredicts,
+            s.loads,
+            s.stores,
+            s.replays,
+            s.load_misspeculations,
+            s.fetch_stall_cycles,
+            s.hints,
+        ] {
+            self.u64(v);
+        }
+    }
+
+    fn report(&mut self, r: &ActivityReport) {
+        self.str(&r.policy);
+        self.u64(r.end_cycle);
+        self.usize(r.per_subarray.len());
+        for s in &r.per_subarray {
+            self.u64(s.accesses);
+            self.u64(s.delayed_accesses);
+            self.f64(s.pulled_up_cycles);
+            self.u64(s.precharge_events);
+            self.f64(s.drowsy_cycles);
+            for &c in s.idle_histogram.counts() {
+                self.u64(c);
+            }
+        }
+    }
+
+    fn locality(&mut self, l: &LocalityStats) {
+        for &c in &l.interval_counts {
+            self.u64(c);
+        }
+        self.u64(l.intervals_total);
+        for &h in &l.hot_cycles {
+            self.f64(h);
+        }
+        self.usize(l.subarrays);
+        self.u64(l.end_cycle);
+    }
+
+    fn way_stats(&mut self, w: &WayStats) {
+        self.u64(w.correct);
+        self.u64(w.wrong);
+    }
+
+    fn faults(&mut self, f: &FaultReport) {
+        self.usize(f.per_subarray.len());
+        for s in &f.per_subarray {
+            self.u64(s.injected);
+            self.u64(s.detected);
+            self.u64(s.silent);
+            self.u64(s.replayed);
+            self.u64(s.decay_flips);
+            self.bool(s.pinned);
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Dec<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let slice = self.bytes.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+    fn len(&mut self) -> Option<usize> {
+        self.usize().filter(|&n| n <= MAX_VEC)
+    }
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+    fn opt<T>(&mut self, f: impl FnOnce(&mut Self) -> Option<T>) -> Option<Option<T>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(f(self)?)),
+            _ => None,
+        }
+    }
+
+    fn policy(&mut self) -> Option<PolicyKind> {
+        Some(match self.u8()? {
+            0 => PolicyKind::StaticPullUp,
+            1 => PolicyKind::Oracle,
+            2 => PolicyKind::OnDemand,
+            3 => PolicyKind::Gated { threshold: self.u64()? },
+            4 => PolicyKind::GatedPredecode { threshold: self.u64()? },
+            5 => PolicyKind::AdaptiveGated { interval_accesses: self.u64()? },
+            6 => PolicyKind::LeakageBiased,
+            7 => PolicyKind::Drowsy { threshold: self.u64()? },
+            8 => PolicyKind::Resizable { interval_accesses: self.u64()?, slack: self.f64()? },
+            9 => PolicyKind::LocalityRecorder,
+            _ => return None,
+        })
+    }
+
+    fn spec(&mut self) -> Option<SystemSpec> {
+        Some(SystemSpec {
+            d_policy: self.policy()?,
+            i_policy: self.policy()?,
+            subarray_bytes: self.usize()?,
+            instructions: self.u64()?,
+            seed: self.u64()?,
+            way_prediction: self.bool()?,
+            faults: FaultSpec { rate: self.f64()?, seed: self.u64()?, fail_safe: self.bool()? },
+        })
+    }
+
+    fn stats(&mut self) -> Option<SimStats> {
+        Some(SimStats {
+            cycles: self.u64()?,
+            committed: self.u64()?,
+            fetched: self.u64()?,
+            branches: self.u64()?,
+            mispredicts: self.u64()?,
+            loads: self.u64()?,
+            stores: self.u64()?,
+            replays: self.u64()?,
+            load_misspeculations: self.u64()?,
+            fetch_stall_cycles: self.u64()?,
+            hints: self.u64()?,
+        })
+    }
+
+    fn report(&mut self) -> Option<ActivityReport> {
+        let policy = self.str()?;
+        let end_cycle = self.u64()?;
+        let n = self.len()?;
+        let mut per_subarray = Vec::with_capacity(n);
+        for _ in 0..n {
+            let accesses = self.u64()?;
+            let delayed_accesses = self.u64()?;
+            let pulled_up_cycles = self.f64()?;
+            let precharge_events = self.u64()?;
+            let drowsy_cycles = self.f64()?;
+            let mut counts = [0u64; IDLE_BUCKETS];
+            for c in &mut counts {
+                *c = self.u64()?;
+            }
+            per_subarray.push(SubarrayActivity {
+                accesses,
+                delayed_accesses,
+                pulled_up_cycles,
+                precharge_events,
+                drowsy_cycles,
+                idle_histogram: IdleHistogram::from_counts(counts),
+            });
+        }
+        Some(ActivityReport { policy, end_cycle, per_subarray })
+    }
+
+    fn locality(&mut self) -> Option<LocalityStats> {
+        let mut interval_counts = [0u64; 6];
+        for c in &mut interval_counts {
+            *c = self.u64()?;
+        }
+        let intervals_total = self.u64()?;
+        let mut hot_cycles = [0.0f64; 5];
+        for h in &mut hot_cycles {
+            *h = self.f64()?;
+        }
+        Some(LocalityStats {
+            interval_counts,
+            intervals_total,
+            hot_cycles,
+            subarrays: self.usize()?,
+            end_cycle: self.u64()?,
+        })
+    }
+
+    fn way_stats(&mut self) -> Option<WayStats> {
+        Some(WayStats { correct: self.u64()?, wrong: self.u64()? })
+    }
+
+    fn faults(&mut self) -> Option<FaultReport> {
+        let n = self.len()?;
+        let mut per_subarray = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_subarray.push(SubarrayFaults {
+                injected: self.u64()?,
+                detected: self.u64()?,
+                silent: self.u64()?,
+                replayed: self.u64()?,
+                decay_flips: self.u64()?,
+                pinned: self.bool()?,
+            });
+        }
+        Some(FaultReport { per_subarray })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> RunResult {
+        let spec = SystemSpec {
+            d_policy: PolicyKind::Resizable { interval_accesses: 512, slack: 0.015 },
+            i_policy: PolicyKind::Gated { threshold: 200 },
+            instructions: 9_000,
+            way_prediction: true,
+            faults: FaultSpec { rate: 0.01, seed: 5, fail_safe: true },
+            ..SystemSpec::default()
+        };
+        let mut hist = IdleHistogram::default();
+        hist.record(7);
+        hist.record(700);
+        RunResult {
+            benchmark: "health".into(),
+            spec,
+            stats: SimStats { cycles: 101, committed: 99, loads: 31, ..SimStats::default() },
+            d_report: ActivityReport {
+                policy: "resizable".into(),
+                end_cycle: 101,
+                per_subarray: vec![SubarrayActivity {
+                    accesses: 31,
+                    delayed_accesses: 2,
+                    pulled_up_cycles: 64.5,
+                    precharge_events: 3,
+                    drowsy_cycles: 0.0,
+                    idle_histogram: hist,
+                }],
+            },
+            i_report: ActivityReport {
+                policy: "gated".into(),
+                end_cycle: 101,
+                per_subarray: vec![],
+            },
+            d_hit_miss: (29, 2),
+            i_hit_miss: (99, 1),
+            d_locality: Some(LocalityStats {
+                interval_counts: [1, 2, 3, 4, 5, 6],
+                intervals_total: 21,
+                hot_cycles: [0.1, 0.2, 0.3, 0.4, 0.5],
+                subarrays: 32,
+                end_cycle: 101,
+            }),
+            i_locality: None,
+            d_way_stats: Some(WayStats { correct: 28, wrong: 1 }),
+            i_way_stats: None,
+            d_faults: Some(FaultReport {
+                per_subarray: vec![SubarrayFaults {
+                    injected: 2,
+                    detected: 2,
+                    silent: 0,
+                    replayed: 2,
+                    decay_flips: 1,
+                    pinned: false,
+                }],
+            }),
+            i_faults: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let run = sample_run();
+        let decoded = decode_run(&encode_run(&run)).expect("decodes");
+        assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_decodes() {
+        let bytes = encode_run(&sample_run());
+        for cut in 0..bytes.len() {
+            assert!(decode_run(&bytes[..cut]).is_none(), "truncated at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_run(&sample_run());
+        bytes.push(0);
+        assert!(decode_run(&bytes).is_none());
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode_run(&sample_run());
+        bytes[0] ^= 0xFF;
+        assert!(decode_run(&bytes).is_none());
+    }
+
+    #[test]
+    fn spec_key_discriminates_and_is_stable() {
+        let a = SystemSpec::default();
+        let b = SystemSpec { seed: 43, ..a };
+        assert_ne!(spec_key("gcc", &a), spec_key("gcc", &b));
+        assert_ne!(spec_key("gcc", &a), spec_key("mesa", &a));
+        assert_eq!(spec_key("gcc", &a), spec_key("gcc", &a));
+        assert!(spec_key("gcc", &a).starts_with("gcc@"));
+    }
+
+    #[test]
+    fn all_policy_kinds_roundtrip() {
+        for p in [
+            PolicyKind::StaticPullUp,
+            PolicyKind::Oracle,
+            PolicyKind::OnDemand,
+            PolicyKind::Gated { threshold: 1 },
+            PolicyKind::GatedPredecode { threshold: 2 },
+            PolicyKind::AdaptiveGated { interval_accesses: 3 },
+            PolicyKind::LeakageBiased,
+            PolicyKind::Drowsy { threshold: 4 },
+            PolicyKind::Resizable { interval_accesses: 5, slack: 0.25 },
+            PolicyKind::LocalityRecorder,
+        ] {
+            let mut run = sample_run();
+            run.spec.d_policy = p;
+            let decoded = decode_run(&encode_run(&run)).expect("decodes");
+            assert_eq!(decoded.spec.d_policy, p);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Driver-level error type.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Why a simulation run could not produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +18,29 @@ pub enum SimError {
         /// Panic/abort message.
         reason: String,
     },
+    /// A run exceeded its wall-clock budget and was cooperatively
+    /// cancelled at an instruction boundary.
+    TimedOut {
+        /// Benchmark that was running.
+        benchmark: String,
+        /// The budget the run was given.
+        budget: Duration,
+        /// Instructions committed before cancellation.
+        progress: u64,
+    },
+}
+
+impl SimError {
+    /// Stable machine-readable kind tag, used in skip summaries.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::UnknownBenchmark(_) => "unknown-benchmark",
+            SimError::InvalidSpec(_) => "invalid-spec",
+            SimError::RunFailed { .. } => "run-failed",
+            SimError::TimedOut { .. } => "timed-out",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +52,13 @@ impl fmt::Display for SimError {
             SimError::InvalidSpec(why) => write!(f, "invalid system spec: {why}"),
             SimError::RunFailed { benchmark, reason } => {
                 write!(f, "run of `{benchmark}` failed: {reason}")
+            }
+            SimError::TimedOut { benchmark, budget, progress } => {
+                write!(
+                    f,
+                    "run of `{benchmark}` timed out after {budget:?} \
+                     ({progress} instructions committed)"
+                )
             }
         }
     }
@@ -47,5 +78,26 @@ mod tests {
         assert!(e.to_string().contains("subarray_bytes"));
         let e = SimError::RunFailed { benchmark: "gcc".into(), reason: "boom".into() };
         assert!(e.to_string().contains("gcc") && e.to_string().contains("boom"));
+        let e = SimError::TimedOut {
+            benchmark: "art".into(),
+            budget: Duration::from_millis(250),
+            progress: 12_345,
+        };
+        assert!(e.to_string().contains("art") && e.to_string().contains("12345"));
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(SimError::UnknownBenchmark("x".into()).kind(), "unknown-benchmark");
+        assert_eq!(SimError::InvalidSpec("x".into()).kind(), "invalid-spec");
+        assert_eq!(
+            SimError::RunFailed { benchmark: "x".into(), reason: "y".into() }.kind(),
+            "run-failed"
+        );
+        assert_eq!(
+            SimError::TimedOut { benchmark: "x".into(), budget: Duration::ZERO, progress: 0 }
+                .kind(),
+            "timed-out"
+        );
     }
 }

@@ -16,13 +16,15 @@
 //! deterministic), so cache hits are indistinguishable from recomputation
 //! and figure output stays byte-identical whatever the hit pattern.
 
-use std::sync::OnceLock;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
 
 use bitline_cache::CacheConfig;
 use bitline_cmos::TechnologyNode;
 use bitline_energy::EnergyAccountant;
-use bitline_exec::{CacheStats, MemoCache, TraceCursor, TraceStore, TraceStoreStats};
+use bitline_exec::{CacheStats, Journal, MemoCache, TraceCursor, TraceStore, TraceStoreStats};
 
+use crate::checkpoint;
 use crate::config::SystemSpec;
 use crate::error::SimError;
 use crate::runner::{try_run_benchmark, RunResult};
@@ -63,15 +65,129 @@ pub(crate) fn accountants(
     })
 }
 
+/// The process-wide checkpoint journal, when `--checkpoint` is active.
+struct CheckpointState {
+    journal: Journal,
+    /// Runs warmed into the cache from disk at startup.
+    replayed: u64,
+    /// Entries dropped as corrupt at startup.
+    quarantined: u64,
+    /// Fresh runs appended this process.
+    appended: u64,
+    /// Fresh computations whose key was already journaled — zero on a
+    /// healthy warm resume; the CI smoke fails on anything else.
+    recomputed: u64,
+}
+
+fn checkpoint_state() -> &'static Mutex<Option<CheckpointState>> {
+    static STATE: Mutex<Option<CheckpointState>> = Mutex::new(None);
+    &STATE
+}
+
+/// What [`set_checkpoint`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Runs replayed from the journal into the run cache.
+    pub replayed: u64,
+    /// Corrupt entries quarantined (logged and skipped).
+    pub quarantined: u64,
+    /// Fresh runs journaled this process.
+    pub appended: u64,
+    /// Fresh computations of already-journaled keys (should stay zero).
+    pub recomputed: u64,
+}
+
+/// Arms the checkpoint journal in `dir`. With `resume`, entries already
+/// on disk are decoded, cross-checked against their key, and warmed into
+/// the run cache; without it (`--no-resume`) the journal starts afresh.
+/// Corrupt or stale entries are quarantined, never trusted.
+///
+/// # Errors
+///
+/// A human-readable message on I/O failure opening the journal.
+pub fn set_checkpoint(dir: &Path, resume: bool) -> Result<CheckpointStats, String> {
+    let mut state = lock_checkpoint();
+    let (journal, entries, report) = if resume {
+        Journal::open(dir).map_err(|e| format!("checkpoint {}: {e}", dir.display()))?
+    } else {
+        let j =
+            Journal::open_fresh(dir).map_err(|e| format!("checkpoint {}: {e}", dir.display()))?;
+        (j, Vec::new(), bitline_exec::LoadReport::default())
+    };
+
+    let mut replayed = 0u64;
+    let mut quarantined = u64::try_from(report.quarantined).unwrap_or(u64::MAX);
+    for entry in entries {
+        // An entry is trusted only when it decodes *and* its key matches a
+        // recomputation of the decoded run's identity.
+        match checkpoint::decode_run(&entry.value) {
+            Some(run) if checkpoint::spec_key(&run.benchmark, &run.spec) == entry.key => {
+                run_cache().insert((run.benchmark.clone(), run.spec), run);
+                replayed += 1;
+            }
+            _ => quarantined += 1,
+        }
+    }
+    let stats = CheckpointStats { replayed, quarantined, appended: 0, recomputed: 0 };
+    *state = Some(CheckpointState { journal, replayed, quarantined, appended: 0, recomputed: 0 });
+    Ok(stats)
+}
+
+/// Disarms the checkpoint journal (tests).
+pub fn clear_checkpoint() {
+    *lock_checkpoint() = None;
+}
+
+fn lock_checkpoint() -> std::sync::MutexGuard<'static, Option<CheckpointState>> {
+    checkpoint_state().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Journals a freshly computed run, if a checkpoint is armed. Failures to
+/// write are reported on stderr but never fail the run itself.
+fn journal_record(name: &str, spec: &SystemSpec, run: &RunResult) {
+    let mut state = lock_checkpoint();
+    let Some(cp) = state.as_mut() else { return };
+    let key = checkpoint::spec_key(name, spec);
+    if cp.journal.contains(&key) {
+        // A fresh compute of a journaled key: the warm path failed to
+        // serve it. Counted so CI can assert resume actually resumes.
+        cp.recomputed += 1;
+        return;
+    }
+    match cp.journal.append(&key, &checkpoint::encode_run(run)) {
+        Ok(()) => cp.appended += 1,
+        Err(e) => eprintln!("[exec] warning: checkpoint append failed for {key}: {e}"),
+    }
+}
+
+/// Counters of the armed checkpoint journal, if any.
+#[must_use]
+pub fn checkpoint_stats() -> Option<CheckpointStats> {
+    lock_checkpoint().as_ref().map(|cp| CheckpointStats {
+        replayed: cp.replayed,
+        quarantined: cp.quarantined,
+        appended: cp.appended,
+        recomputed: cp.recomputed,
+    })
+}
+
 /// Memoized [`try_run_benchmark`]: the first request for a
 /// `(benchmark, spec)` pair simulates it, every later request returns the
 /// stored result. Errors are returned but never cached.
+///
+/// When a checkpoint journal is armed ([`set_checkpoint`]), every fresh
+/// computation is appended to it before the result is returned, so a
+/// crash after this function returns cannot lose the run.
 ///
 /// # Errors
 ///
 /// Exactly those of [`try_run_benchmark`].
 pub fn try_run_benchmark_cached(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
-    run_cache().get_or_try_insert_with((name.to_owned(), *spec), || try_run_benchmark(name, spec))
+    run_cache().get_or_try_insert_with((name.to_owned(), *spec), || {
+        let run = try_run_benchmark(name, spec)?;
+        journal_record(name, spec, &run);
+        Ok(run)
+    })
 }
 
 /// Memoized [`run_benchmark`](crate::run_benchmark).
@@ -100,12 +216,19 @@ pub fn trace_store_stats() -> TraceStoreStats {
 /// bench harnesses so stdout rows stay byte-identical across job counts).
 #[must_use]
 pub fn exec_summary_line() -> String {
-    format!(
+    let mut line = format!(
         "jobs={}; run-cache: {}; {}",
         bitline_exec::pool::jobs(),
         run_cache_stats(),
         trace_store_stats()
-    )
+    );
+    if let Some(cp) = checkpoint_stats() {
+        line.push_str(&format!(
+            "; journal: {} replayed, {} appended, {} recomputed, {} quarantined",
+            cp.replayed, cp.appended, cp.recomputed, cp.quarantined
+        ));
+    }
+    line
 }
 
 /// Empties the run cache and trace store (cold-vs-warm comparisons in

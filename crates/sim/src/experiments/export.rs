@@ -10,7 +10,8 @@
 //! gnuplot -e "plot 'plots/fig9.dat' using 1:2 with lines"
 //! ```
 
-use std::io::{self, Write};
+use std::fmt::Write;
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::experiments::fig10::Fig10Row;
@@ -24,9 +25,13 @@ pub fn export_dir() -> Option<PathBuf> {
     std::env::var_os("BITLINE_EXPORT_DIR").map(PathBuf::from)
 }
 
-fn create(dir: &Path, name: &str) -> io::Result<std::fs::File> {
+/// Renders the whole file in memory, then publishes it with a temp-file +
+/// rename so a crash mid-export never leaves a truncated `.dat` behind.
+fn publish(dir: &Path, name: &str, contents: &str) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    std::fs::File::create(dir.join(name))
+    let path = dir.join(name);
+    bitline_exec::atomic_write(&path, contents.as_bytes())?;
+    Ok(path)
 }
 
 /// Writes Figure 2's transient series: `t_ns  p(180)  p(130)  p(100)  p(70)`.
@@ -35,22 +40,22 @@ fn create(dir: &Path, name: &str) -> io::Result<std::fs::File> {
 ///
 /// Propagates filesystem errors.
 pub fn write_fig2(dir: &Path, series: &[Fig2Series]) -> io::Result<PathBuf> {
-    let mut f = create(dir, "fig2.dat")?;
-    writeln!(f, "# t_ns  normalized_power per node")?;
-    write!(f, "# t")?;
+    let mut f = String::new();
+    let _ = writeln!(f, "# t_ns  normalized_power per node");
+    let _ = write!(f, "# t");
     for s in series {
-        write!(f, " {}", s.node)?;
+        let _ = write!(f, " {}", s.node);
     }
-    writeln!(f)?;
+    let _ = writeln!(f);
     let points = series.first().map_or(0, |s| s.points.len());
     for i in 0..points {
-        write!(f, "{:.2}", series[0].points[i].t_ns)?;
+        let _ = write!(f, "{:.2}", series[0].points[i].t_ns);
         for s in series {
-            write!(f, " {:.5}", s.points[i].normalized_power)?;
+            let _ = write!(f, " {:.5}", s.points[i].normalized_power);
         }
-        writeln!(f)?;
+        let _ = writeln!(f);
     }
-    Ok(dir.join("fig2.dat"))
+    publish(dir, "fig2.dat", &f)
 }
 
 /// Writes Figure 3's per-benchmark bars: `benchmark  d_relative  i_relative`.
@@ -59,12 +64,12 @@ pub fn write_fig2(dir: &Path, series: &[Fig2Series]) -> io::Result<PathBuf> {
 ///
 /// Propagates filesystem errors.
 pub fn write_fig3(dir: &Path, rows: &[Fig3Row]) -> io::Result<PathBuf> {
-    let mut f = create(dir, "fig3.dat")?;
-    writeln!(f, "# benchmark  d_relative_discharge  i_relative_discharge")?;
+    let mut f = String::new();
+    let _ = writeln!(f, "# benchmark  d_relative_discharge  i_relative_discharge");
     for r in rows {
-        writeln!(f, "{} {:.5} {:.5}", r.benchmark, r.d_relative, r.i_relative)?;
+        let _ = writeln!(f, "{} {:.5} {:.5}", r.benchmark, r.d_relative, r.i_relative);
     }
-    Ok(dir.join("fig3.dat"))
+    publish(dir, "fig3.dat", &f)
 }
 
 /// Writes Figure 9's per-node series:
@@ -74,10 +79,10 @@ pub fn write_fig3(dir: &Path, rows: &[Fig3Row]) -> io::Result<PathBuf> {
 ///
 /// Propagates filesystem errors.
 pub fn write_fig9(dir: &Path, rows: &[Fig9Row]) -> io::Result<PathBuf> {
-    let mut f = create(dir, "fig9.dat")?;
-    writeln!(f, "# feature_nm  gated_d  gated_i  resizable_d  resizable_i")?;
+    let mut f = String::new();
+    let _ = writeln!(f, "# feature_nm  gated_d  gated_i  resizable_d  resizable_i");
     for r in rows {
-        writeln!(
+        let _ = writeln!(
             f,
             "{} {:.5} {:.5} {:.5} {:.5}",
             r.node.feature_nm(),
@@ -85,9 +90,9 @@ pub fn write_fig9(dir: &Path, rows: &[Fig9Row]) -> io::Result<PathBuf> {
             r.gated_i,
             r.resizable_d,
             r.resizable_i
-        )?;
+        );
     }
-    Ok(dir.join("fig9.dat"))
+    publish(dir, "fig9.dat", &f)
 }
 
 /// Writes Figure 10's per-size series: `subarray_bytes  d_frac  i_frac`.
@@ -96,12 +101,12 @@ pub fn write_fig9(dir: &Path, rows: &[Fig9Row]) -> io::Result<PathBuf> {
 ///
 /// Propagates filesystem errors.
 pub fn write_fig10(dir: &Path, rows: &[Fig10Row]) -> io::Result<PathBuf> {
-    let mut f = create(dir, "fig10.dat")?;
-    writeln!(f, "# subarray_bytes  d_precharged  i_precharged")?;
+    let mut f = String::new();
+    let _ = writeln!(f, "# subarray_bytes  d_precharged  i_precharged");
     for r in rows {
-        writeln!(f, "{} {:.5} {:.5}", r.subarray_bytes, r.d_precharged, r.i_precharged)?;
+        let _ = writeln!(f, "{} {:.5} {:.5}", r.subarray_bytes, r.d_precharged, r.i_precharged);
     }
-    Ok(dir.join("fig10.dat"))
+    publish(dir, "fig10.dat", &f)
 }
 
 #[cfg(test)]

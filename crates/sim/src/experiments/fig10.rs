@@ -4,7 +4,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::MAX_SLOWDOWN;
-use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SimError, SystemSpec};
 
 /// Subarray sizes swept by the figure.
 pub const SIZES: [usize; 4] = [4096, 1024, 256, 64];
@@ -28,8 +28,13 @@ pub struct Fig10Row {
 /// subarrays under gated precharging for 4 KB / 1 KB / 256 B / 64 B
 /// subarrays, averaged over the suite (per-benchmark thresholds chosen
 /// within the 1% budget).
-#[must_use]
-pub fn run(instrs: u64) -> Vec<Fig10Row> {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark of a
+/// subarray size failed; partial suites degrade to averages over fewer
+/// benchmarks with a stderr warning.
+pub fn run(instrs: u64) -> Result<Vec<Fig10Row>, SimError> {
     let node = TechnologyNode::N70;
     SIZES
         .into_iter()
@@ -75,13 +80,13 @@ pub fn run(instrs: u64) -> Vec<Fig10Row> {
                 }
             });
             outcome.report_skipped("fig10");
-            let fracs = outcome.expect_rows("fig10");
+            let fracs = outcome.rows_or_error("fig10")?;
             let n = fracs.len() as f64;
-            Fig10Row {
+            Ok(Fig10Row {
                 subarray_bytes,
                 d_precharged: fracs.iter().map(|(d, _)| d).sum::<f64>() / n,
                 i_precharged: fracs.iter().map(|(_, i)| i).sum::<f64>() / n,
-            }
+            })
         })
         .collect()
 }
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn smaller_subarrays_keep_fewer_precharged() {
-        let rows = run(4_000);
+        let rows = run(4_000).expect("fig10 completes");
         assert_eq!(rows.len(), 4);
         // 4 KB subarrays waste the most (coarse control); the curve falls
         // and saturates towards line-sized subarrays (Section 6.4).

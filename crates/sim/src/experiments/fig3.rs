@@ -3,7 +3,7 @@
 use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
-use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
+use crate::{try_run_benchmark_cached, PolicyKind, SimError, SystemSpec};
 
 /// One benchmark's oracle result.
 #[derive(Debug, Clone)]
@@ -18,8 +18,12 @@ pub struct Fig3Row {
 
 /// Reproduces Figure 3 at 70 nm: relative bitline discharge with oracle
 /// precharging, per benchmark, for both L1s, plus the `AVG` row.
-#[must_use]
-pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark failed;
+/// partial suites degrade to fewer rows with a stderr warning.
+pub fn run(instrs: u64) -> Result<(Vec<Fig3Row>, Fig3Row), SimError> {
     let node = TechnologyNode::N70;
     let outcome = harness::map_suite(|name| {
         let spec = SystemSpec {
@@ -28,7 +32,7 @@ pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
             instructions: instrs,
             ..SystemSpec::default()
         };
-        let run = run_benchmark_cached(name, &spec);
+        let run = try_run_benchmark_cached(name, &spec)?;
         let (policy, baseline) = run.energy(node);
         Ok(Fig3Row {
             benchmark: name.to_owned(),
@@ -37,13 +41,13 @@ pub fn run(instrs: u64) -> (Vec<Fig3Row>, Fig3Row) {
         })
     });
     outcome.report_skipped("fig3");
-    let rows = outcome.expect_rows("fig3");
+    let rows = outcome.rows_or_error("fig3")?;
     let avg = Fig3Row {
         benchmark: "AVG".into(),
         d_relative: rows.iter().map(|r| r.d_relative).sum::<f64>() / rows.len() as f64,
         i_relative: rows.iter().map(|r| r.i_relative).sum::<f64>() / rows.len() as f64,
     };
-    (rows, avg)
+    Ok((rows, avg))
 }
 
 #[cfg(test)]
@@ -52,7 +56,7 @@ mod tests {
 
     #[test]
     fn oracle_removes_most_discharge_on_a_quick_run() {
-        let (rows, avg) = run(6_000);
+        let (rows, avg) = run(6_000).expect("fig3 completes");
         assert_eq!(rows.len(), 16);
         assert!(avg.d_relative < 0.45, "avg D relative discharge {}", avg.d_relative);
         assert!(avg.i_relative < 0.45, "avg I relative discharge {}", avg.i_relative);

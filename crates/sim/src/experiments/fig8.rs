@@ -5,7 +5,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::{fixed_gated, optimal_gated, GatedSweep, SweptCache};
-use crate::{run_benchmark_cached, SystemSpec};
+use crate::{try_run_benchmark_cached, SimError, SystemSpec};
 
 /// One benchmark's Figure 8 bars.
 #[derive(Debug, Clone)]
@@ -55,14 +55,18 @@ fn precharged_fraction(sweep: &GatedSweep, which: SweptCache) -> f64 {
 /// Reproduces Figure 8 at 70 nm with per-benchmark optimum thresholds
 /// (predecoding enabled on the D-cache, as in the paper) plus the
 /// constant-100 reference.
-#[must_use]
-pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark failed;
+/// partial suites degrade to fewer rows with a stderr warning.
+pub fn run(instrs: u64) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
     let node = TechnologyNode::N70;
     let outcome = harness::map_suite(|name| {
-        let baseline = run_benchmark_cached(
+        let baseline = try_run_benchmark_cached(
             name,
             &SystemSpec { instructions: instrs, ..SystemSpec::default() },
-        );
+        )?;
         let d = optimal_gated(name, SweptCache::Data, node, &baseline, instrs);
         let i = optimal_gated(name, SweptCache::Inst, node, &baseline, instrs);
         let dc = fixed_gated(name, SweptCache::Data, node, &baseline, 100, instrs);
@@ -90,7 +94,7 @@ pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
     let mut rows = Vec::new();
     let mut const_d = 0.0;
     let mut const_i = 0.0;
-    for (row, dc, ic) in outcome.expect_rows("fig8") {
+    for (row, dc, ic) in outcome.rows_or_error("fig8")? {
         rows.push(row);
         const_d += dc;
         const_i += ic;
@@ -111,7 +115,7 @@ pub fn run(instrs: u64) -> (Vec<Fig8Row>, Fig8Summary) {
     };
     let summary =
         Fig8Summary { avg, const_d_discharge: const_d / n, const_i_discharge: const_i / n };
-    (rows, summary)
+    Ok((rows, summary))
 }
 
 #[cfg(test)]
@@ -123,7 +127,7 @@ mod tests {
         // A reduced sweep at small instruction counts still shows the
         // paper's shape: large discharge reductions, small precharged
         // fractions, ~1% slowdowns.
-        let (rows, summary) = run(5_000);
+        let (rows, summary) = run(5_000).expect("fig8 completes");
         assert_eq!(rows.len(), 16);
         assert!(summary.avg.d_discharge < 0.6, "avg D discharge {}", summary.avg.d_discharge);
         assert!(summary.avg.i_discharge < 0.6, "avg I discharge {}", summary.avg.i_discharge);

@@ -11,7 +11,7 @@ use bitline_cmos::TechnologyNode;
 
 use crate::experiments::harness;
 use crate::experiments::sweep::{MAX_SLOWDOWN, THRESHOLDS};
-use crate::{run_benchmark_cached, PolicyKind, RunResult, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, RunResult, SimError, SystemSpec};
 
 /// Average relative bitline discharge at one node.
 #[derive(Debug, Clone, Copy)]
@@ -119,8 +119,13 @@ fn resizable_candidates(name: &str, cache: Cache, baseline: &RunResult, instrs: 
 
 /// Reproduces Figure 9: suite-average relative bitline discharge for gated
 /// precharging and resizable caches at each node.
-#[must_use]
-pub fn run(instrs: u64) -> Vec<Fig9Row> {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark failed;
+/// partial suites degrade to averages over fewer benchmarks with a stderr
+/// warning.
+pub fn run(instrs: u64) -> Result<Vec<Fig9Row>, SimError> {
     // Architectural runs, once per benchmark.
     struct PerBenchmark {
         gated_d: Candidates,
@@ -141,10 +146,10 @@ pub fn run(instrs: u64) -> Vec<Fig9Row> {
         })
     });
     outcome.report_skipped("fig9");
-    let per_benchmark = outcome.expect_rows("fig9");
+    let per_benchmark = outcome.rows_or_error("fig9")?;
 
     // Per-node selection and averaging.
-    TechnologyNode::ALL
+    Ok(TechnologyNode::ALL
         .into_iter()
         .map(|node| {
             let n = per_benchmark.len() as f64;
@@ -158,7 +163,7 @@ pub fn run(instrs: u64) -> Vec<Fig9Row> {
                 resizable_i: avg(&|b| b.resz_i.best_at(node, Cache::I)),
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -167,7 +172,7 @@ mod tests {
 
     #[test]
     fn gated_improves_with_scaling_and_wins_at_70nm() {
-        let rows = run(5_000);
+        let rows = run(5_000).expect("fig9 completes");
         assert_eq!(rows.len(), 4);
         let n180 = rows[0];
         let n70 = rows[3];

@@ -1,11 +1,15 @@
-//! Per-run failure isolation for suite-wide experiments.
+//! Per-run failure isolation, retry, and supervision for suite-wide
+//! experiments.
 //!
 //! Experiment drivers loop over sixteen benchmarks × several
 //! configurations; one poisoned run (a panic deep in the model, an invalid
-//! derived spec) used to abort the whole figure. This harness catches the
-//! panic, retries once (transient state is rebuilt from scratch each run,
-//! so a retry is cheap and occasionally saves a flaky run), and lets the
-//! driver finish with partial results plus an explicit skip summary.
+//! derived spec) used to abort the whole figure, and one *hung* run used
+//! to stall it forever. This harness catches panics, bounds each run with
+//! the process-wide `--run-budget`, retries once with a deterministic
+//! jittered backoff (transient state is rebuilt from scratch each run, so
+//! a retry is cheap and occasionally saves a flaky run; timeouts retry at
+//! 2× budget), and lets the driver finish with partial results plus an
+//! explicit skip summary.
 //!
 //! [`map_suite`]/[`map_names`] additionally fan the units of work out over
 //! the `bitline-exec` work pool (`BITLINE_JOBS` jobs). Rows come back in
@@ -17,8 +21,12 @@
 use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use bitline_exec::CancelToken;
 
 use crate::error::SimError;
+use crate::supervise;
 
 /// A run the harness gave up on.
 #[derive(Debug, Clone)]
@@ -27,15 +35,29 @@ pub struct SkippedRun {
     /// `benchmark@threshold` for sweeps).
     pub name: String,
     /// Attempts made before giving up (1 for deterministic spec errors,
-    /// 2 after a retried panic).
+    /// 2 after a retried panic or timeout).
     pub attempts: u32,
     /// The terminal error.
     pub error: SimError,
+    /// Wall-clock time of each attempt, in attempt order.
+    pub wall: Vec<Duration>,
+}
+
+impl SkippedRun {
+    /// Stable kind tag of the terminal error (see [`SimError::kind`]).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        self.error.kind()
+    }
 }
 
 impl std::fmt::Display for SkippedRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} (after {} attempt(s)): {}", self.name, self.attempts, self.error)
+        write!(f, "{} [{}] (after {} attempt(s)", self.name, self.kind(), self.attempts)?;
+        for (i, w) in self.wall.iter().enumerate() {
+            write!(f, "{}{:.1?}", if i == 0 { ": " } else { " + " }, w)?;
+        }
+        write!(f, "): {}", self.error)
     }
 }
 
@@ -45,7 +67,7 @@ impl std::fmt::Display for SkippedRun {
 pub struct SuiteOutcome<T> {
     /// One entry per completed unit of work, in suite order.
     pub rows: Vec<T>,
-    /// Units of work that failed both attempts, in suite order.
+    /// Units of work that failed terminally, in suite order.
     pub skipped: Vec<SkippedRun>,
 }
 
@@ -56,23 +78,55 @@ impl<T> SuiteOutcome<T> {
         self.skipped.is_empty()
     }
 
-    /// Prints one line per skipped run to stderr (no-op when complete).
+    /// Skipped runs whose terminal error was a timeout.
+    #[must_use]
+    pub fn timed_out(&self) -> usize {
+        self.skipped.iter().filter(|s| matches!(s.error, SimError::TimedOut { .. })).count()
+    }
+
+    /// Prints one line per skipped run plus a one-line suite tail
+    /// (`N ok, M skipped, K timed out`) to stderr; no-op when complete.
     pub fn report_skipped(&self, what: &str) {
         for s in &self.skipped {
             eprintln!("warning: {what}: skipped {s}");
         }
+        if !self.skipped.is_empty() {
+            eprintln!(
+                "warning: {what}: suite degraded: {} ok, {} skipped, {} timed out",
+                self.rows.len(),
+                self.skipped.len(),
+                self.timed_out()
+            );
+        }
+    }
+
+    /// The completed rows, or the first skip's error when *no* unit of
+    /// work completed — partial results are useful, an empty figure is
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SkippedRun`]'s error when there are skips but no rows.
+    pub fn rows_or_error(self, what: &str) -> Result<Vec<T>, SimError> {
+        if self.rows.is_empty() {
+            if let Some(first) = self.skipped.into_iter().next() {
+                eprintln!("error: {what}: every run failed");
+                return Err(first.error);
+            }
+        }
+        Ok(self.rows)
     }
 
     /// The completed rows.
     ///
     /// # Panics
     ///
-    /// Panics when *no* unit of work completed — partial results are
-    /// useful, an empty figure is not.
+    /// Panics when *no* unit of work completed.
+    #[deprecated(since = "0.4.0", note = "use rows_or_error so sibling figures keep running")]
     #[must_use]
     pub fn expect_rows(self, what: &str) -> Vec<T> {
         assert!(
-            !self.rows.is_empty(),
+            !self.rows.is_empty() || self.skipped.is_empty(),
             "{what}: every run failed; first error: {}",
             self.skipped.first().map_or_else(|| "none recorded".into(), ToString::to_string)
         );
@@ -126,40 +180,70 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `f` with panic isolation and a single retry.
+/// Runs `f` with panic isolation and a single retry, supervised by a
+/// token armed with the process-wide run budget (see
+/// [`supervise::run_budget`]).
 ///
 /// Panics become [`SimError::RunFailed`] — carrying the originating panic
-/// location and thread — and are retried once; deterministic errors
-/// ([`SimError::UnknownBenchmark`], [`SimError::InvalidSpec`]) are not
-/// retried — they would fail identically.
+/// location and thread — and are retried once after a deterministic
+/// jittered backoff; a [`SimError::TimedOut`] is retried once with the
+/// budget doubled (slow ≠ hung: one generous second chance, bounded);
+/// deterministic errors ([`SimError::UnknownBenchmark`],
+/// [`SimError::InvalidSpec`]) are not retried — they would fail
+/// identically.
 ///
 /// # Errors
 ///
-/// The [`SkippedRun`] (name, attempt count, terminal error) when both
-/// attempts fail.
+/// The [`SkippedRun`] (name, attempt count, per-attempt wall clock,
+/// terminal error) when every attempt fails.
 pub fn isolated<T>(name: &str, f: impl Fn() -> Result<T, SimError>) -> Result<T, SkippedRun> {
+    isolated_supervised(name, &CancelToken::for_budget(supervise::run_budget()), f)
+}
+
+/// [`isolated`] under an explicit first-attempt [`CancelToken`] (the work
+/// pool arms one per unit so queue wait is not charged to the budget).
+///
+/// # Errors
+///
+/// As [`isolated`].
+pub fn isolated_supervised<T>(
+    name: &str,
+    token: &CancelToken,
+    f: impl Fn() -> Result<T, SimError>,
+) -> Result<T, SkippedRun> {
     install_panic_site_capture();
+    let mut token = token.clone();
     let mut attempts = 0;
+    let mut wall = Vec::new();
     loop {
         attempts += 1;
-        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        let started = Instant::now();
+        let outcome = supervise::with_token(&token, || panic::catch_unwind(AssertUnwindSafe(&f)));
+        wall.push(started.elapsed());
         let error = match outcome {
             Ok(Ok(value)) => return Ok(value),
-            Ok(Err(e)) => {
-                let retryable = matches!(e, SimError::RunFailed { .. });
-                if !retryable || attempts >= 2 {
-                    return Err(SkippedRun { name: name.to_owned(), attempts, error: e });
-                }
-                continue;
-            }
+            Ok(Err(e)) => e,
             Err(payload) => SimError::RunFailed {
                 benchmark: name.to_owned(),
                 reason: panic_reason(payload.as_ref()),
             },
         };
-        if attempts >= 2 {
-            return Err(SkippedRun { name: name.to_owned(), attempts, error });
+        let give_up = match &error {
+            // Deterministic errors fail identically; don't retry.
+            SimError::UnknownBenchmark(_) | SimError::InvalidSpec(_) => true,
+            SimError::RunFailed { .. } | SimError::TimedOut { .. } => attempts >= 2,
+        };
+        if give_up {
+            return Err(SkippedRun { name: name.to_owned(), attempts, error, wall });
         }
+        // One more try: timeouts get a doubled budget (the run was making
+        // progress, just slowly); panics retry under a fresh token with
+        // the original budget.
+        token = match (&error, token.budget()) {
+            (SimError::TimedOut { .. }, Some(b)) => CancelToken::with_budget(b * 2),
+            (_, b) => CancelToken::for_budget(b),
+        };
+        std::thread::sleep(supervise::retry_backoff(name));
     }
 }
 
@@ -174,13 +258,18 @@ pub fn map_suite<T: Send>(f: impl Fn(&str) -> Result<T, SimError> + Sync) -> Sui
 ///
 /// Units run on the `bitline-exec` pool — `BITLINE_JOBS` workers, default
 /// available parallelism — but `rows` and `skipped` always come back in
-/// `names` order, so driver output is independent of the job count.
+/// `names` order, so driver output is independent of the job count. Each
+/// unit receives its own [`CancelToken`] armed with the process-wide run
+/// budget when the worker picks it up.
 pub fn map_names<T: Send>(
     names: &[&str],
     f: impl Fn(&str) -> Result<T, SimError> + Sync,
 ) -> SuiteOutcome<T> {
-    let results =
-        bitline_exec::pool::run_indexed(names.len(), |i| isolated(names[i], || f(names[i])));
+    let results = bitline_exec::pool::run_indexed_supervised(
+        names.len(),
+        supervise::run_budget(),
+        |i, token| isolated_supervised(names[i], token, || f(names[i])),
+    );
     let mut rows = Vec::with_capacity(names.len());
     let mut skipped = Vec::new();
     for result in results {
@@ -221,6 +310,8 @@ mod tests {
     fn isolated_gives_up_after_two_panics() {
         let skip = isolated("poisoned", || -> Result<(), SimError> { panic!("boom") }).unwrap_err();
         assert_eq!(skip.attempts, 2);
+        assert_eq!(skip.wall.len(), 2, "one wall-clock sample per attempt");
+        assert_eq!(skip.kind(), "run-failed");
         assert!(matches!(skip.error, SimError::RunFailed { ref reason, .. }
             if reason.starts_with("boom")));
     }
@@ -246,7 +337,98 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(skip.attempts, 1);
+        assert_eq!(skip.wall.len(), 1);
         assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn timeouts_retry_once_at_double_budget() {
+        let budget = Duration::from_millis(40);
+        let budgets = RefCell::new(Vec::new());
+        let skip = isolated_supervised(
+            "slowpoke",
+            &CancelToken::with_budget(budget),
+            || -> Result<(), SimError> {
+                let token = supervise::ambient_token();
+                budgets.borrow_mut().push(token.budget());
+                Err(SimError::TimedOut {
+                    benchmark: "slowpoke".into(),
+                    budget: token.budget().unwrap_or_default(),
+                    progress: 10,
+                })
+            },
+        )
+        .unwrap_err();
+        assert_eq!(skip.attempts, 2);
+        assert_eq!(skip.kind(), "timed-out");
+        assert_eq!(*budgets.borrow(), vec![Some(budget), Some(budget * 2)]);
+        assert!(
+            matches!(skip.error, SimError::TimedOut { budget: b, .. } if b == budget * 2),
+            "terminal error reports the doubled budget: {:?}",
+            skip.error
+        );
+    }
+
+    #[test]
+    fn rows_or_error_keeps_partial_results() {
+        let outcome = SuiteOutcome {
+            rows: vec![1, 2],
+            skipped: vec![SkippedRun {
+                name: "x".into(),
+                attempts: 2,
+                error: SimError::RunFailed { benchmark: "x".into(), reason: "boom".into() },
+                wall: vec![Duration::ZERO, Duration::ZERO],
+            }],
+        };
+        assert_eq!(outcome.rows_or_error("probe").expect("partial is ok"), vec![1, 2]);
+    }
+
+    #[test]
+    fn rows_or_error_surfaces_the_first_error_when_empty() {
+        let outcome: SuiteOutcome<u32> = SuiteOutcome {
+            rows: vec![],
+            skipped: vec![SkippedRun {
+                name: "x".into(),
+                attempts: 1,
+                error: SimError::InvalidSpec("bad".into()),
+                wall: vec![Duration::ZERO],
+            }],
+        };
+        assert_eq!(
+            outcome.rows_or_error("probe").unwrap_err(),
+            SimError::InvalidSpec("bad".into())
+        );
+    }
+
+    #[test]
+    fn rows_or_error_accepts_an_entirely_empty_outcome() {
+        let outcome: SuiteOutcome<u32> = SuiteOutcome { rows: vec![], skipped: vec![] };
+        assert_eq!(outcome.rows_or_error("probe").expect("nothing asked, nothing failed"), vec![]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn expect_rows_shim_still_passes_rows_through() {
+        let outcome: SuiteOutcome<u32> = SuiteOutcome { rows: vec![9], skipped: vec![] };
+        assert_eq!(outcome.expect_rows("probe"), vec![9]);
+    }
+
+    #[test]
+    fn skipped_run_display_names_kind_and_wall() {
+        let skip = SkippedRun {
+            name: "gcc".into(),
+            attempts: 2,
+            error: SimError::TimedOut {
+                benchmark: "gcc".into(),
+                budget: Duration::from_millis(80),
+                progress: 4096,
+            },
+            wall: vec![Duration::from_millis(40), Duration::from_millis(81)],
+        };
+        let line = skip.to_string();
+        assert!(line.contains("[timed-out]"), "{line}");
+        assert!(line.contains("2 attempt(s)"), "{line}");
+        assert!(line.contains("gcc"), "{line}");
     }
 
     #[test]
@@ -261,6 +443,7 @@ mod tests {
         assert_eq!(outcome.skipped.len(), 1);
         assert_eq!(outcome.skipped[0].name, "b");
         assert_eq!(outcome.skipped[0].attempts, 2);
+        assert_eq!(outcome.timed_out(), 0);
         assert!(!outcome.is_complete());
     }
 

@@ -5,7 +5,7 @@ use bitline_energy::ProcessorEnergyModel;
 use bitline_workloads::suite;
 
 use crate::experiments::fig8;
-use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
+use crate::{run_benchmark_cached, PolicyKind, SimError, SystemSpec};
 
 /// The headline numbers at 70 nm.
 #[derive(Debug, Clone, Copy)]
@@ -36,9 +36,13 @@ pub struct Headline {
 
 /// Computes the headline from the Figure 8 experiment, plus the
 /// processor-level context (cache fraction, replay overhead).
-#[must_use]
-pub fn run(instrs: u64) -> Headline {
-    let (_, summary) = fig8::run(instrs);
+///
+/// # Errors
+///
+/// Propagates [`fig8::run`]'s error when the underlying suite produced no
+/// rows at all.
+pub fn run(instrs: u64) -> Result<Headline, SimError> {
+    let (_, summary) = fig8::run(instrs)?;
     let avg = &summary.avg;
 
     // Processor-level context at the constant threshold, averaged over a
@@ -67,7 +71,7 @@ pub fn run(instrs: u64) -> Headline {
     }
     let n = context_names.len() as f64;
 
-    Headline {
+    Ok(Headline {
         d_discharge_reduction: 1.0 - avg.d_discharge,
         i_discharge_reduction: 1.0 - avg.i_discharge,
         d_overall_reduction: avg.d_overall_reduction,
@@ -78,7 +82,7 @@ pub fn run(instrs: u64) -> Headline {
         i_precharged: avg.i_precharged,
         cache_fraction_of_processor: cache_frac / n,
         replay_overhead: replay_ovh / n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -87,7 +91,7 @@ mod tests {
 
     #[test]
     fn headline_shape_holds_on_a_quick_run() {
-        let h = run(5_000);
+        let h = run(5_000).expect("headline completes");
         assert!(h.d_discharge_reduction > 0.4, "D discharge reduction {}", h.d_discharge_reduction);
         assert!(h.i_discharge_reduction > 0.4, "I discharge reduction {}", h.i_discharge_reduction);
         assert!(h.d_overall_reduction > 0.1);

@@ -2,7 +2,8 @@
 
 use crate::experiments::harness;
 use crate::{
-    run_benchmark_cached, LocalityStats, PolicyKind, SystemSpec, FIG5_BUCKETS, FIG6_THRESHOLDS,
+    try_run_benchmark_cached, LocalityStats, PolicyKind, SimError, SystemSpec, FIG5_BUCKETS,
+    FIG6_THRESHOLDS,
 };
 
 /// One benchmark's locality profile for one cache.
@@ -36,8 +37,12 @@ fn row(benchmark: &str, stats: &LocalityStats) -> LocalityRow {
 }
 
 /// Gathers Figures 5 and 6 for all sixteen benchmarks.
-#[must_use]
-pub fn run(instrs: u64) -> LocalityResult {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark failed;
+/// partial suites degrade to fewer rows with a stderr warning.
+pub fn run(instrs: u64) -> Result<LocalityResult, SimError> {
     let outcome = harness::map_suite(|name| {
         let spec = SystemSpec {
             d_policy: PolicyKind::LocalityRecorder,
@@ -45,14 +50,14 @@ pub fn run(instrs: u64) -> LocalityResult {
             instructions: instrs,
             ..SystemSpec::default()
         };
-        let result = run_benchmark_cached(name, &spec);
+        let result = try_run_benchmark_cached(name, &spec)?;
         let d = row(name, result.d_locality.as_ref().expect("recorder attached"));
         let i = row(name, result.i_locality.as_ref().expect("recorder attached"));
         Ok((d, i))
     });
     outcome.report_skipped("locality");
-    let (data, inst) = outcome.expect_rows("locality").into_iter().unzip();
-    LocalityResult { data, inst }
+    let (data, inst) = outcome.rows_or_error("locality")?.into_iter().unzip();
+    Ok(LocalityResult { data, inst })
 }
 
 /// The bucket labels, for printing.
@@ -79,7 +84,7 @@ mod tests {
 
     #[test]
     fn locality_profiles_are_monotone_and_plausible() {
-        let res = run(6_000);
+        let res = run(6_000).expect("locality completes");
         assert_eq!(res.data.len(), 16);
         for r in res.data.iter().chain(res.inst.iter()) {
             assert!(r.access_cdf.windows(2).all(|w| w[1] >= w[0]), "{}", r.benchmark);

@@ -1,7 +1,7 @@
 //! Section 5: the performance cost of on-demand precharging.
 
 use crate::experiments::harness;
-use crate::{run_benchmark_cached, PolicyKind, SystemSpec};
+use crate::{try_run_benchmark_cached, PolicyKind, SimError, SystemSpec};
 
 /// One benchmark's on-demand slowdowns.
 #[derive(Debug, Clone)]
@@ -17,29 +17,33 @@ pub struct OnDemandRow {
 /// Reproduces the Section 5 result: on-demand precharging delays every
 /// access by one cycle; the paper measures 9% (D) / 7% (I) average
 /// slowdown.
-#[must_use]
-pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
+///
+/// # Errors
+///
+/// The first skipped run's [`SimError`] when *every* benchmark failed;
+/// partial suites degrade to fewer rows with a stderr warning.
+pub fn run(instrs: u64) -> Result<(Vec<OnDemandRow>, OnDemandRow), SimError> {
     let outcome = harness::map_suite(|name| {
-        let base = run_benchmark_cached(
+        let base = try_run_benchmark_cached(
             name,
             &SystemSpec { instructions: instrs, ..SystemSpec::default() },
-        );
-        let d = run_benchmark_cached(
+        )?;
+        let d = try_run_benchmark_cached(
             name,
             &SystemSpec {
                 d_policy: PolicyKind::OnDemand,
                 instructions: instrs,
                 ..SystemSpec::default()
             },
-        );
-        let i = run_benchmark_cached(
+        )?;
+        let i = try_run_benchmark_cached(
             name,
             &SystemSpec {
                 i_policy: PolicyKind::OnDemand,
                 instructions: instrs,
                 ..SystemSpec::default()
             },
-        );
+        )?;
         Ok(OnDemandRow {
             benchmark: name.to_owned(),
             d_slowdown: d.slowdown_vs(&base),
@@ -47,13 +51,13 @@ pub fn run(instrs: u64) -> (Vec<OnDemandRow>, OnDemandRow) {
         })
     });
     outcome.report_skipped("ondemand");
-    let rows = outcome.expect_rows("ondemand");
+    let rows = outcome.rows_or_error("ondemand")?;
     let avg = OnDemandRow {
         benchmark: "AVG".into(),
         d_slowdown: rows.iter().map(|r| r.d_slowdown).sum::<f64>() / rows.len() as f64,
         i_slowdown: rows.iter().map(|r| r.i_slowdown).sum::<f64>() / rows.len() as f64,
     };
-    (rows, avg)
+    Ok((rows, avg))
 }
 
 #[cfg(test)]
@@ -62,7 +66,7 @@ mod tests {
 
     #[test]
     fn on_demand_costs_real_performance() {
-        let (rows, avg) = run(6_000);
+        let (rows, avg) = run(6_000).expect("ondemand completes");
         assert_eq!(rows.len(), 16);
         assert!(avg.d_slowdown > 0.01, "avg D slowdown {}", avg.d_slowdown);
         assert!(avg.i_slowdown > 0.005, "avg I slowdown {}", avg.i_slowdown);

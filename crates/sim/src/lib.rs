@@ -40,21 +40,45 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod error;
 mod execution;
 pub mod experiments;
 mod recorder;
 mod runner;
+pub mod supervise;
 
 pub use config::{FaultSpec, PolicyKind, SystemSpec};
 pub use error::SimError;
 pub use execution::{
-    clear_run_caches, exec_summary_line, run_benchmark_cached, run_cache_stats, trace_store_stats,
-    try_run_benchmark_cached,
+    checkpoint_stats, clear_checkpoint, clear_run_caches, exec_summary_line, run_benchmark_cached,
+    run_cache_stats, set_checkpoint, trace_store_stats, try_run_benchmark_cached, CheckpointStats,
 };
 pub use recorder::{LocalityRecorder, LocalityStats, FIG5_BUCKETS, FIG6_THRESHOLDS};
-pub use runner::{run_benchmark, try_run_benchmark, EnergyPair, RunEnergy, RunResult};
+pub use runner::{
+    run_benchmark, try_run_benchmark, try_run_benchmark_supervised, EnergyPair, RunEnergy,
+    RunResult,
+};
+
+/// Applies the supervision environment variables: `BITLINE_RUN_BUDGET`
+/// (per-run wall-clock budget) and `BITLINE_CHECKPOINT` (checkpoint
+/// directory; `BITLINE_NO_RESUME=1` starts its journal afresh). The CLI
+/// flags override these; bench harnesses call only this.
+///
+/// # Errors
+///
+/// A human-readable message for a malformed budget or an unopenable
+/// checkpoint directory.
+pub fn init_supervision_from_env() -> Result<(), String> {
+    supervise::init_run_budget_from_env()?;
+    if let Ok(dir) = std::env::var("BITLINE_CHECKPOINT") {
+        let resume = std::env::var("BITLINE_NO_RESUME").map_or(true, |v| v != "1");
+        set_checkpoint(std::path::Path::new(&dir), resume)
+            .map_err(|e| format!("BITLINE_CHECKPOINT: {e}"))?;
+    }
+    Ok(())
+}
 
 /// Default instruction count per simulation run; override with the
 /// `BITLINE_INSTRS` environment variable.

@@ -8,12 +8,21 @@ use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
 use bitline_energy::CacheEnergyBreakdown;
+use bitline_exec::CancelToken;
 use bitline_faults::{FaultInjectingPolicy, FaultReport};
 
 use crate::config::{PolicyKind, SystemSpec};
 use crate::error::SimError;
 use crate::execution;
 use crate::recorder::LocalityStats;
+use crate::supervise;
+
+/// How many committed instructions the hot loop runs between cancellation
+/// polls. Small enough that even a tiny `--run-budget` is honoured within
+/// a chunk of simulation (microseconds of host time), large enough that
+/// the poll — one relaxed load plus one `Instant::now` — is invisible in
+/// profile.
+const CANCEL_POLL_INSTRS: u64 = 2_048;
 
 /// Energy breakdowns for both L1s.
 #[derive(Debug, Clone, Copy)]
@@ -127,11 +136,32 @@ impl RunResult {
 
 /// Runs one benchmark under a system spec, reporting failures as values.
 ///
+/// The run is supervised by the *ambient* cancel token — the one the
+/// experiment harness installed for this unit of work, or a fresh token
+/// armed with the process-wide `--run-budget` when none is installed.
+/// Cancellation is cooperative: the hot loop polls the token every few
+/// thousand committed instructions and returns [`SimError::TimedOut`]
+/// with its progress instead of hanging the worker.
+///
 /// # Errors
 ///
 /// [`SimError::UnknownBenchmark`] when `name` is not in the suite;
-/// [`SimError::InvalidSpec`] when [`SystemSpec::validate`] rejects `spec`.
+/// [`SimError::InvalidSpec`] when [`SystemSpec::validate`] rejects `spec`;
+/// [`SimError::TimedOut`] when the budget expires mid-run.
 pub fn try_run_benchmark(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
+    try_run_benchmark_supervised(name, spec, &supervise::ambient_token())
+}
+
+/// [`try_run_benchmark`] under an explicit [`CancelToken`].
+///
+/// # Errors
+///
+/// As [`try_run_benchmark`].
+pub fn try_run_benchmark_supervised(
+    name: &str,
+    spec: &SystemSpec,
+    token: &CancelToken,
+) -> Result<RunResult, SimError> {
     spec.validate()?;
     // Replay the benchmark's shared trace: the synthetic stream for this
     // (benchmark, seed) is generated once per process and every run —
@@ -195,7 +225,21 @@ pub fn try_run_benchmark(name: &str, spec: &SystemSpec) -> Result<RunResult, Sim
     let cpu_cfg =
         CpuConfig { predecode_hints: spec.d_policy.wants_predecode(), ..CpuConfig::default() };
     let mut cpu = Cpu::new(cpu_cfg, mem);
-    let stats = cpu.run(&mut trace, spec.instructions);
+    // Run in chunks of committed instructions, polling the cancel token
+    // between chunks. `Cpu::run` is incremental (it runs until `committed
+    // + n`), so chunked execution is cycle-identical to one long call.
+    let mut stats = cpu.stats();
+    while stats.committed < spec.instructions {
+        if token.cancelled() {
+            return Err(SimError::TimedOut {
+                benchmark: name.to_owned(),
+                budget: token.budget().unwrap_or_default(),
+                progress: stats.committed,
+            });
+        }
+        let chunk = (spec.instructions - stats.committed).min(CANCEL_POLL_INSTRS);
+        stats = cpu.run(&mut trace, chunk);
+    }
     let end_cycle = stats.cycles;
     let mut mem = cpu.into_memory();
     let d_hit_miss = (mem.l1d().hits(), mem.l1d().misses());

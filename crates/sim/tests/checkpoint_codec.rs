@@ -1,0 +1,212 @@
+//! Property tests for the checkpoint codec: synthetic `RunResult`s with
+//! randomized specs, statistics, and optional attachments survive an
+//! encode/decode cycle bit-exactly, and the spec key is stable across the
+//! codec — the invariant the warm-load cross-check relies on.
+
+use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
+use bitline_cpu::SimStats;
+use bitline_faults::{FaultReport, SubarrayFaults};
+use bitline_sim::checkpoint::{decode_run, encode_run, spec_key};
+use bitline_sim::{FaultSpec, LocalityStats, PolicyKind, RunResult, SystemSpec};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = PolicyKind> {
+    (0u8..10, any::<u64>(), 0.0..1.0f64).prop_map(|(tag, n, slack)| {
+        let threshold = n % 1_000 + 1;
+        match tag {
+            0 => PolicyKind::StaticPullUp,
+            1 => PolicyKind::Oracle,
+            2 => PolicyKind::OnDemand,
+            3 => PolicyKind::Gated { threshold },
+            4 => PolicyKind::GatedPredecode { threshold },
+            5 => PolicyKind::AdaptiveGated { interval_accesses: threshold },
+            6 => PolicyKind::LeakageBiased,
+            7 => PolicyKind::Drowsy { threshold },
+            8 => PolicyKind::Resizable { interval_accesses: threshold, slack },
+            _ => PolicyKind::LocalityRecorder,
+        }
+    })
+}
+
+fn specs() -> impl Strategy<Value = SystemSpec> {
+    (
+        policies(),
+        policies(),
+        (1u64..1_000_000, any::<u64>(), any::<bool>()),
+        (0.0..1.0f64, any::<u64>(), any::<bool>()),
+    )
+        .prop_map(|(d_policy, i_policy, (instructions, seed, way_prediction), f)| SystemSpec {
+            d_policy,
+            i_policy,
+            subarray_bytes: 1 << (6 + seed % 7),
+            instructions,
+            seed,
+            way_prediction,
+            faults: FaultSpec { rate: f.0, seed: f.1, fail_safe: f.2 },
+        })
+}
+
+fn subarray_activity() -> impl Strategy<Value = SubarrayActivity> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (0.0..1.0e9f64, 0.0..1.0e9f64),
+        prop::collection::vec(any::<u64>(), IDLE_BUCKETS),
+    )
+        .prop_map(|((accesses, delayed_accesses, precharge_events), cyc, hist)| {
+            let mut counts = [0u64; IDLE_BUCKETS];
+            counts.copy_from_slice(&hist);
+            SubarrayActivity {
+                accesses,
+                delayed_accesses,
+                pulled_up_cycles: cyc.0,
+                precharge_events,
+                drowsy_cycles: cyc.1,
+                idle_histogram: IdleHistogram::from_counts(counts),
+            }
+        })
+}
+
+fn reports() -> impl Strategy<Value = ActivityReport> {
+    (
+        prop::sample::select(vec!["gated", "oracle", "static", "drowsy"]),
+        any::<u64>(),
+        prop::collection::vec(subarray_activity(), 0..4),
+    )
+        .prop_map(|(policy, end_cycle, per_subarray)| ActivityReport {
+            policy: policy.to_owned(),
+            end_cycle,
+            per_subarray,
+        })
+}
+
+fn localities() -> impl Strategy<Value = Option<LocalityStats>> {
+    (
+        any::<bool>(),
+        prop::collection::vec(any::<u64>(), 6),
+        any::<u64>(),
+        prop::collection::vec(0.0..1.0e12f64, 5),
+        (1usize..256, any::<u64>()),
+    )
+        .prop_map(|(present, counts, total, hot, (subarrays, end_cycle))| {
+            present.then(|| {
+                let mut interval_counts = [0u64; 6];
+                interval_counts.copy_from_slice(&counts);
+                let mut hot_cycles = [0f64; 5];
+                hot_cycles.copy_from_slice(&hot);
+                LocalityStats {
+                    interval_counts,
+                    intervals_total: total,
+                    hot_cycles,
+                    subarrays,
+                    end_cycle,
+                }
+            })
+        })
+}
+
+fn fault_reports() -> impl Strategy<Value = Option<FaultReport>> {
+    (
+        any::<bool>(),
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()), 0..4),
+    )
+        .prop_map(|(present, rows)| {
+            present.then(|| FaultReport {
+                per_subarray: rows
+                    .into_iter()
+                    .map(|(injected, detected, decay_flips, pinned)| {
+                        let detected = detected.min(injected);
+                        SubarrayFaults {
+                            injected,
+                            detected,
+                            silent: injected - detected,
+                            replayed: detected,
+                            decay_flips,
+                            pinned,
+                        }
+                    })
+                    .collect(),
+            })
+        })
+}
+
+fn stats() -> impl Strategy<Value = SimStats> {
+    prop::collection::vec(any::<u64>(), 11).prop_map(|s| SimStats {
+        cycles: s[0],
+        committed: s[1],
+        fetched: s[2],
+        branches: s[3],
+        mispredicts: s[4],
+        loads: s[5],
+        stores: s[6],
+        replays: s[7],
+        load_misspeculations: s[8],
+        fetch_stall_cycles: s[9],
+        hints: s[10],
+    })
+}
+
+fn way_stats() -> impl Strategy<Value = Option<WayStats>> {
+    (any::<bool>(), any::<u64>(), any::<u64>())
+        .prop_map(|(present, correct, wrong)| present.then_some(WayStats { correct, wrong }))
+}
+
+fn runs() -> impl Strategy<Value = RunResult> {
+    (
+        (prop::sample::select(vec!["gcc", "mcf", "art", "health"]), specs(), stats()),
+        (reports(), reports()),
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+        (localities(), localities()),
+        (way_stats(), way_stats()),
+        (fault_reports(), fault_reports()),
+    )
+        .prop_map(
+            |(
+                (benchmark, spec, stats),
+                (d_report, i_report),
+                (d_hit_miss, i_hit_miss),
+                (d_locality, i_locality),
+                (d_way_stats, i_way_stats),
+                (d_faults, i_faults),
+            )| RunResult {
+                benchmark: benchmark.to_owned(),
+                spec,
+                stats,
+                d_report,
+                i_report,
+                d_hit_miss,
+                i_hit_miss,
+                d_locality,
+                i_locality,
+                d_way_stats,
+                i_way_stats,
+                d_faults,
+                i_faults,
+            },
+        )
+}
+
+proptest! {
+    /// Encode → decode is the identity on every synthetic run (Debug
+    /// strings compare the full tree, f64s included, bit-exactly).
+    fn encode_decode_is_identity(run in runs()) {
+        let bytes = encode_run(&run);
+        let decoded = decode_run(&bytes).expect("well-formed bytes decode");
+        prop_assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+    }
+
+    /// The decoded run journals under the same key as the original — the
+    /// invariant the warm-load cross-check in `set_checkpoint` relies on.
+    fn spec_key_survives_the_codec(run in runs()) {
+        let key = spec_key(&run.benchmark, &run.spec);
+        let decoded = decode_run(&encode_run(&run)).expect("decodes");
+        prop_assert_eq!(spec_key(&decoded.benchmark, &decoded.spec), key);
+    }
+
+    /// Truncating the payload anywhere is always detected.
+    fn truncation_is_always_detected(run in runs(), frac in 0.0..1.0f64) {
+        let bytes = encode_run(&run);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cut = (((bytes.len() - 1) as f64) * frac) as usize;
+        prop_assert!(decode_run(&bytes[..cut]).is_none());
+    }
+}

@@ -21,7 +21,8 @@ fn suite_rows(jobs: usize) -> Vec<String> {
             );
             Ok(format!("{name}: cycles={} ipc={:.6}", run.cycles(), run.stats.ipc()))
         })
-        .expect_rows("determinism probe")
+        .rows_or_error("determinism probe")
+        .expect("suite completes")
     })
 }
 

@@ -1,0 +1,116 @@
+//! End-to-end supervision: a real simulation times out under a tiny
+//! budget, the harness retries timeouts once at twice the budget, and a
+//! crash-safe checkpoint journal replays finished runs — including after
+//! deliberate on-disk damage.
+//!
+//! Everything lives in one `#[test]` because the run cache, the ambient
+//! budget, and the checkpoint journal are process-wide: concurrent test
+//! functions would trample each other's global state.
+
+use std::time::Duration;
+
+use bitline_exec::journal::JOURNAL_FILE;
+use bitline_exec::CancelToken;
+use bitline_sim::experiments::harness;
+use bitline_sim::{
+    checkpoint_stats, clear_checkpoint, clear_run_caches, set_checkpoint, supervise,
+    try_run_benchmark, try_run_benchmark_cached, try_run_benchmark_supervised, SimError,
+    SystemSpec,
+};
+
+#[test]
+fn supervision_times_out_retries_and_resumes_from_the_journal() {
+    let spec = SystemSpec { instructions: 50_000, ..SystemSpec::default() };
+
+    // --- An expired token stops a real run mid-flight as TimedOut ---
+    match try_run_benchmark_supervised("gcc", &spec, &CancelToken::with_budget(Duration::ZERO)) {
+        Err(SimError::TimedOut { benchmark, budget, progress }) => {
+            assert_eq!(benchmark, "gcc");
+            assert_eq!(budget, Duration::ZERO);
+            assert!(progress < spec.instructions, "cancelled before completion");
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+
+    // --- A generous budget does not perturb the run at all ---
+    let generous = CancelToken::with_budget(Duration::from_secs(120));
+    let unsupervised = try_run_benchmark("gcc", &spec).expect("unsupervised run completes");
+    let supervised =
+        try_run_benchmark_supervised("gcc", &spec, &generous).expect("supervised run completes");
+    assert_eq!(
+        format!("{unsupervised:?}"),
+        format!("{supervised:?}"),
+        "cooperative polling must be cycle-invisible"
+    );
+
+    // --- The harness retries a timeout once, at twice the budget ---
+    // (1 ns, not zero: a zero duration means "unset" in the process-global
+    // budget encoding.)
+    supervise::set_run_budget(Some(Duration::from_nanos(1)));
+    let skip = harness::isolated("gcc", || try_run_benchmark("gcc", &spec).map(|_| ()))
+        .expect_err("a zero budget cannot complete");
+    assert_eq!(skip.kind(), "timed-out");
+    assert_eq!(skip.attempts, 2, "timeouts are retried exactly once");
+    assert_eq!(skip.wall.len(), 2, "each attempt's wall clock is recorded");
+    supervise::set_run_budget(None);
+
+    // --- Checkpoint: cold pass journals, warm pass replays ---
+    let dir = std::env::temp_dir().join(format!("bitline-supervision-it-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    clear_run_caches();
+    let cold_stats = set_checkpoint(&dir, true).expect("arm cold checkpoint");
+    assert_eq!(cold_stats.replayed, 0, "nothing to replay on a fresh directory");
+    let gcc_cold = try_run_benchmark_cached("gcc", &spec).expect("gcc completes");
+    let mcf_cold = try_run_benchmark_cached("mcf", &spec).expect("mcf completes");
+    let after_cold = checkpoint_stats().expect("checkpoint armed");
+    assert_eq!(after_cold.appended, 2, "both fresh runs are journaled");
+    assert_eq!(after_cold.recomputed, 0);
+
+    // Simulate a crash: drop all in-memory state, re-arm from disk.
+    clear_checkpoint();
+    clear_run_caches();
+    let warm_stats = set_checkpoint(&dir, true).expect("arm warm checkpoint");
+    assert_eq!(warm_stats.replayed, 2, "the journal replays both finished runs");
+    assert_eq!(warm_stats.quarantined, 0);
+    let gcc_warm = try_run_benchmark_cached("gcc", &spec).expect("gcc replays");
+    let mcf_warm = try_run_benchmark_cached("mcf", &spec).expect("mcf replays");
+    assert_eq!(
+        format!("{gcc_cold:?}"),
+        format!("{gcc_warm:?}"),
+        "replayed run is bit-identical to the cold compute"
+    );
+    assert_eq!(format!("{mcf_cold:?}"), format!("{mcf_warm:?}"));
+    let after_warm = checkpoint_stats().expect("checkpoint armed");
+    assert_eq!(after_warm.appended, 0, "warm pass appends nothing");
+    assert_eq!(after_warm.recomputed, 0, "warm pass recomputes nothing");
+
+    // --- Damage the journal: one flipped bit quarantines one entry ---
+    clear_checkpoint();
+    clear_run_caches();
+    let path = dir.join(JOURNAL_FILE);
+    let mut bytes = std::fs::read(&path).expect("journal bytes");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write damaged journal");
+    let damaged_stats = set_checkpoint(&dir, true).expect("arm damaged checkpoint");
+    assert_eq!(damaged_stats.replayed, 1, "the undamaged entry still replays");
+    assert_eq!(damaged_stats.quarantined, 1, "the flipped entry is quarantined");
+
+    // The quarantined run is recomputed and re-journaled transparently.
+    let mcf_again = try_run_benchmark_cached("mcf", &spec).expect("mcf recomputes");
+    assert_eq!(format!("{mcf_cold:?}"), format!("{mcf_again:?}"));
+    let after_repair = checkpoint_stats().expect("checkpoint armed");
+    assert_eq!(after_repair.appended + after_repair.recomputed, 1);
+
+    // --- --no-resume: journal restarts empty but keeps recording ---
+    clear_checkpoint();
+    clear_run_caches();
+    let fresh_stats = set_checkpoint(&dir, false).expect("arm no-resume checkpoint");
+    assert_eq!(fresh_stats.replayed, 0, "--no-resume ignores the existing journal");
+    let _ = try_run_benchmark_cached("gcc", &spec).expect("gcc recomputes");
+    assert_eq!(checkpoint_stats().expect("checkpoint armed").appended, 1);
+
+    clear_checkpoint();
+    std::fs::remove_dir_all(&dir).ok();
+}

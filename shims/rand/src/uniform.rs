@@ -171,7 +171,6 @@ impl UniformSampler for UniformFloat<f64> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::rngs::SmallRng;
     use crate::{Rng, SeedableRng};
 
