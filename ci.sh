@@ -9,7 +9,11 @@
 #                    a tiny --run-budget must surface as timed-out, and a
 #                    SIGKILL-interrupted --checkpoint sweep must resume to
 #                    byte-identical output without recomputing journaled
-#                    runs
+#                    runs; finally a metrics leg: an instrumented figure
+#                    run must export schema-valid bitline-obs/v1 JSONL
+#                    with the expected counter families moving, produce
+#                    identical stdout, and cost no more than 2% (+ fixed
+#                    slack) over the same run with metrics off
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -136,6 +140,87 @@ resume_smoke() {
         exit 1
     fi
     echo "==> smoke: resume OK — $replayed runs replayed, 0 recomputed"
+
+    metrics_smoke "$instrs" "$jobs_n"
+}
+
+# Extracts one counter's value from a bitline-obs/v1 JSONL file (0 when absent).
+metric_value() {
+    local file="$1" name="$2" v
+    v=$(sed -n 's/.*"name":"'"$name"'","value":\([0-9]*\).*/\1/p' "$file" | head -n 1)
+    echo "${v:-0}"
+}
+
+metrics_smoke() {
+    local instrs="$1" jobs_n="$2"
+    local sim=./target/debug/bitline-sim
+
+    echo "==> smoke: metrics — fig3 with metrics off (reference timing)"
+    local off_out="$SMOKE_TMP/metrics-off.out" t0 t1 secs_off secs_on
+    t0=$(date +%s.%N)
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j "$jobs_n" fig3 >"$off_out" 2>/dev/null
+    t1=$(date +%s.%N)
+    secs_off=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+
+    echo "==> smoke: metrics — fig3 instrumented (--metrics + --checkpoint)"
+    local mjson="$SMOKE_TMP/metrics.jsonl" on_out="$SMOKE_TMP/metrics-on.out"
+    local mckpt="$SMOKE_TMP/metrics-ckpt"
+    t0=$(date +%s.%N)
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j "$jobs_n" --metrics "$mjson" --checkpoint "$mckpt" fig3 \
+        >"$on_out" 2>/dev/null
+    t1=$(date +%s.%N)
+    secs_on=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+
+    if ! diff -u "$off_out" "$on_out"; then
+        echo "==> smoke: FAIL — figure output must be byte-identical with metrics on" >&2
+        exit 1
+    fi
+
+    echo "==> smoke: metrics — validating $mjson against the exporter schema"
+    if ! "$sim" --validate-metrics "$mjson"; then
+        echo "==> smoke: FAIL — exported metrics are not schema-valid" >&2
+        exit 1
+    fi
+
+    # The counter families the figure run must have moved: pool units
+    # (scheduling), run-cache misses (memoisation), journal appends
+    # (checkpointing), committed instructions (the runner itself).
+    local name v
+    for name in exec.pool.units sim.run_cache.misses exec.journal.appends \
+        sim.runner.committed_instructions sim.harness.ok; do
+        v=$(metric_value "$mjson" "$name")
+        if [[ "$v" -eq 0 ]]; then
+            echo "==> smoke: FAIL — counter $name did not move (value $v)" >&2
+            exit 1
+        fi
+    done
+    # The full taxonomy is declared even when untouched.
+    for name in faults.d.injected sim.checkpoint.replayed; do
+        if ! grep -q "\"name\":\"$name\"" "$mjson"; then
+            echo "==> smoke: FAIL — declared counter $name missing from export" >&2
+            exit 1
+        fi
+    done
+
+    echo "==> smoke: metrics — faulted run moves the faults.* family"
+    local fjson="$SMOKE_TMP/metrics-faults.jsonl" fault_events
+    "$sim" -b mesa -i "$instrs" --fault-rate 0.05 --metrics "$fjson" >/dev/null 2>&1
+    fault_events=$(grep '"name":"faults\.' "$fjson" \
+        | sed 's/.*"value":\([0-9]*\).*/\1/' | awk '{s+=$1} END {print s+0}')
+    if [[ "$fault_events" -eq 0 ]]; then
+        echo "==> smoke: FAIL — fault injection left every faults.* counter at zero" >&2
+        exit 1
+    fi
+
+    # Instrumentation overhead budget: <=2% over metrics-off, plus a fixed
+    # 0.25s slack so scheduler noise on a tiny run cannot flake the gate.
+    if ! echo "$secs_on $secs_off" | awk '{exit !($1 <= $2 * 1.02 + 0.25)}'; then
+        echo "==> smoke: FAIL — instrumented run ${secs_on}s vs ${secs_off}s off exceeds 2% + 0.25s" >&2
+        exit 1
+    fi
+    echo "==> smoke: metrics OK — off ${secs_off}s, on ${secs_on}s, $fault_events fault events"
 }
 
 if [[ "${1:-}" == "smoke" ]]; then

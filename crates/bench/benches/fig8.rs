@@ -34,5 +34,11 @@ fn main() {
     println!(
         "  paper AVG: D precharged ~0.10, D discharge 0.17; I precharged ~0.06, I discharge 0.13"
     );
+    if let Some(dir) = bitline_sim::experiments::export::export_dir() {
+        match bitline_sim::experiments::export::write_fig8(&dir, &rows) {
+            Ok(p) => println!("  exported {}", p.display()),
+            Err(e) => eprintln!("  export failed: {e}"),
+        }
+    }
     bitline_bench::exec_summary();
 }

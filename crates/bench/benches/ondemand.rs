@@ -13,5 +13,11 @@ fn main() {
     }
     println!();
     println!("  paper: 9% (data) / 7% (instruction) average slowdown");
+    if let Some(dir) = bitline_sim::experiments::export::export_dir() {
+        match bitline_sim::experiments::export::write_ondemand(&dir, &rows) {
+            Ok(p) => println!("  exported {}", p.display()),
+            Err(e) => eprintln!("  export failed: {e}"),
+        }
+    }
     bitline_bench::exec_summary();
 }

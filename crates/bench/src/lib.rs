@@ -53,13 +53,16 @@ pub fn run_or_exit<T>(what: &str, result: Result<T, bitline_sim::SimError>) -> T
     }
 }
 
-/// Prints the execution layer's job count and cache statistics to stderr.
+/// Prints the execution layer's job count and cache statistics to stderr,
+/// and flushes the observability registry to the `BITLINE_METRICS` path
+/// when that env var is set.
 ///
 /// Drivers call this after their figure so the stats reflect the whole
 /// run; stderr keeps the figure's stdout byte-identical whatever the job
 /// count or cache state.
 pub fn exec_summary() {
     eprintln!("[exec] {}", bitline_sim::exec_summary_line());
+    bitline_sim::metrics::write_metrics_from_env();
 }
 
 #[cfg(test)]

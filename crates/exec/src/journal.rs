@@ -36,6 +36,8 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+use bitline_obs::counter;
+
 /// File magic: identifies a bitline run journal, version 1.
 const MAGIC: &[u8; 8] = b"BLJRNL1\n";
 
@@ -133,6 +135,13 @@ impl Journal {
             atomic_write(&path, MAGIC)?;
         }
 
+        counter!("exec.journal.loaded").add(u64::try_from(report.loaded).unwrap_or(u64::MAX));
+        counter!("exec.journal.quarantined")
+            .add(u64::try_from(report.quarantined).unwrap_or(u64::MAX));
+        if report.compacted {
+            counter!("exec.journal.compactions").incr();
+        }
+
         let file = OpenOptions::new().append(true).open(&path)?;
         let keys = entries.iter().map(|e| e.key.clone()).collect();
         Ok((Journal { file, path, keys }, entries, report))
@@ -172,6 +181,8 @@ impl Journal {
         self.file.write_all(&frame(key, value))?;
         self.file.flush()?;
         self.file.sync_data()?;
+        counter!("exec.journal.appends").incr();
+        counter!("exec.journal.fsyncs").incr();
         self.keys.insert(key.to_owned());
         Ok(())
     }

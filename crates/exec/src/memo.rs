@@ -48,6 +48,10 @@ pub struct MemoCache<K, V> {
     slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Global-registry mirrors of `hits` / `misses` for named caches.
+    /// Unlike the local counters these survive [`MemoCache::clear`], so a
+    /// cumulative metrics export still reflects all traffic.
+    obs: Option<(Arc<bitline_obs::Counter>, Arc<bitline_obs::Counter>)>,
 }
 
 fn relock<'a, T>(
@@ -64,6 +68,23 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
             slots: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: None,
+        }
+    }
+
+    /// An empty cache that mirrors its hit/miss counters into the global
+    /// metrics registry as `{name}.hits` / `{name}.misses`. The registry
+    /// handles are interned here, once, so the lookup path stays one
+    /// relaxed atomic add per counter.
+    #[must_use]
+    pub fn named(name: &str) -> MemoCache<K, V> {
+        let registry = bitline_obs::registry();
+        MemoCache {
+            obs: Some((
+                registry.counter(&format!("{name}.hits")),
+                registry.counter(&format!("{name}.misses")),
+            )),
+            ..MemoCache::new()
         }
     }
 
@@ -82,9 +103,15 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         let mut value = relock(slot.lock());
         if let Some(v) = value.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some((hits, _)) = &self.obs {
+                hits.incr();
+            }
             return Ok(v.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some((_, misses)) = &self.obs {
+            misses.incr();
+        }
         let v = f()?;
         *value = Some(v.clone());
         Ok(v)
@@ -189,6 +216,23 @@ mod tests {
         assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0, entries: 1 });
         assert_eq!(cache.get_or_insert_with("warm", || unreachable!()), 7);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0, entries: 1 });
+    }
+
+    #[test]
+    fn named_cache_mirrors_into_the_global_registry() {
+        let cache: MemoCache<u8, u8> = MemoCache::named("exec.test.memo_mirror");
+        let before = bitline_obs::registry().snapshot();
+        let _ = cache.get_or_insert_with(1, || 1);
+        let _ = cache.get_or_insert_with(1, || unreachable!());
+        cache.clear();
+        let _ = cache.get_or_insert_with(1, || 2);
+        let after = bitline_obs::registry().snapshot();
+        let hits = after.counters["exec.test.memo_mirror.hits"]
+            - before.counters.get("exec.test.memo_mirror.hits").copied().unwrap_or(0);
+        let misses = after.counters["exec.test.memo_mirror.misses"]
+            - before.counters.get("exec.test.memo_mirror.misses").copied().unwrap_or(0);
+        assert_eq!((hits, misses), (1, 2), "mirror counters survive clear()");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, entries: 1 });
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use bitline_obs::{counter, gauge, histo};
 
 use crate::supervise::CancelToken;
 
@@ -105,9 +107,17 @@ pub fn run_indexed_supervised<T: Send>(
     f: impl Fn(usize, &CancelToken) -> T + Sync,
 ) -> Vec<T> {
     let workers = jobs().min(n);
+    let units = u64::try_from(n).unwrap_or(u64::MAX);
+    counter!("exec.pool.batches").incr();
+    counter!("exec.pool.units").add(units);
+    gauge!("exec.pool.workers").set(i64::try_from(workers).unwrap_or(i64::MAX));
     if workers <= 1 {
+        counter!("exec.pool.inline_units").add(units);
         return (0..n).map(|i| f(i, &CancelToken::for_budget(budget))).collect();
     }
+    // All units are submitted at once, so a unit's queue wait is the time
+    // from batch start to its pickup by a worker.
+    let submitted = Instant::now();
     let next = AtomicUsize::new(0);
     let mut collected = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -117,14 +127,22 @@ pub fn run_indexed_supervised<T: Send>(
                 std::thread::Builder::new()
                     .name(format!("exec-worker-{w}"))
                     .spawn_scoped(s, move || {
+                        let spawned = Instant::now();
+                        let mut busy = Duration::ZERO;
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
+                            histo!("exec.pool.queue_wait_us").record_duration(submitted.elapsed());
+                            let picked = Instant::now();
                             out.push((i, f(i, &CancelToken::for_budget(budget))));
+                            busy += picked.elapsed();
                         }
+                        histo!("exec.pool.worker_busy_us").record_duration(busy);
+                        histo!("exec.pool.worker_idle_us")
+                            .record_duration(spawned.elapsed().saturating_sub(busy));
                         out
                     })
                     .expect("spawn exec worker")
@@ -137,6 +155,7 @@ pub fn run_indexed_supervised<T: Send>(
     });
     collected.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(collected.len(), n);
+    counter!("exec.pool.reassembled").add(units);
     collected.into_iter().map(|(_, v)| v).collect()
 }
 

@@ -49,9 +49,12 @@ impl SharedTrace {
         let mut generator =
             self.generator.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut buf = self.buf.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = buf.len();
         while buf.len() < start + CHUNK {
             buf.push(generator.next_instr());
         }
+        bitline_obs::counter!("exec.traces.materialised")
+            .add(u64::try_from(buf.len() - before).unwrap_or(u64::MAX));
         out.extend_from_slice(&buf[start..start + CHUNK]);
     }
 
@@ -103,6 +106,7 @@ impl TraceStore {
                     buf: RwLock::new(Vec::new()),
                 });
                 traces.insert((benchmark.to_owned(), seed), Arc::clone(&t));
+                bitline_obs::counter!("exec.traces.streams").incr();
                 t
             }
         };

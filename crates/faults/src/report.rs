@@ -81,6 +81,23 @@ impl FaultReport {
             .all(|s| s.detected + s.silent == s.injected && s.replayed == s.detected)
     }
 
+    /// Accumulates this report's totals into the global metrics registry
+    /// under `faults.{cache}.*` (e.g. `faults.d.detected`). Called once
+    /// per completed run by the simulator, so the counters stay semantic —
+    /// they track finished physics, not in-flight injector state, and are
+    /// therefore identical across job counts.
+    pub fn record_metrics(&self, cache: &str) {
+        let registry = bitline_obs::registry();
+        registry.counter(&format!("faults.{cache}.injected")).add(self.injected());
+        registry.counter(&format!("faults.{cache}.detected")).add(self.detected());
+        registry.counter(&format!("faults.{cache}.replayed")).add(self.replayed());
+        registry.counter(&format!("faults.{cache}.silent")).add(self.silent());
+        registry.counter(&format!("faults.{cache}.decay_flips")).add(self.decay_flips());
+        registry
+            .counter(&format!("faults.{cache}.degraded_subarrays"))
+            .add(u64::try_from(self.degraded_subarrays()).unwrap_or(u64::MAX));
+    }
+
     /// One-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -124,6 +141,26 @@ mod tests {
         r.per_subarray[0].detected = 1;
         // silent missing
         assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn record_metrics_accumulates_totals() {
+        let mut r = FaultReport::new(2);
+        r.per_subarray[0].injected = 3;
+        r.per_subarray[0].detected = 2;
+        r.per_subarray[0].silent = 1;
+        r.per_subarray[0].replayed = 2;
+        r.per_subarray[1].pinned = true;
+        let before = bitline_obs::registry().snapshot();
+        r.record_metrics("test_report");
+        let after = bitline_obs::registry().snapshot();
+        let delta =
+            |name: &str| after.counters[name] - before.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(delta("faults.test_report.injected"), 3);
+        assert_eq!(delta("faults.test_report.detected"), 2);
+        assert_eq!(delta("faults.test_report.replayed"), 2);
+        assert_eq!(delta("faults.test_report.silent"), 1);
+        assert_eq!(delta("faults.test_report.degraded_subarrays"), 1);
     }
 
     #[test]

@@ -1,0 +1,781 @@
+//! JSON-lines export of the global metrics snapshot and span ring buffer,
+//! plus the matching parser/validator used by tests and the CI smoke.
+//!
+//! The file format (`bitline-obs/v1`) is one JSON object per line:
+//!
+//! ```text
+//! {"type":"meta","schema":"bitline-obs/v1","emitted_us":12345}
+//! {"type":"counter","name":"exec.pool.units","value":96}
+//! {"type":"gauge","name":"exec.pool.workers","value":8}
+//! {"type":"histogram","name":"exec.pool.queue_wait_us","count":9,"sum":120,
+//!  "min":2,"max":40,"buckets":[[2,3],[6,6]]}
+//! {"type":"span","name":"fig8/run","thread":"exec-worker-0","start_us":10,
+//!  "dur_us":900,"fields":{"benchmark":"mesa"}}
+//! ```
+//!
+//! Both directions are hand-rolled here: the workspace's `serde` is an
+//! offline no-op shim, so the encoder writes strings directly and the
+//! parser is a small recursive-descent JSON reader. Keeping the parser in
+//! this crate means the exporter is round-trip tested against itself
+//! (see `tests/proptests.rs`) and the CI validator shares one schema.
+
+use std::io;
+use std::path::Path;
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+use crate::span::SpanRecord;
+
+/// Schema identifier stamped into (and required of) the meta line.
+pub const SCHEMA: &str = "bitline-obs/v1";
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One line of a metrics file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// File header: schema identifier and emission time.
+    Meta {
+        /// Schema identifier; always [`SCHEMA`] for files this crate writes.
+        schema: String,
+        /// Microseconds since the process epoch at export time.
+        emitted_us: u64,
+    },
+    /// A counter's value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Counter value.
+        value: u64,
+    },
+    /// A gauge's value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Gauge value.
+        value: i64,
+    },
+    /// A histogram's frozen shape.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// The snapshot.
+        snapshot: HistogramSnapshot,
+    },
+    /// One completed span.
+    Span(SpanRecord),
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Record {
+    /// Encodes the record as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Record::Meta { schema, emitted_us } => {
+                out.push_str("{\"type\":\"meta\",\"schema\":");
+                push_json_string(&mut out, schema);
+                out.push_str(&format!(",\"emitted_us\":{emitted_us}}}"));
+            }
+            Record::Counter { name, value } => {
+                out.push_str("{\"type\":\"counter\",\"name\":");
+                push_json_string(&mut out, name);
+                out.push_str(&format!(",\"value\":{value}}}"));
+            }
+            Record::Gauge { name, value } => {
+                out.push_str("{\"type\":\"gauge\",\"name\":");
+                push_json_string(&mut out, name);
+                out.push_str(&format!(",\"value\":{value}}}"));
+            }
+            Record::Histogram { name, snapshot } => {
+                out.push_str("{\"type\":\"histogram\",\"name\":");
+                push_json_string(&mut out, name);
+                out.push_str(&format!(",\"count\":{},\"sum\":{}", snapshot.count, snapshot.sum));
+                match snapshot.min {
+                    Some(v) => out.push_str(&format!(",\"min\":{v}")),
+                    None => out.push_str(",\"min\":null"),
+                }
+                match snapshot.max {
+                    Some(v) => out.push_str(&format!(",\"max\":{v}")),
+                    None => out.push_str(",\"max\":null"),
+                }
+                out.push_str(",\"buckets\":[");
+                for (i, (bucket, count)) in snapshot.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{bucket},{count}]"));
+                }
+                out.push_str("]}");
+            }
+            Record::Span(span) => {
+                out.push_str("{\"type\":\"span\",\"name\":");
+                push_json_string(&mut out, &span.name);
+                out.push_str(",\"thread\":");
+                push_json_string(&mut out, &span.thread);
+                out.push_str(&format!(
+                    ",\"start_us\":{},\"dur_us\":{},\"fields\":{{",
+                    span.start_us, span.dur_us
+                ));
+                for (i, (k, v)) in span.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, k);
+                    out.push(':');
+                    push_json_string(&mut out, v);
+                }
+                out.push_str("}}");
+            }
+        }
+        out
+    }
+
+    /// Parses one JSON line into a record.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the first syntax or schema violation.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let json = parse_json(line)?;
+        let obj = as_object(&json)?;
+        let kind = get_str(obj, "type")?;
+        match kind {
+            "meta" => {
+                expect_keys(obj, &["type", "schema", "emitted_us"])?;
+                Ok(Record::Meta {
+                    schema: get_str(obj, "schema")?.to_owned(),
+                    emitted_us: get_u64(obj, "emitted_us")?,
+                })
+            }
+            "counter" => {
+                expect_keys(obj, &["type", "name", "value"])?;
+                Ok(Record::Counter {
+                    name: get_str(obj, "name")?.to_owned(),
+                    value: get_u64(obj, "value")?,
+                })
+            }
+            "gauge" => {
+                expect_keys(obj, &["type", "name", "value"])?;
+                Ok(Record::Gauge {
+                    name: get_str(obj, "name")?.to_owned(),
+                    value: get_i64(obj, "value")?,
+                })
+            }
+            "histogram" => {
+                expect_keys(obj, &["type", "name", "count", "sum", "min", "max", "buckets"])?;
+                let buckets = as_array(get(obj, "buckets")?)?
+                    .iter()
+                    .map(|pair| {
+                        let pair = as_array(pair)?;
+                        if pair.len() != 2 {
+                            return Err("bucket pair must be [index, count]".to_owned());
+                        }
+                        let index = json_u64(&pair[0])?;
+                        let index = u32::try_from(index)
+                            .map_err(|_| format!("bucket index {index} out of range"))?;
+                        Ok((index, json_u64(&pair[1])?))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Record::Histogram {
+                    name: get_str(obj, "name")?.to_owned(),
+                    snapshot: HistogramSnapshot {
+                        count: get_u64(obj, "count")?,
+                        sum: get_u64(obj, "sum")?,
+                        min: get_opt_u64(obj, "min")?,
+                        max: get_opt_u64(obj, "max")?,
+                        buckets,
+                    },
+                })
+            }
+            "span" => {
+                expect_keys(obj, &["type", "name", "thread", "start_us", "dur_us", "fields"])?;
+                let fields = match get(obj, "fields")? {
+                    Json::Obj(pairs) => pairs
+                        .iter()
+                        .map(|(k, v)| match v {
+                            Json::Str(s) => Ok((k.clone(), s.clone())),
+                            _ => Err(format!("span field `{k}` must be a string")),
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => return Err("span `fields` must be an object".to_owned()),
+                };
+                Ok(Record::Span(SpanRecord {
+                    name: get_str(obj, "name")?.to_owned(),
+                    thread: get_str(obj, "thread")?.to_owned(),
+                    start_us: get_u64(obj, "start_us")?,
+                    dur_us: get_u64(obj, "dur_us")?,
+                    fields,
+                }))
+            }
+            other => Err(format!("unknown record type `{other}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering and file export
+// ---------------------------------------------------------------------------
+
+/// Flattens a snapshot and span list into export records, meta line first.
+#[must_use]
+pub fn records(snapshot: &MetricsSnapshot, spans: &[SpanRecord]) -> Vec<Record> {
+    let mut out =
+        vec![Record::Meta { schema: SCHEMA.to_owned(), emitted_us: crate::span::epoch_micros() }];
+    for (name, &value) in &snapshot.counters {
+        out.push(Record::Counter { name: name.clone(), value });
+    }
+    for (name, &value) in &snapshot.gauges {
+        out.push(Record::Gauge { name: name.clone(), value });
+    }
+    for (name, snap) in &snapshot.histograms {
+        out.push(Record::Histogram { name: name.clone(), snapshot: snap.clone() });
+    }
+    out.extend(spans.iter().cloned().map(Record::Span));
+    out
+}
+
+/// Renders a snapshot and span list as a complete JSONL document.
+#[must_use]
+pub fn render_jsonl(snapshot: &MetricsSnapshot, spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for record in records(snapshot, spans) {
+        out.push_str(&record.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Atomic write: temp file in the destination directory, flush, rename.
+/// Private copy of the journal-layer idiom — `bitline-obs` sits below
+/// `bitline-exec` in the dependency order, so it cannot borrow it.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    let result = std::fs::rename(&tmp, path);
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Exports the global registry and span ring buffer to `path` as JSONL,
+/// atomically (a crash mid-export never leaves a torn file).
+///
+/// # Errors
+///
+/// Any I/O error creating, writing or renaming the file.
+pub fn export_jsonl(path: &Path) -> io::Result<()> {
+    let text = render_jsonl(&crate::registry().snapshot(), &crate::recent_spans());
+    atomic_write(path, text.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and validation
+// ---------------------------------------------------------------------------
+
+/// Parses a JSONL document into records; blank lines are skipped.
+///
+/// # Errors
+///
+/// The first violation, prefixed with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(Record::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// What [`validate_jsonl`] found in a well-formed file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Counter records.
+    pub counters: usize,
+    /// Gauge records.
+    pub gauges: usize,
+    /// Histogram records.
+    pub histograms: usize,
+    /// Span records.
+    pub spans: usize,
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} counters, {} gauges, {} histograms, {} spans",
+            self.counters, self.gauges, self.histograms, self.spans
+        )
+    }
+}
+
+/// Validates a metrics document against the `bitline-obs/v1` schema: every
+/// line must parse as a known record, and the first record must be a meta
+/// line carrying the exact schema identifier.
+///
+/// # Errors
+///
+/// A message naming the offending line and violation.
+pub fn validate_jsonl(text: &str) -> Result<ValidationReport, String> {
+    let records = parse_jsonl(text)?;
+    match records.first() {
+        Some(Record::Meta { schema, .. }) if schema == SCHEMA => {}
+        Some(Record::Meta { schema, .. }) => {
+            return Err(format!("schema mismatch: got `{schema}`, want `{SCHEMA}`"));
+        }
+        Some(_) => return Err("first record must be the meta line".to_owned()),
+        None => return Err("empty metrics file".to_owned()),
+    }
+    let mut report = ValidationReport::default();
+    for record in &records[1..] {
+        match record {
+            Record::Meta { .. } => return Err("duplicate meta line".to_owned()),
+            Record::Counter { .. } => report.counters += 1,
+            Record::Gauge { .. } => report.gauges += 1,
+            Record::Histogram { .. } => report.histograms += 1,
+            Record::Span(_) => report.spans += 1,
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Human-readable summary
+// ---------------------------------------------------------------------------
+
+/// Renders the global registry as an aligned, human-readable table
+/// (the CLI's `--metrics-summary`).
+#[must_use]
+pub fn summary_table() -> String {
+    let snap = crate::registry().snapshot();
+    let spans = crate::recent_spans();
+    let mut out = String::new();
+    let width = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        out.push_str(&format!("{:width$}  {:>14}\n", "metric", "value"));
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("{name:width$}  {value:>14}\n"));
+        }
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!("{name:width$}  {value:>14}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:width$}  {:>10} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "mean", "p99<=", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            let mean = h.mean().map_or_else(|| "-".to_owned(), |m| format!("{m:.1}"));
+            let p99 =
+                h.quantile_upper_bound(0.99).map_or_else(|| "-".to_owned(), |v| v.to_string());
+            let max = h.max.map_or_else(|| "-".to_owned(), |v| v.to_string());
+            out.push_str(&format!(
+                "{name:width$}  {:>10} {mean:>12} {p99:>12} {max:>12}\n",
+                h.count
+            ));
+        }
+    }
+    out.push_str(&format!("spans recorded: {}\n", spans.len()));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Integers keep full `i128` precision so `u64`
+/// counters round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}`, found `{c}` at byte {}", self.pos)),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(Json::Str(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Json::Bool(true)),
+            Some('f') => self.parse_keyword("false", Json::Bool(false)),
+            Some('n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(format!("unexpected `{c}` at byte {}", self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(pairs)),
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            let d = c.to_digit(16).ok_or_else(|| format!("invalid hex digit `{c}`"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..=0xDBFF).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err("invalid low surrogate".to_owned());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    _ => return Err("invalid escape".to_owned()),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("unescaped control character in string".to_owned());
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = &self.s[start..self.pos];
+        if float {
+            text.parse::<f64>().map(Json::Float).map_err(|_| format!("invalid number `{text}`"))
+        } else {
+            text.parse::<i128>().map(Json::Int).map_err(|_| format!("invalid number `{text}`"))
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { s: text, pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != text.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn as_object(json: &Json) -> Result<&[(String, Json)], String> {
+    match json {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err("record must be a JSON object".to_owned()),
+    }
+}
+
+fn as_array(json: &Json) -> Result<&[Json], String> {
+    match json {
+        Json::Arr(items) => Ok(items),
+        _ => Err("expected a JSON array".to_owned()),
+    }
+}
+
+fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j Json, String> {
+    obj.iter()
+        .find_map(|(k, v)| (k == key).then_some(v))
+        .ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn expect_keys(obj: &[(String, Json)], allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in obj {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unexpected key `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+fn get_str<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("key `{key}` must be a string")),
+    }
+}
+
+fn json_u64(json: &Json) -> Result<u64, String> {
+    match json {
+        Json::Int(n) => u64::try_from(*n).map_err(|_| format!("{n} out of u64 range")),
+        _ => Err("expected an unsigned integer".to_owned()),
+    }
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    json_u64(get(obj, key)?).map_err(|e| format!("key `{key}`: {e}"))
+}
+
+fn get_i64(obj: &[(String, Json)], key: &str) -> Result<i64, String> {
+    match get(obj, key)? {
+        Json::Int(n) => i64::try_from(*n).map_err(|_| format!("key `{key}`: {n} out of i64 range")),
+        _ => Err(format!("key `{key}` must be an integer")),
+    }
+}
+
+fn get_opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        other => json_u64(other).map(Some).map_err(|e| format!("key `{key}`: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("a.count").add(42);
+        r.gauge("b.gauge").set(-7);
+        let h = r.histogram("c.histo");
+        h.record(0);
+        h.record(300);
+        r.snapshot()
+    }
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![SpanRecord {
+            name: "fig8/run".to_owned(),
+            fields: vec![("benchmark".to_owned(), "mesa".to_owned())],
+            start_us: 5,
+            dur_us: 120,
+            thread: "exec-worker-0".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn rendered_document_validates_and_reparses() {
+        let text = render_jsonl(&sample_snapshot(), &sample_spans());
+        let report = validate_jsonl(&text).expect("valid document");
+        assert_eq!(report, ValidationReport { counters: 1, gauges: 1, histograms: 1, spans: 1 });
+        let records = parse_jsonl(&text).expect("parses");
+        assert!(matches!(&records[0], Record::Meta { schema, .. } if schema == SCHEMA));
+        assert!(records.contains(&Record::Counter { name: "a.count".to_owned(), value: 42 }));
+        assert!(records.contains(&Record::Gauge { name: "b.gauge".to_owned(), value: -7 }));
+    }
+
+    #[test]
+    fn tricky_strings_round_trip() {
+        let span = SpanRecord {
+            name: "we\u{1F980}ird\"\\\n\tname\u{0}".to_owned(),
+            fields: vec![("k\"ey".to_owned(), "v\u{7}al".to_owned())],
+            start_us: 1,
+            dur_us: 2,
+            thread: String::new(),
+        };
+        let line = Record::Span(span.clone()).to_json_line();
+        assert_eq!(Record::parse(&line), Ok(Record::Span(span)));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_jsonl("").is_err(), "empty file");
+        assert!(validate_jsonl("{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n").is_err());
+        let good = render_jsonl(&sample_snapshot(), &[]);
+        let twice = format!("{good}{good}");
+        assert!(validate_jsonl(&twice).unwrap_err().contains("duplicate meta"));
+        let mangled = good.replace("\"value\":42", "\"value\":-42");
+        assert!(validate_jsonl(&mangled).unwrap_err().contains("out of u64 range"));
+        let unknown = good.replace("\"type\":\"counter\"", "\"type\":\"mystery\"");
+        assert!(validate_jsonl(&unknown).unwrap_err().contains("unknown record type"));
+    }
+
+    #[test]
+    fn export_writes_a_valid_file_atomically() {
+        let dir = std::env::temp_dir().join(format!("obs-export-{}", std::process::id()));
+        let path = dir.join("metrics.jsonl");
+        crate::counter!("obs.test.export").incr();
+        export_jsonl(&path).expect("export");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        validate_jsonl(&text).expect("schema-valid");
+        assert!(text.contains("obs.test.export"));
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() == 1,
+            "no temp residue next to the exported file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_table_lists_metrics() {
+        crate::counter!("obs.test.summary").add(3);
+        let table = summary_table();
+        assert!(table.contains("obs.test.summary"));
+        assert!(table.contains("spans recorded:"));
+    }
+
+    #[test]
+    fn number_edges_round_trip() {
+        let r = Record::Counter { name: "n".to_owned(), value: u64::MAX };
+        assert_eq!(Record::parse(&r.to_json_line()), Ok(r));
+        let g = Record::Gauge { name: "g".to_owned(), value: i64::MIN };
+        assert_eq!(Record::parse(&g.to_json_line()), Ok(g));
+    }
+}

@@ -1,0 +1,47 @@
+//! Observability for the bitline workspace: a process-global metrics
+//! registry, a structured span recorder, and a JSON-lines exporter.
+//!
+//! The design splits along the cost gradient of the simulator:
+//!
+//! * **Metrics** ([`registry`]) are atomic counters, gauges, and
+//!   power-of-two histograms behind `Arc` handles. The [`counter!`],
+//!   [`gauge!`] and [`histo!`] macros cache their handle in a `static
+//!   OnceLock`, so a hot-path increment costs one `OnceLock` load plus one
+//!   relaxed atomic add — cheap enough for the simulator's
+//!   per-2048-instruction chunk boundary, the same cadence as the
+//!   cancel-token poll.
+//! * **Spans** ([`span`]) are coarse, allocating markers for unit-of-work
+//!   scopes (a figure driver, one benchmark run). A dropped span records
+//!   its wall time into a bounded ring buffer; nothing in the simulator
+//!   hot loop ever opens a span.
+//! * **Export** ([`export`]) snapshots both worlds into schema-checked
+//!   JSON lines, written atomically (temp file + rename) so a crash
+//!   mid-export never leaves a torn metrics file.
+//!
+//! Everything is hand-rolled on `std` — no external dependencies, no
+//! `unsafe` — so the crate stays hermetic under the workspace's offline
+//! shim policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use export::{
+    export_jsonl, parse_jsonl, render_jsonl, summary_table, validate_jsonl, Record,
+    ValidationReport,
+};
+pub use registry::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{clear_spans, epoch_micros, recent_spans, span, Span, SpanRecord};
+
+/// Resets every global observable: metric values are zeroed in place (all
+/// cached handles stay valid) and the span ring buffer is emptied.
+/// Intended for tests and for the CLI's per-invocation baseline.
+pub fn reset() {
+    registry().reset();
+    clear_spans();
+}

@@ -1,0 +1,509 @@
+//! The process-global metrics registry: named atomic counters, gauges and
+//! power-of-two histograms.
+//!
+//! Handles are `Arc`s interned by name in a `BTreeMap`; the lookup takes a
+//! mutex, so callers on a hot path fetch their handle once (the
+//! [`counter!`](crate::counter)-family macros cache it in a `static
+//! OnceLock`) and afterwards pay only a relaxed atomic op per update.
+//! Snapshots and resets operate on the live values in place, so handles
+//! never dangle across a [`MetricsRegistry::reset`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous-value metric.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts samples whose bit length
+/// is `i`, i.e. bucket 0 holds the value 0 and bucket `i >= 1` covers
+/// `2^(i-1) ..= 2^i - 1`. A `u64` has bit lengths 0..=64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free histogram with power-of-two buckets.
+///
+/// Recording is four relaxed atomic ops (count, sum, min/max, bucket), so
+/// it is safe to call at chunk-boundary cadence. The bucket layout trades
+/// resolution for a fixed footprint: good enough for queue waits and wall
+/// times, where order of magnitude is what matters.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index of a sample: its bit length.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the histogram. Concurrent recorders may be
+    /// mid-update, so the parts are individually (not jointly) consistent.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| match b.load(Ordering::Relaxed) {
+                0 => None,
+                n => Some((u32::try_from(i).unwrap_or(u32::MAX), n)),
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`], mergeable and comparable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample, when any were recorded.
+    pub min: Option<u64>,
+    /// Largest sample, when any were recorded.
+    pub max: Option<u64>,
+    /// Sparse `(bucket index, count)` pairs, ascending, zero counts
+    /// omitted. Bucket `i` covers samples of bit length `i` (see
+    /// [`bucket_index`]).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self`. Merging is commutative and associative:
+    /// counts, sums and buckets add; min/max combine.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(i, n) in &other.buckets {
+            *merged.entry(i).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+
+    /// Mean sample value, when any were recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`), resolved to the
+    /// containing bucket's upper edge. `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                });
+            }
+        }
+        self.max
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A name-interned store of metrics. One process-global instance lives
+/// behind [`registry`]; fresh instances exist only for tests.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// All metric values at one point in time, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`registry`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as another metric kind —
+    /// that is a programming error, not a runtime condition.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as another metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.lock();
+        match m.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as another metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A copy of every metric's current value.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every metric in place. Registered names and outstanding
+    /// handles survive; only the values reset.
+    pub fn reset(&self) {
+        let m = self.lock();
+        for metric in m.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-global registry every instrumented layer reports into.
+#[must_use]
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// A `&'static Counter` from the global registry, with the handle interned
+/// once per call site in a hidden `static`. Hot-path cost after the first
+/// call: one `OnceLock` load plus one relaxed atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A `&'static Gauge` from the global registry; see [`counter!`](crate::counter).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A `&'static Histogram` from the global registry; see [`counter!`](crate::counter).
+#[macro_export]
+macro_rules! histo {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_hold_values() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        assert_eq!(r.counter("a").get(), 4, "same name, same counter");
+        let g = r.gauge("b");
+        g.set(7);
+        g.add(-2);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_snapshot_reports_shape() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(1000));
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+        assert_eq!(s.quantile_upper_bound(0.5), Some(3));
+        assert_eq!(s.quantile_upper_bound(1.0), Some(1023));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a_h = Histogram::default();
+        a_h.record(1);
+        a_h.record(100);
+        let b_h = Histogram::default();
+        b_h.record(7);
+        let mut a = a_h.snapshot();
+        a.merge(&b_h.snapshot());
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 108);
+        assert_eq!(a.min, Some(1));
+        assert_eq!(a.max, Some(100));
+        let both = Histogram::default();
+        for v in [1, 100, 7] {
+            both.record(v);
+        }
+        assert_eq!(a, both.snapshot(), "merge equals recording everything in one histogram");
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_keeps_handles_live() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("x");
+        let h = r.histogram("y");
+        c.add(9);
+        h.record(5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.incr();
+        assert_eq!(r.snapshot().counters["x"], 1, "old handle still feeds the registry");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("same");
+        let _ = r.gauge("same");
+    }
+
+    #[test]
+    fn macros_return_static_handles() {
+        let c = counter!("obs.test.macro_counter");
+        c.add(2);
+        assert!(registry().snapshot().counters["obs.test.macro_counter"] >= 2);
+        let g = gauge!("obs.test.macro_gauge");
+        g.set(-3);
+        let h = histo!("obs.test.macro_histo");
+        h.record(11);
+        assert!(registry().snapshot().histograms["obs.test.macro_histo"].count >= 1);
+        assert_eq!(g.get(), -3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the metrics layer: exact concurrent counting,
+//! associative histogram merging, and a lossless JSONL round trip.
+
+use proptest::prelude::*;
+
+use bitline_obs::{Counter, Histogram, HistogramSnapshot, Record, SpanRecord};
+
+/// Records `values` into a fresh histogram and snapshots it.
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Concurrent increments from many threads sum exactly: atomic
+    /// counters lose nothing, whatever the interleaving.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        per_thread in prop::collection::vec(1u64..500, 1..8),
+    ) {
+        let counter = std::sync::Arc::new(Counter::default());
+        std::thread::scope(|scope| {
+            for &n in &per_thread {
+                let counter = std::sync::Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        counter.incr();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.get(), per_thread.iter().sum::<u64>());
+    }
+
+    /// Histogram merge is associative (and the merged totals equal one
+    /// histogram fed everything): (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..(1 << 40), 0..50),
+        b in prop::collection::vec(0u64..(1 << 40), 0..50),
+        c in prop::collection::vec(0u64..(1 << 40), 0..50),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Every counter/gauge record round-trips through its JSON line,
+    /// including names exercising the escape paths.
+    #[test]
+    fn scalar_records_round_trip_through_jsonl(
+        name in prop::collection::vec(0u8..128, 0..24),
+        value in any::<u64>(),
+        signed in any::<i64>(),
+    ) {
+        let name = String::from_utf8_lossy(&name).into_owned();
+        for record in [
+            Record::Counter { name: name.clone(), value },
+            Record::Gauge { name: name.clone(), value: signed },
+        ] {
+            let line = record.to_json_line();
+            let parsed = Record::parse(&line).expect("own output parses");
+            prop_assert_eq!(&parsed, &record);
+        }
+    }
+
+    /// Histogram and span records round-trip through their JSON lines.
+    #[test]
+    fn structured_records_round_trip_through_jsonl(
+        values in prop::collection::vec(0u64..(1 << 50), 0..60),
+        raw_fields in prop::collection::vec(
+            (prop::collection::vec(0u8..128, 0..12), prop::collection::vec(0u8..128, 0..12)),
+            0..4,
+        ),
+        start_us in any::<u64>(),
+        dur_us in any::<u64>(),
+    ) {
+        let fields: Vec<(String, String)> = raw_fields
+            .iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(k).into_owned(),
+                    String::from_utf8_lossy(v).into_owned(),
+                )
+            })
+            .collect();
+        let hist = Record::Histogram { name: "h\t\"x\"\\".into(), snapshot: hist_of(&values) };
+        let span = Record::Span(SpanRecord {
+            name: "fig8/run".into(),
+            fields,
+            start_us,
+            dur_us,
+            thread: "exec-worker-1".into(),
+        });
+        for record in [hist, span] {
+            let line = record.to_json_line();
+            let parsed = Record::parse(&line).expect("own output parses");
+            prop_assert_eq!(&parsed, &record);
+        }
+    }
+}

@@ -6,8 +6,15 @@
 //! ```sh
 //! bitline-sim --benchmark mcf --policy gated:100 --node 70nm --instructions 200000
 //! bitline-sim --benchmark all --policy oracle --jobs 8
+//! bitline-sim --metrics out.jsonl headline
 //! bitline-sim --list
 //! ```
+//!
+//! A positional experiment command (`headline`, `fig3`, `fig8`, `fig9`,
+//! `fig10`, `ondemand`) runs the corresponding paper figure driver
+//! instead of a single benchmark; `--metrics PATH` (or `BITLINE_METRICS`)
+//! additionally writes the run's observability counters, histograms and
+//! spans as JSON lines, and `--metrics-summary` prints them as a table.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -37,7 +44,14 @@ struct Args {
     checkpoint: Option<PathBuf>,
     no_resume: bool,
     list: bool,
+    metrics: Option<PathBuf>,
+    metrics_summary: bool,
+    validate_metrics: Option<PathBuf>,
+    experiment: Option<String>,
 }
+
+/// The positional experiment commands, in help order.
+const EXPERIMENTS: &[&str] = &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand"];
 
 impl Default for Args {
     fn default() -> Self {
@@ -55,6 +69,10 @@ impl Default for Args {
             checkpoint: None,
             no_resume: false,
             list: false,
+            metrics: None,
+            metrics_summary: false,
+            validate_metrics: None,
+            experiment: None,
         }
     }
 }
@@ -147,10 +165,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 bitline_exec::pool::set_jobs(n);
             }
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&flag)?)),
+            "--metrics-summary" => args.metrics_summary = true,
+            "--validate-metrics" => args.validate_metrics = Some(PathBuf::from(value(&flag)?)),
             "--list" | "-l" => args.list = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
+            }
+            cmd if EXPERIMENTS.contains(&cmd) => {
+                if let Some(prev) = &args.experiment {
+                    return Err(format!("one experiment at a time (`{prev}` then `{cmd}`)"));
+                }
+                args.experiment = Some(cmd.to_owned());
             }
             other => return Err(format!("unknown flag `{other}` (see --help)")),
         }
@@ -184,7 +211,17 @@ fn print_help() {
     println!("      --no-resume         keep journaling but ignore any existing journal");
     println!("  -j, --jobs N            worker threads for `all` (default: BITLINE_JOBS");
     println!("                          env, else available parallelism)");
+    println!("      --metrics PATH      write the run's observability metrics (counters,");
+    println!("                          histograms, spans) to PATH as JSON lines;");
+    println!("                          BITLINE_METRICS env does the same");
+    println!("      --metrics-summary   print the metrics as a table on stderr at exit");
+    println!("      --validate-metrics F  validate a previously written metrics file");
+    println!("                          against the bitline-obs/v1 schema and exit");
     println!("  -l, --list              list benchmarks and exit");
+    println!();
+    println!("EXPERIMENTS (positional): headline | fig3 | fig8 | fig9 | fig10 | ondemand");
+    println!("  runs the paper-figure driver over the suite (BITLINE_INSTRS instructions");
+    println!("  per run, BITLINE_SUITE restricts the benchmark set)");
 }
 
 fn icache_default(d: PolicyKind) -> PolicyKind {
@@ -260,6 +297,157 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
     Ok(out)
 }
 
+/// Runs one positional experiment command and renders its rows. Each arm
+/// prints the same columns its `.dat` export carries, so the text output
+/// is greppable against the exported figure data.
+fn run_experiment(cmd: &str) -> Result<String, SimError> {
+    use bitline_sim::experiments::{fig10, fig3, fig8, fig9, headline, ondemand};
+    let instrs = bitline_sim::default_instructions();
+    let mut out = String::new();
+    match cmd {
+        "headline" => {
+            let h = headline::run(instrs)?;
+            let _ = writeln!(out, "== headline @ 70nm ({instrs} instructions/run) ==");
+            let _ = writeln!(
+                out,
+                "  discharge reduction  D {:5.1}%  I {:5.1}%",
+                100.0 * h.d_discharge_reduction,
+                100.0 * h.i_discharge_reduction
+            );
+            let _ = writeln!(
+                out,
+                "  overall reduction    D {:5.1}%  I {:5.1}%",
+                100.0 * h.d_overall_reduction,
+                100.0 * h.i_overall_reduction
+            );
+            let _ = writeln!(
+                out,
+                "  slowdown             D {:5.2}%  I {:5.2}%",
+                100.0 * h.d_slowdown,
+                100.0 * h.i_slowdown
+            );
+            let _ = writeln!(
+                out,
+                "  precharged fraction  D {:5.1}%  I {:5.1}%",
+                100.0 * h.d_precharged,
+                100.0 * h.i_precharged
+            );
+            let _ = writeln!(
+                out,
+                "  cache share of processor energy {:4.1}%  replay overhead {:5.2}%",
+                100.0 * h.cache_fraction_of_processor,
+                100.0 * h.replay_overhead
+            );
+        }
+        "fig3" => {
+            let (rows, avg) = fig3::run(instrs)?;
+            let _ = writeln!(out, "# benchmark  d_relative_discharge  i_relative_discharge");
+            for r in rows.iter().chain(std::iter::once(&avg)) {
+                let _ = writeln!(out, "{} {:.5} {:.5}", r.benchmark, r.d_relative, r.i_relative);
+            }
+        }
+        "fig8" => {
+            let (rows, summary) = fig8::run(instrs)?;
+            let _ = writeln!(
+                out,
+                "# benchmark  d_precharged d_discharge d_thr  i_precharged i_discharge i_thr"
+            );
+            for r in rows.iter().chain(std::iter::once(&summary.avg)) {
+                let _ = writeln!(
+                    out,
+                    "{} {:.5} {:.5} {} {:.5} {:.5} {}",
+                    r.benchmark,
+                    r.d_precharged,
+                    r.d_discharge,
+                    r.d_threshold,
+                    r.i_precharged,
+                    r.i_discharge,
+                    r.i_threshold
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# const-100 discharge: D {:.5}  I {:.5}",
+                summary.const_d_discharge, summary.const_i_discharge
+            );
+        }
+        "fig9" => {
+            let rows = fig9::run(instrs)?;
+            let _ = writeln!(out, "# feature_nm  gated_d  gated_i  resizable_d  resizable_i");
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{} {:.5} {:.5} {:.5} {:.5}",
+                    r.node.feature_nm(),
+                    r.gated_d,
+                    r.gated_i,
+                    r.resizable_d,
+                    r.resizable_i
+                );
+            }
+        }
+        "fig10" => {
+            let rows = fig10::run(instrs)?;
+            let _ = writeln!(out, "# subarray_bytes  d_precharged  i_precharged");
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{} {:.5} {:.5}",
+                    r.subarray_bytes, r.d_precharged, r.i_precharged
+                );
+            }
+        }
+        "ondemand" => {
+            let (rows, avg) = ondemand::run(instrs)?;
+            let _ = writeln!(out, "# benchmark  d_slowdown  i_slowdown");
+            for r in rows.iter().chain(std::iter::once(&avg)) {
+                let _ = writeln!(out, "{} {:.5} {:.5}", r.benchmark, r.d_slowdown, r.i_slowdown);
+            }
+        }
+        other => return Err(SimError::InvalidSpec(format!("unknown experiment `{other}`"))),
+    }
+    Ok(out)
+}
+
+/// Flushes observability output per the CLI flags and `BITLINE_METRICS`:
+/// the JSONL file (written atomically) and/or the stderr summary table.
+/// Runs after all stdout rows, so figure output stays byte-identical with
+/// metrics on or off.
+fn flush_metrics(args: &Args) {
+    if let Some(path) = &args.metrics {
+        if let Err(e) = bitline_sim::metrics::write_metrics(path) {
+            eprintln!("warning: {e}");
+        }
+    } else {
+        bitline_sim::metrics::write_metrics_from_env();
+    }
+    if args.metrics_summary {
+        eprint!("{}", bitline_obs::summary_table());
+    }
+}
+
+/// Validates a previously written metrics file against the
+/// `bitline-obs/v1` schema, printing the record tally on success.
+fn validate_metrics(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match bitline_obs::validate_jsonl(&text) {
+        Ok(report) => {
+            println!("{}: valid ({report})", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Arms run supervision from the environment, then lets CLI flags win.
 fn arm_supervision(args: &Args) -> Result<(), String> {
     bitline_sim::init_supervision_from_env()?;
@@ -280,6 +468,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.validate_metrics {
+        return validate_metrics(path);
+    }
     if args.list {
         for spec in suite::all() {
             println!(
@@ -296,6 +487,23 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    if let Some(cmd) = &args.experiment {
+        // The drivers isolate and retry per unit of work themselves; an
+        // error here means the whole suite failed.
+        let result = run_experiment(cmd);
+        eprintln!("{}", exec_summary_line());
+        flush_metrics(&args);
+        return match result {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: bitline-sim: {cmd}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.benchmark == "all" {
         // Fan the suite out over the work pool; reports come back in suite
         // order so the output is identical whatever the job count. A suite
@@ -305,6 +513,7 @@ fn main() -> ExitCode {
         let outcome = harness::map_names(&names, |name| run_one(name, &args));
         outcome.report_skipped("bitline-sim");
         eprintln!("{}", exec_summary_line());
+        flush_metrics(&args);
         match outcome.rows_or_error("bitline-sim") {
             Ok(reports) => {
                 for report in reports {
@@ -315,7 +524,9 @@ fn main() -> ExitCode {
             Err(_) => ExitCode::FAILURE,
         }
     } else {
-        match harness::isolated(&args.benchmark, || run_one(&args.benchmark, &args)) {
+        let result = harness::isolated(&args.benchmark, || run_one(&args.benchmark, &args));
+        flush_metrics(&args);
+        match result {
             Ok(report) => {
                 print!("{report}");
                 ExitCode::SUCCESS

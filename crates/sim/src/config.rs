@@ -175,6 +175,24 @@ impl PolicyKind {
                 | PolicyKind::AdaptiveGated { .. }
         )
     }
+
+    /// A short stable label (no parameters), used to key per-policy
+    /// metrics such as `sim.runner.precharges.d.gated`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::StaticPullUp => "static",
+            PolicyKind::Oracle => "oracle",
+            PolicyKind::OnDemand => "ondemand",
+            PolicyKind::Gated { .. } => "gated",
+            PolicyKind::GatedPredecode { .. } => "gated-predecode",
+            PolicyKind::AdaptiveGated { .. } => "adaptive",
+            PolicyKind::LeakageBiased => "leakage-biased",
+            PolicyKind::Drowsy { .. } => "drowsy",
+            PolicyKind::Resizable { .. } => "resizable",
+            PolicyKind::LocalityRecorder => "recorder",
+        }
+    }
 }
 
 /// Fault-injection parameters for a run. Disabled by default: the stock

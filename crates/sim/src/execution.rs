@@ -31,7 +31,7 @@ use crate::runner::{try_run_benchmark, RunResult};
 
 fn run_cache() -> &'static MemoCache<(String, SystemSpec), RunResult> {
     static CACHE: OnceLock<MemoCache<(String, SystemSpec), RunResult>> = OnceLock::new();
-    CACHE.get_or_init(MemoCache::new)
+    CACHE.get_or_init(|| MemoCache::named("sim.run_cache"))
 }
 
 fn trace_store() -> &'static TraceStore {
@@ -44,7 +44,7 @@ fn accountant_cache(
     static CACHE: OnceLock<
         MemoCache<(TechnologyNode, usize), (EnergyAccountant, EnergyAccountant)>,
     > = OnceLock::new();
-    CACHE.get_or_init(MemoCache::new)
+    CACHE.get_or_init(|| MemoCache::named("sim.accountants"))
 }
 
 /// A replay cursor into the shared trace of `benchmark` at `seed`, or
@@ -128,6 +128,8 @@ pub fn set_checkpoint(dir: &Path, resume: bool) -> Result<CheckpointStats, Strin
             _ => quarantined += 1,
         }
     }
+    bitline_obs::counter!("sim.checkpoint.replayed").add(replayed);
+    bitline_obs::counter!("sim.checkpoint.quarantined").add(quarantined);
     let stats = CheckpointStats { replayed, quarantined, appended: 0, recomputed: 0 };
     *state = Some(CheckpointState { journal, replayed, quarantined, appended: 0, recomputed: 0 });
     Ok(stats)
@@ -152,10 +154,14 @@ fn journal_record(name: &str, spec: &SystemSpec, run: &RunResult) {
         // A fresh compute of a journaled key: the warm path failed to
         // serve it. Counted so CI can assert resume actually resumes.
         cp.recomputed += 1;
+        bitline_obs::counter!("sim.checkpoint.recomputed").incr();
         return;
     }
     match cp.journal.append(&key, &checkpoint::encode_run(run)) {
-        Ok(()) => cp.appended += 1,
+        Ok(()) => {
+            cp.appended += 1;
+            bitline_obs::counter!("sim.checkpoint.appended").incr();
+        }
         Err(e) => eprintln!("[exec] warning: checkpoint append failed for {key}: {e}"),
     }
 }
@@ -184,6 +190,9 @@ pub fn checkpoint_stats() -> Option<CheckpointStats> {
 /// Exactly those of [`try_run_benchmark`].
 pub fn try_run_benchmark_cached(name: &str, spec: &SystemSpec) -> Result<RunResult, SimError> {
     run_cache().get_or_try_insert_with((name.to_owned(), *spec), || {
+        let _span = bitline_obs::span("sim/run")
+            .field("benchmark", name)
+            .field("spec_key", checkpoint::spec_key(name, spec));
         let run = try_run_benchmark(name, spec)?;
         journal_record(name, spec, &run);
         Ok(run)

@@ -17,7 +17,9 @@ use std::path::{Path, PathBuf};
 use crate::experiments::fig10::Fig10Row;
 use crate::experiments::fig2::Fig2Series;
 use crate::experiments::fig3::Fig3Row;
+use crate::experiments::fig8::Fig8Row;
 use crate::experiments::fig9::Fig9Row;
+use crate::experiments::ondemand::OnDemandRow;
 
 /// The export directory requested via `BITLINE_EXPORT_DIR`, if any.
 #[must_use]
@@ -70,6 +72,53 @@ pub fn write_fig3(dir: &Path, rows: &[Fig3Row]) -> io::Result<PathBuf> {
         let _ = writeln!(f, "{} {:.5} {:.5}", r.benchmark, r.d_relative, r.i_relative);
     }
     publish(dir, "fig3.dat", &f)
+}
+
+/// Writes Figure 8's per-benchmark bars:
+/// `benchmark  d_precharged  d_discharge  d_threshold  d_slowdown` then
+/// the same four I-cache columns.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig8(dir: &Path, rows: &[Fig8Row]) -> io::Result<PathBuf> {
+    let mut f = String::new();
+    let _ = writeln!(
+        f,
+        "# benchmark  d_precharged d_discharge d_threshold d_slowdown  \
+         i_precharged i_discharge i_threshold i_slowdown"
+    );
+    for r in rows {
+        let _ = writeln!(
+            f,
+            "{} {:.5} {:.5} {} {:.5} {:.5} {:.5} {} {:.5}",
+            r.benchmark,
+            r.d_precharged,
+            r.d_discharge,
+            r.d_threshold,
+            r.d_slowdown,
+            r.i_precharged,
+            r.i_discharge,
+            r.i_threshold,
+            r.i_slowdown
+        );
+    }
+    publish(dir, "fig8.dat", &f)
+}
+
+/// Writes the Section 5 on-demand slowdowns:
+/// `benchmark  d_slowdown  i_slowdown`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_ondemand(dir: &Path, rows: &[OnDemandRow]) -> io::Result<PathBuf> {
+    let mut f = String::new();
+    let _ = writeln!(f, "# benchmark  d_slowdown  i_slowdown");
+    for r in rows {
+        let _ = writeln!(f, "{} {:.5} {:.5}", r.benchmark, r.d_slowdown, r.i_slowdown);
+    }
+    publish(dir, "ondemand.dat", &f)
 }
 
 /// Writes Figure 9's per-node series:

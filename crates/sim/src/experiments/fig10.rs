@@ -35,6 +35,7 @@ pub struct Fig10Row {
 /// subarray size failed; partial suites degrade to averages over fewer
 /// benchmarks with a stderr warning.
 pub fn run(instrs: u64) -> Result<Vec<Fig10Row>, SimError> {
+    let _span = bitline_obs::span("fig10/run").field("instrs", instrs);
     let node = TechnologyNode::N70;
     SIZES
         .into_iter()

@@ -20,6 +20,7 @@ pub struct Fig2Series {
 /// paper's 0-400+ns time base.
 #[must_use]
 pub fn run(points: usize) -> Vec<Fig2Series> {
+    let _span = bitline_obs::span("fig2/run").field("points", points);
     let geom = CacheConfig::l1_data().with_subarray_bytes(1024).geometry();
     TechnologyNode::ALL
         .into_iter()

@@ -24,6 +24,7 @@ pub struct Fig3Row {
 /// The first skipped run's [`SimError`] when *every* benchmark failed;
 /// partial suites degrade to fewer rows with a stderr warning.
 pub fn run(instrs: u64) -> Result<(Vec<Fig3Row>, Fig3Row), SimError> {
+    let _span = bitline_obs::span("fig3/run").field("instrs", instrs);
     let node = TechnologyNode::N70;
     let outcome = harness::map_suite(|name| {
         let spec = SystemSpec {

@@ -61,6 +61,7 @@ fn precharged_fraction(sweep: &GatedSweep, which: SweptCache) -> f64 {
 /// The first skipped run's [`SimError`] when *every* benchmark failed;
 /// partial suites degrade to fewer rows with a stderr warning.
 pub fn run(instrs: u64) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
+    let _span = bitline_obs::span("fig8/run").field("instrs", instrs);
     let node = TechnologyNode::N70;
     let outcome = harness::map_suite(|name| {
         let baseline = try_run_benchmark_cached(

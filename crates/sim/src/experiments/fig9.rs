@@ -126,6 +126,7 @@ fn resizable_candidates(name: &str, cache: Cache, baseline: &RunResult, instrs: 
 /// partial suites degrade to averages over fewer benchmarks with a stderr
 /// warning.
 pub fn run(instrs: u64) -> Result<Vec<Fig9Row>, SimError> {
+    let _span = bitline_obs::span("fig9/run").field("instrs", instrs);
     // Architectural runs, once per benchmark.
     struct PerBenchmark {
         gated_d: Candidates,

@@ -61,6 +61,17 @@ impl std::fmt::Display for SkippedRun {
     }
 }
 
+/// Attempt accounting for one isolated unit, successful or not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunAttempts {
+    /// Total attempts made (1, or 2 after a retry).
+    pub attempts: u32,
+    /// Attempts that ended in a timeout. A unit can time out once and
+    /// still succeed on its doubled-budget retry; such a unit is *ok*, not
+    /// *timed out*, in the suite tail.
+    pub timed_out: u32,
+}
+
 /// Results of a suite-wide experiment: the rows that completed plus the
 /// runs that did not.
 #[derive(Debug, Clone)]
@@ -69,6 +80,37 @@ pub struct SuiteOutcome<T> {
     pub rows: Vec<T>,
     /// Units of work that failed terminally, in suite order.
     pub skipped: Vec<SkippedRun>,
+    /// Units that timed out on an attempt but completed on the retry.
+    /// Tracked separately so the tail never double-counts them as both
+    /// "ok" and "timed out".
+    pub recovered_timeouts: usize,
+}
+
+/// The deduplicated suite tail: every unit is counted exactly once, by its
+/// *terminal* outcome. `ok + skipped` equals the number of units mapped,
+/// `timed_out <= skipped` counts terminal timeouts only, and a
+/// timeout-then-success unit lands in `ok` (and `recovered_timeouts`),
+/// never in `timed_out`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuiteTail {
+    /// Units that completed.
+    pub ok: usize,
+    /// Units that failed terminally.
+    pub skipped: usize,
+    /// Skipped units whose terminal error was a timeout.
+    pub timed_out: usize,
+    /// Completed units that needed a timeout retry to get there.
+    pub recovered_timeouts: usize,
+}
+
+impl std::fmt::Display for SuiteTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ok, {} skipped, {} timed out", self.ok, self.skipped, self.timed_out)?;
+        if self.recovered_timeouts > 0 {
+            write!(f, " ({} recovered after a timeout retry)", self.recovered_timeouts)?;
+        }
+        Ok(())
+    }
 }
 
 impl<T> SuiteOutcome<T> {
@@ -84,19 +126,26 @@ impl<T> SuiteOutcome<T> {
         self.skipped.iter().filter(|s| matches!(s.error, SimError::TimedOut { .. })).count()
     }
 
-    /// Prints one line per skipped run plus a one-line suite tail
+    /// The suite tail, computed in one place so every report line agrees
+    /// on the arithmetic (see [`SuiteTail`]).
+    #[must_use]
+    pub fn tail(&self) -> SuiteTail {
+        SuiteTail {
+            ok: self.rows.len(),
+            skipped: self.skipped.len(),
+            timed_out: self.timed_out(),
+            recovered_timeouts: self.recovered_timeouts,
+        }
+    }
+
+    /// Prints one line per skipped run plus the one-line suite tail
     /// (`N ok, M skipped, K timed out`) to stderr; no-op when complete.
     pub fn report_skipped(&self, what: &str) {
         for s in &self.skipped {
             eprintln!("warning: {what}: skipped {s}");
         }
         if !self.skipped.is_empty() {
-            eprintln!(
-                "warning: {what}: suite degraded: {} ok, {} skipped, {} timed out",
-                self.rows.len(),
-                self.skipped.len(),
-                self.timed_out()
-            );
+            eprintln!("warning: {what}: suite degraded: {}", self.tail());
         }
     }
 
@@ -211,34 +260,59 @@ pub fn isolated_supervised<T>(
     token: &CancelToken,
     f: impl Fn() -> Result<T, SimError>,
 ) -> Result<T, SkippedRun> {
+    isolated_tracked(name, token, f).0
+}
+
+/// [`isolated_supervised`] that also reports attempt accounting, so suite
+/// mappers can distinguish a clean success from a timeout-then-success.
+pub fn isolated_tracked<T>(
+    name: &str,
+    token: &CancelToken,
+    f: impl Fn() -> Result<T, SimError>,
+) -> (Result<T, SkippedRun>, RunAttempts) {
     install_panic_site_capture();
     let mut token = token.clone();
-    let mut attempts = 0;
+    let mut track = RunAttempts::default();
     let mut wall = Vec::new();
     loop {
-        attempts += 1;
+        track.attempts += 1;
         let started = Instant::now();
         let outcome = supervise::with_token(&token, || panic::catch_unwind(AssertUnwindSafe(&f)));
-        wall.push(started.elapsed());
+        let attempt_wall = started.elapsed();
+        bitline_obs::histo!("sim.harness.unit_wall_us").record_duration(attempt_wall);
+        wall.push(attempt_wall);
         let error = match outcome {
-            Ok(Ok(value)) => return Ok(value),
+            Ok(Ok(value)) => {
+                bitline_obs::counter!("sim.harness.ok").incr();
+                if track.timed_out > 0 {
+                    bitline_obs::counter!("sim.harness.recovered_timeouts").incr();
+                }
+                return (Ok(value), track);
+            }
             Ok(Err(e)) => e,
             Err(payload) => SimError::RunFailed {
                 benchmark: name.to_owned(),
                 reason: panic_reason(payload.as_ref()),
             },
         };
+        if matches!(error, SimError::TimedOut { .. }) {
+            track.timed_out += 1;
+            bitline_obs::counter!("sim.harness.timeout_attempts").incr();
+        }
         let give_up = match &error {
             // Deterministic errors fail identically; don't retry.
             SimError::UnknownBenchmark(_) | SimError::InvalidSpec(_) => true,
-            SimError::RunFailed { .. } | SimError::TimedOut { .. } => attempts >= 2,
+            SimError::RunFailed { .. } | SimError::TimedOut { .. } => track.attempts >= 2,
         };
         if give_up {
-            return Err(SkippedRun { name: name.to_owned(), attempts, error, wall });
+            bitline_obs::counter!("sim.harness.skipped").incr();
+            let skip = SkippedRun { name: name.to_owned(), attempts: track.attempts, error, wall };
+            return (Err(skip), track);
         }
         // One more try: timeouts get a doubled budget (the run was making
         // progress, just slowly); panics retry under a fresh token with
         // the original budget.
+        bitline_obs::counter!("sim.harness.retries").incr();
         token = match (&error, token.budget()) {
             (SimError::TimedOut { .. }, Some(b)) => CancelToken::with_budget(b * 2),
             (_, b) => CancelToken::for_budget(b),
@@ -247,10 +321,36 @@ pub fn isolated_supervised<T>(
     }
 }
 
-/// Maps `f` over the benchmark suite in parallel with per-run isolation,
-/// collecting completed rows and skipped runs in suite order.
+/// The benchmark names suite-wide experiments map over: the full suite,
+/// optionally restricted through the `BITLINE_SUITE` env var
+/// (comma-separated benchmark names, suite order preserved). Unknown
+/// names are dropped; if nothing survives, the full suite is used and a
+/// warning printed — an empty figure helps no one. The golden-figure
+/// regression tests use the restriction to pin every driver to the two
+/// smallest workloads.
+#[must_use]
+pub fn suite_names() -> Vec<&'static str> {
+    let all = bitline_workloads::suite::names();
+    let Ok(filter) = std::env::var("BITLINE_SUITE") else { return all };
+    let wanted: Vec<&str> = filter.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if wanted.is_empty() {
+        return all;
+    }
+    let picked: Vec<&'static str> = all.iter().copied().filter(|n| wanted.contains(n)).collect();
+    if picked.is_empty() {
+        eprintln!(
+            "warning: BITLINE_SUITE=`{filter}` matches no suite benchmark; using the full suite"
+        );
+        return all;
+    }
+    picked
+}
+
+/// Maps `f` over the benchmark suite (see [`suite_names`]) in parallel
+/// with per-run isolation, collecting completed rows and skipped runs in
+/// suite order.
 pub fn map_suite<T: Send>(f: impl Fn(&str) -> Result<T, SimError> + Sync) -> SuiteOutcome<T> {
-    map_names(&bitline_workloads::suite::names(), f)
+    map_names(&suite_names(), f)
 }
 
 /// [`map_suite`] over an explicit name list (sweeps label units of work
@@ -265,20 +365,26 @@ pub fn map_names<T: Send>(
     names: &[&str],
     f: impl Fn(&str) -> Result<T, SimError> + Sync,
 ) -> SuiteOutcome<T> {
+    let started = Instant::now();
     let results = bitline_exec::pool::run_indexed_supervised(
         names.len(),
         supervise::run_budget(),
-        |i, token| isolated_supervised(names[i], token, || f(names[i])),
+        |i, token| isolated_tracked(names[i], token, || f(names[i])),
     );
+    bitline_obs::histo!("sim.harness.suite_wall_us").record_duration(started.elapsed());
     let mut rows = Vec::with_capacity(names.len());
     let mut skipped = Vec::new();
-    for result in results {
+    let mut recovered_timeouts = 0;
+    for (result, attempts) in results {
+        if result.is_ok() && attempts.timed_out > 0 {
+            recovered_timeouts += 1;
+        }
         match result {
             Ok(row) => rows.push(row),
             Err(skip) => skipped.push(skip),
         }
     }
-    SuiteOutcome { rows, skipped }
+    SuiteOutcome { rows, skipped, recovered_timeouts }
 }
 
 #[cfg(test)]
@@ -379,6 +485,7 @@ mod tests {
                 error: SimError::RunFailed { benchmark: "x".into(), reason: "boom".into() },
                 wall: vec![Duration::ZERO, Duration::ZERO],
             }],
+            recovered_timeouts: 0,
         };
         assert_eq!(outcome.rows_or_error("probe").expect("partial is ok"), vec![1, 2]);
     }
@@ -393,6 +500,7 @@ mod tests {
                 error: SimError::InvalidSpec("bad".into()),
                 wall: vec![Duration::ZERO],
             }],
+            recovered_timeouts: 0,
         };
         assert_eq!(
             outcome.rows_or_error("probe").unwrap_err(),
@@ -402,14 +510,16 @@ mod tests {
 
     #[test]
     fn rows_or_error_accepts_an_entirely_empty_outcome() {
-        let outcome: SuiteOutcome<u32> = SuiteOutcome { rows: vec![], skipped: vec![] };
+        let outcome: SuiteOutcome<u32> =
+            SuiteOutcome { rows: vec![], skipped: vec![], recovered_timeouts: 0 };
         assert_eq!(outcome.rows_or_error("probe").expect("nothing asked, nothing failed"), vec![]);
     }
 
     #[test]
     #[allow(deprecated)]
     fn expect_rows_shim_still_passes_rows_through() {
-        let outcome: SuiteOutcome<u32> = SuiteOutcome { rows: vec![9], skipped: vec![] };
+        let outcome: SuiteOutcome<u32> =
+            SuiteOutcome { rows: vec![9], skipped: vec![], recovered_timeouts: 0 };
         assert_eq!(outcome.expect_rows("probe"), vec![9]);
     }
 
@@ -429,6 +539,72 @@ mod tests {
         assert!(line.contains("[timed-out]"), "{line}");
         assert!(line.contains("2 attempt(s)"), "{line}");
         assert!(line.contains("gcc"), "{line}");
+    }
+
+    #[test]
+    fn tail_counts_every_unit_exactly_once() {
+        // Three units: two completed (one of which needed a timeout retry)
+        // and one that timed out terminally. The recovered unit must land
+        // in `ok` only — the old summary counted it as both "ok" and
+        // "timed out", overstating the degradation.
+        let outcome = SuiteOutcome {
+            rows: vec![1, 2],
+            skipped: vec![SkippedRun {
+                name: "hung".into(),
+                attempts: 2,
+                error: SimError::TimedOut {
+                    benchmark: "hung".into(),
+                    budget: Duration::from_millis(80),
+                    progress: 0,
+                },
+                wall: vec![Duration::from_millis(40), Duration::from_millis(81)],
+            }],
+            recovered_timeouts: 1,
+        };
+        let tail = outcome.tail();
+        assert_eq!(tail, SuiteTail { ok: 2, skipped: 1, timed_out: 1, recovered_timeouts: 1 });
+        assert_eq!(tail.ok + tail.skipped, 3, "every unit counted exactly once");
+        assert_eq!(
+            tail.to_string(),
+            "2 ok, 1 skipped, 1 timed out (1 recovered after a timeout retry)"
+        );
+    }
+
+    #[test]
+    fn tail_omits_the_recovery_note_when_nothing_recovered() {
+        let outcome: SuiteOutcome<u32> =
+            SuiteOutcome { rows: vec![4, 5, 6], skipped: vec![], recovered_timeouts: 0 };
+        assert_eq!(outcome.tail().to_string(), "3 ok, 0 skipped, 0 timed out");
+    }
+
+    #[test]
+    fn timeout_then_success_is_recovered_not_timed_out() {
+        let calls = Cell::new(0u32);
+        let (result, attempts) = isolated_tracked(
+            "recovers",
+            &CancelToken::with_budget(Duration::from_millis(40)),
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() == 1 {
+                    return Err(SimError::TimedOut {
+                        benchmark: "recovers".into(),
+                        budget: Duration::from_millis(40),
+                        progress: 10,
+                    });
+                }
+                Ok(11)
+            },
+        );
+        assert_eq!(result.unwrap(), 11);
+        assert_eq!(attempts, RunAttempts { attempts: 2, timed_out: 1 });
+        // Fold the tracked attempt into a suite outcome the way map_names
+        // does, and pin that the unit counts as ok + recovered, never as
+        // timed out.
+        let outcome = SuiteOutcome { rows: vec![11], skipped: vec![], recovered_timeouts: 1 };
+        assert_eq!(
+            outcome.tail(),
+            SuiteTail { ok: 1, skipped: 0, timed_out: 0, recovered_timeouts: 1 }
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub struct Headline {
 /// Propagates [`fig8::run`]'s error when the underlying suite produced no
 /// rows at all.
 pub fn run(instrs: u64) -> Result<Headline, SimError> {
+    let _span = bitline_obs::span("headline/run").field("instrs", instrs);
     let (_, summary) = fig8::run(instrs)?;
     let avg = &summary.avg;
 

@@ -43,6 +43,7 @@ fn row(benchmark: &str, stats: &LocalityStats) -> LocalityRow {
 /// The first skipped run's [`SimError`] when *every* benchmark failed;
 /// partial suites degrade to fewer rows with a stderr warning.
 pub fn run(instrs: u64) -> Result<LocalityResult, SimError> {
+    let _span = bitline_obs::span("locality/run").field("instrs", instrs);
     let outcome = harness::map_suite(|name| {
         let spec = SystemSpec {
             d_policy: PolicyKind::LocalityRecorder,

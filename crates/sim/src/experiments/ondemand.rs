@@ -23,6 +23,7 @@ pub struct OnDemandRow {
 /// The first skipped run's [`SimError`] when *every* benchmark failed;
 /// partial suites degrade to fewer rows with a stderr warning.
 pub fn run(instrs: u64) -> Result<(Vec<OnDemandRow>, OnDemandRow), SimError> {
+    let _span = bitline_obs::span("ondemand/run").field("instrs", instrs);
     let outcome = harness::map_suite(|name| {
         let base = try_run_benchmark_cached(
             name,

@@ -89,6 +89,9 @@ pub fn optimal_gated(
     instrs: u64,
 ) -> GatedSweep {
     let mut best: Option<GatedSweep> = None;
+    let _span = bitline_obs::span("sweep/optimal_gated")
+        .field("benchmark", benchmark)
+        .field("cache", format!("{which:?}"));
     let mut fallback: Option<GatedSweep> = None;
     for &threshold in &THRESHOLDS {
         let label = format!("{benchmark}@{threshold}");

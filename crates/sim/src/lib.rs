@@ -45,6 +45,7 @@ mod config;
 mod error;
 mod execution;
 pub mod experiments;
+pub mod metrics;
 mod recorder;
 mod runner;
 pub mod supervise;

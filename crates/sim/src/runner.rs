@@ -229,8 +229,12 @@ pub fn try_run_benchmark_supervised(
     // between chunks. `Cpu::run` is incremental (it runs until `committed
     // + n`), so chunked execution is cycle-identical to one long call.
     let mut stats = cpu.stats();
+    // Chunk-boundary instrumentation: one interned-handle counter add per
+    // 2048 committed instructions, the same cadence as the cancel poll.
+    let chunk_counter = bitline_obs::counter!("sim.runner.chunks");
     while stats.committed < spec.instructions {
         if token.cancelled() {
+            bitline_obs::counter!("sim.runner.timeouts").incr();
             return Err(SimError::TimedOut {
                 benchmark: name.to_owned(),
                 budget: token.budget().unwrap_or_default(),
@@ -239,6 +243,7 @@ pub fn try_run_benchmark_supervised(
         }
         let chunk = (spec.instructions - stats.committed).min(CANCEL_POLL_INSTRS);
         stats = cpu.run(&mut trace, chunk);
+        chunk_counter.incr();
     }
     let end_cycle = stats.cycles;
     let mut mem = cpu.into_memory();
@@ -247,6 +252,25 @@ pub fn try_run_benchmark_supervised(
     let d_way_stats = mem.l1d().way_stats();
     let i_way_stats = mem.l1i().way_stats();
     let (d_report, i_report) = mem.finalize(end_cycle);
+
+    // Run-completion accounting: every counter below is a pure function of
+    // (benchmark, spec), so totals are identical across job counts.
+    bitline_obs::counter!("sim.runner.runs").incr();
+    bitline_obs::counter!("sim.runner.committed_instructions").add(stats.committed);
+    bitline_obs::counter!("sim.runner.cycles").add(stats.cycles);
+    let registry = bitline_obs::registry();
+    registry
+        .counter(&format!("sim.runner.precharges.d.{}", spec.d_policy.label()))
+        .add(d_report.total_precharge_events());
+    registry
+        .counter(&format!("sim.runner.precharges.i.{}", spec.i_policy.label()))
+        .add(i_report.total_precharge_events());
+    if let Some(fr) = d_fault_sink.as_ref() {
+        fr.borrow().record_metrics("d");
+    }
+    if let Some(fr) = i_fault_sink.as_ref() {
+        fr.borrow().record_metrics("i");
+    }
 
     Ok(RunResult {
         benchmark: name.to_owned(),

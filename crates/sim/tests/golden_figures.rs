@@ -1,0 +1,91 @@
+//! Golden-figure regression suite: the `.dat` rows of fig3, fig8, fig9,
+//! fig10 and the on-demand table, pinned byte-for-byte on the two
+//! smallest workloads (`mesa`, `bisort`, both ~192 KB footprints).
+//!
+//! Every run is seeded and deterministic, so the exported bytes are a
+//! pure function of (suite restriction, instruction count) — any drift is
+//! a behaviour change somewhere in the model stack, caught here before it
+//! silently skews a figure. After an *intentional* change, regenerate the
+//! goldens with:
+//!
+//! ```sh
+//! BITLINE_BLESS=1 cargo test -p bitline-sim --test golden_figures
+//! ```
+//!
+//! Everything lives in one `#[test]`: the suite restriction rides on the
+//! process-global `BITLINE_SUITE` env var and the run cache is
+//! process-wide, so concurrent test functions would race.
+
+use std::path::{Path, PathBuf};
+
+use bitline_sim::clear_run_caches;
+use bitline_sim::experiments::{export, fig10, fig3, fig8, fig9, ondemand};
+
+/// Instruction budget per simulated run — small enough for CI, long
+/// enough that every policy sees real cache behaviour.
+const INSTRS: u64 = 2_000;
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("goldens")
+}
+
+/// Renders one figure's `.dat` bytes via its exporter (into a temp dir,
+/// read back), so the goldens pin exactly what `BITLINE_EXPORT_DIR`
+/// publishes.
+fn rendered(name: &str, write: impl FnOnce(&Path) -> std::io::Result<PathBuf>) -> String {
+    let dir = std::env::temp_dir().join(format!("bitline-golden-{}-{name}", std::process::id()));
+    let path = write(&dir).unwrap_or_else(|e| panic!("{name}: export failed: {e}"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: read: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+    text
+}
+
+fn check(name: &str, got: &str, bless: bool) {
+    let golden_path = goldens_dir().join(format!("{name}.dat"));
+    if bless {
+        std::fs::create_dir_all(goldens_dir()).expect("goldens dir");
+        std::fs::write(&golden_path, got).expect("bless golden");
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("{}: {e}\n(run with BITLINE_BLESS=1 to generate the goldens)", golden_path.display())
+    });
+    assert_eq!(
+        got, want,
+        "{name}.dat drifted from its golden — if the change is intentional, \
+         regenerate with BITLINE_BLESS=1"
+    );
+}
+
+#[test]
+fn figure_exports_match_the_checked_in_goldens() {
+    std::env::set_var("BITLINE_SUITE", "mesa,bisort");
+    let bless = std::env::var("BITLINE_BLESS").is_ok_and(|v| v == "1");
+    clear_run_caches();
+
+    let (fig3_rows, _avg) = fig3::run(INSTRS).expect("fig3 completes");
+    check("fig3", &rendered("fig3", |d| export::write_fig3(d, &fig3_rows)), bless);
+
+    let (fig8_rows, _summary) = fig8::run(INSTRS).expect("fig8 completes");
+    check("fig8", &rendered("fig8", |d| export::write_fig8(d, &fig8_rows)), bless);
+
+    let fig9_rows = fig9::run(INSTRS).expect("fig9 completes");
+    check("fig9", &rendered("fig9", |d| export::write_fig9(d, &fig9_rows)), bless);
+
+    let fig10_rows = fig10::run(INSTRS).expect("fig10 completes");
+    check("fig10", &rendered("fig10", |d| export::write_fig10(d, &fig10_rows)), bless);
+
+    let (ondemand_rows, _avg) = ondemand::run(INSTRS).expect("ondemand completes");
+    check("ondemand", &rendered("ondemand", |d| export::write_ondemand(d, &ondemand_rows)), bless);
+
+    // A warm rerun (everything above is now in the run cache) must render
+    // byte-identical output — cache hits replay, never approximate.
+    let (warm_rows, _avg) = fig3::run(INSTRS).expect("warm fig3 completes");
+    let warm = rendered("fig3-warm", |d| export::write_fig3(d, &warm_rows));
+    // Never bless from the warm leg: it must match what the cold leg just
+    // wrote (or the checked-in golden), even under BITLINE_BLESS=1.
+    check("fig3", &warm, false);
+
+    std::env::remove_var("BITLINE_SUITE");
+}
