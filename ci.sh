@@ -13,7 +13,11 @@
 #                    run must export schema-valid bitline-obs/v1 JSONL
 #                    with the expected counter families moving, produce
 #                    identical stdout, and cost no more than 2% (+ fixed
-#                    slack) over the same run with metrics off
+#                    slack) over the same run with metrics off; finally a
+#                    reliability leg: the SECDED table on mesa must be
+#                    byte-identical at jobs=1 vs jobs=N with the ecc.*
+#                    counter family present, moving, and equal across
+#                    job counts
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -221,6 +225,59 @@ metrics_smoke() {
         exit 1
     fi
     echo "==> smoke: metrics OK — off ${secs_off}s, on ${secs_on}s, $fault_events fault events"
+
+    reliability_smoke "$instrs" "$jobs_n"
+}
+
+reliability_smoke() {
+    local instrs="$1" jobs_n="$2"
+    local sim=./target/debug/bitline-sim
+
+    echo "==> smoke: reliability — table at jobs=1 vs jobs=$jobs_n (mesa, 70nm rates)"
+    local rel1="$SMOKE_TMP/rel1.out" relN="$SMOKE_TMP/relN.out"
+    local rj1="$SMOKE_TMP/rel1.jsonl" rjN="$SMOKE_TMP/relN.jsonl"
+    BITLINE_SUITE=mesa BITLINE_INSTRS="$instrs" \
+        "$sim" -j 1 --fault-rate 0.05 --fault-seed 7 --metrics "$rj1" reliability \
+        >"$rel1" 2>/dev/null
+    BITLINE_SUITE=mesa BITLINE_INSTRS="$instrs" \
+        "$sim" -j "$jobs_n" --fault-rate 0.05 --fault-seed 7 --metrics "$rjN" reliability \
+        >"$relN" 2>/dev/null
+
+    if ! diff -u "$rel1" "$relN"; then
+        echo "==> smoke: FAIL — reliability table depends on the job count" >&2
+        exit 1
+    fi
+
+    echo "==> smoke: reliability — validating metrics export"
+    if ! "$sim" --validate-metrics "$rj1"; then
+        echo "==> smoke: FAIL — reliability metrics are not schema-valid" >&2
+        exit 1
+    fi
+
+    # The ECC runs inside the table must move the ecc.* family, and the
+    # counters must agree exactly across job counts (pure function of the
+    # work, not the schedule).
+    local name v1 vN moved=0
+    for name in ecc.d.corrected ecc.d.due ecc.d.sdc ecc.d.scrub_words \
+        ecc.d.latent_cleared ecc.d.fail_safe_subarrays ecc.i.corrected \
+        ecc.i.scrub_words; do
+        v1=$(metric_value "$rj1" "$name")
+        vN=$(metric_value "$rjN" "$name")
+        if ! grep -q "\"name\":\"$name\"" "$rj1"; then
+            echo "==> smoke: FAIL — counter $name missing from reliability export" >&2
+            exit 1
+        fi
+        if [[ "$v1" -ne "$vN" ]]; then
+            echo "==> smoke: FAIL — $name differs across job counts ($v1 vs $vN)" >&2
+            exit 1
+        fi
+        moved=$((moved + v1))
+    done
+    if [[ "$moved" -eq 0 ]]; then
+        echo "==> smoke: FAIL — a faulted reliability table left every ecc.* counter at zero" >&2
+        exit 1
+    fi
+    echo "==> smoke: reliability OK — ecc.* totals identical across jobs ($moved events)"
 }
 
 if [[ "${1:-}" == "smoke" ]]; then

@@ -71,6 +71,7 @@ pub struct L1Cache {
     resizes: u64,
     upset_replays: u64,
     silent_upsets: u64,
+    ecc_corrections: u64,
     fault_retry_cycles: u64,
 }
 
@@ -106,6 +107,7 @@ impl L1Cache {
             resizes: 0,
             upset_replays: 0,
             silent_upsets: 0,
+            ecc_corrections: 0,
             fault_retry_cycles: 0,
         }
     }
@@ -201,6 +203,11 @@ impl L1Cache {
                     self.upset_replays += 1;
                     self.fault_retry_cycles += u64::from(retry_cycles);
                     extra_latency += retry_cycles;
+                }
+                FaultEvent::CorrectedUpset { correction_cycles } => {
+                    self.ecc_corrections += 1;
+                    self.fault_retry_cycles += u64::from(correction_cycles);
+                    extra_latency += correction_cycles;
                 }
                 FaultEvent::SilentUpset => self.silent_upsets += 1,
             }
@@ -302,6 +309,12 @@ impl L1Cache {
     #[must_use]
     pub fn silent_upsets(&self) -> u64 {
         self.silent_upsets
+    }
+
+    /// Upsets the ECC codec corrected in flight (no replay needed).
+    #[must_use]
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc_corrections
     }
 
     /// Total extra cycles spent on upset replays.

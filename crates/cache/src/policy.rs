@@ -109,6 +109,13 @@ pub enum FaultEvent {
         /// Full-precharge replay penalty in cycles.
         retry_cycles: u32,
     },
+    /// An upset the ECC codec corrected in flight: the read completes
+    /// with good data after `correction_cycles` of syndrome-decode
+    /// latency — no replay needed.
+    CorrectedUpset {
+        /// Syndrome decode + correction latency in cycles.
+        correction_cycles: u32,
+    },
     /// An upset that escaped detection — silent data corruption. Counted,
     /// but timing is unaffected (nothing noticed).
     SilentUpset,

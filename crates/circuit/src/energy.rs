@@ -21,6 +21,20 @@ const SENSE_C_PER_COLUMN_F: f64 = 2.0e-15;
 /// (Section 6.2); we use 0.01%.
 const DECAY_COUNTER_ACCESS_FRACTION: f64 = 1e-4;
 
+/// SECDED encoder/decoder energy per protected access, as a fraction of
+/// one base access: an 8-bit check-generate XOR tree on writes plus a
+/// syndrome tree and correction mux on reads — a few hundred gates
+/// against a whole subarray access, so a few tenths of a percent.
+const ECC_CODEC_ACCESS_FRACTION: f64 = 2e-3;
+
+/// Column-count overhead of storing 8 check bits alongside each 64-bit
+/// word: the check columns leak and swing exactly like data columns.
+const ECC_CHECK_COLUMN_FRACTION: f64 = 8.0 / 64.0;
+
+/// Fraction of a full-row read one 72-bit scrub word activates (a scrub
+/// walks word-by-word, not line-by-line).
+const SCRUB_WORD_ROW_FRACTION: f64 = 0.125;
+
 /// Energy model of one cache subarray plus its share of the cache
 /// periphery.
 ///
@@ -164,6 +178,26 @@ impl SubarrayEnergyModel {
     pub fn decay_counter_energy_j(&self) -> f64 {
         DECAY_COUNTER_ACCESS_FRACTION * (self.read_access_energy_j() + self.peripheral_access_j)
     }
+
+    /// SECDED encode/decode energy per protected access, in joules.
+    #[must_use]
+    pub fn ecc_codec_energy_j(&self) -> f64 {
+        ECC_CODEC_ACCESS_FRACTION * (self.read_access_energy_j() + self.peripheral_access_j)
+    }
+
+    /// Column-array overhead factor of the 8 check bits per 64-bit word
+    /// (applied to leakage and swing energies of a protected array).
+    #[must_use]
+    pub fn ecc_check_column_fraction(&self) -> f64 {
+        ECC_CHECK_COLUMN_FRACTION
+    }
+
+    /// Energy of scrubbing one 72-bit word: a partial-row read through
+    /// the codec plus the corrected write-back, in joules.
+    #[must_use]
+    pub fn ecc_scrub_word_energy_j(&self) -> f64 {
+        SCRUB_WORD_ROW_FRACTION * self.read_access_energy_j() + self.ecc_codec_energy_j()
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +263,23 @@ mod tests {
         let burn_old = 32.0 * old.pulled_up_cycle_energy_j();
         let access_old = old.read_access_energy_j() + old.peripheral_access_energy_j();
         assert!(burn_old < access_old, "{burn_old:.3e} vs {access_old:.3e}");
+    }
+
+    #[test]
+    fn ecc_overheads_are_small_but_real() {
+        for node in TechnologyNode::ALL {
+            let m = model(node, 4);
+            let base = m.read_access_energy_j() + m.peripheral_access_energy_j();
+            let codec = m.ecc_codec_energy_j();
+            assert!(codec > 0.0, "{node}");
+            assert!(codec / base < 5e-3, "{node}: codec must stay sub-percent");
+            // One scrub word costs less than a full access but more than
+            // the codec alone (it moves real bitline charge).
+            let scrub = m.ecc_scrub_word_energy_j();
+            assert!(scrub > codec, "{node}");
+            assert!(scrub < base, "{node}");
+            assert!((m.ecc_check_column_fraction() - 0.125).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Error protection for gated-precharge caches.
+//!
+//! Gated precharging saves bitline leakage by letting cold subarrays
+//! float — and the price is sense margin: a read against a drooped
+//! bitline can flip. The paper's answer is a blunt fail-safe (pin the
+//! subarray back to static pull-up once upsets cross a threshold). This
+//! crate models the protection stack a real nanoscale cache would layer
+//! on instead, in the spirit of TS Cache's sensing-error correction:
+//!
+//! * [`secded`] — a (72,64) extended Hamming SECDED codec: every
+//!   single-bit flip corrected, every double-bit flip detected (DUE),
+//!   with the honest triple-flip miscorrection channel (SDC) the
+//!   reliability tables need.
+//! * [`scrub`] — a deterministic background scrub engine that bounds
+//!   how long corrected-on-read errors linger in the array where a
+//!   second upset could compound them.
+//! * [`report`] — [`ReliabilityReport`]: corrected / DUE / SDC counts,
+//!   scrub traffic, and degraded-subarray residency, with an
+//!   `ecc.*` metrics family mirroring `FaultReport::record_metrics`.
+//!
+//! The fault-injection layer (`bitline-faults`) drives [`classify`]
+//! with flip patterns (including spatially-correlated double flips on
+//! adjacent columns) and walks the [`DegradationStage`] ladder; the
+//! energy layer prices check-bit storage, codec switching, and scrub
+//! traffic per technology node.
+
+pub mod report;
+pub mod scrub;
+pub mod secded;
+
+pub use report::{DegradationStage, ReliabilityReport, SubarrayReliability};
+pub use scrub::ScrubEngine;
+pub use secded::{
+    classify, decode, encode, Decoded, ErrorOutcome, CHECK_BITS, CODEWORD_BITS, DATA_BITS,
+};

@@ -1,0 +1,268 @@
+//! Reliability accounting: how a protected cache's errors resolved
+//! (corrected / DUE / SDC), how much scrub traffic the run generated,
+//! and how far each subarray descended the degradation ladder.
+
+use serde::{Deserialize, Serialize};
+
+/// The three-stage graceful-degradation ladder a protected subarray
+/// walks as errors accumulate. Replaces the paper's one-shot fail-safe
+/// threshold with a staged response: keep correcting while errors are
+/// rare, scrub aggressively once they cluster, and only pin the subarray
+/// back to static pull-up (forfeiting its leakage savings) as a last
+/// resort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradationStage {
+    /// Stage 0: errors are corrected in place as reads encounter them.
+    #[default]
+    CorrectInPlace,
+    /// Stage 1: every detected error additionally triggers a targeted
+    /// scrub of the whole subarray, clearing latent bit damage.
+    ScrubOnDetect,
+    /// Stage 2: the subarray is pinned back to static pull-up — no more
+    /// cold reads, no more leakage-induced upsets, no more savings.
+    FailSafe,
+}
+
+impl DegradationStage {
+    /// Stable wire index for the checkpoint codec.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            DegradationStage::CorrectInPlace => 0,
+            DegradationStage::ScrubOnDetect => 1,
+            DegradationStage::FailSafe => 2,
+        }
+    }
+
+    /// Inverse of [`DegradationStage::index`].
+    #[must_use]
+    pub fn from_index(index: u8) -> Option<DegradationStage> {
+        match index {
+            0 => Some(DegradationStage::CorrectInPlace),
+            1 => Some(DegradationStage::ScrubOnDetect),
+            2 => Some(DegradationStage::FailSafe),
+            _ => None,
+        }
+    }
+
+    /// Short label for tables and summaries.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationStage::CorrectInPlace => "correct",
+            DegradationStage::ScrubOnDetect => "scrub-on-detect",
+            DegradationStage::FailSafe => "fail-safe",
+        }
+    }
+}
+
+/// Reliability counters for one subarray.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayReliability {
+    /// Upsets the SECDED codec corrected transparently.
+    pub corrected: u64,
+    /// Detected-uncorrectable errors (double flips): the read was
+    /// replayed against a fresh precharge, but the event counts as a
+    /// DUE because the codec could not reconstruct the word itself.
+    pub due: u64,
+    /// Silent data corruption: a multi-flip pattern the codec
+    /// miscorrected without flagging.
+    pub sdc: u64,
+    /// Targeted whole-subarray scrubs fired by stage 1 of the ladder.
+    pub demand_scrubs: u64,
+    /// Latent single-bit errors cleared by scrubbing (background or
+    /// demand) before a second upset could compound them.
+    pub latent_cleared: u64,
+    /// How far down the degradation ladder this subarray ended the run.
+    pub stage: DegradationStage,
+}
+
+/// Whole-run reliability summary for one protected cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Per-subarray counters.
+    pub per_subarray: Vec<SubarrayReliability>,
+    /// Words re-read by the background scrub walker over the run.
+    pub background_scrub_words: u64,
+    /// Words re-read by stage-1 demand scrubs.
+    pub demand_scrub_words: u64,
+    /// Total cycles subarrays spent pinned at stage 2 (summed over
+    /// subarrays), i.e. degraded-subarray residency.
+    pub pinned_residency_cycles: u64,
+    /// Cycle the run ended at (denominator for residency fractions).
+    pub end_cycle: u64,
+}
+
+impl ReliabilityReport {
+    /// An empty report over `subarrays` subarrays.
+    #[must_use]
+    pub fn new(subarrays: usize) -> ReliabilityReport {
+        ReliabilityReport {
+            per_subarray: vec![SubarrayReliability::default(); subarrays],
+            ..ReliabilityReport::default()
+        }
+    }
+
+    /// Total corrected upsets.
+    #[must_use]
+    pub fn corrected(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.corrected).sum()
+    }
+
+    /// Total detected-uncorrectable errors.
+    #[must_use]
+    pub fn due(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.due).sum()
+    }
+
+    /// Total silent data corruptions.
+    #[must_use]
+    pub fn sdc(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.sdc).sum()
+    }
+
+    /// Total stage-1 demand scrubs.
+    #[must_use]
+    pub fn demand_scrubs(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.demand_scrubs).sum()
+    }
+
+    /// Total latent errors cleared by scrubbing.
+    #[must_use]
+    pub fn latent_cleared(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.latent_cleared).sum()
+    }
+
+    /// Total scrub traffic (background + demand), in words — the number
+    /// the energy model prices.
+    #[must_use]
+    pub fn scrub_words(&self) -> u64 {
+        self.background_scrub_words + self.demand_scrub_words
+    }
+
+    /// Subarrays that ended the run at or past `stage`.
+    #[must_use]
+    pub fn subarrays_at_or_past(&self, stage: DegradationStage) -> usize {
+        self.per_subarray.iter().filter(|s| s.stage >= stage).count()
+    }
+
+    /// Subarrays pinned at stage 2 (fail-safe) by run end.
+    #[must_use]
+    pub fn fail_safe_subarrays(&self) -> usize {
+        self.subarrays_at_or_past(DegradationStage::FailSafe)
+    }
+
+    /// Fraction of subarray-cycles spent pinned at stage 2.
+    #[must_use]
+    pub fn pinned_residency(&self) -> f64 {
+        let denom = self.end_cycle.saturating_mul(self.per_subarray.len() as u64);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.pinned_residency_cycles as f64 / denom as f64
+    }
+
+    /// Accumulates this report's totals into the global metrics registry
+    /// under `ecc.{cache}.*` (e.g. `ecc.d.corrected`). Called once per
+    /// completed run, mirroring `FaultReport::record_metrics`, so the
+    /// counters stay semantic and identical across job counts.
+    pub fn record_metrics(&self, cache: &str) {
+        let registry = bitline_obs::registry();
+        registry.counter(&format!("ecc.{cache}.corrected")).add(self.corrected());
+        registry.counter(&format!("ecc.{cache}.due")).add(self.due());
+        registry.counter(&format!("ecc.{cache}.sdc")).add(self.sdc());
+        registry.counter(&format!("ecc.{cache}.scrub_words")).add(self.scrub_words());
+        registry.counter(&format!("ecc.{cache}.latent_cleared")).add(self.latent_cleared());
+        registry
+            .counter(&format!("ecc.{cache}.fail_safe_subarrays"))
+            .add(u64::try_from(self.fail_safe_subarrays()).unwrap_or(u64::MAX));
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "corrected {}  DUE {}  SDC {}  scrub words {}  latent cleared {}  fail-safe {}/{} subarrays",
+            self.corrected(),
+            self.due(),
+            self.sdc(),
+            self.scrub_words(),
+            self.latent_cleared(),
+            self.fail_safe_subarrays(),
+            self.per_subarray.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_subarrays() {
+        let mut r = ReliabilityReport::new(2);
+        r.per_subarray[0].corrected = 5;
+        r.per_subarray[0].due = 2;
+        r.per_subarray[1].corrected = 1;
+        r.per_subarray[1].sdc = 1;
+        r.per_subarray[1].stage = DegradationStage::FailSafe;
+        r.background_scrub_words = 100;
+        r.demand_scrub_words = 28;
+        assert_eq!(r.corrected(), 6);
+        assert_eq!(r.due(), 2);
+        assert_eq!(r.sdc(), 1);
+        assert_eq!(r.scrub_words(), 128);
+        assert_eq!(r.fail_safe_subarrays(), 1);
+        assert_eq!(r.subarrays_at_or_past(DegradationStage::ScrubOnDetect), 1);
+    }
+
+    #[test]
+    fn stage_indices_round_trip() {
+        for stage in [
+            DegradationStage::CorrectInPlace,
+            DegradationStage::ScrubOnDetect,
+            DegradationStage::FailSafe,
+        ] {
+            assert_eq!(DegradationStage::from_index(stage.index()), Some(stage));
+        }
+        assert_eq!(DegradationStage::from_index(3), None);
+    }
+
+    #[test]
+    fn residency_is_a_fraction_of_subarray_cycles() {
+        let mut r = ReliabilityReport::new(4);
+        r.end_cycle = 1000;
+        r.pinned_residency_cycles = 1000; // one of four subarrays pinned all run
+        assert!((r.pinned_residency() - 0.25).abs() < 1e-12);
+        assert_eq!(ReliabilityReport::new(0).pinned_residency(), 0.0);
+    }
+
+    #[test]
+    fn record_metrics_accumulates_totals() {
+        let mut r = ReliabilityReport::new(2);
+        r.per_subarray[0].corrected = 3;
+        r.per_subarray[0].due = 1;
+        r.per_subarray[1].sdc = 2;
+        r.per_subarray[1].latent_cleared = 4;
+        r.per_subarray[1].stage = DegradationStage::FailSafe;
+        r.background_scrub_words = 64;
+        let before = bitline_obs::registry().snapshot();
+        r.record_metrics("test_ecc_report");
+        let after = bitline_obs::registry().snapshot();
+        let delta =
+            |name: &str| after.counters[name] - before.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(delta("ecc.test_ecc_report.corrected"), 3);
+        assert_eq!(delta("ecc.test_ecc_report.due"), 1);
+        assert_eq!(delta("ecc.test_ecc_report.sdc"), 2);
+        assert_eq!(delta("ecc.test_ecc_report.scrub_words"), 64);
+        assert_eq!(delta("ecc.test_ecc_report.latent_cleared"), 4);
+        assert_eq!(delta("ecc.test_ecc_report.fail_safe_subarrays"), 1);
+    }
+
+    #[test]
+    fn summary_mentions_fail_safe() {
+        let mut r = ReliabilityReport::new(4);
+        r.per_subarray[2].stage = DegradationStage::FailSafe;
+        assert!(r.summary().contains("fail-safe 1/4"));
+    }
+}

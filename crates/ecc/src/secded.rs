@@ -1,0 +1,287 @@
+//! (72,64) extended Hamming SECDED codec.
+//!
+//! The codeword is held in the low 72 bits of a `u128`. Bit 0 is the
+//! overall parity bit; bits at the power-of-two positions 1, 2, 4, 8,
+//! 16, 32, 64 are the Hamming check bits; the remaining 64 positions in
+//! `1..=71` carry the data word in ascending-position order. This is the
+//! classic Hsiao-style layout where a nonzero syndrome *is* the position
+//! of a single flipped bit, and the overall parity bit disambiguates
+//! single (odd) from double (even) errors.
+//!
+//! Everything here is straight-line bit arithmetic on stack values — no
+//! heap, no tables — so the codec can sit on the fault-injection hot
+//! path without perturbing allocation behaviour.
+
+/// Total bits in a codeword: 64 data + 7 Hamming check + 1 overall parity.
+pub const CODEWORD_BITS: u32 = 72;
+/// Payload bits per codeword.
+pub const DATA_BITS: u32 = 64;
+/// Redundant bits per codeword (the storage overhead of protection).
+pub const CHECK_BITS: u32 = CODEWORD_BITS - DATA_BITS;
+
+/// True for positions holding redundancy (parity at 0, checks at 2^k).
+#[inline]
+fn is_check_position(pos: u32) -> bool {
+    pos == 0 || pos.is_power_of_two()
+}
+
+/// XOR of the positions of all set bits in `1..CODEWORD_BITS` — zero for
+/// a valid codeword, the error position for a single flipped bit.
+#[inline]
+fn syndrome(word: u128) -> u32 {
+    let mut s = 0u32;
+    let mut rest = word >> 1;
+    let mut pos = 1u32;
+    while rest != 0 {
+        if rest & 1 == 1 {
+            s ^= pos;
+        }
+        rest >>= 1;
+        pos += 1;
+    }
+    s
+}
+
+/// Encode a 64-bit word into a 72-bit SECDED codeword.
+pub fn encode(data: u64) -> u128 {
+    // Scatter data bits into the non-check positions, low to high.
+    let mut word = 0u128;
+    let mut src = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if is_check_position(pos) {
+            continue;
+        }
+        if (data >> src) & 1 == 1 {
+            word |= 1u128 << pos;
+        }
+        src += 1;
+    }
+    // Each check bit zeroes its syndrome component: check bit 2^k is the
+    // XOR of every data bit whose position has bit k set.
+    let s = syndrome(word);
+    let mut k = 0u32;
+    while (1u32 << k) < CODEWORD_BITS {
+        if (s >> k) & 1 == 1 {
+            word |= 1u128 << (1u32 << k);
+        }
+        k += 1;
+    }
+    debug_assert_eq!(syndrome(word), 0);
+    // Overall parity makes the whole 72-bit word even-parity.
+    if word.count_ones() % 2 == 1 {
+        word |= 1;
+    }
+    word
+}
+
+/// Gather the data bits back out of a (possibly corrected) codeword.
+pub fn extract(word: u128) -> u64 {
+    let mut data = 0u64;
+    let mut dst = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if is_check_position(pos) {
+            continue;
+        }
+        if (word >> pos) & 1 == 1 {
+            data |= 1u64 << dst;
+        }
+        dst += 1;
+    }
+    data
+}
+
+/// Outcome of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Syndrome and parity both clean: the stored word is intact.
+    Clean { data: u64 },
+    /// Exactly one bit (position `bit`) was flipped and has been
+    /// corrected; `data` is the recovered payload.
+    Corrected { data: u64, bit: u32 },
+    /// An even number of flips (or an impossible syndrome): detected but
+    /// uncorrectable — the consumer must treat the word as lost.
+    Uncorrectable,
+}
+
+/// Decode a 72-bit codeword, correcting a single flipped bit if present.
+///
+/// Note the codec is honest about its limits: *three* flips produce an
+/// odd-parity word whose syndrome points at some fourth position, so the
+/// decoder "corrects" the wrong bit and hands back corrupt data as
+/// [`Decoded::Corrected`] — silent data corruption, exactly what the
+/// reliability model upstream needs to account for.
+pub fn decode(word: u128) -> Decoded {
+    let s = syndrome(word);
+    let parity_odd = word.count_ones() % 2 == 1;
+    match (s, parity_odd) {
+        (0, false) => Decoded::Clean { data: extract(word) },
+        // Only the overall parity bit itself flipped; data is intact.
+        (0, true) => Decoded::Corrected { data: extract(word), bit: 0 },
+        (s, true) if s < CODEWORD_BITS => {
+            let fixed = word ^ (1u128 << s);
+            Decoded::Corrected { data: extract(fixed), bit: s }
+        }
+        // Odd parity with a syndrome outside the codeword: at least
+        // three flips whose XOR escapes the valid range.
+        (_, true) => Decoded::Uncorrectable,
+        // Nonzero syndrome with even parity: a double error.
+        (_, false) => Decoded::Uncorrectable,
+    }
+}
+
+/// How a stored word fared against a set of bit flips, as seen by the
+/// reliability model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorOutcome {
+    /// The codec returned the original payload.
+    Corrected,
+    /// The codec flagged the word uncorrectable (a DUE): the consumer
+    /// knows the data is lost and can replay or halt.
+    DetectedUncorrectable,
+    /// The codec handed back *wrong* payload without flagging it —
+    /// silent data corruption.
+    Silent,
+}
+
+/// Run one word through the real encode → flip → decode path and report
+/// the outcome class. `flips` are distinct bit positions in
+/// `0..CODEWORD_BITS`; an empty slice is reported as `Corrected` (the
+/// read needed no help, which upstream never asks about anyway).
+pub fn classify(data: u64, flips: &[u32]) -> ErrorOutcome {
+    let mut word = encode(data);
+    for &bit in flips {
+        debug_assert!(bit < CODEWORD_BITS);
+        word ^= 1u128 << bit;
+    }
+    match decode(word) {
+        Decoded::Clean { data: got } | Decoded::Corrected { data: got, .. } => {
+            if got == data {
+                ErrorOutcome::Corrected
+            } else {
+                ErrorOutcome::Silent
+            }
+        }
+        Decoded::Uncorrectable => ErrorOutcome::DetectedUncorrectable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A small spread of payloads that exercise corner patterns plus a
+    /// few arbitrary constants; the proptests below cover random words.
+    const SAMPLE_WORDS: [u64; 6] =
+        [0, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x0123_4567_89AB_CDEF, 1, 1 << 63];
+
+    #[test]
+    fn clean_words_round_trip() {
+        for &w in &SAMPLE_WORDS {
+            let enc = encode(w);
+            assert_eq!(enc >> CODEWORD_BITS, 0, "codeword exceeds 72 bits");
+            assert_eq!(decode(enc), Decoded::Clean { data: w });
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        for &w in &SAMPLE_WORDS {
+            let enc = encode(w);
+            for bit in 0..CODEWORD_BITS {
+                match decode(enc ^ (1u128 << bit)) {
+                    Decoded::Corrected { data, bit: reported } => {
+                        assert_eq!(data, w, "flip at {bit} not corrected");
+                        assert_eq!(reported, bit, "wrong position reported for flip at {bit}");
+                    }
+                    other => panic!("flip at {bit}: expected correction, got {other:?}"),
+                }
+                assert_eq!(classify(w, &[bit]), ErrorOutcome::Corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_a_due_never_sdc() {
+        // Exhaustive over all C(72,2) = 2556 position pairs.
+        for &w in &SAMPLE_WORDS[..3] {
+            let enc = encode(w);
+            let mut pairs = 0u32;
+            for a in 0..CODEWORD_BITS {
+                for b in (a + 1)..CODEWORD_BITS {
+                    let hit = enc ^ (1u128 << a) ^ (1u128 << b);
+                    assert_eq!(
+                        decode(hit),
+                        Decoded::Uncorrectable,
+                        "double flip ({a},{b}) must be detected, never miscorrected"
+                    );
+                    assert_eq!(classify(w, &[a, b]), ErrorOutcome::DetectedUncorrectable);
+                    pairs += 1;
+                }
+            }
+            assert_eq!(pairs, CODEWORD_BITS * (CODEWORD_BITS - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn triple_flips_never_pass_as_clean() {
+        // Three flips leave odd parity, so the decoder always reports
+        // *something* — either a DUE or a (mis)correction — but can
+        // never claim the word is clean.
+        let enc = encode(0xDEAD_BEEF_F00D_CAFE);
+        for a in 0..CODEWORD_BITS {
+            for b in (a + 1)..CODEWORD_BITS {
+                let c = (b + 1) % CODEWORD_BITS;
+                if c == a || c == b {
+                    continue;
+                }
+                let hit = enc ^ (1u128 << a) ^ (1u128 << b) ^ (1u128 << c);
+                assert!(
+                    !matches!(decode(hit), Decoded::Clean { .. }),
+                    "triple flip ({a},{b},{c}) decoded as clean"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn some_triple_flips_are_silent_corruption() {
+        // The SDC channel the reliability model prices must actually
+        // exist: at least one triple flip miscorrects.
+        let w = 0x0123_4567_89AB_CDEF;
+        let mut silents = 0u32;
+        'outer: for a in 0..CODEWORD_BITS {
+            for b in (a + 1)..CODEWORD_BITS {
+                for c in (b + 1)..CODEWORD_BITS {
+                    if classify(w, &[a, b, c]) == ErrorOutcome::Silent {
+                        silents += 1;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(silents > 0, "expected at least one miscorrecting triple flip");
+    }
+
+    proptest! {
+        #[test]
+        fn random_words_round_trip(w in any::<u64>()) {
+            prop_assert_eq!(decode(encode(w)), Decoded::Clean { data: w });
+        }
+
+        #[test]
+        fn random_single_flips_correct(w in any::<u64>(), bit in 0u32..72) {
+            prop_assert_eq!(classify(w, &[bit]), ErrorOutcome::Corrected);
+        }
+
+        #[test]
+        fn random_double_flips_detect(
+            w in any::<u64>(),
+            a in 0u32..72,
+            offset in 1u32..71,
+        ) {
+            let b = (a + offset) % CODEWORD_BITS;
+            prop_assert_eq!(classify(w, &[a, b]), ErrorOutcome::DetectedUncorrectable);
+        }
+    }
+}

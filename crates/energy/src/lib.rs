@@ -66,13 +66,24 @@ pub struct CacheEnergyBreakdown {
     pub cell_leak_j: f64,
     /// Gated-precharging decay counter + comparator energy, in joules.
     pub counter_j: f64,
+    /// Error-protection energy: check-bit column leakage/swing share,
+    /// SECDED codec switching, and scrub traffic, in joules. Zero for an
+    /// unprotected cache. Kept as its own component (rather than scaled
+    /// into the bitline terms) so the paper's discharge figures stay
+    /// bit-identical when protection is armed on a fault-free run.
+    pub ecc_j: f64,
 }
 
 impl CacheEnergyBreakdown {
     /// Total cache energy in joules.
     #[must_use]
     pub fn total_j(&self) -> f64 {
-        self.dynamic_j + self.pullup_leak_j + self.episode_j + self.cell_leak_j + self.counter_j
+        self.dynamic_j
+            + self.pullup_leak_j
+            + self.episode_j
+            + self.cell_leak_j
+            + self.counter_j
+            + self.ecc_j
     }
 
     /// Energy dissipated through the bitline paths: pulled-up leakage plus
@@ -215,7 +226,48 @@ impl EnergyAccountant {
         } else {
             0.0
         };
-        CacheEnergyBreakdown { dynamic_j, pullup_leak_j, episode_j, cell_leak_j, counter_j }
+        CacheEnergyBreakdown {
+            dynamic_j,
+            pullup_leak_j,
+            episode_j,
+            cell_leak_j,
+            counter_j,
+            ecc_j: 0.0,
+        }
+    }
+
+    /// [`EnergyAccountant::account`] plus the error-protection overhead
+    /// for a SECDED-protected cache: the 8 check columns per 64-bit word
+    /// share proportionally in every array energy (leakage, episodes,
+    /// cell leakage), the codec switches on every access, and scrub
+    /// traffic pays per word. The overhead lands in its own
+    /// [`CacheEnergyBreakdown::ecc_j`] component, leaving the unprotected
+    /// components bit-identical to [`EnergyAccountant::account`].
+    #[must_use]
+    pub fn account_with_ecc(
+        &self,
+        report: &ActivityReport,
+        reads: u64,
+        writes: u64,
+        gated_counters: bool,
+        way_stats: Option<WayStats>,
+        ecc: Option<EccActivity>,
+    ) -> CacheEnergyBreakdown {
+        let mut breakdown = self.account(report, reads, writes, gated_counters, way_stats);
+        if let Some(activity) = ecc {
+            breakdown.ecc_j = self.ecc_energy_j(&breakdown, activity);
+        }
+        breakdown
+    }
+
+    /// The ECC component for an already-priced breakdown.
+    fn ecc_energy_j(&self, breakdown: &CacheEnergyBreakdown, activity: EccActivity) -> f64 {
+        let m = &self.model;
+        let check_columns = m.ecc_check_column_fraction()
+            * (breakdown.pullup_leak_j + breakdown.episode_j + breakdown.cell_leak_j);
+        check_columns
+            + activity.protected_accesses as f64 * m.ecc_codec_energy_j()
+            + activity.scrub_words as f64 * m.ecc_scrub_word_energy_j()
     }
 
     /// The breakdown a conventional (static pull-up) cache would have over
@@ -237,8 +289,42 @@ impl EnergyAccountant {
                 * m.cell_leakage_cycle_energy_j()
                 * AVERAGE_CASE_LEAKAGE_FACTOR,
             counter_j: 0.0,
+            ecc_j: 0.0,
         }
     }
+
+    /// [`EnergyAccountant::static_baseline`] for a SECDED-protected cache:
+    /// the static baseline pays check-column leakage and codec switching
+    /// too (it protects the same words), but never scrubs — its bitlines
+    /// are always pulled up, so latent-error dwell is bounded by the
+    /// refresh-free static margin the paper assumes.
+    #[must_use]
+    pub fn static_baseline_with_ecc(
+        &self,
+        end_cycle: u64,
+        reads: u64,
+        writes: u64,
+        protected: bool,
+    ) -> CacheEnergyBreakdown {
+        let mut baseline = self.static_baseline(end_cycle, reads, writes);
+        if protected {
+            let activity = EccActivity { protected_accesses: reads + writes, scrub_words: 0 };
+            baseline.ecc_j = self.ecc_energy_j(&baseline, activity);
+        }
+        baseline
+    }
+}
+
+/// ECC-related activity of one run, priced by
+/// [`EnergyAccountant::account_with_ecc`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccActivity {
+    /// Accesses that ran through the SECDED codec (reads + writes of the
+    /// protected array).
+    pub protected_accesses: u64,
+    /// 72-bit words re-read (and rewritten) by background and demand
+    /// scrubs.
+    pub scrub_words: u64,
 }
 
 #[cfg(test)]
@@ -400,10 +486,49 @@ mod tests {
         let mut p = GatedPolicy::new(32, 50, 1);
         let report = drive(&mut p, 50_000, 7, 8);
         let b = acct.account(&report, 5_000, 1_000, true, None);
-        for v in [b.dynamic_j, b.pullup_leak_j, b.episode_j, b.cell_leak_j, b.counter_j] {
+        for v in [b.dynamic_j, b.pullup_leak_j, b.episode_j, b.cell_leak_j, b.counter_j, b.ecc_j] {
             assert!(v >= 0.0);
         }
-        let sum = b.dynamic_j + b.pullup_leak_j + b.episode_j + b.cell_leak_j + b.counter_j;
+        let sum =
+            b.dynamic_j + b.pullup_leak_j + b.episode_j + b.cell_leak_j + b.counter_j + b.ecc_j;
         assert!((b.total_j() - sum).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ecc_overhead_is_separate_and_modest() {
+        let acct = accountant(TechnologyNode::N70);
+        let mut p = GatedPolicy::new(32, 100, 1);
+        let report = drive(&mut p, 100_000, 3, 4);
+        let reads = report.total_accesses();
+        let plain = acct.account(&report, reads, 0, true, None);
+        let ecc = EccActivity { protected_accesses: reads, scrub_words: 10_000 };
+        let protected = acct.account_with_ecc(&report, reads, 0, true, None, Some(ecc));
+        // Unprotected components are bit-identical — protection never
+        // perturbs the paper's discharge figures.
+        assert_eq!(plain.dynamic_j.to_bits(), protected.dynamic_j.to_bits());
+        assert_eq!(plain.pullup_leak_j.to_bits(), protected.pullup_leak_j.to_bits());
+        assert_eq!(plain.episode_j.to_bits(), protected.episode_j.to_bits());
+        assert_eq!(plain.cell_leak_j.to_bits(), protected.cell_leak_j.to_bits());
+        assert_eq!(plain.ecc_j, 0.0);
+        assert!(protected.ecc_j > 0.0);
+        // Check bits are 1/8 of the array; codec and scrub are small, so
+        // the overall overhead stays well under 20%.
+        let overhead = protected.total_j() / plain.total_j() - 1.0;
+        assert!((0.0..0.2).contains(&overhead), "ecc overhead {overhead:.4}");
+        // `None` activity is exactly the plain accounting.
+        let none = acct.account_with_ecc(&report, reads, 0, true, None, None);
+        assert_eq!(none.total_j().to_bits(), plain.total_j().to_bits());
+    }
+
+    #[test]
+    fn protected_static_baseline_pays_codec_but_not_scrub() {
+        let acct = accountant(TechnologyNode::N70);
+        let plain = acct.static_baseline(100_000, 30_000, 10_000);
+        let protected = acct.static_baseline_with_ecc(100_000, 30_000, 10_000, true);
+        assert_eq!(plain.pullup_leak_j.to_bits(), protected.pullup_leak_j.to_bits());
+        assert!(protected.ecc_j > 0.0);
+        assert!(protected.total_j() > plain.total_j());
+        let unprotected = acct.static_baseline_with_ecc(100_000, 30_000, 10_000, false);
+        assert_eq!(unprotected.total_j().to_bits(), plain.total_j().to_bits());
     }
 }

@@ -3,10 +3,11 @@
 //! offset never loses a fully synced entry, and a flipped bit quarantines
 //! exactly the damaged entry.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bitline_exec::journal::JOURNAL_FILE;
+use bitline_exec::journal::{crc32, JOURNAL_FILE};
 use bitline_exec::Journal;
 use proptest::prelude::*;
 
@@ -105,6 +106,111 @@ fn truncated_tail_recovers_every_complete_entry() {
         std::fs::remove_dir_all(&case).ok();
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An `io::Write` that models a filesystem running out of space: it
+/// honours at most `budget` bytes in total, serves *short* writes (at
+/// most `max_chunk` bytes per call) on the way there, and then fails
+/// every call with `ENOSPC`. Standard library callers like `write_all`
+/// retry short writes, so the bytes that reach "disk" are exactly the
+/// first `budget` — a frame cut mid-payload, mid-header, or mid-magic
+/// depending on the budget.
+struct FallibleWriter {
+    out: Vec<u8>,
+    budget: usize,
+    max_chunk: usize,
+}
+
+impl Write for FallibleWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.budget == 0 || buf.is_empty() {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            // 28 == ENOSPC on Linux.
+            return Err(std::io::Error::from_raw_os_error(28));
+        }
+        let n = buf.len().min(self.budget).min(self.max_chunk);
+        self.out.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Frames one entry exactly as the journal does:
+/// `[len:u32le][crc32:u32le][klen:u32le|key|value]`.
+fn chaos_frame(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u32::try_from(key.len()).expect("key fits").to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload.extend_from_slice(value);
+    let mut out = Vec::new();
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("entry fits").to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Chaos leg: a writer that dies of `ENOSPC` mid-frame — at *every*
+/// possible byte budget, under pathologically short writes — leaves a
+/// journal that `open` recovers without ever inventing, duplicating, or
+/// quarantining a fully flushed entry.
+#[test]
+fn enospc_mid_frame_loses_only_the_torn_tail() {
+    let entries: Vec<(String, Vec<u8>)> =
+        (0..3).map(|i| (format!("bench{i}@{i:016x}"), vec![0xA5 ^ i as u8; 9 + i * 11])).collect();
+
+    // The full image the journal would have written: magic then frames.
+    let mut full: Vec<u8> = b"BLJRNL1\n".to_vec();
+    let mut ends = vec![full.len()];
+    for (key, value) in &entries {
+        full.extend_from_slice(&chaos_frame(key, value));
+        ends.push(full.len());
+    }
+
+    for max_chunk in [1usize, 3, 64, usize::MAX] {
+        for budget in 0..=full.len() {
+            // Write through the failing writer until it reports ENOSPC.
+            let mut w = FallibleWriter { out: Vec::new(), budget, max_chunk };
+            let outcome = w.write_all(&full);
+            assert_eq!(outcome.is_err(), budget < full.len(), "budget {budget}");
+            if let Err(e) = outcome {
+                assert_eq!(e.raw_os_error(), Some(28), "the chaos error is ENOSPC");
+            }
+            assert_eq!(w.out, &full[..budget], "short writes must still land in order");
+
+            let dir = scratch("enospc");
+            std::fs::write(dir.join(JOURNAL_FILE), &w.out).expect("write torn journal");
+            let (_, loaded, report) = Journal::open(&dir).expect("open survives ENOSPC damage");
+
+            // Every frame fully inside the budget survives; nothing else.
+            let complete = ends.iter().filter(|&&e| e <= budget.max(8)).count() - 1;
+            assert_eq!(loaded.len(), complete, "budget {budget} chunk {max_chunk}");
+            assert_eq!(report.loaded, complete);
+            for (got, (key, value)) in loaded.iter().zip(&entries) {
+                assert_eq!(&got.key, key, "budget {budget}");
+                assert_eq!(&got.value, value, "budget {budget}");
+            }
+            // A tear is truncation, not corruption: the quarantine counter
+            // stays untouched except for the no-magic degenerate case.
+            let expected_quarantined = usize::from(budget > 0 && budget < 8);
+            assert_eq!(report.quarantined, expected_quarantined, "budget {budget}");
+            let on_boundary = budget == 0 || ends.contains(&budget);
+            assert_eq!(report.truncated_tail, !on_boundary, "budget {budget}");
+
+            // Recovery is durable: the reopened journal is clean and
+            // writable once space is back.
+            let (mut journal, reloaded, clean) = Journal::open(&dir).expect("reopen");
+            assert_eq!(reloaded.len(), complete);
+            assert_eq!(clean.quarantined, 0, "compaction scrubbed the tear");
+            assert!(!clean.truncated_tail);
+            journal.append("after@enospc", b"recovered").expect("append after recovery");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
 }
 
 /// A single flipped payload bit fails that entry's CRC: the entry is

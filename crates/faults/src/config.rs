@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the fault model (see DESIGN.md, "Fault model & recovery
-/// semantics").
+/// semantics" and "Error protection & graceful degradation").
 ///
 /// Rates are per *cold* access — an access that found its subarray isolated
 /// and had to pull the bitlines up. Warm accesses read from fully-precharged
@@ -24,7 +24,8 @@ pub struct FaultConfig {
     /// spuriously isolating a subarray the policy meant to keep precharged.
     pub decay_flip_rate: f64,
     /// Probability that the sense-margin detector catches an upset; misses
-    /// are silent data corruption.
+    /// are silent data corruption. Unused when [`FaultConfig::ecc`] is on —
+    /// the SECDED codec replaces the margin detector entirely.
     pub detection_rate: f64,
     /// Extra cycles a detected upset pays to replay against a freshly
     /// precharged subarray (full pull-up + re-sense).
@@ -32,9 +33,32 @@ pub struct FaultConfig {
     /// Cycles a spuriously-isolated access pays for bitline pull-up (the
     /// same cold-access penalty the gated policy charges).
     pub pullup_penalty: u32,
-    /// Graceful degradation: pin a subarray back to static pull-up once its
-    /// detected-upset count reaches this threshold (`None` disables).
+    /// Graceful degradation: pin a subarray back to static pull-up once
+    /// its error count reaches this threshold (`None` disables). Without
+    /// ECC the count is detected upsets; with ECC it is
+    /// detected-uncorrectable errors (DUEs), since corrected singles are
+    /// business as usual for a protected array.
     pub fail_safe_threshold: Option<u32>,
+    /// Protect the array with the (72,64) SECDED codec: upsets become
+    /// corrected / DUE / SDC outcomes instead of the binary
+    /// detected/silent split.
+    pub ecc: bool,
+    /// Cycles a corrected read spends in syndrome decode + correction.
+    pub correction_cycles: u32,
+    /// Fraction of upsets that are spatially-correlated double flips on
+    /// adjacent columns (multi-bit upsets defeat pure SEC; SECDED turns
+    /// them into DUEs).
+    pub multi_bit_fraction: f64,
+    /// Background scrub: cycles per full sweep of all subarrays (`None`
+    /// disables the scrubber). Requires [`FaultConfig::ecc`].
+    pub scrub_period: Option<u64>,
+    /// Stage 1 of the degradation ladder: once a subarray accumulates
+    /// this many codec-visible errors, every further detected error
+    /// triggers a targeted scrub of that subarray (`None` disables).
+    pub scrub_on_detect_threshold: Option<u32>,
+    /// Words per subarray — the denominator for latent-error compounding
+    /// and the cost of one subarray scrub.
+    pub subarray_words: u32,
 }
 
 impl FaultConfig {
@@ -50,12 +74,20 @@ impl FaultConfig {
             retry_cycles: 0,
             pullup_penalty: 0,
             fail_safe_threshold: None,
+            ecc: false,
+            correction_cycles: 0,
+            multi_bit_fraction: 0.0,
+            scrub_period: None,
+            scrub_on_detect_threshold: None,
+            subarray_words: 128,
         }
     }
 
     /// A representative configuration at `upset_rate` with defaults for the
     /// secondary knobs: σ = 0.35 variation, decay flips at 1/8 the upset
-    /// rate, 98% detection coverage, 2-cycle replay, 1-cycle pull-up.
+    /// rate, 98% detection coverage, 2-cycle replay, 1-cycle pull-up, 5% of
+    /// upsets striking two adjacent columns, 1-cycle ECC correction (codec
+    /// itself still off — arm it with [`FaultConfig::with_secded`]).
     #[must_use]
     pub fn with_rate(upset_rate: f64, seed: u64) -> FaultConfig {
         FaultConfig {
@@ -66,12 +98,14 @@ impl FaultConfig {
             detection_rate: 0.98,
             retry_cycles: 2,
             pullup_penalty: 1,
-            fail_safe_threshold: None,
+            correction_cycles: 1,
+            multi_bit_fraction: 0.05,
+            ..FaultConfig::disabled()
         }
     }
 
     /// Same as [`FaultConfig::with_rate`] but with graceful degradation
-    /// armed at `threshold` detected upsets per subarray.
+    /// armed at `threshold` errors per subarray.
     #[must_use]
     pub fn with_fail_safe(upset_rate: f64, seed: u64, threshold: u32) -> FaultConfig {
         FaultConfig {
@@ -80,10 +114,63 @@ impl FaultConfig {
         }
     }
 
+    /// Arms the (72,64) SECDED codec.
+    #[must_use]
+    pub fn with_secded(mut self) -> FaultConfig {
+        self.ecc = true;
+        self
+    }
+
+    /// Arms the background scrubber at one full sweep per `period` cycles
+    /// (requires ECC; enforced by [`FaultConfig::validate`]).
+    #[must_use]
+    pub fn with_scrub(mut self, period: u64) -> FaultConfig {
+        self.scrub_period = Some(period);
+        self
+    }
+
     /// Whether this configuration can ever inject a fault.
     #[must_use]
     pub fn enabled(&self) -> bool {
         self.upset_rate > 0.0 || self.decay_flip_rate > 0.0
+    }
+
+    /// Rejects configurations that would silently misbehave downstream:
+    /// rates outside [0, 1] (or NaN), a zero scrub period, scrubbing
+    /// without the codec that makes scrubbing meaningful, and a protected
+    /// array with no words in it.
+    pub fn validate(&self) -> Result<(), String> {
+        let probability = |name: &str, v: f64| {
+            if v.is_nan() || !(0.0..=1.0).contains(&v) {
+                Err(format!("{name} = {v}; must be a probability in [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+        probability("fault rate", self.upset_rate)?;
+        probability("detection rate", self.detection_rate)?;
+        probability("decay flip rate", self.decay_flip_rate)?;
+        probability("multi-bit fraction", self.multi_bit_fraction)?;
+        if !self.variation_sigma.is_finite() || self.variation_sigma < 0.0 {
+            return Err(format!(
+                "variation sigma = {}; must be finite and non-negative",
+                self.variation_sigma
+            ));
+        }
+        if self.scrub_period == Some(0) {
+            return Err("scrub period = 0 cycles; the scrubber needs a positive sweep period \
+                 (omit --scrub-period to disable scrubbing)"
+                .to_string());
+        }
+        if self.scrub_period.is_some() && !self.ecc {
+            return Err("scrubbing requires ECC (--ecc): a scrub pass rewrites words through \
+                 the SECDED codec"
+                .to_string());
+        }
+        if self.ecc && self.subarray_words == 0 {
+            return Err("subarray_words = 0; a protected subarray must hold words".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -101,6 +188,7 @@ mod tests {
     fn disabled_is_inert() {
         let c = FaultConfig::disabled();
         assert!(!c.enabled());
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -108,5 +196,41 @@ mod tests {
         assert!(FaultConfig::with_rate(0.01, 1).enabled());
         assert!(!FaultConfig::with_rate(0.0, 1).enabled());
         assert_eq!(FaultConfig::with_fail_safe(0.01, 1, 10).fail_safe_threshold, Some(10));
+    }
+
+    #[test]
+    fn builders_arm_protection() {
+        let c = FaultConfig::with_rate(0.01, 1).with_secded().with_scrub(4096);
+        assert!(c.ecc);
+        assert_eq!(c.scrub_period, Some(4096));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let c = FaultConfig { upset_rate: bad, ..FaultConfig::disabled() };
+            let err = c.validate().expect_err("rate must be rejected");
+            assert!(err.contains("fault rate"), "unhelpful error: {err}");
+        }
+        let c = FaultConfig { multi_bit_fraction: 2.0, ..FaultConfig::with_rate(0.1, 1) };
+        assert!(c.validate().is_err());
+        let c = FaultConfig { variation_sigma: f64::NAN, ..FaultConfig::with_rate(0.1, 1) };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_scrub_period() {
+        let c =
+            FaultConfig { scrub_period: Some(0), ..FaultConfig::with_rate(0.1, 1).with_secded() };
+        let err = c.validate().expect_err("zero period must be rejected");
+        assert!(err.contains("scrub period"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_scrub_without_ecc() {
+        let c = FaultConfig::with_rate(0.1, 1).with_scrub(4096);
+        let err = c.validate().expect_err("scrub without ecc must be rejected");
+        assert!(err.contains("requires ECC"), "unhelpful error: {err}");
     }
 }

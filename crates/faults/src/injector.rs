@@ -70,6 +70,40 @@ impl FaultInjector {
         }
         self.rng.chance(self.config.decay_flip_rate)
     }
+
+    /// Is the upset just injected a spatially-correlated double flip on
+    /// adjacent columns?
+    pub fn draw_multi_bit(&mut self) -> bool {
+        if self.config.multi_bit_fraction <= 0.0 {
+            return false;
+        }
+        self.rng.chance(self.config.multi_bit_fraction)
+    }
+
+    /// Did this upset land on a word already carrying a latent (corrected
+    /// on read but never scrubbed) error? With `latent` damaged words in a
+    /// `subarray_words`-word subarray, the collision probability is their
+    /// ratio. `latent == 0` consumes no entropy, so scrub-free and
+    /// scrub-heavy runs share the same upstream draw stream.
+    pub fn draw_latent_hit(&mut self, latent: u32) -> bool {
+        if latent == 0 {
+            return false;
+        }
+        let p = f64::from(latent) / f64::from(self.config.subarray_words.max(1));
+        self.rng.chance(p.min(1.0))
+    }
+
+    /// The payload of the word being read (the codec's behaviour is
+    /// data-independent, but the model runs real words through it).
+    pub fn draw_data_word(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform bit position in `0..bound` (e.g. a flipped column).
+    pub fn draw_bit_position(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        (self.rng.next_u64() % u64::from(bound.max(1))) as u32
+    }
 }
 
 #[cfg(test)]

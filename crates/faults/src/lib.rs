@@ -17,6 +17,14 @@
 //! * [`FaultReport`] — injected / detected / replayed / silent accounting,
 //!   per subarray, with graceful-degradation (fail-safe pinning) status.
 //!
+//! With [`FaultConfig::ecc`] armed the decorator routes every upset
+//! through the (72,64) SECDED codec of `bitline-ecc` instead of the
+//! binary detector: outcomes become corrected / DUE / SDC (tracked in a
+//! [`ReliabilityReport`](bitline_ecc::ReliabilityReport)), latent
+//! corrected-on-read errors accumulate until a background or demand scrub
+//! clears them, and subarrays walk a three-stage degradation ladder
+//! (correct in place → scrub-on-detect → fail-safe pin).
+//!
 //! # Examples
 //!
 //! ```

@@ -4,6 +4,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bitline_cache::{ActivityReport, FaultEvent, PrechargePolicy, ResizeRequest};
+use bitline_ecc::{
+    classify, DegradationStage, ErrorOutcome, ReliabilityReport, ScrubEngine, CODEWORD_BITS,
+};
 
 use crate::config::FaultConfig;
 use crate::injector::FaultInjector;
@@ -40,6 +43,64 @@ pub struct FaultInjectingPolicy {
     /// subarray to static pull-up (`None` while it still gates).
     pinned_at: Vec<Option<u64>>,
     sink: Option<Rc<RefCell<FaultReport>>>,
+    /// SECDED state, present only when [`FaultConfig::ecc`] is armed.
+    ecc: Option<EccState>,
+}
+
+/// Mutable state of the error-protection layer: the reliability counters,
+/// the per-subarray latent-error population, and the background scrub
+/// schedule.
+struct EccState {
+    reliability: ReliabilityReport,
+    /// Words per subarray carrying a residual flipped bit — corrected on
+    /// every read, but still in the array until a scrub or rewrite. A
+    /// second upset landing on such a word compounds into a double (or
+    /// triple) flip.
+    latent: Vec<u32>,
+    scrub: Option<ScrubEngine>,
+    /// Background sweeps already credited per subarray (lazy polling).
+    seen_sweeps: Vec<u64>,
+    sink: Option<Rc<RefCell<ReliabilityReport>>>,
+}
+
+impl EccState {
+    fn new(config: &FaultConfig, subarrays: usize) -> EccState {
+        EccState {
+            reliability: ReliabilityReport::new(subarrays),
+            latent: vec![0; subarrays],
+            scrub: config.scrub_period.map(|period| {
+                ScrubEngine::new(u32::try_from(subarrays).unwrap_or(1).max(1), period)
+            }),
+            seen_sweeps: vec![0; subarrays],
+            sink: None,
+        }
+    }
+
+    /// Credits background sweeps that completed since this subarray was
+    /// last touched, clearing its latent errors. Pure arithmetic on the
+    /// access cycle — no RNG — so scrub-on/off runs keep identical
+    /// injector draw streams.
+    fn poll_background_scrub(&mut self, subarray: usize, cycle: u64) {
+        let Some(engine) = &self.scrub else { return };
+        let sweeps = engine.completed_sweeps(subarray as u32, cycle);
+        if sweeps > self.seen_sweeps[subarray] {
+            self.seen_sweeps[subarray] = sweeps;
+            let cleared = self.latent[subarray];
+            self.latent[subarray] = 0;
+            self.reliability.per_subarray[subarray].latent_cleared += u64::from(cleared);
+        }
+    }
+
+    /// Stage-1 response: a targeted scrub of the whole subarray, clearing
+    /// every latent error in it.
+    fn demand_scrub(&mut self, subarray: usize, words: u32) {
+        let cleared = self.latent[subarray];
+        self.latent[subarray] = 0;
+        let sub = &mut self.reliability.per_subarray[subarray];
+        sub.latent_cleared += u64::from(cleared);
+        sub.demand_scrubs += 1;
+        self.reliability.demand_scrub_words += u64::from(words);
+    }
 }
 
 impl FaultInjectingPolicy {
@@ -50,6 +111,7 @@ impl FaultInjectingPolicy {
         config: FaultConfig,
         subarrays: usize,
     ) -> FaultInjectingPolicy {
+        let ecc = config.ecc.then(|| EccState::new(&config, subarrays));
         FaultInjectingPolicy {
             inner,
             injector: FaultInjector::new(config, subarrays),
@@ -57,6 +119,7 @@ impl FaultInjectingPolicy {
             pending: None,
             pinned_at: vec![None; subarrays],
             sink: None,
+            ecc,
         }
     }
 
@@ -69,10 +132,29 @@ impl FaultInjectingPolicy {
         self
     }
 
+    /// Also mirrors the final [`ReliabilityReport`] into `sink` at
+    /// `finalize`. No-op unless [`FaultConfig::ecc`] is armed.
+    #[must_use]
+    pub fn with_reliability_sink(
+        mut self,
+        sink: Rc<RefCell<ReliabilityReport>>,
+    ) -> FaultInjectingPolicy {
+        if let Some(ecc) = &mut self.ecc {
+            ecc.sink = Some(sink);
+        }
+        self
+    }
+
     /// The fault counters so far.
     #[must_use]
     pub fn report(&self) -> &FaultReport {
         &self.report
+    }
+
+    /// The reliability counters so far (`None` unless ECC is armed).
+    #[must_use]
+    pub fn reliability(&self) -> Option<&ReliabilityReport> {
+        self.ecc.as_ref().map(|e| &e.reliability)
     }
 
     /// The injector (for inspecting leakage multipliers).
@@ -88,6 +170,9 @@ impl FaultInjectingPolicy {
             // Statically pulled up: never delayed, never upset.
             return 0;
         }
+        if let Some(ecc) = &mut self.ecc {
+            ecc.poll_background_scrub(subarray, cycle);
+        }
         let cfg = *self.injector.config();
         let mut extra = inner_extra;
         let mut cold = extra > 0;
@@ -100,7 +185,9 @@ impl FaultInjectingPolicy {
         }
         if cold && self.injector.draw_upset(subarray) {
             self.report.per_subarray[subarray].injected += 1;
-            if self.injector.draw_detected() {
+            if cfg.ecc {
+                self.classify_upset(subarray, cycle, &cfg);
+            } else if self.injector.draw_detected() {
                 self.report.per_subarray[subarray].detected += 1;
                 self.report.per_subarray[subarray].replayed += 1;
                 self.pending = Some(FaultEvent::DetectedUpset { retry_cycles: cfg.retry_cycles });
@@ -116,6 +203,100 @@ impl FaultInjectingPolicy {
             }
         }
         extra
+    }
+
+    /// ECC path for one injected upset: build the flip pattern, run a
+    /// real word through the SECDED codec, account the outcome, and walk
+    /// the degradation ladder.
+    fn classify_upset(&mut self, subarray: usize, cycle: u64, cfg: &FaultConfig) {
+        let ecc = self.ecc.as_mut().expect("classify_upset requires armed ECC state");
+        // Flip pattern: one fresh flip, plus the adjacent column for a
+        // spatially-correlated multi-bit upset, plus the word's existing
+        // latent flip if this upset landed on a previously-damaged word.
+        let multi = self.injector.draw_multi_bit();
+        let latent_hit = self.injector.draw_latent_hit(ecc.latent[subarray]);
+        let data = self.injector.draw_data_word();
+        let first = self.injector.draw_bit_position(CODEWORD_BITS);
+        let mut flips = [0u32; 3];
+        flips[0] = first;
+        let mut n = 1;
+        if multi {
+            flips[n] = (first + 1) % CODEWORD_BITS;
+            n += 1;
+        }
+        if latent_hit {
+            let mut bit = self.injector.draw_bit_position(CODEWORD_BITS);
+            while flips[..n].contains(&bit) {
+                bit = (bit + 1) % CODEWORD_BITS;
+            }
+            flips[n] = bit;
+            n += 1;
+        }
+        let outcome = classify(data, &flips[..n]);
+        let detected = outcome != ErrorOutcome::Silent;
+        {
+            let rel = &mut ecc.reliability.per_subarray[subarray];
+            let fr = &mut self.report.per_subarray[subarray];
+            match outcome {
+                ErrorOutcome::Corrected => {
+                    // Corrected in the read path; the array cell still
+                    // holds the flipped bit until a scrub rewrites it.
+                    rel.corrected += 1;
+                    fr.detected += 1;
+                    ecc.latent[subarray] = ecc.latent[subarray].saturating_add(1);
+                    self.pending = Some(FaultEvent::CorrectedUpset {
+                        correction_cycles: cfg.correction_cycles,
+                    });
+                }
+                ErrorOutcome::DetectedUncorrectable => {
+                    // A DUE: the word is lost to the codec, so the cache
+                    // replays against a fresh precharge (refetching the
+                    // line rewrites the word, clearing its latent damage).
+                    rel.due += 1;
+                    fr.detected += 1;
+                    fr.replayed += 1;
+                    if latent_hit {
+                        ecc.latent[subarray] = ecc.latent[subarray].saturating_sub(1);
+                    }
+                    self.pending =
+                        Some(FaultEvent::DetectedUpset { retry_cycles: cfg.retry_cycles });
+                }
+                ErrorOutcome::Silent => {
+                    // Miscorrection: corrupt data delivered (and written
+                    // back) without a flag. The word stays damaged, but it
+                    // was already counted latent by the earlier hit.
+                    rel.sdc += 1;
+                    fr.silent += 1;
+                    self.pending = Some(FaultEvent::SilentUpset);
+                }
+            }
+        }
+        // Degradation ladder. Stage 1 (scrub-on-detect): once codec-visible
+        // errors cluster, every further detected error triggers a targeted
+        // scrub — including the error that crossed the threshold.
+        let stage = ecc.reliability.per_subarray[subarray].stage;
+        let errors = ecc.reliability.per_subarray[subarray].corrected
+            + ecc.reliability.per_subarray[subarray].due;
+        if stage == DegradationStage::CorrectInPlace
+            && cfg.scrub_on_detect_threshold.is_some_and(|t| errors >= u64::from(t))
+        {
+            ecc.reliability.per_subarray[subarray].stage = DegradationStage::ScrubOnDetect;
+        }
+        if detected
+            && ecc.reliability.per_subarray[subarray].stage >= DegradationStage::ScrubOnDetect
+        {
+            ecc.demand_scrub(subarray, cfg.subarray_words);
+        }
+        // Stage 2 (fail-safe) pins on DUEs: corrected singles are business
+        // as usual for a protected array, but uncorrectable losses mean
+        // the subarray is past what the codec can absorb.
+        if let Some(limit) = cfg.fail_safe_threshold {
+            if ecc.reliability.per_subarray[subarray].due >= u64::from(limit) {
+                ecc.reliability.per_subarray[subarray].stage = DegradationStage::FailSafe;
+                self.pinned_at[subarray] = Some(cycle);
+                self.report.per_subarray[subarray].pinned = true;
+            }
+        }
     }
 }
 
@@ -166,6 +347,18 @@ impl PrechargePolicy for FaultInjectingPolicy {
             if let (Some(cycle), Some(act)) = (pinned, activity.per_subarray.get_mut(s)) {
                 let span = end_cycle.saturating_sub(*cycle) as f64;
                 act.pulled_up_cycles = (act.pulled_up_cycles + span).min(end_cycle as f64);
+            }
+        }
+        if let Some(ecc) = &mut self.ecc {
+            ecc.reliability.end_cycle = end_cycle;
+            ecc.reliability.pinned_residency_cycles =
+                self.pinned_at.iter().flatten().map(|&cycle| end_cycle.saturating_sub(cycle)).sum();
+            if let Some(engine) = &ecc.scrub {
+                ecc.reliability.background_scrub_words =
+                    engine.total_scrub_words(end_cycle, self.injector.config().subarray_words);
+            }
+            if let Some(sink) = &ecc.sink {
+                *sink.borrow_mut() = ecc.reliability.clone();
             }
         }
         if let Some(sink) = &self.sink {

@@ -128,3 +128,139 @@ fn fail_safe_pins_a_noisy_subarray() {
     let act = p.finalize(cycle + 50);
     assert!(act.per_subarray[0].pulled_up_cycles > 50.0);
 }
+
+// ---------------------------------------------------------------------------
+// Error-protection layer (SECDED + scrub + degradation ladder).
+
+proptest! {
+    /// With ECC armed the counters stay consistent and the reliability
+    /// report partitions exactly onto the fault report: every injected
+    /// upset is corrected, a DUE, or SDC; only DUEs replay.
+    fn ecc_counters_partition_the_fault_report(
+        accesses in access_stream(),
+        seed in any::<u64>(),
+        rate_milli in 0u64..=1000,
+    ) {
+        let cfg = FaultConfig::with_rate(rate_milli as f64 / 1000.0, seed).with_secded();
+        let mut p = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        drive(&mut p, &accesses);
+        let faults = p.report().clone();
+        let rel = p.reliability().expect("ECC armed").clone();
+        prop_assert!(faults.is_consistent(), "{}", faults.summary());
+        prop_assert_eq!(rel.corrected() + rel.due() + rel.sdc(), faults.injected());
+        prop_assert_eq!(rel.corrected() + rel.due(), faults.detected());
+        prop_assert_eq!(rel.due(), faults.replayed());
+        prop_assert_eq!(rel.sdc(), faults.silent());
+    }
+
+    /// ECC runs are seed-deterministic, scrub or no scrub.
+    fn ecc_runs_are_deterministic(accesses in access_stream(), seed in any::<u64>()) {
+        let cfg = FaultConfig::with_rate(0.3, seed).with_secded().with_scrub(2_048);
+        let mut a = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        let mut b = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+        let (lat_a, end) = drive(&mut a, &accesses);
+        let (lat_b, _) = drive(&mut b, &accesses);
+        prop_assert_eq!(lat_a, lat_b);
+        a.finalize(end);
+        b.finalize(end);
+        prop_assert_eq!(a.reliability(), b.reliability());
+    }
+}
+
+#[test]
+fn ecc_corrects_what_the_margin_detector_would_replay() {
+    // Same stream, same seed: without ECC every upset replays or slips
+    // silent; with ECC the overwhelmingly-single flips are corrected in
+    // the read path and only true multi-bit patterns replay.
+    let accesses: Vec<(usize, u64)> = (0..400).map(|i| (i % SUBARRAYS, 100)).collect();
+    let base = FaultConfig::with_rate(0.5, 42);
+    let mut plain = FaultInjectingPolicy::new(gated(), base, SUBARRAYS);
+    let mut protected = FaultInjectingPolicy::new(gated(), base.with_secded(), SUBARRAYS);
+    drive(&mut plain, &accesses);
+    drive(&mut protected, &accesses);
+    let rel = protected.reliability().expect("ECC armed");
+    assert!(rel.corrected() > 0, "singles must be corrected: {}", rel.summary());
+    assert!(
+        rel.corrected() > rel.due() + rel.sdc(),
+        "single-bit upsets dominate: {}",
+        rel.summary()
+    );
+    // Replays collapse: only DUEs pay the full replay penalty now.
+    assert!(
+        protected.report().replayed() < plain.report().replayed(),
+        "ECC must shrink replay traffic ({} vs {})",
+        protected.report().replayed(),
+        plain.report().replayed(),
+    );
+}
+
+#[test]
+fn scrubbing_clears_latent_errors_and_slashes_sdc() {
+    // A hot subarray accumulating corrected-on-read damage: without
+    // scrubbing, latent errors pile up and compound follow-on upsets into
+    // DUEs/SDC; a background scrubber bounds the latent population.
+    let accesses: Vec<(usize, u64)> = (0..4_000).map(|_| (0usize, 100)).collect();
+    let base = FaultConfig { variation_sigma: 0.0, ..FaultConfig::with_rate(0.5, 9) }.with_secded();
+    // Tiny subarray so latent collisions actually happen in-test.
+    let base = FaultConfig { subarray_words: 16, ..base };
+    let mut unscrubbed = FaultInjectingPolicy::new(gated(), base, SUBARRAYS);
+    let mut scrubbed = FaultInjectingPolicy::new(gated(), base.with_scrub(10_000), SUBARRAYS);
+    let (_, end) = drive(&mut unscrubbed, &accesses);
+    drive(&mut scrubbed, &accesses);
+    unscrubbed.finalize(end);
+    scrubbed.finalize(end);
+    let bare = unscrubbed.reliability().expect("ECC armed");
+    let swept = scrubbed.reliability().expect("ECC armed");
+    assert_eq!(bare.latent_cleared(), 0, "no scrubber, nothing cleared");
+    assert!(swept.latent_cleared() > 0, "scrubber must clear latents: {}", swept.summary());
+    assert!(swept.background_scrub_words > 0, "scrub traffic must be priced");
+    assert!(
+        swept.due() + swept.sdc() < bare.due() + bare.sdc(),
+        "scrubbing must reduce compounded errors ({} vs {})",
+        swept.due() + swept.sdc(),
+        bare.due() + bare.sdc(),
+    );
+}
+
+#[test]
+fn degradation_ladder_walks_all_three_stages() {
+    use bitline_ecc::DegradationStage;
+    let cfg = FaultConfig {
+        upset_rate: 1.0,
+        variation_sigma: 0.0,
+        decay_flip_rate: 0.0,
+        multi_bit_fraction: 0.5,
+        fail_safe_threshold: Some(4),
+        scrub_on_detect_threshold: Some(2),
+        ..FaultConfig::with_rate(1.0, 11)
+    }
+    .with_secded();
+    let mut p = FaultInjectingPolicy::new(gated(), cfg, SUBARRAYS);
+    let mut stages = vec![DegradationStage::CorrectInPlace];
+    let mut cycle = 0;
+    for _ in 0..200 {
+        cycle += 100;
+        p.access(0, cycle);
+        let _ = p.take_fault();
+        let stage = p.reliability().expect("ECC armed").per_subarray[0].stage;
+        if stage != *stages.last().expect("nonempty") {
+            stages.push(stage);
+        }
+    }
+    assert_eq!(
+        stages,
+        vec![
+            DegradationStage::CorrectInPlace,
+            DegradationStage::ScrubOnDetect,
+            DegradationStage::FailSafe,
+        ],
+        "ladder must walk stage 0 → 1 → 2 in order"
+    );
+    let rel = p.reliability().expect("ECC armed");
+    assert!(rel.demand_scrubs() > 0, "stage 1 must fire demand scrubs");
+    assert_eq!(rel.per_subarray[0].due, 4, "pin on the fail-safe DUE threshold");
+    assert!(p.report().per_subarray[0].pinned, "stage 2 pins the subarray");
+    let end = cycle + 10;
+    p.finalize(end);
+    assert!(p.reliability().expect("ECC armed").pinned_residency_cycles > 0);
+}

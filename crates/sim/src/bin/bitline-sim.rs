@@ -51,7 +51,8 @@ struct Args {
 }
 
 /// The positional experiment commands, in help order.
-const EXPERIMENTS: &[&str] = &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand"];
+const EXPERIMENTS: &[&str] =
+    &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand", "reliability"];
 
 impl Default for Args {
     fn default() -> Self {
@@ -144,15 +145,35 @@ fn parse_args() -> Result<Args, String> {
             }
             "--way-prediction" => args.way_prediction = true,
             "--fault-rate" => {
-                args.faults.rate = value(&flag)?
+                let rate: f64 = value(&flag)?
                     .parse()
                     .map_err(|_| "bad fault rate (want a probability, e.g. 0.01)".to_owned())?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!(
+                        "--fault-rate {rate} is not a probability (want 0.0 ..= 1.0)"
+                    ));
+                }
+                args.faults.rate = rate;
             }
             "--fault-seed" => {
                 args.faults.seed =
                     value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
             }
             "--fail-safe" => args.faults.fail_safe = true,
+            "--ecc" => args.faults.ecc = true,
+            "--scrub-period" => {
+                let period: u64 = value(&flag)?
+                    .parse()
+                    .map_err(|_| "bad scrub period (want cycles, e.g. 8192)".to_owned())?;
+                if period == 0 {
+                    return Err(
+                        "--scrub-period 0 would scrub continuously; give a period in cycles \
+                         (e.g. 8192) or drop the flag"
+                            .to_owned(),
+                    );
+                }
+                args.faults.scrub_period = Some(period);
+            }
             "--run-budget" => {
                 args.run_budget = Some(supervise::parse_budget(&value(&flag)?)?);
             }
@@ -203,6 +224,10 @@ fn print_help() {
     println!("      --fault-rate P      per-cold-access upset probability (default 0 = off)");
     println!("      --fault-seed S      fault-injector seed (default: fixed constant)");
     println!("      --fail-safe         pin upset-prone subarrays back to static pull-up");
+    println!("      --ecc               protect words with (72,64) SECDED: singles correct");
+    println!("                          in place, doubles replay as DUEs (BITLINE_ECC env)");
+    println!("      --scrub-period N    background-scrub sweep period in cycles (requires");
+    println!("                          --ecc; BITLINE_SCRUB_PERIOD env; 0 is rejected)");
     println!("      --run-budget DUR    wall-clock budget per run, e.g. 500ms, 30s, 2m");
     println!("                          (default: BITLINE_RUN_BUDGET env, else unbounded);");
     println!("                          timed-out runs are retried once at twice the budget");
@@ -219,7 +244,8 @@ fn print_help() {
     println!("                          against the bitline-obs/v1 schema and exit");
     println!("  -l, --list              list benchmarks and exit");
     println!();
-    println!("EXPERIMENTS (positional): headline | fig3 | fig8 | fig9 | fig10 | ondemand");
+    println!("EXPERIMENTS (positional): headline | fig3 | fig8 | fig9 | fig10 | ondemand |");
+    println!("  reliability");
     println!("  runs the paper-figure driver over the suite (BITLINE_INSTRS instructions");
     println!("  per run, BITLINE_SUITE restricts the benchmark set)");
 }
@@ -294,14 +320,18 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         let _ = writeln!(out, "  faults D: {}", d.summary());
         let _ = writeln!(out, "  faults I: {}", i.summary());
     }
+    if let (Some(d), Some(i)) = (&run.d_reliability, &run.i_reliability) {
+        let _ = writeln!(out, "  ECC D: {}", d.summary());
+        let _ = writeln!(out, "  ECC I: {}", i.summary());
+    }
     Ok(out)
 }
 
 /// Runs one positional experiment command and renders its rows. Each arm
 /// prints the same columns its `.dat` export carries, so the text output
 /// is greppable against the exported figure data.
-fn run_experiment(cmd: &str) -> Result<String, SimError> {
-    use bitline_sim::experiments::{fig10, fig3, fig8, fig9, headline, ondemand};
+fn run_experiment(cmd: &str, faults: &FaultSpec) -> Result<String, SimError> {
+    use bitline_sim::experiments::{fig10, fig3, fig8, fig9, headline, ondemand, reliability};
     let instrs = bitline_sim::default_instructions();
     let mut out = String::new();
     match cmd {
@@ -404,6 +434,28 @@ fn run_experiment(cmd: &str) -> Result<String, SimError> {
                 let _ = writeln!(out, "{} {:.5} {:.5}", r.benchmark, r.d_slowdown, r.i_slowdown);
             }
         }
+        "reliability" => {
+            let rows = reliability::run(instrs, faults)?;
+            let _ = writeln!(
+                out,
+                "# feature_nm  policy  protection  corrected_per_mi  due_per_mi  \
+                 sdc_per_mi  energy_overhead  fail_safe_subarrays"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {:.5} {:.5} {:.5} {:.5} {}",
+                    r.node.feature_nm(),
+                    r.policy,
+                    r.protection.label(),
+                    r.corrected_per_mi,
+                    r.due_per_mi,
+                    r.sdc_per_mi,
+                    r.energy_overhead,
+                    r.fail_safe_subarrays
+                );
+            }
+        }
         other => return Err(SimError::InvalidSpec(format!("unknown experiment `{other}`"))),
     }
     Ok(out)
@@ -490,7 +542,7 @@ fn main() -> ExitCode {
     if let Some(cmd) = &args.experiment {
         // The drivers isolate and retry per unit of work themselves; an
         // error here means the whole suite failed.
-        let result = run_experiment(cmd);
+        let result = run_experiment(cmd, &args.faults);
         eprintln!("{}", exec_summary_line());
         flush_metrics(&args);
         return match result {

@@ -14,6 +14,7 @@
 
 use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
 use bitline_cpu::SimStats;
+use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
 use bitline_faults::{FaultReport, SubarrayFaults};
 
 use crate::config::{FaultSpec, PolicyKind, SystemSpec};
@@ -21,8 +22,9 @@ use crate::recorder::LocalityStats;
 use crate::runner::RunResult;
 use crate::supervise::fnv64;
 
-/// Codec version; bump on any layout change.
-const VERSION: u8 = 1;
+/// Codec version; bump on any layout change. Version 2 added the ECC
+/// fields to [`FaultSpec`] and the optional [`ReliabilityReport`]s.
+const VERSION: u8 = 2;
 
 /// Upper bound for decoded collection lengths — far above any real cache
 /// (a 32 KB L1 has at most 1024 subarrays) but small enough that a
@@ -59,6 +61,8 @@ pub fn encode_run(run: &RunResult) -> Vec<u8> {
     enc.opt(run.i_way_stats.as_ref(), Enc::way_stats);
     enc.opt(run.d_faults.as_ref(), Enc::faults);
     enc.opt(run.i_faults.as_ref(), Enc::faults);
+    enc.opt(run.d_reliability.as_ref(), Enc::reliability);
+    enc.opt(run.i_reliability.as_ref(), Enc::reliability);
     enc.out
 }
 
@@ -83,6 +87,8 @@ pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
         i_way_stats: dec.opt(Dec::way_stats)?,
         d_faults: dec.opt(Dec::faults)?,
         i_faults: dec.opt(Dec::faults)?,
+        d_reliability: dec.opt(Dec::reliability)?,
+        i_reliability: dec.opt(Dec::reliability)?,
     };
     // Trailing garbage means the entry is not what we wrote.
     (dec.pos == bytes.len()).then_some(run)
@@ -164,6 +170,14 @@ impl Enc {
         self.f64(s.faults.rate);
         self.u64(s.faults.seed);
         self.bool(s.faults.fail_safe);
+        self.bool(s.faults.ecc);
+        match s.faults.scrub_period {
+            None => self.u8(0),
+            Some(p) => {
+                self.u8(1);
+                self.u64(p);
+            }
+        }
     }
 
     fn stats(&mut self, s: &SimStats) {
@@ -227,6 +241,22 @@ impl Enc {
             self.u64(s.decay_flips);
             self.bool(s.pinned);
         }
+    }
+
+    fn reliability(&mut self, r: &ReliabilityReport) {
+        self.usize(r.per_subarray.len());
+        for s in &r.per_subarray {
+            self.u64(s.corrected);
+            self.u64(s.due);
+            self.u64(s.sdc);
+            self.u64(s.demand_scrubs);
+            self.u64(s.latent_cleared);
+            self.u8(s.stage.index());
+        }
+        self.u64(r.background_scrub_words);
+        self.u64(r.demand_scrub_words);
+        self.u64(r.pinned_residency_cycles);
+        self.u64(r.end_cycle);
     }
 }
 
@@ -300,7 +330,17 @@ impl Dec<'_> {
             instructions: self.u64()?,
             seed: self.u64()?,
             way_prediction: self.bool()?,
-            faults: FaultSpec { rate: self.f64()?, seed: self.u64()?, fail_safe: self.bool()? },
+            faults: FaultSpec {
+                rate: self.f64()?,
+                seed: self.u64()?,
+                fail_safe: self.bool()?,
+                ecc: self.bool()?,
+                scrub_period: match self.u8()? {
+                    0 => None,
+                    1 => Some(self.u64()?),
+                    _ => return None,
+                },
+            },
         })
     }
 
@@ -385,6 +425,28 @@ impl Dec<'_> {
         }
         Some(FaultReport { per_subarray })
     }
+
+    fn reliability(&mut self) -> Option<ReliabilityReport> {
+        let n = self.len()?;
+        let mut per_subarray = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_subarray.push(SubarrayReliability {
+                corrected: self.u64()?,
+                due: self.u64()?,
+                sdc: self.u64()?,
+                demand_scrubs: self.u64()?,
+                latent_cleared: self.u64()?,
+                stage: DegradationStage::from_index(self.u8()?)?,
+            });
+        }
+        Some(ReliabilityReport {
+            per_subarray,
+            background_scrub_words: self.u64()?,
+            demand_scrub_words: self.u64()?,
+            pinned_residency_cycles: self.u64()?,
+            end_cycle: self.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -397,7 +459,13 @@ mod tests {
             i_policy: PolicyKind::Gated { threshold: 200 },
             instructions: 9_000,
             way_prediction: true,
-            faults: FaultSpec { rate: 0.01, seed: 5, fail_safe: true },
+            faults: FaultSpec {
+                rate: 0.01,
+                seed: 5,
+                fail_safe: true,
+                ecc: true,
+                scrub_period: Some(4_096),
+            },
             ..SystemSpec::default()
         };
         let mut hist = IdleHistogram::default();
@@ -447,6 +515,21 @@ mod tests {
                 }],
             }),
             i_faults: None,
+            d_reliability: Some(ReliabilityReport {
+                per_subarray: vec![SubarrayReliability {
+                    corrected: 2,
+                    due: 1,
+                    sdc: 0,
+                    demand_scrubs: 1,
+                    latent_cleared: 2,
+                    stage: DegradationStage::ScrubOnDetect,
+                }],
+                background_scrub_words: 128,
+                demand_scrub_words: 64,
+                pinned_residency_cycles: 0,
+                end_cycle: 101,
+            }),
+            i_reliability: None,
         }
     }
 

@@ -213,8 +213,16 @@ pub struct FaultSpec {
     /// seed).
     pub seed: u64,
     /// Arm graceful degradation: pin a subarray back to static pull-up
-    /// after [`FaultSpec::FAIL_SAFE_UPSETS`] detected upsets.
+    /// after [`FaultSpec::FAIL_SAFE_UPSETS`] detected upsets (without
+    /// ECC) or detected-uncorrectable errors (with ECC).
     pub fail_safe: bool,
+    /// Protect both L1s with the (72,64) SECDED codec (`--ecc`, env
+    /// `BITLINE_ECC`). With `rate == 0` this is fully transparent: no
+    /// decorator is armed and every figure stays byte-identical.
+    pub ecc: bool,
+    /// Background scrub sweep period in cycles (`--scrub-period`, env
+    /// `BITLINE_SCRUB_PERIOD`; `None` disables; requires [`FaultSpec::ecc`]).
+    pub scrub_period: Option<u64>,
 }
 
 impl PartialEq for FaultSpec {
@@ -222,6 +230,8 @@ impl PartialEq for FaultSpec {
         self.rate.to_bits() == other.rate.to_bits()
             && self.seed == other.seed
             && self.fail_safe == other.fail_safe
+            && self.ecc == other.ecc
+            && self.scrub_period == other.scrub_period
     }
 }
 
@@ -232,12 +242,21 @@ impl std::hash::Hash for FaultSpec {
         self.rate.to_bits().hash(state);
         self.seed.hash(state);
         self.fail_safe.hash(state);
+        self.ecc.hash(state);
+        self.scrub_period.hash(state);
     }
 }
 
 impl FaultSpec {
-    /// Detected upsets per subarray before fail-safe pinning.
+    /// Detected upsets (DUEs with ECC) per subarray before fail-safe
+    /// pinning.
     pub const FAIL_SAFE_UPSETS: u32 = 25;
+
+    /// Codec-visible errors per subarray before the degradation ladder
+    /// advances to scrub-on-detect (stage 1). Armed together with
+    /// [`FaultSpec::fail_safe`] when ECC is on, so the ladder replaces
+    /// the one-shot threshold rather than adding a separate knob.
+    pub const SCRUB_ON_DETECT_ERRORS: u32 = 8;
 
     /// Whether any fault can ever be injected.
     #[must_use]
@@ -245,26 +264,51 @@ impl FaultSpec {
         self.rate > 0.0
     }
 
+    /// Whether runs carry a [`bitline_ecc::ReliabilityReport`]: the codec
+    /// is armed *and* there are upsets for it to classify.
+    #[must_use]
+    pub fn protected(&self) -> bool {
+        self.ecc && self.enabled()
+    }
+
     /// Expands to the full fault-model configuration. `pullup_penalty` is
     /// the cache's cold-access penalty (the decoder-dependent cycles a
     /// spuriously-isolated access pays); the replay penalty is one cycle of
     /// re-sense on top of that. `seed_salt` decouples the D- and I-cache
-    /// fault streams.
+    /// fault streams. `subarray_words` sizes the latent-error denominator
+    /// and the cost of one demand scrub.
     #[must_use]
-    pub fn to_config(&self, pullup_penalty: u32, seed_salt: u64) -> FaultConfig {
+    pub fn to_config(
+        &self,
+        pullup_penalty: u32,
+        seed_salt: u64,
+        subarray_words: u32,
+    ) -> FaultConfig {
         let base = FaultConfig::with_rate(self.rate, self.seed.wrapping_add(seed_salt));
         FaultConfig {
             retry_cycles: pullup_penalty + 1,
             pullup_penalty,
             fail_safe_threshold: self.fail_safe.then_some(Self::FAIL_SAFE_UPSETS),
+            ecc: self.ecc,
+            scrub_period: self.scrub_period,
+            scrub_on_detect_threshold: (self.ecc && self.fail_safe)
+                .then_some(Self::SCRUB_ON_DETECT_ERRORS),
+            subarray_words,
             ..base
         }
     }
 }
 
 impl Default for FaultSpec {
+    /// The stock spec is fault-free; the protection knobs additionally
+    /// honour the environment (`BITLINE_ECC`, `BITLINE_SCRUB_PERIOD`),
+    /// mirroring how `default_instructions` honours `BITLINE_INSTRS`, so
+    /// test harnesses and CI can arm ECC without threading flags.
     fn default() -> Self {
-        FaultSpec { rate: 0.0, seed: 0xB17F_A017, fail_safe: false }
+        let ecc = std::env::var("BITLINE_ECC").is_ok_and(|v| !v.is_empty() && v != "0");
+        let scrub_period =
+            std::env::var("BITLINE_SCRUB_PERIOD").ok().and_then(|v| v.parse::<u64>().ok());
+        FaultSpec { rate: 0.0, seed: 0xB17F_A017, fail_safe: false, ecc, scrub_period }
     }
 }
 
@@ -305,7 +349,8 @@ impl SystemSpec {
     ///
     /// [`SimError::InvalidSpec`] when the subarray size is not a power of
     /// two in `[32, 32768]`, the instruction count is zero, or the fault
-    /// rate is outside `[0, 1]`.
+    /// parameters fail [`FaultConfig::validate`] (rate outside `[0, 1]`,
+    /// a zero scrub period, scrubbing without ECC, ...).
     pub fn validate(&self) -> Result<(), SimError> {
         let sa = self.subarray_bytes;
         if !sa.is_power_of_two() || !(Self::MIN_SUBARRAY..=Self::MAX_SUBARRAY).contains(&sa) {
@@ -318,13 +363,18 @@ impl SystemSpec {
         if self.instructions == 0 {
             return Err(SimError::InvalidSpec("instructions = 0".into()));
         }
-        if !(0.0..=1.0).contains(&self.faults.rate) || self.faults.rate.is_nan() {
-            return Err(SimError::InvalidSpec(format!(
-                "fault rate = {}; must be a probability in [0, 1]",
-                self.faults.rate
-            )));
-        }
+        self.faults
+            .to_config(1, 0, self.subarray_words())
+            .validate()
+            .map_err(SimError::InvalidSpec)?;
         Ok(())
+    }
+
+    /// 64-bit words per subarray (the ECC latent-error denominator and
+    /// per-subarray scrub cost).
+    #[must_use]
+    pub fn subarray_words(&self) -> u32 {
+        u32::try_from(self.subarray_bytes / 8).unwrap_or(u32::MAX).max(1)
     }
 }
 
@@ -381,16 +431,52 @@ mod tests {
             ..SystemSpec::default()
         };
         assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        // Fault-flag validation rides on FaultConfig::validate: a zero
+        // scrub period and scrubbing without ECC both fail fast here
+        // instead of propagating into the fault layer.
+        let bad = SystemSpec {
+            faults: FaultSpec { ecc: true, scrub_period: Some(0), ..FaultSpec::default() },
+            ..SystemSpec::default()
+        };
+        match bad.validate() {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("scrub period"), "{msg}"),
+            other => panic!("zero scrub period must be rejected, got {other:?}"),
+        }
+        let bad = SystemSpec {
+            faults: FaultSpec { ecc: false, scrub_period: Some(4096), ..FaultSpec::default() },
+            ..SystemSpec::default()
+        };
+        match bad.validate() {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("requires ECC"), "{msg}"),
+            other => panic!("scrub without ecc must be rejected, got {other:?}"),
+        }
     }
 
     #[test]
     fn fault_spec_default_is_disabled() {
         let spec = FaultSpec::default();
         assert!(!spec.enabled());
-        let cfg = spec.to_config(3, 0);
+        assert!(!spec.protected());
+        let cfg = spec.to_config(3, 0, 128);
         assert!(!cfg.enabled());
         assert_eq!(cfg.retry_cycles, 4);
         assert_eq!(cfg.pullup_penalty, 3);
+        assert_eq!(cfg.subarray_words, 128);
+    }
+
+    #[test]
+    fn to_config_arms_the_ladder_only_with_ecc_and_fail_safe() {
+        let spec = FaultSpec { rate: 0.1, ecc: true, fail_safe: true, ..FaultSpec::default() };
+        let cfg = spec.to_config(2, 1, 64);
+        assert!(cfg.ecc);
+        assert_eq!(cfg.fail_safe_threshold, Some(FaultSpec::FAIL_SAFE_UPSETS));
+        assert_eq!(cfg.scrub_on_detect_threshold, Some(FaultSpec::SCRUB_ON_DETECT_ERRORS));
+        assert!(spec.protected());
+        let unladdered = FaultSpec { fail_safe: false, ..spec };
+        assert_eq!(unladdered.to_config(2, 1, 64).scrub_on_detect_threshold, None);
+        let unprotected = FaultSpec { ecc: false, ..spec };
+        assert_eq!(unprotected.to_config(2, 1, 64).scrub_on_detect_threshold, None);
+        assert!(!unprotected.protected());
     }
 
     #[test]
@@ -426,6 +512,15 @@ mod tests {
             SystemSpec { faults: FaultSpec { rate: 0.02, ..FaultSpec::default() }, ..base },
             SystemSpec { faults: FaultSpec { seed: 1, ..FaultSpec::default() }, ..base },
             SystemSpec { faults: FaultSpec { fail_safe: true, ..FaultSpec::default() }, ..base },
+            SystemSpec { faults: FaultSpec { ecc: true, ..FaultSpec::default() }, ..base },
+            SystemSpec {
+                faults: FaultSpec { ecc: true, scrub_period: Some(4096), ..FaultSpec::default() },
+                ..base
+            },
+            SystemSpec {
+                faults: FaultSpec { ecc: true, scrub_period: Some(8192), ..FaultSpec::default() },
+                ..base
+            },
         ];
         for (i, a) in specs.iter().enumerate() {
             for b in &specs[i + 1..] {

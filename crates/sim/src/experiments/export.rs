@@ -20,6 +20,7 @@ use crate::experiments::fig3::Fig3Row;
 use crate::experiments::fig8::Fig8Row;
 use crate::experiments::fig9::Fig9Row;
 use crate::experiments::ondemand::OnDemandRow;
+use crate::experiments::reliability::ReliabilityRow;
 
 /// The export directory requested via `BITLINE_EXPORT_DIR`, if any.
 #[must_use]
@@ -156,6 +157,37 @@ pub fn write_fig10(dir: &Path, rows: &[Fig10Row]) -> io::Result<PathBuf> {
         let _ = writeln!(f, "{} {:.5} {:.5}", r.subarray_bytes, r.d_precharged, r.i_precharged);
     }
     publish(dir, "fig10.dat", &f)
+}
+
+/// Writes the reliability table:
+/// `feature_nm  policy  protection  corrected_per_mi  due_per_mi
+/// sdc_per_mi  energy_overhead  fail_safe_subarrays`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reliability(dir: &Path, rows: &[ReliabilityRow]) -> io::Result<PathBuf> {
+    let mut f = String::new();
+    let _ = writeln!(
+        f,
+        "# feature_nm  policy  protection  corrected_per_mi  due_per_mi  \
+         sdc_per_mi  energy_overhead  fail_safe_subarrays"
+    );
+    for r in rows {
+        let _ = writeln!(
+            f,
+            "{} {} {} {:.5} {:.5} {:.5} {:.5} {}",
+            r.node.feature_nm(),
+            r.policy,
+            r.protection.label(),
+            r.corrected_per_mi,
+            r.due_per_mi,
+            r.sdc_per_mi,
+            r.energy_overhead,
+            r.fail_safe_subarrays
+        );
+    }
+    publish(dir, "reliability.dat", &f)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod headline;
 pub mod locality;
 pub mod ondemand;
+pub mod reliability;
 mod sweep;
 pub mod tables;
 

@@ -51,6 +51,18 @@ const DECLARED_COUNTERS: &[&str] = &[
     "faults.i.detected",
     "faults.i.replayed",
     "faults.i.silent",
+    "ecc.d.corrected",
+    "ecc.d.due",
+    "ecc.d.sdc",
+    "ecc.d.scrub_words",
+    "ecc.d.latent_cleared",
+    "ecc.d.fail_safe_subarrays",
+    "ecc.i.corrected",
+    "ecc.i.due",
+    "ecc.i.sdc",
+    "ecc.i.scrub_words",
+    "ecc.i.latent_cleared",
+    "ecc.i.fail_safe_subarrays",
 ];
 
 /// Interns the canonical counter taxonomy into the registry so every

@@ -7,7 +7,8 @@ use bitline_cache::{ActivityReport, CacheConfig, MemorySystem, MemorySystemConfi
 use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
-use bitline_energy::CacheEnergyBreakdown;
+use bitline_ecc::ReliabilityReport;
+use bitline_energy::{CacheEnergyBreakdown, EccActivity};
 use bitline_exec::CancelToken;
 use bitline_faults::{FaultInjectingPolicy, FaultReport};
 
@@ -67,6 +68,10 @@ pub struct RunResult {
     pub d_faults: Option<FaultReport>,
     /// I-cache fault accounting (when fault injection was enabled).
     pub i_faults: Option<FaultReport>,
+    /// D-cache reliability accounting (when SECDED protection was armed).
+    pub d_reliability: Option<ReliabilityReport>,
+    /// I-cache reliability accounting (when SECDED protection was armed).
+    pub i_reliability: Option<ReliabilityReport>,
 }
 
 impl RunResult {
@@ -110,25 +115,48 @@ impl RunResult {
         let d_reads = self.stats.loads;
         let d_writes = self.stats.stores;
         let i_reads = self.i_hit_miss.0 + self.i_hit_miss.1;
+        // ECC is priced only when the run actually carried SECDED state;
+        // unprotected runs hit the plain accounting path and stay
+        // bit-identical to the pre-ECC model.
+        let d_ecc = self.d_reliability.as_ref().map(|rel| EccActivity {
+            protected_accesses: d_reads + d_writes,
+            scrub_words: rel.scrub_words(),
+        });
+        let i_ecc = self
+            .i_reliability
+            .as_ref()
+            .map(|rel| EccActivity { protected_accesses: i_reads, scrub_words: rel.scrub_words() });
         let policy = RunEnergy {
-            d: d_acct.account(
+            d: d_acct.account_with_ecc(
                 &self.d_report,
                 d_reads,
                 d_writes,
                 self.spec.d_policy.has_decay_counters(),
                 self.d_way_stats,
+                d_ecc,
             ),
-            i: i_acct.account(
+            i: i_acct.account_with_ecc(
                 &self.i_report,
                 i_reads,
                 0,
                 self.spec.i_policy.has_decay_counters(),
                 self.i_way_stats,
+                i_ecc,
             ),
         };
         let baseline = RunEnergy {
-            d: d_acct.static_baseline(self.cycles(), d_reads, d_writes),
-            i: i_acct.static_baseline(self.cycles(), i_reads, 0),
+            d: d_acct.static_baseline_with_ecc(
+                self.cycles(),
+                d_reads,
+                d_writes,
+                self.d_reliability.is_some(),
+            ),
+            i: i_acct.static_baseline_with_ecc(
+                self.cycles(),
+                i_reads,
+                0,
+                self.i_reliability.is_some(),
+            ),
         };
         (policy, baseline)
     }
@@ -191,28 +219,37 @@ pub fn try_run_benchmark_supervised(
     // exactly as before this layer existed.
     let mut d_fault_sink = None;
     let mut i_fault_sink = None;
+    let mut d_rel_sink = None;
+    let mut i_rel_sink = None;
     if spec.faults.enabled() {
         let penalty = |cfg: &CacheConfig| {
             DecoderModel::new(node, cfg.geometry()).cold_access_penalty_cycles()
         };
         let d_fs = Rc::new(RefCell::new(FaultReport::new(d_cfg.subarrays())));
         let i_fs = Rc::new(RefCell::new(FaultReport::new(i_cfg.subarrays())));
-        d_policy = Box::new(
-            FaultInjectingPolicy::new(
-                d_policy,
-                spec.faults.to_config(penalty(&d_cfg), 0),
-                d_cfg.subarrays(),
-            )
-            .with_sink(d_fs.clone()),
-        );
-        i_policy = Box::new(
-            FaultInjectingPolicy::new(
-                i_policy,
-                spec.faults.to_config(penalty(&i_cfg), 1),
-                i_cfg.subarrays(),
-            )
-            .with_sink(i_fs.clone()),
-        );
+        let words = spec.subarray_words();
+        let mut d_dec = FaultInjectingPolicy::new(
+            d_policy,
+            spec.faults.to_config(penalty(&d_cfg), 0, words),
+            d_cfg.subarrays(),
+        )
+        .with_sink(d_fs.clone());
+        let mut i_dec = FaultInjectingPolicy::new(
+            i_policy,
+            spec.faults.to_config(penalty(&i_cfg), 1, words),
+            i_cfg.subarrays(),
+        )
+        .with_sink(i_fs.clone());
+        if spec.faults.protected() {
+            let d_rs = Rc::new(RefCell::new(ReliabilityReport::new(d_cfg.subarrays())));
+            let i_rs = Rc::new(RefCell::new(ReliabilityReport::new(i_cfg.subarrays())));
+            d_dec = d_dec.with_reliability_sink(d_rs.clone());
+            i_dec = i_dec.with_reliability_sink(i_rs.clone());
+            d_rel_sink = Some(d_rs);
+            i_rel_sink = Some(i_rs);
+        }
+        d_policy = Box::new(d_dec);
+        i_policy = Box::new(i_dec);
         d_fault_sink = Some(d_fs);
         i_fault_sink = Some(i_fs);
     }
@@ -271,6 +308,12 @@ pub fn try_run_benchmark_supervised(
     if let Some(fr) = i_fault_sink.as_ref() {
         fr.borrow().record_metrics("i");
     }
+    if let Some(rel) = d_rel_sink.as_ref() {
+        rel.borrow().record_metrics("d");
+    }
+    if let Some(rel) = i_rel_sink.as_ref() {
+        rel.borrow().record_metrics("i");
+    }
 
     Ok(RunResult {
         benchmark: name.to_owned(),
@@ -286,6 +329,8 @@ pub fn try_run_benchmark_supervised(
         i_way_stats,
         d_faults: d_fault_sink.map(|s| s.borrow().clone()),
         i_faults: i_fault_sink.map(|s| s.borrow().clone()),
+        d_reliability: d_rel_sink.map(|s| s.borrow().clone()),
+        i_reliability: i_rel_sink.map(|s| s.borrow().clone()),
     })
 }
 
@@ -372,7 +417,16 @@ mod tests {
         let plain = run_benchmark("mesa", &s);
         let zeroed = run_benchmark(
             "mesa",
-            &SystemSpec { faults: crate::FaultSpec { rate: 0.0, seed: 99, fail_safe: true }, ..s },
+            &SystemSpec {
+                faults: crate::FaultSpec {
+                    rate: 0.0,
+                    seed: 99,
+                    fail_safe: true,
+                    ecc: false,
+                    scrub_period: None,
+                },
+                ..s
+            },
         );
         assert_eq!(plain.cycles(), zeroed.cycles());
         assert_eq!(plain.d_report, zeroed.d_report);
@@ -383,7 +437,13 @@ mod tests {
     #[test]
     fn fault_injection_on_gated_replays_and_completes() {
         let s = SystemSpec {
-            faults: crate::FaultSpec { rate: 0.05, seed: 7, fail_safe: false },
+            faults: crate::FaultSpec {
+                rate: 0.05,
+                seed: 7,
+                fail_safe: false,
+                ecc: false,
+                scrub_period: None,
+            },
             ..spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 })
         };
         let run = run_benchmark("mesa", &s);
@@ -402,13 +462,82 @@ mod tests {
     #[test]
     fn fail_safe_degrades_instead_of_thrashing() {
         let s = SystemSpec {
-            faults: crate::FaultSpec { rate: 0.9, seed: 11, fail_safe: true },
+            faults: crate::FaultSpec {
+                rate: 0.9,
+                seed: 11,
+                fail_safe: true,
+                ecc: false,
+                scrub_period: None,
+            },
             ..spec(PolicyKind::Gated { threshold: 50 }, PolicyKind::Gated { threshold: 50 })
         };
         let run = run_benchmark("health", &s);
         let d = run.d_faults.expect("fault report present");
         assert!(d.degraded_subarrays() > 0, "{}", d.summary());
         assert!(d.is_consistent(), "{}", d.summary());
+    }
+
+    #[test]
+    fn ecc_runs_carry_reliability_and_price_the_codec() {
+        let gated =
+            spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let s = SystemSpec {
+            faults: crate::FaultSpec {
+                rate: 0.05,
+                seed: 7,
+                fail_safe: false,
+                ecc: true,
+                scrub_period: Some(4_096),
+            },
+            ..gated
+        };
+        let run = run_benchmark("mesa", &s);
+        let rel = run.d_reliability.as_ref().expect("reliability report present");
+        let faults = run.d_faults.as_ref().expect("fault report present");
+        assert!(faults.is_consistent(), "{}", faults.summary());
+        assert_eq!(
+            rel.corrected() + rel.due() + rel.sdc(),
+            faults.injected(),
+            "every upset classifies to exactly one outcome"
+        );
+        assert!(rel.scrub_words() > 0, "background scrubbing swept words");
+        let (pol, _) = run.energy(TechnologyNode::N70);
+        assert!(pol.d.ecc_j > 0.0, "protected run pays codec + check columns");
+        // The same spec without ECC pays nothing into the ECC meter.
+        let bare = run_benchmark(
+            "mesa",
+            &SystemSpec {
+                faults: crate::FaultSpec { ecc: false, scrub_period: None, ..s.faults },
+                ..gated
+            },
+        );
+        let (bare_pol, _) = bare.energy(TechnologyNode::N70);
+        assert_eq!(bare_pol.d.ecc_j, 0.0);
+        assert!(bare.d_reliability.is_none());
+    }
+
+    #[test]
+    fn ecc_flag_with_zero_rate_changes_nothing() {
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let plain = run_benchmark("mesa", &s);
+        let armed = run_benchmark(
+            "mesa",
+            &SystemSpec {
+                faults: crate::FaultSpec {
+                    rate: 0.0,
+                    seed: 3,
+                    fail_safe: true,
+                    ecc: true,
+                    scrub_period: Some(8_192),
+                },
+                ..s
+            },
+        );
+        assert_eq!(plain.cycles(), armed.cycles());
+        assert_eq!(plain.d_report, armed.d_report);
+        assert!(armed.d_reliability.is_none(), "rate 0 leaves the decorator unarmed");
+        let (pol, _) = armed.energy(TechnologyNode::N70);
+        assert_eq!(pol.d.ecc_j, 0.0);
     }
 
     #[test]

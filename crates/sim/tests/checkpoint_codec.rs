@@ -5,6 +5,7 @@
 
 use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
 use bitline_cpu::SimStats;
+use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
 use bitline_faults::{FaultReport, SubarrayFaults};
 use bitline_sim::checkpoint::{decode_run, encode_run, spec_key};
 use bitline_sim::{FaultSpec, LocalityStats, PolicyKind, RunResult, SystemSpec};
@@ -33,7 +34,7 @@ fn specs() -> impl Strategy<Value = SystemSpec> {
         policies(),
         policies(),
         (1u64..1_000_000, any::<u64>(), any::<bool>()),
-        (0.0..1.0f64, any::<u64>(), any::<bool>()),
+        (0.0..1.0f64, any::<u64>(), any::<bool>(), any::<bool>(), any::<u64>()),
     )
         .prop_map(|(d_policy, i_policy, (instructions, seed, way_prediction), f)| SystemSpec {
             d_policy,
@@ -42,7 +43,13 @@ fn specs() -> impl Strategy<Value = SystemSpec> {
             instructions,
             seed,
             way_prediction,
-            faults: FaultSpec { rate: f.0, seed: f.1, fail_safe: f.2 },
+            faults: FaultSpec {
+                rate: f.0,
+                seed: f.1,
+                fail_safe: f.2,
+                ecc: f.3,
+                scrub_period: (f.3 && f.4 % 2 == 1).then(|| f.4 % 100_000 + 1),
+            },
         })
 }
 
@@ -129,6 +136,34 @@ fn fault_reports() -> impl Strategy<Value = Option<FaultReport>> {
         })
 }
 
+fn reliability_reports() -> impl Strategy<Value = Option<ReliabilityReport>> {
+    (
+        any::<bool>(),
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..4),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(present, rows, totals)| {
+            present.then(|| ReliabilityReport {
+                per_subarray: rows
+                    .into_iter()
+                    .map(|(corrected, due, sdc, misc)| SubarrayReliability {
+                        corrected,
+                        due,
+                        sdc,
+                        demand_scrubs: misc >> 32,
+                        latent_cleared: misc & 0xFFFF_FFFF,
+                        stage: DegradationStage::from_index((misc % 3) as u8)
+                            .expect("index in range"),
+                    })
+                    .collect(),
+                background_scrub_words: totals.0,
+                demand_scrub_words: totals.1,
+                pinned_residency_cycles: totals.2,
+                end_cycle: totals.3,
+            })
+        })
+}
+
 fn stats() -> impl Strategy<Value = SimStats> {
     prop::collection::vec(any::<u64>(), 11).prop_map(|s| SimStats {
         cycles: s[0],
@@ -157,7 +192,7 @@ fn runs() -> impl Strategy<Value = RunResult> {
         ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
         (localities(), localities()),
         (way_stats(), way_stats()),
-        (fault_reports(), fault_reports()),
+        ((fault_reports(), fault_reports()), (reliability_reports(), reliability_reports())),
     )
         .prop_map(
             |(
@@ -166,7 +201,7 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 (d_hit_miss, i_hit_miss),
                 (d_locality, i_locality),
                 (d_way_stats, i_way_stats),
-                (d_faults, i_faults),
+                ((d_faults, i_faults), (d_reliability, i_reliability)),
             )| RunResult {
                 benchmark: benchmark.to_owned(),
                 spec,
@@ -181,6 +216,8 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 i_way_stats,
                 d_faults,
                 i_faults,
+                d_reliability,
+                i_reliability,
             },
         )
 }
