@@ -17,7 +17,12 @@
 #                    reliability leg: the SECDED table on mesa must be
 #                    byte-identical at jobs=1 vs jobs=N with the ecc.*
 #                    counter family present, moving, and equal across
-#                    job counts
+#                    job counts; finally a serve leg: the bitline-serve
+#                    daemon must dedup identical in-flight requests,
+#                    answer byte-identically from the journal after a
+#                    SIGKILL+restart without recomputing, shed overload
+#                    with positive retry_after_ms hints, and exit 0 on
+#                    a SIGTERM drain
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -278,6 +283,133 @@ reliability_smoke() {
         exit 1
     fi
     echo "==> smoke: reliability OK — ecc.* totals identical across jobs ($moved events)"
+
+    serve_smoke "$instrs"
+}
+
+# Extracts one field's value from a serve stats response line (empty when absent).
+serve_stat() {
+    local line="$1" name="$2"
+    echo "$line" | sed -n 's/.*"'"$name"'":\([0-9]*\).*/\1/p'
+}
+
+serve_smoke() {
+    local instrs="$1"
+    local serve=./target/debug/bitline-serve
+    echo "==> smoke: serve — build bitline-serve"
+    cargo build -q -p bitline-serve
+
+    local sock="$SMOKE_TMP/serve.sock" sckpt="$SMOKE_TMP/serve-ckpt"
+    local slow_req='{"id":"slow","benchmark":"gcc","spec":{"instructions":60000}}'
+    local same_req='{"id":"IDN","benchmark":"mesa","spec":{"instructions":'"$instrs"'}}'
+
+    wait_for_socket() {
+        for _ in $(seq 1 200); do
+            [[ -S "$1" ]] && return 0
+            sleep 0.05
+        done
+        echo "==> smoke: FAIL — daemon never bound $1" >&2
+        exit 1
+    }
+
+    echo "==> smoke: serve — daemon 1: dedup under a busy single worker"
+    "$serve" --serve --socket "$sock" --checkpoint "$sckpt" --jobs 1 \
+        2>"$SMOKE_TMP/serve1.err" &
+    local pid=$!
+    wait_for_socket "$sock"
+    # The slow distinct request is written first, so with one worker the
+    # three identical requests land while it runs: one queues, two dedup.
+    local cold="$SMOKE_TMP/serve-cold.out"
+    timeout 60 "$serve" --socket "$sock" \
+        --request "$slow_req" \
+        --request "${same_req//IDN/r1}" \
+        --request "${same_req//IDN/r2}" \
+        --request "${same_req//IDN/r3}" >"$cold"
+    local stats deduped accepted
+    stats=$(timeout 60 "$serve" --socket "$sock" --stats)
+    deduped=$(serve_stat "$stats" deduped)
+    accepted=$(serve_stat "$stats" accepted)
+    if [[ "${deduped:-0}" -ne 2 || "${accepted:-0}" -ne 2 ]]; then
+        echo "==> smoke: FAIL — expected 2 accepted / 2 deduped, got ${accepted:-?}/${deduped:-?}" >&2
+        echo "$stats" >&2
+        exit 1
+    fi
+
+    echo "==> smoke: serve — SIGKILL, restart on the same journal, resubmit"
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    # SIGKILL leaves the stale socket file behind; drop it so the socket's
+    # reappearance below means the restarted daemon is listening.
+    rm -f "$sock"
+    "$serve" --serve --socket "$sock" --checkpoint "$sckpt" --jobs 1 \
+        2>"$SMOKE_TMP/serve2.err" &
+    pid=$!
+    wait_for_socket "$sock"
+    local warm="$SMOKE_TMP/serve-warm.out"
+    timeout 60 "$serve" --socket "$sock" \
+        --request "$slow_req" \
+        --request "${same_req//IDN/r1}" \
+        --request "${same_req//IDN/r2}" \
+        --request "${same_req//IDN/r3}" >"$warm"
+    # Responses arrive in completion order, which differs cold vs warm;
+    # the lines themselves must be byte-identical.
+    if ! diff -u <(sort "$cold") <(sort "$warm"); then
+        echo "==> smoke: FAIL — warm responses differ from the cold run" >&2
+        exit 1
+    fi
+    stats=$(timeout 60 "$serve" --socket "$sock" --stats)
+    local replayed recomputed
+    replayed=$(serve_stat "$stats" replayed)
+    recomputed=$(serve_stat "$stats" recomputed)
+    if [[ -z "$replayed" || "$replayed" -eq 0 || "${recomputed:-1}" -ne 0 ]]; then
+        echo "==> smoke: FAIL — restart must answer from the journal (replayed=${replayed:-?}, recomputed=${recomputed:-?})" >&2
+        echo "$stats" >&2
+        exit 1
+    fi
+    echo "==> smoke: serve — warm restart OK ($replayed replayed, 0 recomputed)"
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+
+    echo "==> smoke: serve — daemon 2: overload sheds with retry hints, SIGTERM drains"
+    rm -f "$sock"
+    "$serve" --serve --socket "$sock" --queue-depth 1 --jobs 1 \
+        2>"$SMOKE_TMP/serve3.err" &
+    pid=$!
+    wait_for_socket "$sock"
+    # Occupy the worker with a long run, then burst three quick distinct
+    # requests at the 1-deep queue: one queues, two must shed.
+    local burst="$SMOKE_TMP/serve-burst.out"
+    timeout 60 "$serve" --socket "$sock" \
+        --request '{"id":"long","benchmark":"gcc","spec":{"instructions":500000}}' \
+        >"$SMOKE_TMP/serve-long.out" &
+    local long_pid=$!
+    sleep 0.3
+    timeout 60 "$serve" --socket "$sock" \
+        --request '{"id":"q1","benchmark":"mesa","spec":{"instructions":'"$instrs"',"seed":1}}' \
+        --request '{"id":"q2","benchmark":"mesa","spec":{"instructions":'"$instrs"',"seed":2}}' \
+        --request '{"id":"q3","benchmark":"mesa","spec":{"instructions":'"$instrs"',"seed":3}}' \
+        >"$burst"
+    local sheds hints
+    sheds=$(grep -c '"status":"shed"' "$burst" || true)
+    if [[ "$sheds" -ne 2 ]]; then
+        echo "==> smoke: FAIL — expected 2 sheds from a 1-deep queue, got $sheds" >&2
+        cat "$burst" >&2
+        exit 1
+    fi
+    hints=$(sed -n 's/.*"retry_after_ms":\([0-9]*\).*/\1/p' "$burst" | awk '$1 < 1' | wc -l)
+    if [[ "$hints" -ne 0 ]]; then
+        echo "==> smoke: FAIL — a shed response carried no positive retry_after_ms" >&2
+        cat "$burst" >&2
+        exit 1
+    fi
+    wait "$long_pid"
+    kill -TERM "$pid" 2>/dev/null || true
+    if ! wait "$pid"; then
+        echo "==> smoke: FAIL — SIGTERM drain must exit 0" >&2
+        cat "$SMOKE_TMP/serve3.err" >&2
+        exit 1
+    fi
+    echo "==> smoke: serve OK — dedup, warm restart, shedding, and drain all verified"
 }
 
 if [[ "${1:-}" == "smoke" ]]; then

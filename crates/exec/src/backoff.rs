@@ -1,0 +1,79 @@
+//! Deterministic jittered backoff, shared by every retry path.
+//!
+//! Two consumers, one arithmetic: the experiment harness sleeps a
+//! [`retry_backoff`] before re-running a failed unit, and the serving
+//! layer stamps shed responses with a `retry_after_ms` hint built on the
+//! same [`jittered`] spread. Both want the same property — concurrent
+//! retries de-synchronise without a random number generator — so the
+//! jitter is a pure function of the unit's name: reproducible across
+//! processes, different across names.
+
+use std::time::Duration;
+
+/// FNV-1a hash of `bytes` (the jitter seed and the spec-key hash).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `base` plus a deterministic jitter in `0..spread_ms` milliseconds
+/// derived from `seed`. Equal seeds always get equal delays; different
+/// seeds usually spread out. A zero `spread_ms` means no jitter at all.
+#[must_use]
+pub fn jittered(seed: &str, base: Duration, spread_ms: u64) -> Duration {
+    let jitter = if spread_ms == 0 { 0 } else { fnv64(seed.as_bytes()) % spread_ms };
+    base + Duration::from_millis(jitter)
+}
+
+/// Deterministic jittered backoff before retrying `name`: a small base
+/// delay plus a jitter derived from the run name, so concurrent retries
+/// de-synchronise while the suite stays reproducible.
+#[must_use]
+pub fn retry_backoff(name: &str) -> Duration {
+    jittered(name, Duration::from_millis(5), 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        // Pin the exact value, not just stability: both retry sleeps and
+        // shed hints must agree across processes and releases.
+        let expected = Duration::from_millis(5 + fnv64(b"health@42") % 16);
+        assert_eq!(retry_backoff("health@42"), expected);
+        assert_eq!(retry_backoff("health@42"), retry_backoff("health@42"));
+        for name in ["gcc", "mesa", "art", "tsp", "health"] {
+            let d = retry_backoff(name);
+            assert!(
+                d >= Duration::from_millis(5) && d < Duration::from_millis(21),
+                "{name}: {d:?}"
+            );
+        }
+        // Different names usually land on different jitter.
+        let distinct: std::collections::HashSet<_> =
+            ["gcc", "mesa", "art", "tsp", "health"].iter().map(|n| retry_backoff(n)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn jittered_spread_is_a_half_open_range() {
+        for seed in ["a", "b", "c", "long-key@0123456789abcdef"] {
+            let d = jittered(seed, Duration::from_millis(10), 8);
+            assert!(d >= Duration::from_millis(10) && d < Duration::from_millis(18));
+        }
+        assert_eq!(jittered("anything", Duration::from_millis(7), 0), Duration::from_millis(7));
+    }
+}

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod journal;
 mod memo;
 pub mod pool;

@@ -54,6 +54,38 @@ pub fn set_jobs(n: usize) {
     GLOBAL.store(n, Ordering::Relaxed);
 }
 
+/// Parses a job-count value (`--jobs`, `BITLINE_JOBS`), rejecting zero and
+/// garbage with an actionable message instead of the silent fallback
+/// [`jobs`] applies. Zero is an error, not "auto": a pool with no workers
+/// would hang every batch, so it fails fast like `--scrub-period 0` does.
+///
+/// # Errors
+///
+/// A message naming the offending value and the accepted form.
+pub fn parse_jobs_value(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => {
+            Err("job count must be at least 1 (0 would run no workers; unset for auto)".into())
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("invalid job count `{v}` (want a positive integer)")),
+    }
+}
+
+/// Validates `BITLINE_JOBS` at startup so a typo fails fast instead of
+/// being silently ignored by [`jobs`]'s lenient fallback. Returns the
+/// validated count, or `None` when the variable is unset.
+///
+/// # Errors
+///
+/// The [`parse_jobs_value`] message, prefixed with the variable name.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("BITLINE_JOBS") {
+        Err(_) => Ok(None),
+        Ok(v) => parse_jobs_value(&v).map(Some).map_err(|e| format!("BITLINE_JOBS: {e}")),
+    }
+}
+
 /// Runs `f` with the job count pinned to `n` on this thread (nested calls
 /// restore the previous override). Used by determinism tests to compare
 /// serial and parallel executions without touching the environment.
@@ -226,6 +258,16 @@ mod tests {
             run_indexed_supervised(6, Some(Duration::ZERO), |_, token| token.cancelled())
         });
         assert!(cancelled.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn parse_jobs_value_rejects_zero_and_garbage() {
+        assert!(parse_jobs_value("0").unwrap_err().contains("at least 1"));
+        assert!(parse_jobs_value("-3").unwrap_err().contains("invalid job count"));
+        assert!(parse_jobs_value("many").unwrap_err().contains("invalid job count"));
+        assert!(parse_jobs_value("").unwrap_err().contains("invalid job count"));
+        assert_eq!(parse_jobs_value("1"), Ok(1));
+        assert_eq!(parse_jobs_value(" 8 "), Ok(8));
     }
 
     #[test]

@@ -213,6 +213,71 @@ fn enospc_mid_frame_loses_only_the_torn_tail() {
     }
 }
 
+/// Compaction racing a crash: `open` rewrites a damaged journal via
+/// temp-file-then-rename, so a SIGKILL landing mid-compaction leaves a
+/// partial temp image next to an untouched original. Simulate that crash
+/// at **every** byte budget of the compacted image (written through the
+/// same short-write `FallibleWriter` the ENOSPC leg uses) and reopen: the
+/// original must remain authoritative with zero lost frames, the partial
+/// temp must be ignored and cleaned up, and the journal must stay
+/// appendable.
+#[test]
+fn interrupted_compaction_leaves_the_original_authoritative() {
+    let entries: Vec<(String, Vec<u8>)> =
+        (0..4).map(|i| (format!("bench{i}@{i:016x}"), vec![0xC3 ^ i as u8; 7 + i * 5])).collect();
+
+    // The damaged on-disk journal: all frames, then a torn half-frame —
+    // enough damage that every reopen triggers a compaction rewrite.
+    let mut damaged: Vec<u8> = b"BLJRNL1\n".to_vec();
+    for (key, value) in &entries {
+        damaged.extend_from_slice(&chaos_frame(key, value));
+    }
+    let torn = chaos_frame("torn@ffffffffffffffff", b"never fully flushed");
+    damaged.extend_from_slice(&torn[..torn.len() / 2]);
+
+    // The clean image a completed compaction would have produced.
+    let mut compacted: Vec<u8> = b"BLJRNL1\n".to_vec();
+    for (key, value) in &entries {
+        compacted.extend_from_slice(&chaos_frame(key, value));
+    }
+
+    // `atomic_write` stages into `.{name}.tmp.{pid}` in the same directory;
+    // a crash before the rename leaves exactly a prefix of the image there.
+    let tmp_name = format!(".{JOURNAL_FILE}.tmp.{}", std::process::id());
+    for budget in 0..=compacted.len() {
+        let dir = scratch("compact-race");
+        std::fs::write(dir.join(JOURNAL_FILE), &damaged).expect("write damaged journal");
+        let mut w = FallibleWriter { out: Vec::new(), budget, max_chunk: 7 };
+        let _ = w.write_all(&compacted);
+        std::fs::write(dir.join(&tmp_name), &w.out).expect("write partial compaction");
+
+        let (mut journal, loaded, report) =
+            Journal::open(&dir).expect("open after interrupted compaction");
+        assert_eq!(loaded.len(), entries.len(), "budget {budget}: zero lost frames");
+        for (got, (key, value)) in loaded.iter().zip(&entries) {
+            assert_eq!(&got.key, key, "budget {budget}");
+            assert_eq!(&got.value, value, "budget {budget}");
+        }
+        assert!(report.truncated_tail, "the torn tail is what made open() recompact");
+
+        // The recovery compaction completed this time: only the clean
+        // journal remains, with no stale temp beside it.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![JOURNAL_FILE.to_owned()], "budget {budget}: no temp residue");
+        assert_eq!(std::fs::read(dir.join(JOURNAL_FILE)).expect("clean bytes"), compacted);
+
+        journal.append("after@compaction", b"still writable").expect("append after recovery");
+        let (_, reloaded, clean) = Journal::open(&dir).expect("reopen clean");
+        assert_eq!(reloaded.len(), entries.len() + 1);
+        assert_eq!(clean.quarantined, 0);
+        assert!(!clean.truncated_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// A single flipped payload bit fails that entry's CRC: the entry is
 /// quarantined, its neighbours are untouched.
 #[test]

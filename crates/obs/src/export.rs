@@ -13,15 +13,20 @@
 //!  "dur_us":900,"fields":{"benchmark":"mesa"}}
 //! ```
 //!
-//! Both directions are hand-rolled here: the workspace's `serde` is an
-//! offline no-op shim, so the encoder writes strings directly and the
-//! parser is a small recursive-descent JSON reader. Keeping the parser in
-//! this crate means the exporter is round-trip tested against itself
-//! (see `tests/proptests.rs`) and the CI validator shares one schema.
+//! Both directions are hand-rolled: the workspace's `serde` is an offline
+//! no-op shim, so the encoder writes strings directly and parsing rides on
+//! the shared recursive-descent reader in [`crate::json`]. Keeping the
+//! parser in this crate means the exporter is round-trip tested against
+//! itself (see `tests/proptests.rs`) and the CI validator shares one
+//! schema.
 
 use std::io;
 use std::path::Path;
 
+use crate::json::{
+    self, as_array, as_object, expect_keys, get, get_i64, get_opt_u64, get_str, get_u64, json_u64,
+    Json,
+};
 use crate::registry::{HistogramSnapshot, MetricsSnapshot};
 use crate::span::SpanRecord;
 
@@ -67,23 +72,7 @@ pub enum Record {
     Span(SpanRecord),
 }
 
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+use json::escape_into as push_json_string;
 
 impl Record {
     /// Encodes the record as one JSON line (no trailing newline).
@@ -156,7 +145,7 @@ impl Record {
     ///
     /// A message describing the first syntax or schema violation.
     pub fn parse(line: &str) -> Result<Record, String> {
-        let json = parse_json(line)?;
+        let json = json::parse(line)?;
         let obj = as_object(&json)?;
         let kind = get_str(obj, "type")?;
         match kind {
@@ -419,270 +408,6 @@ pub fn summary_table() -> String {
     }
     out.push_str(&format!("spans recorded: {}\n", spans.len()));
     out
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Integers keep full `i128` precision so `u64`
-/// counters round-trip exactly.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Int(i128),
-    Float(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    s: &'a str,
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn peek(&self) -> Option<char> {
-        self.s[self.pos..].chars().next()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek()?;
-        self.pos += c.len_utf8();
-        Some(c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, want: char) -> Result<(), String> {
-        match self.bump() {
-            Some(c) if c == want => Ok(()),
-            Some(c) => Err(format!("expected `{want}`, found `{c}` at byte {}", self.pos)),
-            None => Err(format!("expected `{want}`, found end of input")),
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some('{') => self.parse_object(),
-            Some('[') => self.parse_array(),
-            Some('"') => Ok(Json::Str(self.parse_string()?)),
-            Some('t') => self.parse_keyword("true", Json::Bool(true)),
-            Some('f') => self.parse_keyword("false", Json::Bool(false)),
-            Some('n') => self.parse_keyword("null", Json::Null),
-            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
-            Some(c) => Err(format!("unexpected `{c}` at byte {}", self.pos)),
-            None => Err("unexpected end of input".to_owned()),
-        }
-    }
-
-    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.s[self.pos..].starts_with(word) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid keyword at byte {}", self.pos))
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.bump();
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(':')?;
-            let value = self.parse_value()?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => {}
-                Some('}') => return Ok(Json::Obj(pairs)),
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.bump();
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => {}
-                Some(']') => return Ok(Json::Arr(items)),
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_hex4(&mut self) -> Result<u32, String> {
-        let mut v = 0u32;
-        for _ in 0..4 {
-            let c = self.bump().ok_or("truncated \\u escape")?;
-            let d = c.to_digit(16).ok_or_else(|| format!("invalid hex digit `{c}`"))?;
-            v = v * 16 + d;
-        }
-        Ok(v)
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                None => return Err("unterminated string".to_owned()),
-                Some('"') => return Ok(out),
-                Some('\\') => match self.bump() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let hi = self.parse_hex4()?;
-                        let code = if (0xD800..=0xDBFF).contains(&hi) {
-                            // Surrogate pair: a second \uXXXX must follow.
-                            self.expect('\\')?;
-                            self.expect('u')?;
-                            let lo = self.parse_hex4()?;
-                            if !(0xDC00..=0xDFFF).contains(&lo) {
-                                return Err("invalid low surrogate".to_owned());
-                            }
-                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
-                        } else {
-                            hi
-                        };
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                    }
-                    _ => return Err("invalid escape".to_owned()),
-                },
-                Some(c) if (c as u32) < 0x20 => {
-                    return Err("unescaped control character in string".to_owned());
-                }
-                Some(c) => out.push(c),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some('-') {
-            self.bump();
-        }
-        let mut float = false;
-        while let Some(c) = self.peek() {
-            match c {
-                '0'..='9' => {
-                    self.bump();
-                }
-                '.' | 'e' | 'E' | '+' | '-' => {
-                    float = true;
-                    self.bump();
-                }
-                _ => break,
-            }
-        }
-        let text = &self.s[start..self.pos];
-        if float {
-            text.parse::<f64>().map(Json::Float).map_err(|_| format!("invalid number `{text}`"))
-        } else {
-            text.parse::<i128>().map(Json::Int).map_err(|_| format!("invalid number `{text}`"))
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser { s: text, pos: 0 };
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != text.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-fn as_object(json: &Json) -> Result<&[(String, Json)], String> {
-    match json {
-        Json::Obj(pairs) => Ok(pairs),
-        _ => Err("record must be a JSON object".to_owned()),
-    }
-}
-
-fn as_array(json: &Json) -> Result<&[Json], String> {
-    match json {
-        Json::Arr(items) => Ok(items),
-        _ => Err("expected a JSON array".to_owned()),
-    }
-}
-
-fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j Json, String> {
-    obj.iter()
-        .find_map(|(k, v)| (k == key).then_some(v))
-        .ok_or_else(|| format!("missing key `{key}`"))
-}
-
-fn expect_keys(obj: &[(String, Json)], allowed: &[&str]) -> Result<(), String> {
-    for (k, _) in obj {
-        if !allowed.contains(&k.as_str()) {
-            return Err(format!("unexpected key `{k}`"));
-        }
-    }
-    Ok(())
-}
-
-fn get_str<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j str, String> {
-    match get(obj, key)? {
-        Json::Str(s) => Ok(s),
-        _ => Err(format!("key `{key}` must be a string")),
-    }
-}
-
-fn json_u64(json: &Json) -> Result<u64, String> {
-    match json {
-        Json::Int(n) => u64::try_from(*n).map_err(|_| format!("{n} out of u64 range")),
-        _ => Err("expected an unsigned integer".to_owned()),
-    }
-}
-
-fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
-    json_u64(get(obj, key)?).map_err(|e| format!("key `{key}`: {e}"))
-}
-
-fn get_i64(obj: &[(String, Json)], key: &str) -> Result<i64, String> {
-    match get(obj, key)? {
-        Json::Int(n) => i64::try_from(*n).map_err(|_| format!("key `{key}`: {n} out of i64 range")),
-        _ => Err(format!("key `{key}` must be an integer")),
-    }
-}
-
-fn get_opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
-    match get(obj, key)? {
-        Json::Null => Ok(None),
-        other => json_u64(other).map(Some).map_err(|e| format!("key `{key}`: {e}")),
-    }
 }
 
 #[cfg(test)]

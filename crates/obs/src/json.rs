@@ -1,0 +1,422 @@
+//! Minimal JSON reader and string escaper shared by the metrics exporter
+//! and the serving protocol.
+//!
+//! The workspace's `serde` is an offline no-op shim, so every JSON-speaking
+//! layer hand-rolls its codec. This module is the one copy of the hard
+//! parts: a strict recursive-descent parser (full string escapes including
+//! surrogate pairs, `i128` integers so `u64` counters round-trip exactly)
+//! and the escape routine the encoders share. [`crate::export`] builds the
+//! `bitline-obs/v1` record schema on top; `bitline-serve` builds its
+//! request/response protocol on the same primitives.
+
+/// A parsed JSON value. Integers keep full `i128` precision so `u64`
+/// counters round-trip exactly; numbers written with a fraction or
+/// exponent parse as [`Json::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no fraction or exponent).
+    Int(i128),
+    /// A number literal with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept; readers see
+    /// the first).
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}`, found `{c}` at byte {}", self.pos)),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(Json::Str(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Json::Bool(true)),
+            Some('f') => self.parse_keyword("false", Json::Bool(false)),
+            Some('n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(format!("unexpected `{c}` at byte {}", self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(pairs)),
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            let d = c.to_digit(16).ok_or_else(|| format!("invalid hex digit `{c}`"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..=0xDBFF).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err("invalid low surrogate".to_owned());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    _ => return Err("invalid escape".to_owned()),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("unescaped control character in string".to_owned());
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = &self.s[start..self.pos];
+        if float {
+            text.parse::<f64>().map(Json::Float).map_err(|_| format!("invalid number `{text}`"))
+        } else {
+            text.parse::<i128>().map(Json::Int).map_err(|_| format!("invalid number `{text}`"))
+        }
+    }
+}
+
+/// Parses `text` as a single JSON value; trailing non-whitespace is an
+/// error (line-delimited callers pass one line at a time).
+///
+/// # Errors
+///
+/// A message locating the first syntax violation by byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { s: text, pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != text.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a quoted, escaped JSON string literal.
+#[must_use]
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// The value's object pairs, or an error for any other shape.
+///
+/// # Errors
+///
+/// When `json` is not an object.
+pub fn as_object(json: &Json) -> Result<&[(String, Json)], String> {
+    match json {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err("record must be a JSON object".to_owned()),
+    }
+}
+
+/// The value's array items, or an error for any other shape.
+///
+/// # Errors
+///
+/// When `json` is not an array.
+pub fn as_array(json: &Json) -> Result<&[Json], String> {
+    match json {
+        Json::Arr(items) => Ok(items),
+        _ => Err("expected a JSON array".to_owned()),
+    }
+}
+
+/// Looks up `key` in an object's pairs (first occurrence wins), `None`
+/// when absent. The optional-key counterpart of [`get`].
+#[must_use]
+pub fn try_get<'j>(obj: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    obj.iter().find_map(|(k, v)| (k == key).then_some(v))
+}
+
+/// Looks up a required `key` in an object's pairs.
+///
+/// # Errors
+///
+/// When the key is absent.
+pub fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j Json, String> {
+    try_get(obj, key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+/// Rejects any key outside `allowed` — schema violations fail fast instead
+/// of being silently ignored.
+///
+/// # Errors
+///
+/// Naming the first unexpected key.
+pub fn expect_keys(obj: &[(String, Json)], allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in obj {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unexpected key `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+/// A required string-valued key.
+///
+/// # Errors
+///
+/// When the key is absent or not a string.
+pub fn get_str<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("key `{key}` must be a string")),
+    }
+}
+
+/// The value as a `u64`, for callers holding a bare [`Json`].
+///
+/// # Errors
+///
+/// When the value is not a non-negative integer in `u64` range.
+pub fn json_u64(json: &Json) -> Result<u64, String> {
+    match json {
+        Json::Int(n) => u64::try_from(*n).map_err(|_| format!("{n} out of u64 range")),
+        _ => Err("expected an unsigned integer".to_owned()),
+    }
+}
+
+/// The value as an `f64`; integer literals widen.
+///
+/// # Errors
+///
+/// When the value is not a number.
+pub fn json_f64(json: &Json) -> Result<f64, String> {
+    match json {
+        Json::Float(f) => Ok(*f),
+        #[allow(clippy::cast_precision_loss)]
+        Json::Int(n) => Ok(*n as f64),
+        _ => Err("expected a number".to_owned()),
+    }
+}
+
+/// A required `u64`-valued key.
+///
+/// # Errors
+///
+/// When the key is absent or out of range.
+pub fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    json_u64(get(obj, key)?).map_err(|e| format!("key `{key}`: {e}"))
+}
+
+/// A required `i64`-valued key.
+///
+/// # Errors
+///
+/// When the key is absent or out of range.
+pub fn get_i64(obj: &[(String, Json)], key: &str) -> Result<i64, String> {
+    match get(obj, key)? {
+        Json::Int(n) => i64::try_from(*n).map_err(|_| format!("key `{key}`: {n} out of i64 range")),
+        _ => Err(format!("key `{key}` must be an integer")),
+    }
+}
+
+/// A required key that is either `null` or a `u64`.
+///
+/// # Errors
+///
+/// When the key is absent or neither `null` nor an in-range integer.
+pub fn get_opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        other => json_u64(other).map(Some).map_err(|e| format!("key `{key}`: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting_parse() {
+        assert_eq!(parse("null"), Ok(Json::Null));
+        assert_eq!(parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(parse("-42"), Ok(Json::Int(-42)));
+        assert_eq!(parse("2.5"), Ok(Json::Float(2.5)));
+        let v = parse(r#"{"a":[1,{"b":"c"}]}"#).unwrap();
+        let obj = as_object(&v).unwrap();
+        let arr = as_array(get(obj, "a").unwrap()).unwrap();
+        assert_eq!(arr[0], Json::Int(1));
+        assert!(try_get(obj, "missing").is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_parse() {
+        let original = "we\u{1F980}ird\"\\\n\tname\u{0}";
+        let literal = escaped(original);
+        assert_eq!(parse(&literal), Ok(Json::Str(original.to_owned())));
+    }
+
+    #[test]
+    fn numeric_accessors_check_shapes() {
+        assert_eq!(json_f64(&Json::Int(3)), Ok(3.0));
+        assert_eq!(json_f64(&Json::Float(0.25)), Ok(0.25));
+        assert!(json_f64(&Json::Str("x".into())).is_err());
+        assert!(json_u64(&Json::Int(-1)).is_err());
+        let obj = vec![("n".to_owned(), Json::Null), ("v".to_owned(), Json::Int(7))];
+        assert_eq!(get_opt_u64(&obj, "n"), Ok(None));
+        assert_eq!(get_opt_u64(&obj, "v"), Ok(Some(7)));
+        assert!(expect_keys(&obj, &["n"]).is_err());
+        assert!(expect_keys(&obj, &["n", "v"]).is_ok());
+    }
+}

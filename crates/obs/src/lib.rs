@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod json;
 pub mod registry;
 pub mod span;
 

@@ -1,0 +1,549 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request `id`, in
+//! completion order (not submission order — clients correlate by `id`).
+//!
+//! Requests (`op` defaults to `run`):
+//!
+//! ```text
+//! {"id":"r1","benchmark":"gcc","spec":{"d_policy":"gated:100","instructions":4000}}
+//! {"id":"r2","op":"run","benchmark":"mesa","priority":1,"deadline_ms":5000,"spec":{}}
+//! {"id":"s1","op":"stats"}
+//! {"id":"p1","op":"ping"}
+//! {"id":"d1","op":"drain"}
+//! ```
+//!
+//! Responses carry an explicit terminal status — `ok`, `shed`, `timeout`
+//! or `error` — so a client never has to infer an outcome from silence:
+//!
+//! ```text
+//! {"id":"r1","status":"ok","benchmark":"gcc","spec_key":"gcc@…","row":{…}}
+//! {"id":"r2","status":"shed","reason":"queue full","retry_after_ms":120}
+//! {"id":"r3","status":"timeout","error":"…"}
+//! {"id":"r4","status":"error","kind":"invalid-spec","error":"…"}
+//! ```
+//!
+//! Parsing is strict ([`bitline_obs::json::expect_keys`]): an unknown key
+//! is a `bad-request` error, not silently ignored, matching the fail-fast
+//! posture of `SystemSpec::validate`.
+
+use bitline_cmos::TechnologyNode;
+use bitline_obs::json::{self, as_object, expect_keys, get_str, json_f64, json_u64, try_get, Json};
+use bitline_sim::{PolicyKind, RunResult, SystemSpec};
+use std::fmt::Write as _;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a benchmark under a spec (the default op).
+    Run(RunRequest),
+    /// Report serving counters and journal warm-restart accounting.
+    Stats {
+        /// Request id echoed in the response.
+        id: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Request id echoed in the response.
+        id: String,
+    },
+    /// Begin a graceful drain (same effect as SIGTERM).
+    Drain {
+        /// Request id echoed in the response.
+        id: String,
+    },
+}
+
+/// A `run` request: one benchmark under one [`SystemSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Client-chosen correlation id, echoed in the response line.
+    pub id: String,
+    /// Benchmark name (must be in the workload suite).
+    pub benchmark: String,
+    /// The full system configuration to simulate.
+    pub spec: SystemSpec,
+    /// Admission priority; lower runs first, FIFO within a priority.
+    pub priority: u8,
+    /// Per-request wall-clock deadline in milliseconds; arms the run's
+    /// `CancelToken`. Falls back to the daemon's `--request-budget`.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A request that failed to parse; `id` is carried when the line got far
+/// enough to reveal one, so the error response can still be correlated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadRequest {
+    /// The request id, when one was readable.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(id: Option<&str>, message: impl Into<String>) -> Self {
+        BadRequest { id: id.map(str::to_owned), message: message.into() }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A [`BadRequest`] naming the violation; `id` is set when readable.
+pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
+    let value = json::parse(line).map_err(|e| BadRequest::new(None, e))?;
+    let obj = as_object(&value).map_err(|e| BadRequest::new(None, e))?;
+    let id = match get_str(obj, "id") {
+        Ok(id) => id.to_owned(),
+        Err(e) => return Err(BadRequest::new(None, e)),
+    };
+    let fail = |e: String| BadRequest::new(Some(&id), e);
+    let op = match try_get(obj, "op") {
+        None => "run",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(fail("key `op` must be a string".into())),
+    };
+    match op {
+        "run" => {
+            expect_keys(obj, &["id", "op", "benchmark", "priority", "deadline_ms", "spec"])
+                .map_err(fail)?;
+            let benchmark = get_str(obj, "benchmark").map_err(fail)?.to_owned();
+            let priority = match try_get(obj, "priority") {
+                None => 0,
+                Some(v) => u8::try_from(json_u64(v).map_err(fail)?)
+                    .map_err(|_| fail("priority must be 0..=255".into()))?,
+            };
+            let deadline_ms = match try_get(obj, "deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    let ms = json_u64(v).map_err(fail)?;
+                    if ms == 0 {
+                        return Err(fail(
+                            "deadline_ms 0 would cancel the run before it starts; omit the key \
+                             for no deadline"
+                                .into(),
+                        ));
+                    }
+                    Some(ms)
+                }
+            };
+            let spec = match try_get(obj, "spec") {
+                None => default_spec(),
+                Some(v) => parse_spec(v).map_err(fail)?,
+            };
+            Ok(Request::Run(RunRequest { id, benchmark, spec, priority, deadline_ms }))
+        }
+        "stats" | "ping" | "drain" => {
+            expect_keys(obj, &["id", "op"]).map_err(fail)?;
+            Ok(match op {
+                "stats" => Request::Stats { id },
+                "ping" => Request::Ping { id },
+                _ => Request::Drain { id },
+            })
+        }
+        other => Err(fail(format!("unknown op `{other}` (try run, stats, ping, drain)"))),
+    }
+}
+
+/// The spec a request gets when it sends no `spec` object: the CLI's
+/// defaults (gated-predecode D, gated I, 1 KB subarrays, seed 42) with
+/// the instruction count from `BITLINE_INSTRS`.
+#[must_use]
+pub fn default_spec() -> SystemSpec {
+    let d_policy = PolicyKind::GatedPredecode { threshold: 100 };
+    SystemSpec {
+        d_policy,
+        i_policy: d_policy.icache_default(),
+        subarray_bytes: 1024,
+        instructions: bitline_sim::default_instructions(),
+        seed: 42,
+        way_prediction: false,
+        faults: bitline_sim::FaultSpec::default(),
+    }
+}
+
+fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
+    let obj = as_object(value).map_err(|_| "key `spec` must be an object".to_owned())?;
+    expect_keys(
+        obj,
+        &[
+            "d_policy",
+            "i_policy",
+            "subarray_bytes",
+            "instructions",
+            "seed",
+            "way_prediction",
+            "fault_rate",
+            "fault_seed",
+            "fail_safe",
+            "ecc",
+            "scrub_period",
+        ],
+    )
+    .map_err(|e| format!("spec: {e}"))?;
+    let mut spec = default_spec();
+    if let Some(v) = try_get(obj, "d_policy") {
+        let s = as_str(v, "d_policy")?;
+        spec.d_policy = s.parse::<PolicyKind>().map_err(|e| format!("spec d_policy: {e}"))?;
+        spec.i_policy = spec.d_policy.icache_default();
+    }
+    if let Some(v) = try_get(obj, "i_policy") {
+        let s = as_str(v, "i_policy")?;
+        spec.i_policy = s.parse::<PolicyKind>().map_err(|e| format!("spec i_policy: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "subarray_bytes") {
+        let n = json_u64(v).map_err(|e| format!("spec subarray_bytes: {e}"))?;
+        spec.subarray_bytes =
+            usize::try_from(n).map_err(|_| "spec subarray_bytes out of range".to_owned())?;
+    }
+    if let Some(v) = try_get(obj, "instructions") {
+        spec.instructions = json_u64(v).map_err(|e| format!("spec instructions: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "seed") {
+        spec.seed = json_u64(v).map_err(|e| format!("spec seed: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "way_prediction") {
+        spec.way_prediction = as_bool(v, "way_prediction")?;
+    }
+    if let Some(v) = try_get(obj, "fault_rate") {
+        spec.faults.rate = json_f64(v).map_err(|e| format!("spec fault_rate: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "fault_seed") {
+        spec.faults.seed = json_u64(v).map_err(|e| format!("spec fault_seed: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "fail_safe") {
+        spec.faults.fail_safe = as_bool(v, "fail_safe")?;
+    }
+    if let Some(v) = try_get(obj, "ecc") {
+        spec.faults.ecc = as_bool(v, "ecc")?;
+    }
+    if let Some(v) = try_get(obj, "scrub_period") {
+        let period = json_u64(v).map_err(|e| format!("spec scrub_period: {e}"))?;
+        if period == 0 {
+            return Err("spec scrub_period 0 would scrub continuously; omit the key".to_owned());
+        }
+        spec.faults.scrub_period = Some(period);
+    }
+    Ok(spec)
+}
+
+fn as_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("spec {key}: expected a string")),
+    }
+}
+
+fn as_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("spec {key}: expected a boolean")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// The result row streamed back for a completed run. All values derive
+/// from the run and the analytic static baseline priced over the *same*
+/// run, so no second simulation is needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRow {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Load-replay squashes.
+    pub replays: u64,
+    /// D-cache (hits, misses).
+    pub d_hits: u64,
+    /// D-cache misses.
+    pub d_misses: u64,
+    /// I-cache hits.
+    pub i_hits: u64,
+    /// I-cache misses.
+    pub i_misses: u64,
+    /// Fraction of D-cache accesses that found their subarray precharged.
+    pub d_precharged: f64,
+    /// Fraction of I-cache accesses that found their subarray precharged.
+    pub i_precharged: f64,
+    /// D-cache bitline discharge relative to the static baseline.
+    pub d_discharge: f64,
+    /// I-cache bitline discharge relative to the static baseline.
+    pub i_discharge: f64,
+    /// Overall D-cache energy reduction vs the static baseline.
+    pub d_energy_reduction: f64,
+    /// Overall I-cache energy reduction vs the static baseline.
+    pub i_energy_reduction: f64,
+}
+
+impl RunRow {
+    /// Builds the response row from a completed run, pricing energy at
+    /// `node`.
+    #[must_use]
+    pub fn from_result(run: &RunResult, node: TechnologyNode) -> RunRow {
+        let (policy, baseline) = run.energy(node);
+        RunRow {
+            cycles: run.cycles(),
+            committed: run.stats.committed,
+            ipc: run.stats.ipc(),
+            replays: run.stats.replays,
+            d_hits: run.d_hit_miss.0,
+            d_misses: run.d_hit_miss.1,
+            i_hits: run.i_hit_miss.0,
+            i_misses: run.i_hit_miss.1,
+            d_precharged: run.d_report.precharged_fraction(),
+            i_precharged: run.i_report.precharged_fraction(),
+            d_discharge: policy.d.relative_discharge(&baseline.d),
+            i_discharge: policy.i.relative_discharge(&baseline.i),
+            d_energy_reduction: policy.d.overall_reduction(&baseline.d),
+            i_energy_reduction: policy.i.overall_reduction(&baseline.i),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Rust's f64 Display is shortest-roundtrip, so replayed rows are
+    // byte-identical to the originals; non-finite values (impossible for
+    // these metrics, but the encoder stays total) become null.
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders an `ok` response line (no trailing newline).
+#[must_use]
+pub fn ok_line(id: &str, benchmark: &str, spec_key: &str, row: &RunRow) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"ok\",\"benchmark\":");
+    json::escape_into(&mut out, benchmark);
+    out.push_str(",\"spec_key\":");
+    json::escape_into(&mut out, spec_key);
+    let _ = write!(
+        out,
+        ",\"row\":{{\"cycles\":{},\"committed\":{},\"ipc\":",
+        row.cycles, row.committed
+    );
+    push_f64(&mut out, row.ipc);
+    let _ = write!(
+        out,
+        ",\"replays\":{},\"d_hits\":{},\"d_misses\":{},\"i_hits\":{},\"i_misses\":{}",
+        row.replays, row.d_hits, row.d_misses, row.i_hits, row.i_misses
+    );
+    for (key, v) in [
+        ("d_precharged", row.d_precharged),
+        ("i_precharged", row.i_precharged),
+        ("d_discharge", row.d_discharge),
+        ("i_discharge", row.i_discharge),
+        ("d_energy_reduction", row.d_energy_reduction),
+        ("i_energy_reduction", row.i_energy_reduction),
+    ] {
+        let _ = write!(out, ",\"{key}\":");
+        push_f64(&mut out, v);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders a `shed` response line carrying the retry hint.
+#[must_use]
+pub fn shed_line(id: &str, reason: &str, retry_after_ms: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"shed\",\"reason\":");
+    json::escape_into(&mut out, reason);
+    let _ = write!(out, ",\"retry_after_ms\":{retry_after_ms}}}");
+    out
+}
+
+/// Renders a `timeout` response line.
+#[must_use]
+pub fn timeout_line(id: &str, message: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"timeout\",\"error\":");
+    json::escape_into(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Renders an `error` response line with a stable machine-readable kind
+/// (`bad-request`, or a [`bitline_sim::SimError::kind`] tag).
+#[must_use]
+pub fn error_line(id: &str, kind: &str, message: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"error\",\"kind\":");
+    json::escape_into(&mut out, kind);
+    out.push_str(",\"error\":");
+    json::escape_into(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Renders the `ping` response line.
+#[must_use]
+pub fn pong_line(id: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"ok\",\"pong\":true}");
+    out
+}
+
+/// Renders the `drain` acknowledgement line.
+#[must_use]
+pub fn drain_line(id: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"ok\",\"draining\":true}");
+    out
+}
+
+/// Renders the `stats` response line from `(name, value)` pairs, in the
+/// order given.
+#[must_use]
+pub fn stats_line(id: &str, stats: &[(&str, u64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"ok\",\"stats\":{");
+    for (i, (name, value)) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitline_obs::json::get_u64;
+
+    #[test]
+    fn run_requests_parse_with_defaults_and_overrides() {
+        let req = parse_request(r#"{"id":"r1","benchmark":"gcc"}"#).unwrap();
+        let Request::Run(run) = req else { panic!("expected run") };
+        assert_eq!(run.id, "r1");
+        assert_eq!(run.benchmark, "gcc");
+        assert_eq!(run.priority, 0);
+        assert_eq!(run.deadline_ms, None);
+        assert_eq!(run.spec, default_spec());
+
+        let req = parse_request(
+            r#"{"id":"r2","op":"run","benchmark":"mesa","priority":3,"deadline_ms":250,
+                "spec":{"d_policy":"gated:64","instructions":9000,"seed":7,"ecc":true}}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        let Request::Run(run) = req else { panic!("expected run") };
+        assert_eq!(run.priority, 3);
+        assert_eq!(run.deadline_ms, Some(250));
+        assert_eq!(run.spec.d_policy, PolicyKind::Gated { threshold: 64 });
+        assert_eq!(run.spec.i_policy, PolicyKind::Gated { threshold: 64 });
+        assert_eq!(run.spec.instructions, 9000);
+        assert_eq!(run.spec.seed, 7);
+        assert!(run.spec.faults.ecc);
+    }
+
+    #[test]
+    fn gated_predecode_falls_back_to_gated_for_the_icache() {
+        let req =
+            parse_request(r#"{"id":"x","benchmark":"gcc","spec":{"d_policy":"predecode:32"}}"#)
+                .unwrap();
+        let Request::Run(run) = req else { panic!("expected run") };
+        assert_eq!(run.spec.d_policy, PolicyKind::GatedPredecode { threshold: 32 });
+        assert_eq!(run.spec.i_policy, PolicyKind::Gated { threshold: 32 });
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(
+            parse_request(r#"{"id":"s","op":"stats"}"#),
+            Ok(Request::Stats { id: "s".into() })
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"p","op":"ping"}"#),
+            Ok(Request::Ping { id: "p".into() })
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"d","op":"drain"}"#),
+            Ok(Request::Drain { id: "d".into() })
+        );
+    }
+
+    #[test]
+    fn violations_fail_fast_and_keep_the_id_when_readable() {
+        let e = parse_request("not json").unwrap_err();
+        assert_eq!(e.id, None);
+        let e = parse_request(r#"{"benchmark":"gcc"}"#).unwrap_err();
+        assert!(e.message.contains("missing key `id`"));
+        let e = parse_request(r#"{"id":"r","benchmark":"gcc","bogus":1}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("r"));
+        assert!(e.message.contains("unexpected key `bogus`"));
+        let e = parse_request(r#"{"id":"r","benchmark":"gcc","spec":{"d_policy":"warp"}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("unknown policy"));
+        let e = parse_request(r#"{"id":"r","benchmark":"gcc","deadline_ms":0}"#).unwrap_err();
+        assert!(e.message.contains("deadline_ms 0"));
+        let e = parse_request(r#"{"id":"r","op":"mystery"}"#).unwrap_err();
+        assert!(e.message.contains("unknown op `mystery`"));
+        let e = parse_request(r#"{"id":"r","op":"stats","extra":true}"#).unwrap_err();
+        assert!(e.message.contains("unexpected key `extra`"));
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let row = RunRow {
+            cycles: 10,
+            committed: 8,
+            ipc: 0.8,
+            replays: 0,
+            d_hits: 5,
+            d_misses: 1,
+            i_hits: 7,
+            i_misses: 0,
+            d_precharged: 0.5,
+            i_precharged: 1.0,
+            d_discharge: 0.25,
+            i_discharge: 0.75,
+            d_energy_reduction: 0.1,
+            i_energy_reduction: 0.2,
+        };
+        for line in [
+            ok_line("a\"b", "gcc", "gcc@0011223344556677", &row),
+            shed_line("r", "queue full", 42),
+            timeout_line("r", "gcc: exceeded 1ms"),
+            error_line("r", "invalid-spec", "subarray 48 is not a power of two"),
+            pong_line("r"),
+            drain_line("r"),
+            stats_line("r", &[("accepted", 3), ("shed", 1)]),
+        ] {
+            assert!(!line.contains('\n'));
+            let parsed = json::parse(&line).expect(&line);
+            let obj = as_object(&parsed).unwrap();
+            assert!(try_get(obj, "id").is_some());
+            assert!(try_get(obj, "status").is_some());
+        }
+        let parsed = json::parse(&shed_line("r", "queue full", 42)).unwrap();
+        let obj = as_object(&parsed).unwrap();
+        assert_eq!(get_u64(obj, "retry_after_ms"), Ok(42));
+    }
+}

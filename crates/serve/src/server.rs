@@ -1,0 +1,342 @@
+//! The daemon: listeners, connection readers, and the worker pool.
+//!
+//! One thread per connection reads request lines and runs admission; a
+//! fixed pool of worker threads drains the queue. Every accepted request
+//! reaches exactly one terminal response because the worker that pops a
+//! job always completes it: the run itself is wrapped in
+//! `harness::isolated_supervised`, so a panicking or timed-out run comes
+//! back as a value (`error` / `timeout`), never as a dead worker.
+//!
+//! Crash tolerance is inherited rather than reimplemented: the production
+//! runner goes through `bitline_sim::try_run_benchmark_cached`, which
+//! appends each completed run to the crash-safe `exec::journal` *inside*
+//! the cache fill — before this module ever sees the result, and
+//! therefore strictly before the response line is written. SIGKILL at any
+//! point loses at most work in flight, never a journaled answer; the
+//! restarted daemon replays the journal into a warm cache and answers
+//! repeats without recomputing.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bitline_cmos::TechnologyNode;
+use bitline_exec::CancelToken;
+use bitline_obs::{counter, gauge, histo};
+use bitline_sim::experiments::harness;
+use bitline_sim::{checkpoint, SimError, SystemSpec};
+
+use crate::admission::{Admission, ConnWriter, Offer, ServeStats, Subscriber};
+use crate::protocol::{self, Request, RunRow};
+
+/// How the run itself is performed. Injectable so the daemon's robustness
+/// ladder is testable with deterministic runners (panicking, sleeping,
+/// token-polling); production uses [`production_runner`].
+pub type Runner = Arc<dyn Fn(&str, &SystemSpec) -> Result<RunRow, SimError> + Send + Sync>;
+
+/// The production runner: the memoized, journaled cache entry point,
+/// priced at `node`. The journal append happens inside the cache fill, so
+/// a result returned here is already durable.
+#[must_use]
+pub fn production_runner(node: TechnologyNode) -> Runner {
+    Arc::new(move |benchmark, spec| {
+        bitline_sim::try_run_benchmark_cached(benchmark, spec)
+            .map(|run| RunRow::from_result(&run, node))
+    })
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Optional TCP listen address (e.g. `127.0.0.1:4117`).
+    pub tcp: Option<String>,
+    /// Bound on the pending-job queue; beyond it, requests shed.
+    pub queue_depth: usize,
+    /// Default per-request wall-clock budget when a request carries no
+    /// `deadline_ms`.
+    pub request_budget: Option<Duration>,
+    /// Worker threads draining the queue (0 = the exec pool's job count).
+    pub workers: usize,
+    /// Technology node responses are priced at.
+    pub node: TechnologyNode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: PathBuf::from("bitline-serve.sock"),
+            tcp: None,
+            queue_depth: 64,
+            request_budget: None,
+            workers: 0,
+            node: TechnologyNode::N70,
+        }
+    }
+}
+
+/// Shared per-server context handed to connection readers and workers.
+struct Ctx {
+    admission: Arc<Admission>,
+    stats: Arc<ServeStats>,
+    drain: Arc<AtomicBool>,
+    request_budget: Option<Duration>,
+}
+
+/// The daemon. Construct with [`Server::new`], then [`Server::run`] —
+/// which returns only after a drain (SIGTERM or the `drain` op) has been
+/// honoured: admission closed, queue emptied, in-flight runs finished.
+pub struct Server {
+    config: ServeConfig,
+    runner: Runner,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Builds a server over `runner` (not yet listening).
+    #[must_use]
+    pub fn new(config: ServeConfig, runner: Runner) -> Server {
+        declare_metrics();
+        let workers = if config.workers == 0 { bitline_exec::pool::jobs() } else { config.workers };
+        let stats = Arc::new(ServeStats::default());
+        let admission = Admission::new(config.queue_depth, workers, Arc::clone(&stats));
+        let request_budget = config.request_budget;
+        let config = ServeConfig { workers, ..config };
+        Server {
+            config,
+            runner,
+            ctx: Arc::new(Ctx {
+                admission,
+                stats,
+                drain: Arc::new(AtomicBool::new(false)),
+                request_budget,
+            }),
+        }
+    }
+
+    /// The per-instance serving counters (shared with the `stats` op).
+    #[must_use]
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.ctx.stats)
+    }
+
+    /// A handle that, once set, makes [`Server::run`] begin draining.
+    /// SIGTERM (via [`crate::signal`]) and the protocol `drain` op share
+    /// this latch.
+    #[must_use]
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.ctx.drain)
+    }
+
+    /// Binds the listeners, serves until drained, and returns after the
+    /// last in-flight run has been answered. The socket file is removed
+    /// on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the unix socket or the optional TCP address.
+    pub fn run(self) -> io::Result<()> {
+        let ctx = Arc::clone(&self.ctx);
+        let _ = std::fs::remove_file(&self.config.socket);
+        let unix = std::os::unix::net::UnixListener::bind(&self.config.socket)?;
+        unix.set_nonblocking(true)?;
+        let tcp = match &self.config.tcp {
+            Some(addr) => {
+                let l = std::net::TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+
+        let workers: Vec<_> = (0..self.config.workers)
+            .map(|w| {
+                let ctx = Arc::clone(&ctx);
+                let runner = Arc::clone(&self.runner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&ctx, &runner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        let mut conn_seq = 0u64;
+        loop {
+            if self.ctx.drain.load(Ordering::Relaxed) || crate::signal::termination_requested() {
+                break;
+            }
+            let mut accepted_any = false;
+            match unix.accept() {
+                Ok((stream, _)) => {
+                    accepted_any = true;
+                    stream.set_nonblocking(false)?;
+                    let writer = stream.try_clone()?;
+                    spawn_reader(conn_seq, Box::new(stream), Box::new(writer), Arc::clone(&ctx));
+                    conn_seq += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+            if let Some(tcp) = &tcp {
+                match tcp.accept() {
+                    Ok((stream, _)) => {
+                        accepted_any = true;
+                        stream.set_nonblocking(false)?;
+                        let writer = stream.try_clone()?;
+                        spawn_reader(
+                            conn_seq,
+                            Box::new(stream),
+                            Box::new(writer),
+                            Arc::clone(&ctx),
+                        );
+                        conn_seq += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if !accepted_any {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
+        // Drain: stop admitting, let the workers empty the queue and
+        // finish in-flight runs, then leave cleanly. Journal appends are
+        // fsynced per entry, so there is nothing further to flush.
+        ctx.admission.begin_drain();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.config.socket);
+        Ok(())
+    }
+}
+
+/// Touches every `serve.*` metric so exports carry the whole family from
+/// the first snapshot, zeros included.
+pub fn declare_metrics() {
+    for name in
+        ["serve.accepted", "serve.deduped", "serve.shed", "serve.timed_out", "serve.drained"]
+    {
+        counter!(name).add(0);
+    }
+    gauge!("serve.queue_depth").set(0);
+    let _ = histo!("serve.request_wall_us");
+}
+
+fn spawn_reader(
+    seq: u64,
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    ctx: Arc<Ctx>,
+) {
+    let out: ConnWriter = Arc::new(Mutex::new(writer));
+    std::thread::Builder::new()
+        .name(format!("serve-conn-{seq}"))
+        .spawn(move || serve_connection(reader, &out, &ctx))
+        .expect("spawn serve connection reader");
+}
+
+fn write_line(out: &ConnWriter, line: &str) {
+    // A disconnected client is not the daemon's problem: the run result
+    // is journaled regardless, and the next identical request replays it.
+    let mut w = out.lock().expect("connection writer lock");
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+fn serve_connection(reader: Box<dyn Read + Send>, out: &ConnWriter, ctx: &Ctx) {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(bad) => {
+                write_line(
+                    out,
+                    &protocol::error_line(
+                        bad.id.as_deref().unwrap_or(""),
+                        "bad-request",
+                        &bad.message,
+                    ),
+                );
+            }
+            Ok(Request::Ping { id }) => write_line(out, &protocol::pong_line(&id)),
+            Ok(Request::Stats { id }) => {
+                let mut rows = ctx.stats.rows();
+                let cp = bitline_sim::checkpoint_stats().unwrap_or_default();
+                rows.push(("replayed", cp.replayed));
+                rows.push(("recomputed", cp.recomputed));
+                rows.push(("appended", cp.appended));
+                rows.push(("quarantined", cp.quarantined));
+                write_line(out, &protocol::stats_line(&id, &rows));
+            }
+            Ok(Request::Drain { id }) => {
+                ctx.drain.store(true, Ordering::Relaxed);
+                ctx.admission.begin_drain();
+                write_line(out, &protocol::drain_line(&id));
+            }
+            Ok(Request::Run(run)) => {
+                // Fail fast, before the queue: an invalid request must not
+                // cost a queue slot or a worker pickup.
+                if !bitline_workloads::suite::names().contains(&run.benchmark.as_str()) {
+                    let e = SimError::UnknownBenchmark(run.benchmark.clone());
+                    write_line(out, &protocol::error_line(&run.id, e.kind(), &e.to_string()));
+                    continue;
+                }
+                if let Err(e) = run.spec.validate() {
+                    write_line(out, &protocol::error_line(&run.id, e.kind(), &e.to_string()));
+                    continue;
+                }
+                let key = checkpoint::spec_key(&run.benchmark, &run.spec);
+                let id = run.id.clone();
+                let offer = ctx.admission.offer(&key, run, Arc::clone(out));
+                if let Offer::Shed { reason, retry_after_ms } = offer {
+                    write_line(out, &protocol::shed_line(&id, reason, retry_after_ms));
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(ctx: &Ctx, runner: &Runner) {
+    while let Some(job) = ctx.admission.next_job() {
+        let budget = job.deadline_ms.map(Duration::from_millis).or(ctx.request_budget);
+        let token = CancelToken::for_budget(budget);
+        let started = Instant::now();
+        // Panic isolation, retry-once, and timeout-doubling all come from
+        // the harness; a worker thread never dies with a job in hand.
+        let result =
+            harness::isolated_supervised(&job.key, &token, || (runner)(&job.benchmark, &job.spec));
+        histo!("serve.request_wall_us").record_duration(started.elapsed());
+        match &result {
+            Ok(_) => {}
+            Err(skip) if matches!(skip.error, SimError::TimedOut { .. }) => {
+                ctx.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                counter!("serve.timed_out").incr();
+            }
+            Err(_) => {
+                ctx.stats.errored.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let subscribers = ctx.admission.complete(&job.key);
+        for Subscriber { id, out } in subscribers {
+            let line = match &result {
+                Ok(row) => protocol::ok_line(&id, &job.benchmark, &job.key, row),
+                Err(skip) => match &skip.error {
+                    SimError::TimedOut { .. } => {
+                        protocol::timeout_line(&id, &skip.error.to_string())
+                    }
+                    e => protocol::error_line(&id, e.kind(), &e.to_string()),
+                },
+            };
+            write_line(&out, &line);
+        }
+    }
+}

@@ -79,37 +79,9 @@ impl Default for Args {
 }
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
-    let (name, arg) = match s.split_once(':') {
-        Some((n, a)) => (n, Some(a)),
-        None => (s, None),
-    };
-    let threshold = || -> Result<u64, String> {
-        arg.map_or(Ok(100), |a| a.parse().map_err(|_| format!("bad threshold `{a}`")))
-    };
-    match name {
-        "static" => Ok(PolicyKind::StaticPullUp),
-        "oracle" => Ok(PolicyKind::Oracle),
-        "ondemand" | "on-demand" => Ok(PolicyKind::OnDemand),
-        "gated" => Ok(PolicyKind::Gated { threshold: threshold()? }),
-        "gated-predecode" | "predecode" => {
-            Ok(PolicyKind::GatedPredecode { threshold: threshold()? })
-        }
-        "adaptive" => Ok(PolicyKind::AdaptiveGated {
-            interval_accesses: arg
-                .map_or(Ok(2_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
-        }),
-        "leakage-biased" | "lbb" => Ok(PolicyKind::LeakageBiased),
-        "drowsy" => Ok(PolicyKind::Drowsy { threshold: threshold()? }),
-        "resizable" => Ok(PolicyKind::Resizable {
-            interval_accesses: arg
-                .map_or(Ok(10_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
-            slack: 0.005,
-        }),
-        other => Err(format!(
-            "unknown policy `{other}` (try static, oracle, ondemand, gated:T, \
-             gated-predecode:T, resizable:INTERVAL)"
-        )),
-    }
+    // The grammar lives on `PolicyKind` itself so `bitline-serve` requests
+    // parse identically to CLI flags.
+    s.parse()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -180,10 +152,8 @@ fn parse_args() -> Result<Args, String> {
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(value(&flag)?)),
             "--no-resume" => args.no_resume = true,
             "--jobs" | "-j" => {
-                let n: usize = value(&flag)?.parse().map_err(|_| "bad job count".to_owned())?;
-                if n == 0 {
-                    return Err("--jobs must be at least 1".into());
-                }
+                let n = bitline_exec::pool::parse_jobs_value(&value(&flag)?)
+                    .map_err(|e| format!("--jobs: {e}"))?;
                 bitline_exec::pool::set_jobs(n);
             }
             "--metrics" => args.metrics = Some(PathBuf::from(value(&flag)?)),
@@ -250,21 +220,13 @@ fn print_help() {
     println!("  per run, BITLINE_SUITE restricts the benchmark set)");
 }
 
-fn icache_default(d: PolicyKind) -> PolicyKind {
-    match d {
-        // Predecoding needs a base register; instruction fetch has none.
-        PolicyKind::GatedPredecode { threshold } => PolicyKind::Gated { threshold },
-        other => other,
-    }
-}
-
 /// Runs one benchmark and renders its report. Returning the text (rather
 /// than printing directly) lets the `all` mode run benchmarks on the work
 /// pool and still print reports in suite order.
 fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
     let spec = SystemSpec {
         d_policy: args.policy,
-        i_policy: args.icache_policy.unwrap_or_else(|| icache_default(args.policy)),
+        i_policy: args.icache_policy.unwrap_or_else(|| args.policy.icache_default()),
         subarray_bytes: args.subarray_bytes,
         instructions: args.instructions,
         seed: args.seed,

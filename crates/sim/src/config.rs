@@ -193,6 +193,60 @@ impl PolicyKind {
             PolicyKind::LocalityRecorder => "recorder",
         }
     }
+
+    /// The instruction-cache counterpart of a data-cache policy: identical,
+    /// except that predecode gating falls back to plain gating (predecoding
+    /// needs a base register, and instruction fetch has none).
+    #[must_use]
+    pub fn icache_default(self) -> PolicyKind {
+        match self {
+            PolicyKind::GatedPredecode { threshold } => PolicyKind::Gated { threshold },
+            other => other,
+        }
+    }
+}
+
+/// The CLI/protocol policy grammar: `static`, `oracle`, `ondemand` (or
+/// `on-demand`), `gated[:T]`, `gated-predecode[:T]` (or `predecode[:T]`),
+/// `adaptive[:INTERVAL]`, `leakage-biased` (or `lbb`), `drowsy[:T]`,
+/// `resizable[:INTERVAL]`. Shared by `bitline-sim --policy` and the
+/// `bitline-serve` request protocol so the two front doors cannot drift.
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let threshold = || -> Result<u64, String> {
+            arg.map_or(Ok(100), |a| a.parse().map_err(|_| format!("bad threshold `{a}`")))
+        };
+        match name {
+            "static" => Ok(PolicyKind::StaticPullUp),
+            "oracle" => Ok(PolicyKind::Oracle),
+            "ondemand" | "on-demand" => Ok(PolicyKind::OnDemand),
+            "gated" => Ok(PolicyKind::Gated { threshold: threshold()? }),
+            "gated-predecode" | "predecode" => {
+                Ok(PolicyKind::GatedPredecode { threshold: threshold()? })
+            }
+            "adaptive" => Ok(PolicyKind::AdaptiveGated {
+                interval_accesses: arg
+                    .map_or(Ok(2_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
+            }),
+            "leakage-biased" | "lbb" => Ok(PolicyKind::LeakageBiased),
+            "drowsy" => Ok(PolicyKind::Drowsy { threshold: threshold()? }),
+            "resizable" => Ok(PolicyKind::Resizable {
+                interval_accesses: arg
+                    .map_or(Ok(10_000), |a| a.parse().map_err(|_| format!("bad interval `{a}`")))?,
+                slack: 0.005,
+            }),
+            other => Err(format!(
+                "unknown policy `{other}` (try static, oracle, ondemand, gated:T, \
+                 gated-predecode:T, resizable:INTERVAL)"
+            )),
+        }
+    }
 }
 
 /// Fault-injection parameters for a run. Disabled by default: the stock

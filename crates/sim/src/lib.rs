@@ -64,14 +64,19 @@ pub use runner::{
 
 /// Applies the supervision environment variables: `BITLINE_RUN_BUDGET`
 /// (per-run wall-clock budget) and `BITLINE_CHECKPOINT` (checkpoint
-/// directory; `BITLINE_NO_RESUME=1` starts its journal afresh). The CLI
-/// flags override these; bench harnesses call only this.
+/// directory; `BITLINE_NO_RESUME=1` starts its journal afresh), and
+/// validates `BITLINE_JOBS` fail-fast (zero or garbage is an error, not a
+/// silent fallback). The CLI flags override these; bench harnesses call
+/// only this.
 ///
 /// # Errors
 ///
 /// A human-readable message for a malformed budget or an unopenable
 /// checkpoint directory.
 pub fn init_supervision_from_env() -> Result<(), String> {
+    // Fail fast on BITLINE_JOBS=0 or garbage instead of the pool's silent
+    // auto fallback, matching the `--scrub-period 0` precedent.
+    bitline_exec::pool::jobs_from_env()?;
     supervise::init_run_budget_from_env()?;
     if let Ok(dir) = std::env::var("BITLINE_CHECKPOINT") {
         let resume = std::env::var("BITLINE_NO_RESUME").map_or(true, |v| v != "1");
