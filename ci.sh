@@ -45,7 +45,7 @@ smoke() {
     echo "==> smoke: headline at jobs=1 (BITLINE_INSTRS=$instrs)"
     local t0 t1 secs_serial secs_parallel
     t0=$(date +%s.%N)
-    BITLINE_INSTRS="$instrs" BITLINE_JOBS=1 \
+    BITLINE_INSTRS="$instrs" BITLINE_JOBS=1 BITLINE_METRICS="$SMOKE_TMP/headline1.jsonl" \
         cargo bench -p bitline-bench --bench headline -q >"$out_serial" 2>"$err_serial"
     t1=$(date +%s.%N)
     secs_serial=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
@@ -69,6 +69,45 @@ smoke() {
     hits=$(sed -n 's/.*run-cache: \([0-9]*\) hits.*/\1/p' "$err_parallel" | tail -n 1)
     misses=$(sed -n 's/.*hits, \([0-9]*\) misses.*/\1/p' "$err_parallel" | tail -n 1)
 
+    # Serial throughput gate. MIPS comes from the runner's own counters
+    # (committed instructions over hot-loop wall time, excluding build,
+    # setup and reporting), so the gate measures the core, not cargo.
+    local committed busy mips_serial
+    committed=$(metric_value "$SMOKE_TMP/headline1.jsonl" sim.runner.committed_instructions)
+    busy=$(metric_value "$SMOKE_TMP/headline1.jsonl" sim.runner.busy_micros)
+    if [[ "$busy" -eq 0 ]]; then
+        echo "==> smoke: FAIL — serial metrics export carries no sim.runner.busy_micros" >&2
+        exit 1
+    fi
+    mips_serial=$(awk -v c="$committed" -v b="$busy" 'BEGIN {printf "%.3f", c / b}')
+    # The pre-SoA pointer-chasing core sustained ~0.45 MIPS here; the
+    # data-oriented rewrite must hold at least 2x that. Override the
+    # floor (BITLINE_MIPS_FLOOR) when smoking on much slower hardware.
+    local mips_floor="${BITLINE_MIPS_FLOOR:-0.9}"
+    if ! awk -v m="$mips_serial" -v f="$mips_floor" 'BEGIN {exit !(m >= f)}'; then
+        echo "==> smoke: FAIL — serial throughput $mips_serial MIPS" \
+            "($committed instrs / ${busy}us busy) is below the $mips_floor MIPS floor" \
+            "(2x the ~0.45 MIPS pre-SoA core) — the hot loop regressed" >&2
+        exit 1
+    fi
+
+    # Parallel-scaling gate, normalised by the cores that can actually
+    # run: efficiency = speedup / min(jobs, nproc). On a single-core box
+    # the parallel leg proves determinism rather than speed, so the
+    # divisor degrades to 1 and the gate checks for pool overhead only.
+    local ncores eff_jobs scaling_efficiency
+    ncores="$(nproc 2>/dev/null || echo 1)"
+    eff_jobs=$(( jobs_n < ncores ? jobs_n : ncores ))
+    scaling_efficiency=$(awk -v s="$secs_serial" -v p="$secs_parallel" -v j="$eff_jobs" \
+        'BEGIN {printf "%.3f", s / (p * j)}')
+    local eff_floor="${BITLINE_EFF_FLOOR:-0.8}"
+    if ! awk -v e="$scaling_efficiency" -v f="$eff_floor" 'BEGIN {exit !(e >= f)}'; then
+        echo "==> smoke: FAIL — parallel efficiency $scaling_efficiency at jobs=$jobs_n" \
+            "(${secs_serial}s -> ${secs_parallel}s on $eff_jobs usable cores)" \
+            "is below the $eff_floor floor — sweep scaling regressed" >&2
+        exit 1
+    fi
+
     # Temp-file + rename in the same directory: a crash mid-write never
     # leaves a truncated BENCH_headline.json behind.
     cat >"BENCH_headline.json.tmp.$$" <<EOF
@@ -78,13 +117,30 @@ smoke() {
   "jobs_parallel": $jobs_n,
   "seconds_serial": $secs_serial,
   "seconds_parallel": $secs_parallel,
+  "mips_serial": $mips_serial,
+  "scaling_efficiency": $scaling_efficiency,
   "run_cache_hits": ${hits:-0},
   "run_cache_misses": ${misses:-0},
   "output_identical": true
 }
 EOF
     mv "BENCH_headline.json.tmp.$$" BENCH_headline.json
-    echo "==> smoke: serial ${secs_serial}s, parallel(${jobs_n}) ${secs_parallel}s"
+
+    # Keep the quoted headline figures in the docs honest: any line
+    # tagged <!-- ci:headline --> is rewritten from this run's artifact,
+    # so README/ROADMAP can never drift from BENCH_headline.json again.
+    local headline doc
+    headline="Headline bench: ${secs_serial}s serial (${mips_serial} MIPS), \
+${secs_parallel}s at jobs=${jobs_n}, scaling efficiency ${scaling_efficiency} \
+(regenerated by \`./ci.sh smoke\`). <!-- ci:headline -->"
+    for doc in README.md ROADMAP.md; do
+        if grep -q 'ci:headline' "$doc"; then
+            sed -i "s|^\( *\).*<!-- ci:headline -->.*$|\1$headline|" "$doc"
+        fi
+    done
+
+    echo "==> smoke: serial ${secs_serial}s (${mips_serial} MIPS)," \
+        "parallel(${jobs_n}) ${secs_parallel}s (efficiency ${scaling_efficiency})"
     echo "==> smoke: wrote BENCH_headline.json"
 
     resume_smoke "$instrs" "$jobs_n"

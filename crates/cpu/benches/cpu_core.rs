@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the data-oriented OoO hot loop.
+//!
+//! `Cpu::run` is the innermost kernel of every experiment; these local
+//! harnesses let a hot-loop change be measured in seconds instead of
+//! through the end-to-end headline smoke. Two variants: a static-pull-up
+//! run (pure issue/complete/commit throughput) and a gated run (delayed
+//! precharges drive detect-and-replay through the squash path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bitline_cache::{MemorySystem, MemorySystemConfig};
+use bitline_cpu::{Cpu, CpuConfig};
+use bitline_workloads::suite;
+use gated_precharge::{GatedPolicy, StaticPullUp};
+
+const INSTRS: u64 = 20_000;
+
+fn run_static(bench: &str) -> u64 {
+    let cfg = MemorySystemConfig::default();
+    let mem = MemorySystem::new(
+        cfg,
+        Box::new(StaticPullUp::new(cfg.l1d.subarrays())),
+        Box::new(StaticPullUp::new(cfg.l1i.subarrays())),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = suite::by_name(bench).unwrap().build(1);
+    cpu.run(&mut trace, INSTRS).cycles
+}
+
+fn run_gated(bench: &str) -> u64 {
+    let cfg = MemorySystemConfig::default();
+    let mem = MemorySystem::new(
+        cfg,
+        Box::new(GatedPolicy::new(cfg.l1d.subarrays(), 100, 1)),
+        Box::new(GatedPolicy::new(cfg.l1i.subarrays(), 100, 1)),
+    );
+    let mut cpu = Cpu::new(CpuConfig::default(), mem);
+    let mut trace = suite::by_name(bench).unwrap().build(1);
+    let stats = cpu.run(&mut trace, INSTRS);
+    stats.cycles.wrapping_add(stats.replays)
+}
+
+fn bench_cpu_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.throughput(Throughput::Elements(INSTRS));
+    g.bench_function("run_20k_mesa_static", |b| b.iter(|| run_static("mesa")));
+    g.bench_function("run_20k_gcc_static", |b| b.iter(|| run_static("gcc")));
+    g.bench_function("run_20k_gcc_gated", |b| b.iter(|| run_gated("gcc")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_run);
+criterion_main!(benches);

@@ -3,10 +3,25 @@
 //! A cycle-level, trace-driven model. Every cycle runs, in order:
 //! complete (including load-latency resolution and replay), commit, issue,
 //! dispatch, fetch. Instructions are identified by monotonically increasing
-//! sequence numbers; the reorder buffer is a `VecDeque` indexed by
-//! `seq - head_seq`.
+//! sequence numbers.
+//!
+//! # Data-oriented layout
+//!
+//! The reorder buffer is a structure-of-arrays ring ([`Rob`]): per-entry
+//! fields live in flat parallel arrays indexed by `seq % capacity` (the
+//! live window `head_seq..next_seq` never exceeds the capacity, so the
+//! mapping is injective). Completion is event-driven — every issue pushes
+//! a `(ready_cycle, seq)` wakeup event onto a min-heap, and `complete`
+//! pops due events instead of re-scanning the whole ROB each cycle; load
+//! misspeculations queue onto a small pending-replay list drained in
+//! sequence order. Only the issue stage still walks the window, and it
+//! touches one state byte per entry with an early exit once every waiting
+//! entry has been seen. All of this is architecturally invisible: the
+//! cycle-by-cycle transitions are identical to the original record-based
+//! core (pinned by the `cycle_identity` goldens in `bitline-sim`).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use bitline_cache::MemorySystem;
 use bitline_trace::{Instr, InstrKind, TraceSource, NUM_REGS};
@@ -16,6 +31,7 @@ use crate::config::{CpuConfig, ReplayScope};
 use crate::stats::SimStats;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 enum State {
     /// In the issue queue, waiting for operands.
     Waiting,
@@ -25,29 +41,87 @@ enum State {
     Done,
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    instr: Instr,
-    seq: u64,
-    producers: [Option<u64>; 2],
-    state: State,
-    issue_cycle: u64,
-    /// Cycle the result is available (valid when `Issued`/`Done`).
-    ready_cycle: u64,
-    /// For loads: cycle the scheduler learns the true latency.
-    resolve_cycle: u64,
-    /// For loads: whether the latency exceeded the speculative assumption.
-    misspeculated: bool,
+/// Sentinel for "no producer" in the packed producer arrays.
+const NO_PRODUCER: u64 = u64::MAX;
+
+/// Flag bits in [`Rob::flags`].
+mod flag {
+    /// Load latency exceeded the speculative hit assumption.
+    pub const MISSPECULATED: u8 = 1 << 0;
     /// Replay already processed for this load.
-    replay_handled: bool,
+    pub const REPLAY_HANDLED: u8 = 1 << 1;
     /// This instruction is the mispredicted branch the front end is
     /// blocked on.
-    blocked_fetch: bool,
-    /// For memory ops: the cycle the data was actually available after the
-    /// first execution. A replayed load may re-access the cache (the line
-    /// has been filled functionally), but its data cannot materialise
-    /// before the original fill completes.
-    mem_first_ready: Option<u64>,
+    pub const BLOCKED_FETCH: u8 = 1 << 2;
+}
+
+/// The reorder buffer as flat parallel arrays over a ring of
+/// `capacity` slots; entry `seq` lives at slot `seq % capacity`.
+///
+/// Per-kind payloads sit in side arrays instead of inline `Option`s:
+/// `mem_addr`/`mem_base` are only meaningful for loads and stores,
+/// `mem_first_ready` (0 = never executed) only for loads.
+#[derive(Debug)]
+struct Rob {
+    /// Slot-index mask; the ring is sized to the next power of two above
+    /// the configured ROB capacity so slot lookup is a mask, not a divide
+    /// (occupancy is still capped at `rob_entries` by dispatch).
+    mask: u64,
+    state: Vec<State>,
+    kind: Vec<InstrKind>,
+    /// Producer seqs, [`NO_PRODUCER`] when absent.
+    producers: Vec<[u64; 2]>,
+    issue_cycle: Vec<u64>,
+    /// Cycle the result is available (valid when `Issued`/`Done`).
+    ready_cycle: Vec<u64>,
+    /// For loads: cycle the scheduler learns the true latency.
+    resolve_cycle: Vec<u64>,
+    flags: Vec<u8>,
+    /// For loads: the cycle the data was actually available after the
+    /// first execution (0 = none). A replayed load may re-access the
+    /// cache (the line has been filled functionally), but its data cannot
+    /// materialise before the original fill completes.
+    mem_first_ready: Vec<u64>,
+    /// Memory-op payload (valid only when `kind` is a load/store).
+    mem_addr: Vec<u64>,
+    mem_base: Vec<u64>,
+    /// For `Waiting` entries: a lower bound on the first cycle their
+    /// operands could all be ready. The issue scan skips the entry until
+    /// then instead of re-checking its producers every cycle. 0 = check
+    /// now; squash resets to 0; producer (re-)issue may pull it forward.
+    wake_cycle: Vec<u64>,
+    /// Consumers that went to sleep on this entry, by seq. Drained (and
+    /// min-woken) when the entry (re-)issues — a re-issued load opens a
+    /// fresh speculation window that can start earlier than the bound the
+    /// sleeper computed from the previous execution. Stale seqs are
+    /// filtered on drain.
+    waiters: Vec<Vec<u64>>,
+}
+
+impl Rob {
+    fn new(capacity: usize) -> Rob {
+        let capacity = capacity.next_power_of_two();
+        Rob {
+            mask: capacity as u64 - 1,
+            state: vec![State::Waiting; capacity],
+            kind: vec![InstrKind::IntAlu; capacity],
+            producers: vec![[NO_PRODUCER; 2]; capacity],
+            issue_cycle: vec![0; capacity],
+            ready_cycle: vec![0; capacity],
+            resolve_cycle: vec![0; capacity],
+            flags: vec![0; capacity],
+            mem_first_ready: vec![0; capacity],
+            mem_addr: vec![0; capacity],
+            mem_base: vec![0; capacity],
+            wake_cycle: vec![0; capacity],
+            waiters: vec![Vec::new(); capacity],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
+    }
 }
 
 /// The 8-wide out-of-order core (see crate docs).
@@ -55,7 +129,7 @@ pub struct Cpu {
     cfg: CpuConfig,
     mem: MemorySystem,
     bpred: BranchPredictor,
-    rob: VecDeque<Entry>,
+    rob: Rob,
     head_seq: u64,
     next_seq: u64,
     rename: [Option<u64>; NUM_REGS],
@@ -71,6 +145,19 @@ pub struct Cpu {
     /// An I-cache line whose fill/pull-up we already paid for: `(line,
     /// ready_cycle)`. Prevents re-charging the access on fetch retry.
     fetch_line_ready: Option<(u64, u64)>,
+    /// Wakeup events: every issue schedules `(ready_cycle, seq)`; stale
+    /// events (entry squashed or re-issued since) are dropped on pop.
+    ready_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Loads whose latency misspeculated, awaiting scheduler resolution.
+    /// Drained in ascending-seq order; stale seqs are filtered on drain.
+    pending_replays: Vec<u64>,
+    /// Waiting entries eligible for an operand check this cycle (their
+    /// `wake_cycle` has passed). The issue stage scans only this list —
+    /// sleeping entries cost nothing until a timer or producer wakes them.
+    awake: Vec<u64>,
+    /// Sleep-expiry timers: `(wake_cycle, seq)`, analogous to
+    /// `ready_events`; stale entries are filtered on pop.
+    wake_events: BinaryHeap<Reverse<(u64, u64)>>,
     stats: SimStats,
 }
 
@@ -78,7 +165,7 @@ impl std::fmt::Debug for Cpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cpu")
             .field("cycle", &self.cycle)
-            .field("rob", &self.rob.len())
+            .field("rob", &(self.next_seq - self.head_seq))
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -97,7 +184,7 @@ impl Cpu {
             cfg,
             mem,
             bpred: BranchPredictor::new(),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob: Rob::new(cfg.rob_entries),
             head_seq: 0,
             next_seq: 0,
             rename: [None; NUM_REGS],
@@ -109,6 +196,10 @@ impl Cpu {
             fetch_stall_until: 0,
             fetch_blocked_on: None,
             fetch_line_ready: None,
+            ready_events: BinaryHeap::with_capacity(cfg.rob_entries),
+            pending_replays: Vec::new(),
+            awake: Vec::with_capacity(cfg.rob_entries),
+            wake_events: BinaryHeap::with_capacity(cfg.rob_entries),
             stats: SimStats::default(),
         }
     }
@@ -125,23 +216,26 @@ impl Cpu {
         while self.stats.committed < target {
             self.step(trace);
             if self.cycle - last_progress.0 > 100_000 {
+                let head = (self.head_seq < self.next_seq).then(|| {
+                    let s = self.rob.slot(self.head_seq);
+                    (
+                        self.rob.kind[s],
+                        self.rob.state[s],
+                        self.rob.ready_cycle[s],
+                        self.rob.resolve_cycle[s],
+                        self.rob.flags[s],
+                    )
+                });
                 assert!(
                     self.stats.committed > last_progress.1,
                     "pipeline deadlock at cycle {}: rob={} iq={} lsq={} fq={} head={:?} \
                      blocked_on={:?} stall_until={}",
                     self.cycle,
-                    self.rob.len(),
+                    self.next_seq - self.head_seq,
                     self.iq_count,
                     self.lsq_count,
                     self.fetch_queue.len(),
-                    self.rob.front().map(|e| (
-                        e.instr.kind,
-                        e.state,
-                        e.ready_cycle,
-                        e.resolve_cycle,
-                        e.misspeculated,
-                        e.replay_handled
-                    )),
+                    head,
                     self.fetch_blocked_on,
                     self.fetch_stall_until,
                 );
@@ -187,79 +281,110 @@ impl Cpu {
         self.cycle += 1;
     }
 
-    fn idx(&self, seq: u64) -> Option<usize> {
-        if seq < self.head_seq {
-            return None; // retired
-        }
-        let i = (seq - self.head_seq) as usize;
-        (i < self.rob.len()).then_some(i)
+    #[inline]
+    fn live(&self, seq: u64) -> bool {
+        seq >= self.head_seq && seq < self.next_seq
     }
 
     /// Completion + load-latency resolution.
     fn complete(&mut self) {
         let cycle = self.cycle;
-        for i in 0..self.rob.len() {
-            let e = &mut self.rob[i];
-            if e.state == State::Issued && e.ready_cycle <= cycle {
-                e.state = State::Done;
-                if e.blocked_fetch && self.fetch_blocked_on == Some(e.seq) {
-                    let resume = e.ready_cycle + self.cfg.redirect_penalty;
-                    self.fetch_blocked_on = None;
-                    self.fetch_stall_until = self.fetch_stall_until.max(resume);
-                }
+        // Drain due wakeup events. An event is stale when its entry
+        // retired, was squashed back to Waiting, or was re-issued with a
+        // different ready cycle (the re-issue pushed its own event) — the
+        // surviving transitions are exactly the entries the original
+        // full-ROB scan would have found with `Issued && ready <= cycle`.
+        while let Some(&Reverse((ready, seq))) = self.ready_events.peek() {
+            if ready > cycle {
+                break;
+            }
+            self.ready_events.pop();
+            if !self.live(seq) {
+                continue;
+            }
+            let s = self.rob.slot(seq);
+            if self.rob.state[s] != State::Issued || self.rob.ready_cycle[s] > cycle {
+                continue;
+            }
+            self.rob.state[s] = State::Done;
+            if self.rob.flags[s] & flag::BLOCKED_FETCH != 0 && self.fetch_blocked_on == Some(seq) {
+                let resume = self.rob.ready_cycle[s] + self.cfg.redirect_penalty;
+                self.fetch_blocked_on = None;
+                self.fetch_stall_until = self.fetch_stall_until.max(resume);
             }
         }
         // Load-hit speculation resolution: squash dependents of loads whose
-        // latency exceeded the assumption.
-        for i in 0..self.rob.len() {
-            let e = &self.rob[i];
-            if e.instr.kind == InstrKind::Load
-                && e.misspeculated
-                && !e.replay_handled
-                && e.resolve_cycle <= cycle
-            {
-                let seq = e.seq;
-                self.rob[i].replay_handled = true;
-                self.replay(seq, i);
-            }
+        // latency exceeded the assumption. Drained in ascending seq order
+        // (the order the original scan visited them); the state machine is
+        // deliberately NOT consulted — a misspeculated load that was itself
+        // squashed back to Waiting still replays when its original resolve
+        // cycle passes, exactly as before.
+        if !self.pending_replays.is_empty() {
+            self.pending_replays.sort_unstable();
+            self.pending_replays.dedup();
+            let mut pending = std::mem::take(&mut self.pending_replays);
+            pending.retain(|&seq| {
+                if !self.live(seq) {
+                    return false;
+                }
+                let s = self.rob.slot(seq);
+                let fires = self.rob.kind[s] == InstrKind::Load
+                    && self.rob.flags[s] & flag::MISSPECULATED != 0
+                    && self.rob.flags[s] & flag::REPLAY_HANDLED == 0
+                    && self.rob.resolve_cycle[s] <= cycle;
+                if fires {
+                    self.rob.flags[s] |= flag::REPLAY_HANDLED;
+                    self.replay(seq);
+                    return false;
+                }
+                // Keep only entries that may still fire later.
+                self.rob.flags[s] & (flag::MISSPECULATED | flag::REPLAY_HANDLED)
+                    == flag::MISSPECULATED
+            });
+            // Only `issue` queues onto the list, and it runs after
+            // `complete` within a cycle, so nothing raced the drain.
+            debug_assert!(self.pending_replays.is_empty());
+            self.pending_replays = pending;
         }
     }
 
     /// Squashes and re-queues the speculatively issued consumers of the
-    /// mispredicted load at rob position `load_idx`.
-    fn replay(&mut self, load_seq: u64, load_idx: usize) {
+    /// mispredicted load `load_seq`.
+    fn replay(&mut self, load_seq: u64) {
         self.stats.load_misspeculations += 1;
-        let load_issue = self.rob[load_idx].issue_cycle;
-        let load_ready = self.rob[load_idx].ready_cycle;
+        let load_slot = self.rob.slot(load_seq);
+        let load_issue = self.rob.issue_cycle[load_slot];
+        let load_ready = self.rob.ready_cycle[load_slot];
         // Seq numbers squashed so far; dependences only point backwards, so
         // one forward pass reaches the transitive closure.
         let mut squashed: Vec<u64> = Vec::new();
-        for i in (load_idx + 1)..self.rob.len() {
-            let e = &self.rob[i];
-            if e.state == State::Waiting {
+        for seq in (load_seq + 1)..self.next_seq {
+            let s = self.rob.slot(seq);
+            if self.rob.state[s] == State::Waiting {
                 continue;
             }
             // Issued before the load's data was actually ready?
-            if e.issue_cycle >= load_ready {
+            if self.rob.issue_cycle[s] >= load_ready {
                 continue;
             }
             let hit = match self.cfg.replay_scope {
-                ReplayScope::DependentsOnly => e
-                    .producers
+                ReplayScope::DependentsOnly => self.rob.producers[s]
                     .iter()
-                    .flatten()
+                    .filter(|&&p| p != NO_PRODUCER)
                     .any(|&p| p == load_seq || squashed.binary_search(&p).is_ok()),
-                ReplayScope::AllYounger => e.issue_cycle > load_issue,
+                ReplayScope::AllYounger => self.rob.issue_cycle[s] > load_issue,
             };
             if hit {
-                squashed.push(self.rob[i].seq);
-                self.rob[i].state = State::Waiting;
+                squashed.push(seq);
+                self.rob.state[s] = State::Waiting;
+                self.rob.wake_cycle[s] = 0;
+                self.awake.push(seq);
                 self.stats.replays += 1;
                 self.iq_count += 1;
-                if self.rob[i].blocked_fetch {
+                if self.rob.flags[s] & flag::BLOCKED_FETCH != 0 {
                     // The branch that unblocked the front end was fed
                     // speculative data: re-block until it re-executes.
-                    self.fetch_blocked_on = Some(self.rob[i].seq);
+                    self.fetch_blocked_on = Some(seq);
                 }
             }
         }
@@ -267,50 +392,72 @@ impl Cpu {
 
     /// A load may not retire before the scheduler has resolved its latency
     /// (and run any replay); everything younger is therefore held too.
-    fn commit_safe(&self, e: &Entry) -> bool {
-        e.resolve_cycle == u64::MAX || self.cycle >= e.resolve_cycle || e.replay_handled
+    #[inline]
+    fn commit_safe(&self, slot: usize) -> bool {
+        self.rob.resolve_cycle[slot] == u64::MAX
+            || self.cycle >= self.rob.resolve_cycle[slot]
+            || self.rob.flags[slot] & flag::REPLAY_HANDLED != 0
     }
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            match self.rob.front() {
-                Some(e)
-                    if e.state == State::Done
-                        && e.ready_cycle <= self.cycle
-                        && self.commit_safe(e) =>
-                {
-                    let e = self.rob.pop_front().expect("front exists");
-                    self.head_seq = e.seq + 1;
-                    if e.instr.kind.is_mem() {
-                        self.lsq_count -= 1;
-                    }
-                    self.stats.committed += 1;
-                }
-                _ => break,
+            if self.head_seq == self.next_seq {
+                break;
             }
+            let s = self.rob.slot(self.head_seq);
+            if self.rob.state[s] != State::Done
+                || self.rob.ready_cycle[s] > self.cycle
+                || !self.commit_safe(s)
+            {
+                break;
+            }
+            if self.rob.kind[s].is_mem() {
+                self.lsq_count -= 1;
+            }
+            self.head_seq += 1;
+            self.stats.committed += 1;
         }
     }
 
     /// Is the value produced by `seq` available (or speculatively assumed
     /// available) to a consumer issuing at `cycle`?
-    fn operand_ready(&self, seq: u64, cycle: u64) -> bool {
-        let Some(i) = self.idx(seq) else {
-            return true; // retired -> architectural state
-        };
-        let e = &self.rob[i];
-        match e.state {
-            State::Done => e.ready_cycle <= cycle,
+    ///
+    /// Returns `None` when it is; otherwise a strict lower bound on the
+    /// first cycle it could become available, so the consumer can sleep
+    /// until then (`u64::MAX` while the producer has not itself issued —
+    /// the consumer is woken when it does). Under-estimating the bound
+    /// only costs a recheck; over-estimating would change timing, so every
+    /// branch below returns the *earliest* cycle the corresponding state
+    /// transition can make the value (speculatively) visible.
+    fn operand_wake(&self, seq: u64, cycle: u64) -> Option<u64> {
+        if !self.live(seq) {
+            return None; // retired -> architectural state
+        }
+        let s = self.rob.slot(seq);
+        match self.rob.state[s] {
+            // `complete` runs before `issue`, so a Done entry always has
+            // `ready_cycle <= cycle`; the bound is kept for robustness.
+            State::Done => (self.rob.ready_cycle[s] > cycle).then(|| self.rob.ready_cycle[s]),
             State::Issued => {
-                if e.instr.kind == InstrKind::Load {
+                if self.rob.kind[s] == InstrKind::Load {
                     // Load-hit speculation: before the scheduler learns the
-                    // true latency, consumers assume the hit latency.
-                    let assumed = e.issue_cycle + u64::from(self.dcache_hit_latency());
-                    cycle >= assumed && cycle < e.resolve_cycle
+                    // true latency, consumers assume the hit latency; the
+                    // value is assumed visible in [assumed, resolve).
+                    let assumed = self.rob.issue_cycle[s] + u64::from(self.dcache_hit_latency());
+                    if cycle < assumed {
+                        Some(assumed)
+                    } else if cycle < self.rob.resolve_cycle[s] {
+                        None
+                    } else {
+                        // Window closed on a misspeculated load: nothing
+                        // arrives before the true ready cycle.
+                        Some(self.rob.ready_cycle[s])
+                    }
                 } else {
-                    false
+                    Some(self.rob.ready_cycle[s])
                 }
             }
-            State::Waiting => false,
+            State::Waiting => Some(u64::MAX),
         }
     }
 
@@ -330,57 +477,103 @@ impl Cpu {
 
     fn issue(&mut self) {
         let cycle = self.cycle;
+        // Admit entries whose sleep just expired. A popped event is stale
+        // when its entry issued in the meantime (state left Waiting) or
+        // re-slept with a later bound (in which case its own fresh event
+        // is still queued).
+        while let Some(&Reverse((wake, seq))) = self.wake_events.peek() {
+            if wake > cycle {
+                break;
+            }
+            self.wake_events.pop();
+            if !self.live(seq) {
+                continue;
+            }
+            let s = self.rob.slot(seq);
+            if self.rob.state[s] != State::Waiting || self.rob.wake_cycle[s] > cycle {
+                continue;
+            }
+            self.awake.push(seq);
+        }
+        // Dispatch appends in order, but squash wake-ups and expired
+        // sleeps arrive unordered, and selection must stay oldest-first.
+        self.awake.sort_unstable();
+        self.awake.dedup();
         let mut issued = 0;
         let mut dcache_ops = 0;
         let mut store_ops = 0;
-        for i in 0..self.rob.len() {
+        // Detach the list so the issue body below can borrow `self`
+        // freely; nothing pushes to it during the scan (squashes happen in
+        // `complete`, dispatch runs after issue).
+        let mut awake = std::mem::take(&mut self.awake);
+        awake.retain(|&seq| {
             if issued >= self.cfg.issue_width {
-                break;
+                return true; // width exhausted; still a candidate next cycle
             }
-            let e = &self.rob[i];
-            if e.state != State::Waiting {
-                continue;
+            let s = self.rob.slot(seq);
+            if !self.live(seq) || self.rob.state[s] != State::Waiting {
+                return false;
             }
-            let is_mem = e.instr.kind.is_mem();
-            let is_store = e.instr.kind == InstrKind::Store;
-            if is_mem && dcache_ops >= self.cfg.dcache_ports {
-                continue;
+            let kind = self.rob.kind[s];
+            let is_mem = kind.is_mem();
+            let is_store = kind == InstrKind::Store;
+            if (is_mem && dcache_ops >= self.cfg.dcache_ports)
+                || (is_store && store_ops >= self.cfg.dcache_write_ports)
+            {
+                // Structurally blocked with (possibly) ready operands:
+                // stays awake and retries every cycle, as the full scan did.
+                return true;
             }
-            if is_store && store_ops >= self.cfg.dcache_write_ports {
-                continue;
+            let mut wake = 0;
+            for p in self.rob.producers[s] {
+                if p == NO_PRODUCER {
+                    continue;
+                }
+                if let Some(bound) = self.operand_wake(p, cycle) {
+                    wake = wake.max(bound);
+                    // Register for a wake: if the producer (re-)issues, its
+                    // fresh speculation window may open before `bound`.
+                    let ps = self.rob.slot(p);
+                    self.rob.waiters[ps].push(seq);
+                }
             }
-            let ready = e.producers.iter().flatten().all(|&p| self.operand_ready(p, cycle));
-            if !ready {
-                continue;
+            if wake > 0 {
+                // All bounds exceed the current cycle, so the entry cannot
+                // issue before `wake`; leave the awake list until then. A
+                // producer-less bound gets a timer event; a `u64::MAX`
+                // bound is woken by the registered producer's issue.
+                self.rob.wake_cycle[s] = wake;
+                if wake != u64::MAX {
+                    self.wake_events.push(Reverse((wake, seq)));
+                }
+                return false;
             }
             // Issue it.
-            let kind = self.rob[i].instr.kind;
-            let mem_ref = self.rob[i].instr.mem;
-            let prior_ready = self.rob[i].mem_first_ready;
+            let prior_ready = self.rob.mem_first_ready[s];
             let (ready_cycle, resolve_cycle, misspeculated) = match kind {
                 InstrKind::Load => {
-                    let m = mem_ref.expect("loads carry a memory reference");
+                    let addr = self.rob.mem_addr[s];
                     let predicted = self.cfg.predecode_hints.then(|| {
                         self.stats.hints += 1;
-                        m.base
+                        self.rob.mem_base[s]
                     });
-                    let out = self.mem.data_access_predicted(m.addr, predicted, false, cycle);
+                    let out = self.mem.data_access_predicted(addr, predicted, false, cycle);
                     self.stats.loads += 1;
                     // A replayed load re-accesses the cache, but the line
                     // fill from its first execution is still in flight: the
                     // data arrives no earlier than originally established.
-                    let ready = (cycle + u64::from(out.latency)).max(prior_ready.unwrap_or(0));
+                    let ready = (cycle + u64::from(out.latency)).max(prior_ready);
                     let resolve = cycle + self.cfg.load_resolution_delay;
                     let assumed = cycle + u64::from(self.dcache_hit_latency());
                     (ready, resolve, ready > assumed)
                 }
                 InstrKind::Store => {
-                    let m = mem_ref.expect("stores carry a memory reference");
+                    let addr = self.rob.mem_addr[s];
                     let predicted = self.cfg.predecode_hints.then(|| {
                         self.stats.hints += 1;
-                        m.base
+                        self.rob.mem_base[s]
                     });
-                    let out = self.mem.data_access_predicted(m.addr, predicted, true, cycle);
+                    let out = self.mem.data_access_predicted(addr, predicted, true, cycle);
                     self.stats.stores += 1;
                     // Stores drain through the store buffer: commit waits
                     // only for the cache port (plus any pull-up delay), not
@@ -391,19 +584,51 @@ impl Cpu {
                 }
                 k => (cycle + self.exec_latency(k), u64::MAX, false),
             };
-            let e = &mut self.rob[i];
-            e.state = State::Issued;
-            e.issue_cycle = cycle;
-            e.ready_cycle = ready_cycle;
-            e.resolve_cycle = resolve_cycle;
-            e.misspeculated = misspeculated;
-            if e.instr.kind == InstrKind::Load {
-                e.mem_first_ready = Some(ready_cycle);
-                // A re-issued load may misspeculate again (replay storms
-                // are real); allow another replay round.
-                e.replay_handled = false;
+            self.rob.state[s] = State::Issued;
+            self.rob.issue_cycle[s] = cycle;
+            self.rob.ready_cycle[s] = ready_cycle;
+            self.rob.resolve_cycle[s] = resolve_cycle;
+            let mut flags = self.rob.flags[s] & !(flag::MISSPECULATED | flag::REPLAY_HANDLED);
+            if misspeculated {
+                flags |= flag::MISSPECULATED;
             }
-            if e.instr.kind.is_control() {
+            if kind == InstrKind::Load {
+                self.rob.mem_first_ready[s] = ready_cycle;
+                // A re-issued load may misspeculate again (replay storms
+                // are real); each misspeculating issue queues a fresh
+                // replay round.
+                if misspeculated {
+                    self.pending_replays.push(seq);
+                }
+            }
+            self.rob.flags[s] = flags;
+            self.ready_events.push(Reverse((ready_cycle, seq)));
+            // Wake sleeping consumers: their stored bound may predate this
+            // (re-)issue, whose value can arrive earlier than they assumed.
+            // `min` never extends a sleep, so waking is always safe.
+            if !self.rob.waiters[s].is_empty() {
+                let dep_wake = if kind == InstrKind::Load {
+                    cycle + u64::from(self.dcache_hit_latency())
+                } else {
+                    ready_cycle
+                };
+                let mut ws = std::mem::take(&mut self.rob.waiters[s]);
+                for &w in &ws {
+                    if self.live(w) {
+                        let ds = self.rob.slot(w);
+                        if self.rob.state[ds] == State::Waiting {
+                            let wc = &mut self.rob.wake_cycle[ds];
+                            *wc = (*wc).min(dep_wake);
+                            // Re-admit the sleeper at its (possibly pulled
+                            // forward) wake cycle; stale events filter out.
+                            self.wake_events.push(Reverse((*wc, w)));
+                        }
+                    }
+                }
+                ws.clear();
+                self.rob.waiters[s] = ws;
+            }
+            if kind.is_control() {
                 self.stats.branches += 1;
             }
             issued += 1;
@@ -414,12 +639,17 @@ impl Cpu {
             if is_store {
                 store_ops += 1;
             }
-        }
+            false // issued: out of the awake list
+        });
+        debug_assert!(self.awake.is_empty());
+        self.awake = awake;
     }
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            if self.rob.len() >= self.cfg.rob_entries || self.iq_count >= self.cfg.iq_entries {
+            if (self.next_seq - self.head_seq) as usize >= self.cfg.rob_entries
+                || self.iq_count >= self.cfg.iq_entries
+            {
                 break;
             }
             let Some(instr) = self.fetch_queue.front().copied() else { break };
@@ -431,8 +661,8 @@ impl Cpu {
             let seq = self.next_seq;
             self.next_seq += 1;
             let producers = [
-                instr.srcs[0].and_then(|r| self.rename[r as usize]),
-                instr.srcs[1].and_then(|r| self.rename[r as usize]),
+                instr.srcs[0].and_then(|r| self.rename[r as usize]).unwrap_or(NO_PRODUCER),
+                instr.srcs[1].and_then(|r| self.rename[r as usize]).unwrap_or(NO_PRODUCER),
             ];
             if let Some(d) = instr.dest {
                 self.rename[d as usize] = Some(seq);
@@ -441,19 +671,24 @@ impl Cpu {
                 self.lsq_count += 1;
             }
             self.iq_count += 1;
-            self.rob.push_back(Entry {
-                instr,
-                seq,
-                producers,
-                state: State::Waiting,
-                issue_cycle: 0,
-                ready_cycle: 0,
-                resolve_cycle: u64::MAX,
-                misspeculated: false,
-                replay_handled: false,
-                blocked_fetch: self.fetch_blocked_on == Some(seq),
-                mem_first_ready: None,
-            });
+            let s = self.rob.slot(seq);
+            self.rob.state[s] = State::Waiting;
+            self.rob.kind[s] = instr.kind;
+            self.rob.producers[s] = producers;
+            self.rob.issue_cycle[s] = 0;
+            self.rob.ready_cycle[s] = 0;
+            self.rob.resolve_cycle[s] = u64::MAX;
+            self.rob.flags[s] =
+                if self.fetch_blocked_on == Some(seq) { flag::BLOCKED_FETCH } else { 0 };
+            self.rob.mem_first_ready[s] = 0;
+            self.rob.wake_cycle[s] = 0;
+            self.rob.waiters[s].clear();
+            self.awake.push(seq);
+            if is_mem {
+                let m = instr.mem.expect("memory ops carry a memory reference");
+                self.rob.mem_addr[s] = m.addr;
+                self.rob.mem_base[s] = m.base;
+            }
         }
     }
 

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the columnar trace store.
+//!
+//! Splits the two costs a shared trace has: *materialisation*, which
+//! generates and encodes columnar segments once per stream, and
+//! *replay*, the zero-copy decode of already-shared segments that every
+//! cursor pays. A hot-loop change to the codec shows up here long
+//! before it moves the end-to-end headline smoke.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bitline_exec::TraceStore;
+use bitline_trace::TraceSource;
+
+/// 16 segments' worth — enough to amortise cursor/segment handoff.
+const INSTRS: usize = 65_536;
+
+fn consume(store: &TraceStore) -> u64 {
+    let mut cursor = store.cursor("gcc", 1).expect("gcc is in the suite");
+    let mut acc = 0u64;
+    for _ in 0..INSTRS {
+        acc = acc.wrapping_add(cursor.next_instr().pc);
+    }
+    acc
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traces");
+    g.throughput(Throughput::Elements(INSTRS as u64));
+    // Cold: every iteration generates and encodes the stream afresh.
+    g.bench_function("materialise_64k_gcc", |b| {
+        b.iter(|| {
+            let store = TraceStore::new();
+            consume(&store)
+        });
+    });
+    // Warm: the stream is materialised once; iterations only decode the
+    // shared columnar segments through a fresh cursor.
+    g.bench_function("replay_64k_gcc_warm", |b| {
+        let store = TraceStore::new();
+        let _ = consume(&store);
+        b.iter(|| consume(&store));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

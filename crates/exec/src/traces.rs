@@ -3,63 +3,92 @@
 //! `WorkloadSpec::build(seed)` is deterministic, so every run of the same
 //! `(benchmark, seed)` pair consumes the same instruction stream — yet the
 //! serial drivers used to regenerate it for every configuration of every
-//! sweep. A [`TraceStore`] generates each stream once, on demand, into a
-//! shared append-only buffer; concurrent runs replay it through
-//! [`TraceCursor`]s that copy chunks out under a read lock.
+//! sweep. A [`TraceStore`] generates each stream once, on demand, into
+//! immutable columnar [`Segment`]s (`bitline_trace::columnar`); concurrent
+//! runs replay it through [`TraceCursor`]s that share segments by
+//! reference count — no copying, no lock on the hot path, and roughly a
+//! quarter of the memory an `Instr` array would hold.
 //!
-//! Laziness subsumes the instruction-count dimension of the key: a run
-//! that consumes more instructions simply extends the shared prefix, and
-//! every other reader sees the identical stream it would have generated
-//! itself.
+//! Generation batches a whole segment into a local builder before a
+//! single locked append, so concurrent readers stall for one `Vec` push,
+//! not one push per instruction. Laziness subsumes the instruction-count
+//! dimension of the key: a run that consumes more instructions simply
+//! extends the shared stream segment by segment, and every other reader
+//! sees the identical prefix it would have generated itself.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
+use bitline_trace::columnar::{Segment, SegmentBuilder, SegmentCursor};
 use bitline_trace::{Instr, TraceSource};
 use bitline_workloads::{suite, SyntheticWorkload};
 
-/// Instructions copied per cursor refill: one brief read-lock per `CHUNK`
-/// instructions instead of one per instruction.
-const CHUNK: usize = 4096;
+/// Instructions per columnar segment: one generator+encode batch, and the
+/// sharing granule between cursors.
+const SEG_LEN: usize = 4096;
+
+/// Generator plus encoder state; the encoder's cross-segment pc-delta
+/// chain must advance in lockstep with the generator, so they share a
+/// mutex.
+#[derive(Debug)]
+struct Producer {
+    generator: SyntheticWorkload,
+    builder: SegmentBuilder,
+}
 
 /// One benchmark's shared stream for one seed.
 #[derive(Debug)]
 struct SharedTrace {
     name: String,
-    /// The generator; locked only to extend `buf`.
-    generator: Mutex<SyntheticWorkload>,
-    /// Everything generated so far, in generator order.
-    buf: RwLock<Vec<Instr>>,
+    /// Locked only while generating and encoding the next segment.
+    producer: Mutex<Producer>,
+    /// Everything materialised so far, in stream order. Each segment is
+    /// immutable and shared with cursors by refcount.
+    segments: RwLock<Vec<Arc<Segment>>>,
 }
 
 impl SharedTrace {
-    /// Copies up to `CHUNK` instructions starting at global index `start`
-    /// into `out`, generating more of the stream if needed.
-    fn fill(&self, start: usize, out: &mut Vec<Instr>) {
-        {
-            let buf = self.buf.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-            if start < buf.len() {
-                out.extend_from_slice(&buf[start..buf.len().min(start + CHUNK)]);
-                return;
+    /// The segment at `idx`, materialising the stream up to it if needed.
+    fn segment(&self, idx: usize) -> Arc<Segment> {
+        loop {
+            {
+                let segments =
+                    self.segments.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(seg) = segments.get(idx) {
+                    return Arc::clone(seg);
+                }
+            }
+            // Lock order is always producer → segments, and appends happen
+            // in stream order under the producer lock, so the segment list
+            // extends deterministically no matter which reader gets here
+            // first.
+            let mut producer =
+                self.producer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let have =
+                self.segments.read().unwrap_or_else(std::sync::PoisonError::into_inner).len();
+            // Another thread may have produced it while we waited.
+            for _ in have..=idx {
+                debug_assert!(producer.builder.is_empty());
+                for _ in 0..SEG_LEN {
+                    let instr = producer.generator.next_instr();
+                    producer.builder.push(&instr);
+                }
+                let seg = Arc::new(producer.builder.finish_segment());
+                bitline_obs::counter!("exec.traces.materialised").add(SEG_LEN as u64);
+                // Readers only ever stall for this one push.
+                self.segments.write().unwrap_or_else(std::sync::PoisonError::into_inner).push(seg);
             }
         }
-        // Lock order is always generator → buffer, and appends happen with
-        // both held, so the buffer extends strictly in generator order no
-        // matter which reader gets here first.
-        let mut generator =
-            self.generator.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut buf = self.buf.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let before = buf.len();
-        while buf.len() < start + CHUNK {
-            buf.push(generator.next_instr());
-        }
-        bitline_obs::counter!("exec.traces.materialised")
-            .add(u64::try_from(buf.len() - before).unwrap_or(u64::MAX));
-        out.extend_from_slice(&buf[start..start + CHUNK]);
     }
 
-    fn len(&self) -> usize {
-        self.buf.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    fn len(&self) -> u64 {
+        let segments = self.segments.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        segments.iter().map(|s| s.len() as u64).sum()
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        let segments = self.segments.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        segments.iter().map(|s| s.heap_bytes() as u64).sum()
     }
 }
 
@@ -70,11 +99,19 @@ pub struct TraceStoreStats {
     pub traces: usize,
     /// Total instructions held across all streams.
     pub instructions: u64,
+    /// Heap bytes held by the columnar segments (shared across cursors).
+    pub bytes: u64,
 }
 
 impl std::fmt::Display for TraceStoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} shared traces, {} instrs materialised", self.traces, self.instructions)
+        write!(
+            f,
+            "{} shared traces, {} instrs materialised ({} KiB columnar)",
+            self.traces,
+            self.instructions,
+            self.bytes / 1024
+        )
     }
 }
 
@@ -102,24 +139,28 @@ impl TraceStore {
                 let spec = suite::by_name(benchmark)?;
                 let t = Arc::new(SharedTrace {
                     name: benchmark.to_owned(),
-                    generator: Mutex::new(spec.build(seed)),
-                    buf: RwLock::new(Vec::new()),
+                    producer: Mutex::new(Producer {
+                        generator: spec.build(seed),
+                        builder: SegmentBuilder::new(),
+                    }),
+                    segments: RwLock::new(Vec::new()),
                 });
                 traces.insert((benchmark.to_owned(), seed), Arc::clone(&t));
                 bitline_obs::counter!("exec.traces.streams").incr();
                 t
             }
         };
-        Some(TraceCursor { trace, chunk: Vec::new(), chunk_start: 0, pos: 0 })
+        Some(TraceCursor { trace, seg: None, seg_idx: 0, cur: SegmentCursor::new(), prev_pc: 0 })
     }
 
-    /// Stream count and total materialised instructions.
+    /// Stream count, total materialised instructions, and columnar bytes.
     #[must_use]
     pub fn stats(&self) -> TraceStoreStats {
         let traces = self.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         TraceStoreStats {
             traces: traces.len(),
-            instructions: traces.values().map(|t| t.len() as u64).sum(),
+            instructions: traces.values().map(|t| t.len()).sum(),
+            bytes: traces.values().map(|t| t.heap_bytes()).sum(),
         }
     }
 
@@ -131,28 +172,34 @@ impl TraceStore {
 
 /// A per-run replay position into a [`SharedTrace`].
 ///
-/// Implements [`TraceSource`] by copying chunks out of the shared buffer,
-/// so the hot `next_instr` path is an array read with no locking.
+/// Implements [`TraceSource`] by decoding the current shared segment in
+/// place: the hot `next_instr` path touches only refcounted immutable
+/// columns — no locking, no copies. The decode state (`prev_pc` and the
+/// side-column positions) advances strictly forward, exactly how the
+/// builder encoded the stream.
 #[derive(Debug)]
 pub struct TraceCursor {
     trace: Arc<SharedTrace>,
-    chunk: Vec<Instr>,
-    /// Global index of `chunk[0]`.
-    chunk_start: usize,
-    /// Global index of the next instruction to deliver.
-    pos: usize,
+    /// Current segment, shared by refcount (`None` before the first read).
+    seg: Option<Arc<Segment>>,
+    /// Index of `seg` in the stream.
+    seg_idx: usize,
+    cur: SegmentCursor,
+    prev_pc: u64,
 }
 
 impl TraceSource for TraceCursor {
     fn next_instr(&mut self) -> Instr {
-        if self.pos - self.chunk_start >= self.chunk.len() {
-            self.chunk_start = self.pos;
-            self.chunk.clear();
-            self.trace.fill(self.pos, &mut self.chunk);
+        loop {
+            if let Some(seg) = &self.seg {
+                if let Some(instr) = seg.decode(&mut self.cur, &mut self.prev_pc) {
+                    return instr;
+                }
+                self.seg_idx += 1;
+            }
+            self.seg = Some(self.trace.segment(self.seg_idx));
+            self.cur = SegmentCursor::new();
         }
-        let instr = self.chunk[self.pos - self.chunk_start];
-        self.pos += 1;
-        instr
     }
 
     fn name(&self) -> &str {
@@ -170,7 +217,7 @@ mod tests {
         let store = TraceStore::new();
         let mut cursor = store.cursor("mesa", 42).expect("mesa is in the suite");
         let mut direct = suite::by_name("mesa").unwrap().build(42);
-        for i in 0..(2 * CHUNK + 17) {
+        for i in 0..(2 * SEG_LEN + 17) {
             assert_eq!(cursor.next_instr(), direct.next_instr(), "instr {i}");
         }
         assert_eq!(cursor.name(), "mesa");
@@ -205,14 +252,14 @@ mod tests {
         let store = TraceStore::new();
         let reference: Vec<Instr> = {
             let mut direct = suite::by_name("health").unwrap().build(7);
-            std::iter::repeat_with(|| direct.next_instr()).take(CHUNK + 100).collect()
+            std::iter::repeat_with(|| direct.next_instr()).take(SEG_LEN + 100).collect()
         };
         let streams = pool::with_jobs(8, || {
             pool::run_indexed(8, |i| {
                 let mut cursor = store.cursor("health", 7).expect("health is in the suite");
                 // Readers consume different lengths to exercise extension
                 // racing: every prefix must still match the generator.
-                let n = CHUNK / 2 + i * 64;
+                let n = SEG_LEN / 2 + i * 64;
                 std::iter::repeat_with(|| cursor.next_instr()).take(n).collect::<Vec<_>>()
             })
         });
@@ -221,6 +268,37 @@ mod tests {
         }
         let stats = store.stats();
         assert_eq!(stats.traces, 1);
-        assert!(stats.instructions >= (CHUNK / 2) as u64);
+        assert!(stats.instructions >= (SEG_LEN / 2) as u64);
+    }
+
+    #[test]
+    fn columnar_segments_undercut_the_instr_array_4x() {
+        let store = TraceStore::new();
+        let mut cursor = store.cursor("gcc", 3).unwrap();
+        for _ in 0..(3 * SEG_LEN) {
+            let _ = cursor.next_instr();
+        }
+        let stats = store.stats();
+        let aos = stats.instructions * std::mem::size_of::<Instr>() as u64;
+        assert!(
+            stats.bytes * 4 <= aos,
+            "columnar {} B vs Instr array {aos} B — expected >= 4x reduction",
+            stats.bytes
+        );
+    }
+
+    #[test]
+    fn cursors_share_segments_by_refcount() {
+        let store = TraceStore::new();
+        let mut a = store.cursor("mesa", 1).unwrap();
+        let mut b = store.cursor("mesa", 1).unwrap();
+        for _ in 0..SEG_LEN {
+            let _ = a.next_instr();
+            let _ = b.next_instr();
+        }
+        let (sa, sb) = (a.seg.as_ref().unwrap(), b.seg.as_ref().unwrap());
+        assert!(Arc::ptr_eq(sa, sb), "both cursors decode the same shared segment");
+        // One segment materialised once, not per cursor.
+        assert_eq!(store.stats().instructions, SEG_LEN as u64);
     }
 }

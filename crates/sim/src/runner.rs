@@ -269,6 +269,10 @@ pub fn try_run_benchmark_supervised(
     // Chunk-boundary instrumentation: one interned-handle counter add per
     // 2048 committed instructions, the same cadence as the cancel poll.
     let chunk_counter = bitline_obs::counter!("sim.runner.chunks");
+    // Wall time spent inside `Cpu::run` proper — the data-oriented hot
+    // loop — excluding setup, energy modelling and reporting. This is
+    // what the MIPS throughput gauge measures.
+    let mut busy = std::time::Duration::ZERO;
     while stats.committed < spec.instructions {
         if token.cancelled() {
             bitline_obs::counter!("sim.runner.timeouts").incr();
@@ -279,7 +283,9 @@ pub fn try_run_benchmark_supervised(
             });
         }
         let chunk = (spec.instructions - stats.committed).min(CANCEL_POLL_INSTRS);
+        let t = std::time::Instant::now();
         stats = cpu.run(&mut trace, chunk);
+        busy += t.elapsed();
         chunk_counter.incr();
     }
     let end_cycle = stats.cycles;
@@ -290,11 +296,27 @@ pub fn try_run_benchmark_supervised(
     let i_way_stats = mem.l1i().way_stats();
     let (d_report, i_report) = mem.finalize(end_cycle);
 
-    // Run-completion accounting: every counter below is a pure function of
-    // (benchmark, spec), so totals are identical across job counts.
+    // Run-completion accounting: every counter below except the wall-time
+    // `busy_micros` is a pure function of (benchmark, spec), so their
+    // totals are identical across job counts. `busy_micros` is timing
+    // telemetry (how long the hot loop actually ran) and is excluded from
+    // the cross-jobs differential alongside `exec.pool.*`.
     bitline_obs::counter!("sim.runner.runs").incr();
-    bitline_obs::counter!("sim.runner.committed_instructions").add(stats.committed);
+    let committed_counter = bitline_obs::counter!("sim.runner.committed_instructions");
+    committed_counter.add(stats.committed);
     bitline_obs::counter!("sim.runner.cycles").add(stats.cycles);
+    let busy_counter = bitline_obs::counter!("sim.runner.busy_micros");
+    busy_counter.add(u64::try_from(busy.as_micros()).unwrap_or(u64::MAX));
+    // Cumulative simulation throughput: committed instructions per
+    // microsecond of hot-loop time is exactly MIPS; the gauge carries
+    // thousandths of a MIPS (milli-MIPS) so integer storage keeps three
+    // decimal places. Under a parallel sweep this is per-worker
+    // throughput, since each worker's busy time accumulates.
+    if let Some(milli_mips) =
+        committed_counter.get().saturating_mul(1000).checked_div(busy_counter.get())
+    {
+        bitline_obs::gauge!("sim.runner.mips").set(i64::try_from(milli_mips).unwrap_or(i64::MAX));
+    }
     let registry = bitline_obs::registry();
     registry
         .counter(&format!("sim.runner.precharges.d.{}", spec.d_policy.label()))

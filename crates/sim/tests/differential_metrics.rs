@@ -37,12 +37,15 @@ fn delta(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> BTree
 
 /// Counters excluded from the per-key equality: `exec.pool.*` measures
 /// *scheduling* (how work spread over workers legitimately differs
-/// between job counts), and `sim.accountants.*` rides on a cache that
-/// intentionally survives `clear_run_caches()`, so its hit/miss *split*
-/// depends on process history — the hits+misses total is still compared
-/// below.
+/// between job counts), `sim.runner.busy_micros` is wall-clock timing of
+/// the hot loop (feeding the `sim.runner.mips` throughput gauge), and
+/// `sim.accountants.*` rides on a cache that intentionally survives
+/// `clear_run_caches()`, so its hit/miss *split* depends on process
+/// history — the hits+misses total is still compared below.
 fn is_excluded(name: &str) -> bool {
-    name.starts_with("exec.pool.") || name.starts_with("sim.accountants.")
+    name.starts_with("exec.pool.")
+        || name.starts_with("sim.accountants.")
+        || name == "sim.runner.busy_micros"
 }
 
 fn accountant_lookups(d: &BTreeMap<String, u64>) -> u64 {

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod columnar;
 
 use serde::{Deserialize, Serialize};
 
