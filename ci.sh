@@ -2,6 +2,13 @@
 # Tier-1 CI gate: build, test, lint, format. Run from the repo root.
 #
 #   ./ci.sh          full gate
+#   ./ci.sh chaos    failpoint chaos gate: proves a run with every
+#                    failpoint armed at probability 0 is byte-identical
+#                    to one with BITLINE_FAILPOINTS unset, then runs the
+#                    seeded chaos soak (crates/serve/tests/chaos.rs) at
+#                    BITLINE_CHAOS_SEED (default 42); set
+#                    BITLINE_CHAOS_SECONDS to keep re-running the soak
+#                    with incrementing seeds for that long
 #   ./ci.sh smoke    timed headline smoke: runs the headline figure at
 #                    jobs=1 and jobs=N, fails if the figure differs, and
 #                    writes wall-clock + run-cache stats to
@@ -468,8 +475,59 @@ serve_smoke() {
     echo "==> smoke: serve OK — dedup, warm restart, shedding, and drain all verified"
 }
 
+chaos() {
+    local seed="${BITLINE_CHAOS_SEED:-42}"
+    local instrs="${BITLINE_INSTRS:-2000}"
+    CHAOS_TMP="$(mktemp -d)"
+    trap 'rm -rf "$CHAOS_TMP"' EXIT
+
+    echo "==> chaos: build bitline-sim and the chaos test harness"
+    cargo build -q -p bitline-sim
+    cargo test -q -p bitline-serve --test chaos --no-run
+
+    # Disarmed-identity gate: arming every wired seam at probability 0
+    # must leave the product bit-for-bit alone — the instrumentation is
+    # free when it cannot fire.
+    echo "==> chaos: disarmed identity — armed-at-@0 sweep vs unset"
+    local sim=./target/debug/bitline-sim
+    local ref="$CHAOS_TMP/ref.out" armed="$CHAOS_TMP/armed.out"
+    "$sim" -b all -i "$instrs" -j 2 --checkpoint "$CHAOS_TMP/ref-ckpt" \
+        >"$ref" 2>/dev/null
+    BITLINE_FAILPOINTS='journal.append.write=shortwrite(5)@0;journal.append.fsync=err(EIO)@0;checkpoint.record=err(ENOSPC)@0;journal.atomic_write=err(ENOSPC)@0;pool.worker=delay(1ms)@0;traces.materialise=delay(1ms)@0' \
+        "$sim" -b all -i "$instrs" -j 2 --checkpoint "$CHAOS_TMP/armed-ckpt" \
+        >"$armed" 2>/dev/null
+    if ! diff -u "$ref" "$armed"; then
+        echo "==> chaos: FAIL — armed-at-@0 failpoints changed the output" >&2
+        exit 1
+    fi
+
+    echo "==> chaos: soak at seed $seed"
+    BITLINE_CHAOS_SEED="$seed" cargo test -q -p bitline-serve --test chaos
+
+    # Soak mode: keep replaying the same schedule shape under fresh seeds
+    # until the budget runs out; any seed that breaks an invariant is
+    # reproducible by exporting it as BITLINE_CHAOS_SEED.
+    if [[ -n "${BITLINE_CHAOS_SECONDS:-}" ]]; then
+        local t_end=$((SECONDS + BITLINE_CHAOS_SECONDS))
+        local iterations=0
+        while [[ "$SECONDS" -lt "$t_end" ]]; do
+            seed=$((seed + 1))
+            iterations=$((iterations + 1))
+            echo "==> chaos: soak iteration $iterations (seed $seed)"
+            BITLINE_CHAOS_SEED="$seed" cargo test -q -p bitline-serve --test chaos
+        done
+        echo "==> chaos: soaked $iterations extra seed(s) in ${BITLINE_CHAOS_SECONDS}s"
+    fi
+    echo "==> chaos: OK — disarmed identity held, soak green (last seed $seed)"
+}
+
 if [[ "${1:-}" == "smoke" ]]; then
     smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "chaos" ]]; then
+    chaos
     exit 0
 fi
 

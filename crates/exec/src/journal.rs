@@ -76,6 +76,13 @@ pub struct Journal {
     file: File,
     path: PathBuf,
     keys: HashSet<String>,
+    /// Byte length of the last fully synced frame: a failed append — real
+    /// or injected via the `journal.append.*` failpoints — rolls the file
+    /// back here so torn bytes never desynchronise later frames.
+    good_len: u64,
+    /// Failpoint tag (the checkpoint directory name), so tests can arm
+    /// `journal.append.write[<dir>]=...` against exactly one journal.
+    tag: String,
 }
 
 impl Journal {
@@ -143,8 +150,10 @@ impl Journal {
         }
 
         let file = OpenOptions::new().append(true).open(&path)?;
+        let good_len = file.metadata()?.len();
         let keys = entries.iter().map(|e| e.key.clone()).collect();
-        Ok((Journal { file, path, keys }, entries, report))
+        let tag = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        Ok((Journal { file, path, keys, good_len, tag }, entries, report))
     }
 
     /// Whether `key` already has a journaled entry (loaded or appended).
@@ -172,18 +181,51 @@ impl Journal {
     }
 
     /// Appends one entry and syncs it to disk before returning; a crash
-    /// after `append` returns cannot lose the entry.
+    /// after `append` returns cannot lose the entry. A *failed* append —
+    /// ENOSPC, a torn write, an fsync error, or the `journal.append.write`
+    /// / `journal.append.fsync` failpoints — leaves no trace: the file is
+    /// rolled back to the last good frame boundary so later appends stay
+    /// framed correctly.
     ///
     /// # Errors
     ///
     /// I/O failure writing or syncing the journal file.
     pub fn append(&mut self, key: &str, value: &[u8]) -> std::io::Result<()> {
-        self.file.write_all(&frame(key, value))?;
-        self.file.flush()?;
-        self.file.sync_data()?;
+        let bytes = frame(key, value);
+        if let Err(e) = self.append_synced(&bytes) {
+            // Best-effort rollback; if even the truncate fails, the torn
+            // tail is dropped by the scan on the next open instead.
+            if let Err(trunc) = self.file.set_len(self.good_len) {
+                eprintln!(
+                    "[journal] warning: could not roll back torn append in {}: {trunc}",
+                    self.path.display()
+                );
+            }
+            return Err(e);
+        }
+        self.good_len += bytes.len() as u64;
         counter!("exec.journal.appends").incr();
         counter!("exec.journal.fsyncs").incr();
         self.keys.insert(key.to_owned());
+        Ok(())
+    }
+
+    /// Writes one framed entry through the `journal.append.*` failpoints
+    /// and syncs it. On `shortwrite(n)` only the first `n` bytes land —
+    /// a torn frame, exactly what a crash mid-`write_all` leaves.
+    fn append_synced(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match bitline_failpoint::write_fate_tagged("journal.append.write", &self.tag) {
+            bitline_failpoint::WriteFate::Full => self.file.write_all(bytes)?,
+            bitline_failpoint::WriteFate::Fail(e) => return Err(e),
+            bitline_failpoint::WriteFate::Short(n) => {
+                self.file.write_all(&bytes[..n.min(bytes.len())])?;
+                self.file.flush()?;
+                return Err(std::io::Error::from_raw_os_error(28)); // ENOSPC
+            }
+        }
+        self.file.flush()?;
+        bitline_failpoint::io_result_tagged("journal.append.fsync", &self.tag)?;
+        self.file.sync_data()?;
         Ok(())
     }
 }
@@ -267,19 +309,32 @@ fn scan(bytes: &[u8]) -> (Vec<JournalEntry>, LoadReport) {
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    let tag = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
     let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
-    let mut file = File::create(&tmp)?;
-    file.write_all(bytes)?;
-    file.flush()?;
-    file.sync_data()?;
-    drop(file);
-    match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = fs::remove_file(&tmp);
-            Err(e)
+    let outcome = (|| {
+        let mut file = File::create(&tmp)?;
+        // The compaction tmp-write seam: a torn tmp image is exactly what
+        // a crash mid-compaction leaves. The error path below removes the
+        // tmp (a *failed* write cleans up; only a process death leaves
+        // residue for the next open to ignore).
+        match bitline_failpoint::write_fate_tagged("journal.atomic_write", &tag) {
+            bitline_failpoint::WriteFate::Full => file.write_all(bytes)?,
+            bitline_failpoint::WriteFate::Fail(e) => return Err(e),
+            bitline_failpoint::WriteFate::Short(n) => {
+                file.write_all(&bytes[..n.min(bytes.len())])?;
+                file.flush()?;
+                return Err(std::io::Error::from_raw_os_error(28)); // ENOSPC
+            }
         }
+        file.flush()?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if outcome.is_err() {
+        let _ = fs::remove_file(&tmp);
     }
+    outcome
 }
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.

@@ -145,7 +145,12 @@ pub fn run_indexed_supervised<T: Send>(
     gauge!("exec.pool.workers").set(i64::try_from(workers).unwrap_or(i64::MAX));
     if workers <= 1 {
         counter!("exec.pool.inline_units").add(units);
-        return (0..n).map(|i| f(i, &CancelToken::for_budget(budget))).collect();
+        return (0..n)
+            .map(|i| {
+                bitline_failpoint::failpoint!("pool.worker");
+                f(i, &CancelToken::for_budget(budget))
+            })
+            .collect();
     }
     // All units are submitted at once, so a unit's queue wait is the time
     // from batch start to its pickup by a worker.
@@ -167,6 +172,10 @@ pub fn run_indexed_supervised<T: Send>(
                             if i >= n {
                                 break;
                             }
+                            // Worker pickup seam: a `pool.worker=panic`
+                            // schedule exercises the batch's isolation
+                            // story; delay/stall model a descheduled core.
+                            bitline_failpoint::failpoint!("pool.worker");
                             histo!("exec.pool.queue_wait_us").record_duration(submitted.elapsed());
                             let picked = Instant::now();
                             out.push((i, f(i, &CancelToken::for_budget(budget))));

@@ -68,6 +68,9 @@ impl SharedTrace {
                 self.segments.read().unwrap_or_else(std::sync::PoisonError::into_inner).len();
             // Another thread may have produced it while we waited.
             for _ in have..=idx {
+                // Materialisation seam: delay/stall here model a slow
+                // producer with readers queued on the segment lock.
+                bitline_failpoint::failpoint!("traces.materialise");
                 debug_assert!(producer.builder.is_empty());
                 for _ in 0..SEG_LEN {
                     let instr = producer.generator.next_instr();

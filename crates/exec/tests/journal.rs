@@ -1,14 +1,16 @@
 //! Crash-safety properties of the checkpoint journal: arbitrary entry
 //! sets survive a write/reopen cycle, a torn tail cut at *every* byte
-//! offset never loses a fully synced entry, and a flipped bit quarantines
-//! exactly the damaged entry.
+//! offset never loses a fully synced entry, a flipped bit quarantines
+//! exactly the damaged entry, and armed `journal.*` failpoints tear real
+//! appends without ever desynchronising the frames that follow.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bitline_exec::journal::{crc32, JOURNAL_FILE};
+use bitline_exec::journal::{atomic_write, crc32, JOURNAL_FILE};
 use bitline_exec::Journal;
+use bitline_failpoint::io::FallibleWriter;
 use proptest::prelude::*;
 
 /// A scratch directory unique to this process and call site.
@@ -108,38 +110,6 @@ fn truncated_tail_recovers_every_complete_entry() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// An `io::Write` that models a filesystem running out of space: it
-/// honours at most `budget` bytes in total, serves *short* writes (at
-/// most `max_chunk` bytes per call) on the way there, and then fails
-/// every call with `ENOSPC`. Standard library callers like `write_all`
-/// retry short writes, so the bytes that reach "disk" are exactly the
-/// first `budget` — a frame cut mid-payload, mid-header, or mid-magic
-/// depending on the budget.
-struct FallibleWriter {
-    out: Vec<u8>,
-    budget: usize,
-    max_chunk: usize,
-}
-
-impl Write for FallibleWriter {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        if self.budget == 0 || buf.is_empty() {
-            if buf.is_empty() {
-                return Ok(0);
-            }
-            // 28 == ENOSPC on Linux.
-            return Err(std::io::Error::from_raw_os_error(28));
-        }
-        let n = buf.len().min(self.budget).min(self.max_chunk);
-        self.out.extend_from_slice(&buf[..n]);
-        self.budget -= n;
-        Ok(n)
-    }
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
 /// Frames one entry exactly as the journal does:
 /// `[len:u32le][crc32:u32le][klen:u32le|key|value]`.
 fn chaos_frame(key: &str, value: &[u8]) -> Vec<u8> {
@@ -174,7 +144,7 @@ fn enospc_mid_frame_loses_only_the_torn_tail() {
     for max_chunk in [1usize, 3, 64, usize::MAX] {
         for budget in 0..=full.len() {
             // Write through the failing writer until it reports ENOSPC.
-            let mut w = FallibleWriter { out: Vec::new(), budget, max_chunk };
+            let mut w = FallibleWriter::new(budget, max_chunk);
             let outcome = w.write_all(&full);
             assert_eq!(outcome.is_err(), budget < full.len(), "budget {budget}");
             if let Err(e) = outcome {
@@ -247,7 +217,7 @@ fn interrupted_compaction_leaves_the_original_authoritative() {
     for budget in 0..=compacted.len() {
         let dir = scratch("compact-race");
         std::fs::write(dir.join(JOURNAL_FILE), &damaged).expect("write damaged journal");
-        let mut w = FallibleWriter { out: Vec::new(), budget, max_chunk: 7 };
+        let mut w = FallibleWriter::new(budget, 7);
         let _ = w.write_all(&compacted);
         std::fs::write(dir.join(&tmp_name), &w.out).expect("write partial compaction");
 
@@ -276,6 +246,95 @@ fn interrupted_compaction_leaves_the_original_authoritative() {
         assert!(!clean.truncated_tail);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Tag helper: journal failpoints are tagged with the checkpoint
+/// directory *name*, so a test can tear exactly its own journal while
+/// unrelated journal tests run concurrently in the same process.
+fn dir_tag(dir: &std::path::Path) -> String {
+    dir.file_name().expect("scratch dir name").to_string_lossy().into_owned()
+}
+
+/// An armed `journal.append.write=shortwrite(N)` failpoint tears a live
+/// append mid-frame; the rollback must leave the journal byte-exact at
+/// the last good frame so every later append still round-trips.
+#[test]
+fn armed_shortwrite_failpoint_tears_one_append_and_rolls_back() {
+    let dir = scratch("fp-shortwrite");
+    let tag = dir_tag(&dir);
+    let (mut journal, _, _) = Journal::open(&dir).expect("open");
+    journal.append("before@0", b"kept").expect("append before fault");
+
+    bitline_failpoint::arm(&format!("journal.append.write[{tag}]=shortwrite(5)")).unwrap();
+    let fired_before = bitline_failpoint::fired("journal.append.write");
+    let err = journal.append("torn@1", b"never lands").expect_err("torn append fails");
+    assert_eq!(err.raw_os_error(), Some(28), "the tear surfaces as ENOSPC");
+    assert_eq!(bitline_failpoint::fired("journal.append.write"), fired_before + 1);
+    bitline_failpoint::disarm("journal.append.write");
+
+    // Disarmed, appends work again — and land *after* the rolled-back
+    // frame boundary, not after torn residue.
+    journal.append("after@2", b"also kept").expect("append after fault");
+    assert!(!journal.contains("torn@1"), "the torn key is not remembered");
+
+    let (_, entries, report) = Journal::open(&dir).expect("reopen");
+    assert_eq!(
+        entries.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+        vec!["before@0", "after@2"],
+        "exactly the successful appends survive, in order"
+    );
+    assert_eq!(report.quarantined, 0, "rollback leaves no torn bytes to quarantine");
+    assert!(!report.truncated_tail, "rollback leaves no partial frame");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An injected fsync error fails the append cleanly (rolled back, key not
+/// recorded), modelling a disk that accepts bytes it cannot make durable.
+#[test]
+fn armed_fsync_failpoint_fails_the_append_cleanly() {
+    let dir = scratch("fp-fsync");
+    let tag = dir_tag(&dir);
+    let (mut journal, _, _) = Journal::open(&dir).expect("open");
+
+    bitline_failpoint::arm(&format!("journal.append.fsync[{tag}]=err(EIO)")).unwrap();
+    let err = journal.append("unsynced@0", b"gone").expect_err("fsync fault fails the append");
+    assert_eq!(err.raw_os_error(), Some(5));
+    bitline_failpoint::disarm("journal.append.fsync");
+
+    journal.append("synced@1", b"kept").expect("append after fault");
+    let (_, entries, report) = Journal::open(&dir).expect("reopen");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].key, "synced@1");
+    assert_eq!(report.quarantined, 0);
+    assert!(!report.truncated_tail);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An injected failure in `atomic_write` leaves the target untouched and
+/// no temp residue: callers see old-or-new, never a torn mix.
+#[test]
+fn armed_atomic_write_failpoint_leaves_old_contents_and_no_residue() {
+    let dir = scratch("fp-atomic");
+    let tag = dir_tag(&dir);
+    let path = dir.join("out.bin");
+    atomic_write(&path, b"original").expect("seed contents");
+
+    bitline_failpoint::arm(&format!("journal.atomic_write[{tag}]=shortwrite(3)")).unwrap();
+    let err = atomic_write(&path, b"replacement").expect_err("torn tmp-write fails");
+    assert_eq!(err.raw_os_error(), Some(28));
+    bitline_failpoint::disarm("journal.atomic_write");
+
+    assert_eq!(std::fs::read(&path).expect("read"), b"original", "target untouched");
+    let residue: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(residue.is_empty(), "failed atomic_write cleans its temp: {residue:?}");
+
+    atomic_write(&path, b"replacement").expect("disarmed write succeeds");
+    assert_eq!(std::fs::read(&path).expect("read"), b"replacement");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A single flipped payload bit fails that entry's CRC: the entry is

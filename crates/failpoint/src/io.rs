@@ -1,0 +1,149 @@
+//! I/O fault shims: deterministic failing writers shared by the journal
+//! crash tests and any other code that needs a filesystem that dies on
+//! schedule.
+//!
+//! [`FallibleWriter`] is the byte-budget model (promoted from the
+//! original journal test-local copy): good for exhaustive "cut the stream
+//! at *every* byte offset" sweeps. [`FailpointWriter`] wraps a real
+//! writer and consults a named failpoint per `write` call, so the same
+//! `BITLINE_FAILPOINTS` vocabulary drives both unit-level and
+//! whole-process fault schedules.
+
+use std::io::{self, Write};
+
+use crate::WriteFate;
+
+/// An `io::Write` that models a filesystem running out of space: it
+/// honours at most `budget` bytes in total, serves *short* writes (at
+/// most `max_chunk` bytes per call) on the way there, and then fails
+/// every call with `ENOSPC`. Standard library callers like `write_all`
+/// retry short writes, so the bytes that reach "disk" are exactly the
+/// first `budget` — a frame cut mid-payload, mid-header, or mid-magic
+/// depending on the budget.
+pub struct FallibleWriter {
+    /// Everything that reached the simulated disk, in order.
+    pub out: Vec<u8>,
+    /// Bytes still accepted before every call fails with ENOSPC.
+    pub budget: usize,
+    /// Largest number of bytes a single `write` call will take.
+    pub max_chunk: usize,
+}
+
+impl FallibleWriter {
+    /// A writer that accepts `budget` bytes in chunks of at most
+    /// `max_chunk`, then fails with ENOSPC forever.
+    #[must_use]
+    pub fn new(budget: usize, max_chunk: usize) -> Self {
+        Self { out: Vec::new(), budget, max_chunk }
+    }
+}
+
+impl Write for FallibleWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 || buf.is_empty() {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            // 28 == ENOSPC on Linux.
+            return Err(io::Error::from_raw_os_error(28));
+        }
+        let n = buf.len().min(self.budget).min(self.max_chunk);
+        self.out.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An `io::Write` adapter that consults the failpoint `point` (with an
+/// optional tag) before every `write` call on the inner writer:
+///
+/// - `err(E)` → the call fails with `E`, no bytes land;
+/// - `shortwrite(N)` → a *torn* write: the first `N` bytes land in the
+///   inner writer, then the call fails with ENOSPC (this models a tear
+///   even under `write_all`, which would otherwise retry a short write);
+/// - `delay`/`stall` → applied inline, then the write proceeds;
+/// - `panic` → panics at the seam.
+///
+/// `flush` is passed through untouched.
+pub struct FailpointWriter<W> {
+    inner: W,
+    point: String,
+    tag: String,
+}
+
+impl<W: Write> FailpointWriter<W> {
+    /// Wraps `inner`, evaluating `point` untagged on every write.
+    pub fn new(inner: W, point: impl Into<String>) -> Self {
+        Self { inner, point: point.into(), tag: String::new() }
+    }
+
+    /// Wraps `inner`, evaluating `point` with `tag` on every write.
+    pub fn tagged(inner: W, point: impl Into<String>, tag: impl Into<String>) -> Self {
+        Self { inner, point: point.into(), tag: tag.into() }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// A shared reference to the wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match crate::write_fate_tagged(&self.point, &self.tag) {
+            WriteFate::Full => self.inner.write(buf),
+            WriteFate::Fail(e) => Err(e),
+            WriteFate::Short(n) => {
+                let n = n.min(buf.len());
+                self.inner.write_all(&buf[..n])?;
+                self.inner.flush()?;
+                Err(io::Error::from_raw_os_error(28))
+            }
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallible_writer_lands_exactly_the_budget() {
+        let image: Vec<u8> = (0..=255u8).collect();
+        for max_chunk in [1usize, 7, usize::MAX] {
+            for budget in [0usize, 1, 100, 255, 256] {
+                let mut w = FallibleWriter::new(budget, max_chunk);
+                let outcome = w.write_all(&image);
+                assert_eq!(outcome.is_err(), budget < image.len(), "budget {budget}");
+                if let Err(e) = outcome {
+                    assert_eq!(e.raw_os_error(), Some(28));
+                }
+                assert_eq!(w.out, &image[..budget.min(image.len())], "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn failpoint_writer_tears_at_the_armed_point() {
+        crate::arm("test.io.shim=shortwrite(3)").unwrap();
+        let mut w = FailpointWriter::new(Vec::new(), "test.io.shim");
+        let err = w.write_all(b"abcdefgh").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(w.get_ref(), b"abc", "exactly the torn prefix landed");
+        crate::disarm("test.io.shim");
+        let mut w = FailpointWriter::new(w.into_inner(), "test.io.shim");
+        w.write_all(b"ijk").unwrap();
+        assert_eq!(w.into_inner(), b"abcijk", "disarmed writer passes through");
+    }
+}

@@ -16,29 +16,26 @@
 //! 2. **overload** — a full queue sheds with a [`retry hint`](Admission::offer)
 //!    derived from the observed request-wall histogram;
 //! 3. **drain** — admission closes (`shed` with reason `draining`),
-//!    workers finish the queue, [`Admission::next_job`] returns `None`.
+//!    **pending** jobs are shed back to their subscribers with a terminal
+//!    line ([`Admission::begin_drain`] returns the notices), in-flight
+//!    runs finish and answer, and [`Admission::next_job`] returns `None`.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use bitline_obs::{counter, gauge, histo};
 use bitline_sim::SystemSpec;
 
+use crate::conn::ConnHandle;
 use crate::protocol::RunRequest;
-
-/// Shared handle to one connection's write half. Workers completing a
-/// deduplicated job fan one result out to subscribers on many
-/// connections, so the writer is reference-counted and locked per line.
-pub type ConnWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
 /// One response destination: a request id on some connection.
 pub struct Subscriber {
     /// The request id to echo in the response line.
     pub id: String,
-    /// Where to write the response line.
-    pub out: ConnWriter,
+    /// The connection's bounded response queue.
+    pub out: ConnHandle,
 }
 
 /// A unit of admitted work (one spec key, N subscribers).
@@ -52,6 +49,15 @@ pub struct Job {
     pub spec: SystemSpec,
     /// Deadline of the request that *opened* the job, in milliseconds.
     pub deadline_ms: Option<u64>,
+}
+
+/// A pending job shed by [`Admission::begin_drain`]: every subscriber
+/// still owed a response, with the backoff hint to send them.
+pub struct ShedNotice {
+    /// The subscriber owed a terminal `shed` line.
+    pub subscriber: Subscriber,
+    /// Suggested client backoff, at least [`MIN_RETRY_AFTER_MS`].
+    pub retry_after_ms: u64,
 }
 
 /// The outcome of offering a request to admission.
@@ -151,13 +157,20 @@ impl Admission {
         &self.stats
     }
 
+    /// The shared state, tolerating poison: an admission lock is only
+    /// ever held for map operations, so a panicking holder (e.g. an
+    /// injected failpoint) leaves consistent state worth continuing with.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Offers a validated request under its spec `key`. On
     /// [`Offer::Queued`] or [`Offer::Deduped`] the responder owns the
     /// request id and `out` and will write the terminal response; on
     /// [`Offer::Shed`] the caller writes it.
-    pub fn offer(&self, key: &str, request: RunRequest, out: ConnWriter) -> Offer {
+    pub fn offer(&self, key: &str, request: RunRequest, out: ConnHandle) -> Offer {
         let RunRequest { id, benchmark, spec, priority, deadline_ms } = request;
-        let mut s = self.state.lock().expect("admission lock");
+        let mut s = self.lock();
         if let Some(subs) = s.waiters.get_mut(key) {
             subs.push(Subscriber { id, out });
             self.stats.deduped.fetch_add(1, Ordering::Relaxed);
@@ -197,7 +210,7 @@ impl Admission {
     /// Blocks until a job is available (lowest `(priority, seq)` first) or
     /// the queue has fully drained; `None` tells the worker to exit.
     pub fn next_job(&self) -> Option<Job> {
-        let mut s = self.state.lock().expect("admission lock");
+        let mut s = self.lock();
         loop {
             if let Some((_, job)) = s.pending.pop_first() {
                 s.in_flight += 1;
@@ -207,14 +220,14 @@ impl Admission {
             if s.draining {
                 return None;
             }
-            s = self.work.wait(s).expect("admission wait");
+            s = self.work.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Completes `key`, returning every subscriber accumulated while it
     /// was queued or running. Called by the worker that ran the job.
     pub fn complete(&self, key: &str) -> Vec<Subscriber> {
-        let mut s = self.state.lock().expect("admission lock");
+        let mut s = self.lock();
         let subs = s.waiters.remove(key).unwrap_or_default();
         s.in_flight -= 1;
         if s.draining {
@@ -230,28 +243,53 @@ impl Admission {
     }
 
     /// Latches the drain stage: admission starts shedding with reason
-    /// `draining`, and workers exit once the pending queue and in-flight
-    /// set are empty.
-    pub fn begin_drain(&self) {
-        let mut s = self.state.lock().expect("admission lock");
+    /// `draining`, every **pending** (not yet picked-up) job is removed
+    /// and its subscribers returned so the caller can send them terminal
+    /// `shed` lines, in-flight runs complete and answer normally, and
+    /// workers exit once idle. Idempotent: a second latch returns no
+    /// notices.
+    pub fn begin_drain(&self) -> Vec<ShedNotice> {
+        let mut s = self.lock();
         s.draining = true;
+        // Shed the pending backlog: a drain must terminate promptly, and
+        // every owed response must still get a terminal line.
+        let pending = std::mem::take(&mut s.pending);
+        let mut notices = Vec::new();
+        let backlog = pending.len() + s.in_flight;
+        for (_, job) in pending {
+            let hint = retry_after_ms(&job.key, backlog, self.workers);
+            for subscriber in s.waiters.remove(&job.key).unwrap_or_default() {
+                notices.push(ShedNotice { subscriber, retry_after_ms: hint });
+            }
+        }
+        gauge!("serve.queue_depth").set(0);
         drop(s);
+        let n = u64::try_from(notices.len()).unwrap_or(u64::MAX);
+        self.stats.shed.fetch_add(n, Ordering::Relaxed);
+        counter!("serve.shed").add(n);
         self.work.notify_all();
+        notices
     }
 
     /// Whether drain has been latched.
     #[must_use]
     pub fn is_draining(&self) -> bool {
-        self.state.lock().expect("admission lock").draining
+        self.lock().draining
     }
 }
+
+/// Floor on every `retry_after_ms` hint. A cold daemon (empty
+/// request-wall histogram, tiny backlog, many workers) can estimate an
+/// arbitrarily small backoff — and a `0` tells clients to hammer the
+/// socket immediately. No hint below this leaves the daemon.
+pub const MIN_RETRY_AFTER_MS: u64 = 25;
 
 /// The shed-response backoff hint: median observed request wall time
 /// (from the `serve.request_wall_us` histogram) scaled by the backlog the
 /// request would be behind, divided across workers, plus the shared
 /// deterministic jitter so synchronized clients desynchronise. Falls back
 /// to 100 ms per queued request before any run has completed. Always at
-/// least 1.
+/// least [`MIN_RETRY_AFTER_MS`].
 #[must_use]
 pub fn retry_after_ms(key: &str, backlog: usize, workers: usize) -> u64 {
     let per_run_us =
@@ -260,15 +298,15 @@ pub fn retry_after_ms(key: &str, backlog: usize, workers: usize) -> u64 {
     let workers = u64::try_from(workers.max(1)).unwrap_or(1);
     let estimate_ms = per_run_us.saturating_mul(backlog) / workers / 1_000;
     let jitter = u64::try_from(bitline_exec::backoff::retry_backoff(key).as_millis()).unwrap_or(21);
-    estimate_ms.saturating_add(jitter).max(1)
+    estimate_ms.saturating_add(jitter).max(MIN_RETRY_AFTER_MS)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sink() -> ConnWriter {
-        Arc::new(Mutex::new(Box::new(std::io::sink()) as Box<dyn Write + Send>))
+    fn sink() -> ConnHandle {
+        ConnHandle::spawn("adm-sink", Box::new(std::io::sink()), 8, Box::new(|| {}))
     }
 
     fn spec() -> SystemSpec {
@@ -315,34 +353,61 @@ mod tests {
     }
 
     #[test]
-    fn full_queue_sheds_with_a_positive_hint_and_drain_closes_admission() {
+    fn full_queue_sheds_with_a_positive_hint_and_drain_sheds_pending() {
         let adm = Admission::new(1, 1, Arc::new(ServeStats::default()));
         assert!(matches!(offer(&adm, "first", 0), Offer::Queued));
         match offer(&adm, "second", 0) {
             Offer::Shed { reason, retry_after_ms } => {
                 assert_eq!(reason, "queue full");
-                assert!(retry_after_ms >= 1);
+                assert!(retry_after_ms >= MIN_RETRY_AFTER_MS);
             }
             _ => panic!("expected shed"),
         }
-        adm.begin_drain();
+        // Drain with "first" still pending: it is shed back to its
+        // subscriber with a terminal hint, and workers see an empty queue.
+        let notices = adm.begin_drain();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].subscriber.id, "id-first");
+        assert!(notices[0].retry_after_ms >= MIN_RETRY_AFTER_MS);
         match offer(&adm, "third", 0) {
             Offer::Shed { reason, .. } => assert_eq!(reason, "draining"),
             _ => panic!("expected shed"),
         }
-        // The queued job still drains out before workers exit.
-        let job = adm.next_job().unwrap();
-        assert_eq!(job.key, "first");
-        adm.complete(&job.key);
-        assert!(adm.next_job().is_none());
-        assert_eq!(adm.stats().drained.load(Ordering::Relaxed), 1);
+        assert!(adm.next_job().is_none(), "shed pending jobs never reach a worker");
+        assert!(adm.begin_drain().is_empty(), "a second latch is a no-op");
+        // 1 queue-full + 1 draining + 1 shed-by-drain.
+        assert_eq!(adm.stats().shed.load(Ordering::Relaxed), 3);
     }
 
     #[test]
-    fn retry_hint_is_deterministic_for_a_key() {
+    fn drain_with_a_job_in_flight_answers_it_and_sheds_the_rest() {
+        let adm = Admission::new(8, 1, Arc::new(ServeStats::default()));
+        assert!(matches!(offer(&adm, "running", 0), Offer::Queued));
+        assert!(matches!(offer(&adm, "queued", 0), Offer::Queued));
+        let job = adm.next_job().unwrap();
+        assert_eq!(job.key, "running");
+
+        let notices = adm.begin_drain();
+        assert_eq!(notices.len(), 1, "only the pending job is shed");
+        assert_eq!(notices[0].subscriber.id, "id-queued");
+
+        // The in-flight job still completes and reaches its subscriber.
+        let subs = adm.complete(&job.key);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].id, "id-running");
+        assert_eq!(adm.stats().drained.load(Ordering::Relaxed), 1);
+        assert!(adm.next_job().is_none());
+    }
+
+    #[test]
+    fn retry_hint_is_deterministic_for_a_key_and_floored() {
         let a = retry_after_ms("gcc@0000000000000000", 4, 2);
         let b = retry_after_ms("gcc@0000000000000000", 4, 2);
         assert_eq!(a, b);
-        assert!(a >= 1);
+        assert!(a >= MIN_RETRY_AFTER_MS);
+        // The degenerate case that used to yield ~0: nothing in the wall
+        // histogram for the estimate to use, no backlog, a huge worker
+        // count. The floor must bind no matter what the estimate says.
+        assert!(retry_after_ms("cold@0000000000000000", 0, 1_000_000) >= MIN_RETRY_AFTER_MS);
     }
 }

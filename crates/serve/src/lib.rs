@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod conn;
 pub mod protocol;
 pub mod server;
 #[allow(unsafe_code)]
 pub mod signal;
 
-pub use admission::{Admission, ServeStats};
+pub use admission::{Admission, ServeStats, MIN_RETRY_AFTER_MS};
+pub use conn::ConnHandle;
 pub use protocol::{parse_request, Request, RunRequest, RunRow};
 pub use server::{production_runner, Runner, ServeConfig, Server};

@@ -29,6 +29,7 @@ struct Args {
     socket: PathBuf,
     tcp: Option<String>,
     queue_depth: usize,
+    conn_queue_depth: usize,
     request_budget: Option<Duration>,
     workers: usize,
     node: TechnologyNode,
@@ -38,6 +39,7 @@ struct Args {
     stats: bool,
     drain: bool,
     ping: bool,
+    metrics: bool,
 }
 
 impl Default for Args {
@@ -47,6 +49,7 @@ impl Default for Args {
             socket: PathBuf::from("bitline-serve.sock"),
             tcp: None,
             queue_depth: 64,
+            conn_queue_depth: 64,
             request_budget: None,
             workers: 0,
             node: TechnologyNode::N70,
@@ -56,6 +59,7 @@ impl Default for Args {
             stats: false,
             drain: false,
             ping: false,
+            metrics: false,
         }
     }
 }
@@ -78,6 +82,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.queue_depth = n;
             }
+            "--conn-queue-depth" => {
+                let n: usize =
+                    value(&flag)?.parse().map_err(|_| "bad connection queue depth".to_owned())?;
+                if n == 0 {
+                    return Err(
+                        "--conn-queue-depth 0 would disconnect on the first response; use at least 1"
+                            .into(),
+                    );
+                }
+                args.conn_queue_depth = n;
+            }
             "--request-budget" => {
                 args.request_budget = Some(
                     supervise::parse_budget(&value(&flag)?)
@@ -97,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--drain" => args.drain = true,
             "--ping" => args.ping = true,
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -114,15 +130,20 @@ fn print_help() {
     println!("  --socket PATH           unix socket to listen on (default bitline-serve.sock)");
     println!("  --tcp ADDR              additionally listen on a TCP address");
     println!("  --queue-depth N         bound on queued requests before shedding (default 64)");
+    println!("  --conn-queue-depth N    per-connection response queue bound; a reader that");
+    println!("                          falls this far behind is disconnected (default 64)");
     println!("  --request-budget DUR    default per-request deadline (e.g. 250ms, 2s)");
     println!("  -j, --jobs N            worker threads (default: BITLINE_JOBS or all cores)");
     println!("  -n, --node NODE         pricing node: 180nm|130nm|100nm|70nm (default 70nm)");
     println!("  --checkpoint DIR        crash-safe journal dir; restart answers warm");
     println!("  --no-resume             start the checkpoint journal afresh");
     println!();
-    println!("CLIENT:  bitline-serve --socket PATH [--request JSON]... [--stats|--drain|--ping]");
-    println!("  reads request lines from stdin when no --request/--stats/--drain/--ping given;");
-    println!("  prints one response line per request (completion order, correlate by id)");
+    println!(
+        "CLIENT:  bitline-serve --socket PATH [--request JSON]... [--stats|--drain|--ping|--metrics]"
+    );
+    println!("  reads request lines from stdin when no request-producing flag is given;");
+    println!("  prints one response line per request (completion order, correlate by id);");
+    println!("  --metrics prints the daemon's observability export as raw JSONL");
     println!();
     println!("PROTOCOL: one JSON object per line; see DESIGN.md \"Serving\".");
     println!("  SIGTERM drains: admission closes, in-flight runs finish, exit 0.");
@@ -144,9 +165,11 @@ fn run_daemon(args: &Args) -> Result<(), String> {
         socket: args.socket.clone(),
         tcp: args.tcp.clone(),
         queue_depth: args.queue_depth,
+        conn_queue_depth: args.conn_queue_depth,
         request_budget: args.request_budget,
         workers: args.workers,
         node: args.node,
+        ..ServeConfig::default()
     };
     eprintln!(
         "bitline-serve: listening on {}{}",
@@ -170,6 +193,9 @@ fn run_client(args: &Args) -> Result<(), String> {
     if args.drain {
         lines.push(r#"{"id":"drain","op":"drain"}"#.to_owned());
     }
+    if args.metrics {
+        lines.push(r#"{"id":"metrics","op":"metrics"}"#.to_owned());
+    }
     if lines.is_empty() {
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
@@ -180,7 +206,9 @@ fn run_client(args: &Args) -> Result<(), String> {
         }
     }
     if lines.is_empty() {
-        return Err("nothing to send (use --request, --stats, --drain, --ping or stdin)".into());
+        return Err(
+            "nothing to send (use --request, --stats, --drain, --ping, --metrics or stdin)".into(),
+        );
     }
     let stream = UnixStream::connect(&args.socket)
         .map_err(|e| format!("connect {}: {e}", args.socket.display()))?;
@@ -194,13 +222,27 @@ fn run_client(args: &Args) -> Result<(), String> {
     let mut received = 0usize;
     for line in reader.lines() {
         let line = line.map_err(|e| format!("recv: {e}"))?;
-        println!("{line}");
+        // A `metrics` response carries the whole JSONL export as one
+        // escaped string; print it raw so the output pipes straight into
+        // JSONL tooling.
+        match metrics_payload(&line) {
+            Some(jsonl) => print!("{jsonl}"),
+            None => println!("{line}"),
+        }
         received += 1;
         if received == lines.len() {
             return Ok(());
         }
     }
     Err(format!("connection closed after {received}/{} responses", lines.len()))
+}
+
+/// Extracts the unescaped `metrics_jsonl` payload from a `metrics`
+/// response line, or `None` for every other response shape.
+fn metrics_payload(line: &str) -> Option<String> {
+    let value = bitline_obs::json::parse(line).ok()?;
+    let obj = bitline_obs::json::as_object(&value).ok()?;
+    bitline_obs::json::get_str(obj, "metrics_jsonl").ok().map(str::to_owned)
 }
 
 fn main() -> ExitCode {

@@ -11,6 +11,7 @@
 //! {"id":"s1","op":"stats"}
 //! {"id":"p1","op":"ping"}
 //! {"id":"d1","op":"drain"}
+//! {"id":"m1","op":"metrics"}
 //! ```
 //!
 //! Responses carry an explicit terminal status — `ok`, `shed`, `timeout`
@@ -49,6 +50,12 @@ pub enum Request {
     },
     /// Begin a graceful drain (same effect as SIGTERM).
     Drain {
+        /// Request id echoed in the response.
+        id: String,
+    },
+    /// Full obs JSONL export (every metric + recent spans), as opposed to
+    /// the `stats` counter summary.
+    Metrics {
         /// Request id echoed in the response.
         id: String,
     },
@@ -134,15 +141,16 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             };
             Ok(Request::Run(RunRequest { id, benchmark, spec, priority, deadline_ms }))
         }
-        "stats" | "ping" | "drain" => {
+        "stats" | "ping" | "drain" | "metrics" => {
             expect_keys(obj, &["id", "op"]).map_err(fail)?;
             Ok(match op {
                 "stats" => Request::Stats { id },
                 "ping" => Request::Ping { id },
+                "metrics" => Request::Metrics { id },
                 _ => Request::Drain { id },
             })
         }
-        other => Err(fail(format!("unknown op `{other}` (try run, stats, ping, drain)"))),
+        other => Err(fail(format!("unknown op `{other}` (try run, stats, ping, drain, metrics)"))),
     }
 }
 
@@ -412,6 +420,20 @@ pub fn drain_line(id: &str) -> String {
     out
 }
 
+/// Renders the `metrics` response line: the full obs JSONL export carried
+/// as one escaped string field (clients unescape and validate it with
+/// `bitline_obs::validate_jsonl`).
+#[must_use]
+pub fn metrics_line(id: &str, jsonl: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::escape_into(&mut out, id);
+    out.push_str(",\"status\":\"ok\",\"metrics_jsonl\":");
+    json::escape_into(&mut out, jsonl);
+    out.push('}');
+    out
+}
+
 /// Renders the `stats` response line from `(name, value)` pairs, in the
 /// order given.
 #[must_use]
@@ -487,6 +509,10 @@ mod tests {
             parse_request(r#"{"id":"d","op":"drain"}"#),
             Ok(Request::Drain { id: "d".into() })
         );
+        assert_eq!(
+            parse_request(r#"{"id":"m","op":"metrics"}"#),
+            Ok(Request::Metrics { id: "m".into() })
+        );
     }
 
     #[test]
@@ -535,6 +561,7 @@ mod tests {
             pong_line("r"),
             drain_line("r"),
             stats_line("r", &[("accepted", 3), ("shed", 1)]),
+            metrics_line("r", "{\"kind\":\"counter\",\"name\":\"serve.accepted\",\"value\":1}\n"),
         ] {
             assert!(!line.contains('\n'));
             let parsed = json::parse(&line).expect(&line);

@@ -19,16 +19,18 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bitline_cmos::TechnologyNode;
 use bitline_exec::CancelToken;
+use bitline_failpoint::Action;
 use bitline_obs::{counter, gauge, histo};
 use bitline_sim::experiments::harness;
 use bitline_sim::{checkpoint, SimError, SystemSpec};
 
-use crate::admission::{Admission, ConnWriter, Offer, ServeStats, Subscriber};
+use crate::admission::{Admission, Offer, ServeStats, ShedNotice, Subscriber};
+use crate::conn::{ConnHandle, ShutdownFn};
 use crate::protocol::{self, Request, RunRow};
 
 /// How the run itself is performed. Injectable so the daemon's robustness
@@ -63,6 +65,13 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Technology node responses are priced at.
     pub node: TechnologyNode,
+    /// Bound on each connection's queued-response lines; a reader slow
+    /// enough to overflow it is disconnected rather than absorbed.
+    pub conn_queue_depth: usize,
+    /// Prefix for connection labels (`<prefix>-<seq>`), which tag the
+    /// `serve.conn.*` failpoints. Tests give each server a unique prefix
+    /// so armed points hit exactly one server's connections.
+    pub conn_label: String,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +83,8 @@ impl Default for ServeConfig {
             request_budget: None,
             workers: 0,
             node: TechnologyNode::N70,
+            conn_queue_depth: 64,
+            conn_label: "conn".to_owned(),
         }
     }
 }
@@ -84,6 +95,8 @@ struct Ctx {
     stats: Arc<ServeStats>,
     drain: Arc<AtomicBool>,
     request_budget: Option<Duration>,
+    conn_queue_depth: usize,
+    conn_label: String,
 }
 
 /// The daemon. Construct with [`Server::new`], then [`Server::run`] —
@@ -106,14 +119,16 @@ impl Server {
         let request_budget = config.request_budget;
         let config = ServeConfig { workers, ..config };
         Server {
-            config,
             runner,
             ctx: Arc::new(Ctx {
                 admission,
                 stats,
                 drain: Arc::new(AtomicBool::new(false)),
                 request_budget,
+                conn_queue_depth: config.conn_queue_depth,
+                conn_label: config.conn_label.clone(),
             }),
+            config,
         }
     }
 
@@ -172,9 +187,11 @@ impl Server {
             match unix.accept() {
                 Ok((stream, _)) => {
                     accepted_any = true;
-                    stream.set_nonblocking(false)?;
-                    let writer = stream.try_clone()?;
-                    spawn_reader(conn_seq, Box::new(stream), Box::new(writer), Arc::clone(&ctx));
+                    // A connection that fails setup is dropped and logged;
+                    // it must never take the accept loop down with it.
+                    if let Err(e) = accept_unix(conn_seq, stream, &ctx) {
+                        eprintln!("bitline-serve: dropping connection {conn_seq}: {e}");
+                    }
                     conn_seq += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
@@ -184,14 +201,9 @@ impl Server {
                 match tcp.accept() {
                     Ok((stream, _)) => {
                         accepted_any = true;
-                        stream.set_nonblocking(false)?;
-                        let writer = stream.try_clone()?;
-                        spawn_reader(
-                            conn_seq,
-                            Box::new(stream),
-                            Box::new(writer),
-                            Arc::clone(&ctx),
-                        );
+                        if let Err(e) = accept_tcp(conn_seq, stream, &ctx) {
+                            eprintln!("bitline-serve: dropping connection {conn_seq}: {e}");
+                        }
                         conn_seq += 1;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
@@ -203,10 +215,11 @@ impl Server {
             }
         }
 
-        // Drain: stop admitting, let the workers empty the queue and
-        // finish in-flight runs, then leave cleanly. Journal appends are
-        // fsynced per entry, so there is nothing further to flush.
-        ctx.admission.begin_drain();
+        // Drain: stop admitting, shed the pending backlog with terminal
+        // lines, let the workers finish in-flight runs, then leave
+        // cleanly. Journal appends are fsynced per entry, so there is
+        // nothing further to flush.
+        deliver_shed_notices(ctx.admission.begin_drain());
         for handle in workers {
             let _ = handle.join();
         }
@@ -215,12 +228,45 @@ impl Server {
     }
 }
 
+fn accept_unix(seq: u64, stream: std::os::unix::net::UnixStream, ctx: &Arc<Ctx>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let writer = stream.try_clone()?;
+    let closer = stream.try_clone()?;
+    let shutdown: ShutdownFn = Box::new(move || drop(closer.shutdown(std::net::Shutdown::Both)));
+    spawn_reader(seq, Box::new(stream), Box::new(writer), shutdown, Arc::clone(ctx));
+    Ok(())
+}
+
+fn accept_tcp(seq: u64, stream: std::net::TcpStream, ctx: &Arc<Ctx>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let writer = stream.try_clone()?;
+    let closer = stream.try_clone()?;
+    let shutdown: ShutdownFn = Box::new(move || drop(closer.shutdown(std::net::Shutdown::Both)));
+    spawn_reader(seq, Box::new(stream), Box::new(writer), shutdown, Arc::clone(ctx));
+    Ok(())
+}
+
+/// Sends every drain-shed notice to its subscriber as a terminal line.
+fn deliver_shed_notices(notices: Vec<ShedNotice>) {
+    for ShedNotice { subscriber, retry_after_ms } in notices {
+        let line = protocol::shed_line(&subscriber.id, "draining", retry_after_ms);
+        let _ = subscriber.out.enqueue(line);
+    }
+}
+
 /// Touches every `serve.*` metric so exports carry the whole family from
 /// the first snapshot, zeros included.
 pub fn declare_metrics() {
-    for name in
-        ["serve.accepted", "serve.deduped", "serve.shed", "serve.timed_out", "serve.drained"]
-    {
+    for name in [
+        "serve.accepted",
+        "serve.deduped",
+        "serve.shed",
+        "serve.timed_out",
+        "serve.drained",
+        "serve.slow_disconnects",
+        "serve.write_errors",
+        "serve.dropped_responses",
+    ] {
         counter!(name).add(0);
     }
     gauge!("serve.queue_depth").set(0);
@@ -231,43 +277,92 @@ fn spawn_reader(
     seq: u64,
     reader: Box<dyn Read + Send>,
     writer: Box<dyn Write + Send>,
+    shutdown: ShutdownFn,
     ctx: Arc<Ctx>,
 ) {
-    let out: ConnWriter = Arc::new(Mutex::new(writer));
-    std::thread::Builder::new()
-        .name(format!("serve-conn-{seq}"))
-        .spawn(move || serve_connection(reader, &out, &ctx))
-        .expect("spawn serve connection reader");
+    let label = format!("{}-{seq}", ctx.conn_label);
+    let out = ConnHandle::spawn(label, writer, ctx.conn_queue_depth, shutdown);
+    let conn = out.clone();
+    let spawned = std::thread::Builder::new().name(format!("serve-conn-{seq}")).spawn(move || {
+        // Close the response queue on *every* reader exit — EOF, a read
+        // error, or a panic (e.g. an injected `serve.conn.read=panic`):
+        // already-queued responses still flush, then the socket drops.
+        // One panicking connection never takes the daemon down.
+        struct CloseOnDrop(ConnHandle);
+        impl Drop for CloseOnDrop {
+            fn drop(&mut self) {
+                self.0.close();
+            }
+        }
+        let guard = CloseOnDrop(conn);
+        serve_connection(reader, &guard.0, &ctx);
+    });
+    if let Err(e) = spawned {
+        // Thread exhaustion is the connection's problem, not the accept
+        // loop's: flush nothing, close the queue, drop the streams.
+        eprintln!("bitline-serve: dropping connection {seq}: cannot spawn reader: {e}");
+        out.close();
+    }
 }
 
-fn write_line(out: &ConnWriter, line: &str) {
-    // A disconnected client is not the daemon's problem: the run result
-    // is journaled regardless, and the next identical request replays it.
-    let mut w = out.lock().expect("connection writer lock");
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.write_all(b"\n");
-    let _ = w.flush();
+fn send(out: &ConnHandle, line: String) {
+    // A refused enqueue means the connection is closed, dead, or was just
+    // condemned for falling behind; the response is dropped and counted,
+    // never blocked on.
+    let _ = out.enqueue(line);
 }
 
-fn serve_connection(reader: Box<dyn Read + Send>, out: &ConnWriter, ctx: &Ctx) {
+/// Evaluates the `serve.conn.read` failpoint for one received line.
+/// Returns `false` when the connection should be dropped.
+fn read_seam(out: &ConnHandle) -> bool {
+    match bitline_failpoint::eval_tagged("serve.conn.read", out.label()) {
+        None | Some(Action::ShortWrite(_)) => true,
+        Some(Action::Delay(d)) => {
+            std::thread::sleep(d);
+            true
+        }
+        Some(Action::Stall(limit)) => {
+            let watched = out.clone();
+            bitline_failpoint::stall_while(limit, move || watched.is_dead());
+            !out.is_dead()
+        }
+        Some(Action::Err(errno)) => {
+            eprintln!(
+                "bitline-serve: disconnecting {}: injected read error: {}",
+                out.label(),
+                io::Error::from_raw_os_error(errno)
+            );
+            false
+        }
+        Some(Action::Panic) => panic!("failpoint `serve.conn.read` fired: panic"),
+    }
+}
+
+fn serve_connection(reader: Box<dyn Read + Send>, out: &ConnHandle, ctx: &Ctx) {
     let reader = BufReader::new(reader);
     for line in reader.lines() {
         let Ok(line) = line else { break };
+        if out.is_dead() {
+            break;
+        }
+        if !read_seam(out) {
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
         match protocol::parse_request(&line) {
             Err(bad) => {
-                write_line(
+                send(
                     out,
-                    &protocol::error_line(
+                    protocol::error_line(
                         bad.id.as_deref().unwrap_or(""),
                         "bad-request",
                         &bad.message,
                     ),
                 );
             }
-            Ok(Request::Ping { id }) => write_line(out, &protocol::pong_line(&id)),
+            Ok(Request::Ping { id }) => send(out, protocol::pong_line(&id)),
             Ok(Request::Stats { id }) => {
                 let mut rows = ctx.stats.rows();
                 let cp = bitline_sim::checkpoint_stats().unwrap_or_default();
@@ -275,30 +370,39 @@ fn serve_connection(reader: Box<dyn Read + Send>, out: &ConnWriter, ctx: &Ctx) {
                 rows.push(("recomputed", cp.recomputed));
                 rows.push(("appended", cp.appended));
                 rows.push(("quarantined", cp.quarantined));
-                write_line(out, &protocol::stats_line(&id, &rows));
+                send(out, protocol::stats_line(&id, &rows));
+            }
+            Ok(Request::Metrics { id }) => {
+                // The full obs export — every counter/gauge/histogram and
+                // recent spans — as validated JSONL, not just the serving
+                // counter summary.
+                let snapshot = bitline_obs::registry().snapshot();
+                let spans = bitline_obs::recent_spans();
+                let jsonl = bitline_obs::render_jsonl(&snapshot, &spans);
+                send(out, protocol::metrics_line(&id, &jsonl));
             }
             Ok(Request::Drain { id }) => {
                 ctx.drain.store(true, Ordering::Relaxed);
-                ctx.admission.begin_drain();
-                write_line(out, &protocol::drain_line(&id));
+                deliver_shed_notices(ctx.admission.begin_drain());
+                send(out, protocol::drain_line(&id));
             }
             Ok(Request::Run(run)) => {
                 // Fail fast, before the queue: an invalid request must not
                 // cost a queue slot or a worker pickup.
                 if !bitline_workloads::suite::names().contains(&run.benchmark.as_str()) {
                     let e = SimError::UnknownBenchmark(run.benchmark.clone());
-                    write_line(out, &protocol::error_line(&run.id, e.kind(), &e.to_string()));
+                    send(out, protocol::error_line(&run.id, e.kind(), &e.to_string()));
                     continue;
                 }
                 if let Err(e) = run.spec.validate() {
-                    write_line(out, &protocol::error_line(&run.id, e.kind(), &e.to_string()));
+                    send(out, protocol::error_line(&run.id, e.kind(), &e.to_string()));
                     continue;
                 }
                 let key = checkpoint::spec_key(&run.benchmark, &run.spec);
                 let id = run.id.clone();
-                let offer = ctx.admission.offer(&key, run, Arc::clone(out));
+                let offer = ctx.admission.offer(&key, run, out.clone());
                 if let Offer::Shed { reason, retry_after_ms } = offer {
-                    write_line(out, &protocol::shed_line(&id, reason, retry_after_ms));
+                    send(out, protocol::shed_line(&id, reason, retry_after_ms));
                 }
             }
         }
@@ -326,6 +430,9 @@ fn worker_loop(ctx: &Ctx, runner: &Runner) {
             }
         }
         let subscribers = ctx.admission.complete(&job.key);
+        // Fan-out is a non-blocking enqueue per subscriber: a stalled or
+        // condemned connection sheds its own copy without holding up the
+        // worker or the other subscribers of this job.
         for Subscriber { id, out } in subscribers {
             let line = match &result {
                 Ok(row) => protocol::ok_line(&id, &job.benchmark, &job.key, row),
@@ -336,7 +443,7 @@ fn worker_loop(ctx: &Ctx, runner: &Runner) {
                     e => protocol::error_line(&id, e.kind(), &e.to_string()),
                 },
             };
-            write_line(&out, &line);
+            send(&out, line);
         }
     }
 }

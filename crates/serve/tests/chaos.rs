@@ -1,0 +1,319 @@
+//! Chaos soak: the daemon under seeded failpoint schedules.
+//!
+//! Two layers:
+//!
+//! * an in-process determinism check — the same failpoint schedule over
+//!   the exec pool fires *identically* at `jobs = 1` and `jobs = 4`,
+//!   because draws are per-point and sequential, not per-thread;
+//! * a subprocess soak — a real `bitline-serve` binary under
+//!   `BITLINE_FAILPOINTS` schedules covering every action class
+//!   (short-write, return-error, delay, stall, panic), SIGKILLed and
+//!   restarted between waves, then drained with SIGTERM. The end state
+//!   must be indistinguishable from a fault-free run: byte-identical
+//!   responses, a clean journal, `replayed > 0, recomputed == 0`.
+//!
+//! The soak seed comes from `BITLINE_CHAOS_SEED` (default 42, the
+//! failpoint crate's default); `ci.sh chaos` re-runs the soak with
+//! varying seeds under `BITLINE_CHAOS_SECONDS`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bitline_obs::json::{self, as_object, get_str, get_u64};
+
+// ---------------------------------------------------------------------------
+// In-process: fired counts are a function of evaluation counts, not of
+// thread interleaving.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fired_counts_match_at_jobs_1_and_jobs_n() {
+    const SPEC: &str = "pool.worker=delay(200us)@0.4;chaos.eq.task=delay(100us)@0.6";
+    let run_leg = |jobs: usize| {
+        bitline_failpoint::set_seed(7);
+        // Re-arming resets counters and RNG state, so each leg replays
+        // the same draw sequence from the seed.
+        bitline_failpoint::arm(SPEC).unwrap();
+        bitline_exec::pool::with_jobs(jobs, || {
+            bitline_exec::pool::run_indexed(64, |i| {
+                bitline_failpoint::hit("chaos.eq.task");
+                i
+            })
+        });
+        bitline_failpoint::snapshot()
+    };
+    let solo = run_leg(1);
+    let fanned = run_leg(4);
+    bitline_failpoint::disarm_all();
+    assert_eq!(solo, fanned, "fired counts must not depend on worker count");
+    let pool = solo.iter().find(|p| p.name == "pool.worker").expect("pool.worker armed");
+    assert_eq!(pool.evaluated, 64, "one evaluation per task pickup");
+    assert!(pool.fired > 0 && pool.fired < 64, "p=0.4 fires some but not all: {pool:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess soak.
+// ---------------------------------------------------------------------------
+
+fn chaos_seed() -> u64 {
+    std::env::var("BITLINE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(bitline_failpoint::DEFAULT_SEED)
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(socket: &Path, ckpt: &Path, failpoints: Option<&str>, seed: u64) -> Daemon {
+        let _ = std::fs::remove_file(socket);
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_bitline-serve"));
+        cmd.arg("--serve")
+            .arg("--socket")
+            .arg(socket)
+            .arg("--checkpoint")
+            .arg(ckpt)
+            .args(["--jobs", "2"])
+            .env("BITLINE_FAILPOINT_SEED", seed.to_string())
+            .env_remove("BITLINE_FAILPOINTS")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(spec) = failpoints {
+            cmd.env("BITLINE_FAILPOINTS", spec);
+        }
+        let child = cmd.spawn().expect("spawn bitline-serve");
+        for _ in 0..2000 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(socket.exists(), "daemon did not come up on {}", socket.display());
+        Daemon { child, socket: socket.to_path_buf() }
+    }
+
+    /// SIGKILL — the crash being soaked for.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// SIGTERM — the graceful drain; asserts the exit-0 path.
+    fn drain(mut self) {
+        let pid = self.child.id();
+        let status =
+            Command::new("kill").args(["-TERM", &pid.to_string()]).status().expect("send SIGTERM");
+        assert!(status.success(), "kill -TERM failed");
+        let status = self.child.wait().expect("wait drained daemon");
+        assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0, got {status:?}");
+        assert!(!self.socket.exists(), "socket removed on drain");
+    }
+}
+
+/// One request/response attempt; `None` on connect failure, timeout, EOF
+/// (e.g. the daemon was killed or an injected fault dropped the
+/// connection) — callers retry.
+fn try_roundtrip(socket: &Path, line: &str) -> Option<String> {
+    let stream = UnixStream::connect(socket).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    let n = BufReader::new(stream).read_line(&mut resp).ok()?;
+    if n == 0 {
+        return None;
+    }
+    Some(resp.trim_end().to_owned())
+}
+
+fn status_of(line: &str) -> String {
+    let parsed = json::parse(line).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"));
+    get_str(as_object(&parsed).unwrap(), "status").map(str::to_owned).unwrap_or_default()
+}
+
+/// Retries (reconnecting as needed) until the daemon answers `ok`;
+/// injected faults may shed, error, or drop any individual attempt.
+fn request_until_ok(socket: &Path, line: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(resp) = try_roundtrip(socket, line) {
+            if status_of(&resp) == "ok" {
+                return resp;
+            }
+        }
+        assert!(Instant::now() < deadline, "no ok response in time for {line}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Reads `failpoint.<point>.fired` out of the daemon's `metrics` export.
+fn fired(socket: &Path, point: &str) -> u64 {
+    let Some(resp) = try_roundtrip(socket, r#"{"id":"m","op":"metrics"}"#) else { return 0 };
+    let parsed = match json::parse(&resp) {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    let Ok(jsonl) = get_str(as_object(&parsed).unwrap(), "metrics_jsonl") else { return 0 };
+    let wanted = format!("failpoint.{point}.fired");
+    for record in jsonl.lines() {
+        let Ok(v) = json::parse(record) else { continue };
+        let Ok(obj) = as_object(&v) else { continue };
+        if get_str(obj, "name") == Ok(&wanted) {
+            return get_u64(obj, "value").unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn run_req(id: &str, benchmark: &str, seed: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","benchmark":"{benchmark}","spec":{{"instructions":2500,"seed":{seed}}}}}"#
+    )
+}
+
+/// The canonical request set the byte-identity gate runs over.
+fn canonical_requests() -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, benchmark) in ["gcc", "mesa", "health"].iter().enumerate() {
+        for seed in [1u64, 2] {
+            out.push(run_req(&format!("final-{}-{seed}", i + 1), benchmark, seed));
+        }
+    }
+    out
+}
+
+/// Extra distinct keys so chaos waves keep exercising the fresh-append
+/// path (an already-cached key never reaches the journal seams again).
+fn wave_requests(base_seed: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, benchmark) in ["gcc", "mesa", "health"].iter().enumerate() {
+        for s in 0..4u64 {
+            let seed = base_seed + s;
+            out.push(run_req(&format!("w{}-{}-{seed}", base_seed, i + 1), benchmark, seed));
+        }
+    }
+    out
+}
+
+fn stats_field(socket: &Path, key: &str) -> u64 {
+    let resp = try_roundtrip(socket, r#"{"id":"s","op":"stats"}"#).expect("stats response");
+    let parsed = json::parse(&resp).expect("stats json");
+    let obj = as_object(&parsed).unwrap();
+    let stats = json::try_get(obj, "stats").expect("stats object");
+    get_u64(as_object(stats).unwrap(), key).unwrap_or_else(|e| panic!("stats.{key}: {e}"))
+}
+
+#[test]
+fn chaos_soak_recovers_byte_identical_state_through_faults_and_kills() {
+    let seed = chaos_seed();
+    let dir = std::env::temp_dir().join(format!("bitline-chaos-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("chaos dir");
+    let ckpt = dir.join("ckpt");
+    let socket = dir.join("chaos.sock");
+    let canonical = canonical_requests();
+
+    // Reference: a fault-free daemon over its own checkpoint answers the
+    // canonical set; these lines are the ground truth the chaotic journal
+    // must converge back to.
+    let ref_ckpt = dir.join("ref-ckpt");
+    let ref_socket = dir.join("ref.sock");
+    let reference = Daemon::spawn(&ref_socket, &ref_ckpt, None, seed);
+    let mut want: Vec<String> =
+        canonical.iter().map(|r| request_until_ok(&ref_socket, r)).collect();
+    want.sort();
+    reference.drain();
+
+    // Wave A — journal faults: torn appends (short-write) and a failing
+    // record seam (return-error). Evaluation counts here are bounded by
+    // the number of fresh keys, so the wave sends its batch once and the
+    // seeded draws decide which appends tear.
+    let wave_a = "journal.append.write=shortwrite(5)@0.7;checkpoint.record=err(ENOSPC)@0.4";
+    let daemon = Daemon::spawn(&socket, &ckpt, Some(wave_a), seed);
+    for req in canonical.iter().chain(wave_requests(10).iter()) {
+        request_until_ok(&socket, req);
+    }
+    assert!(fired(&socket, "journal.append.write") >= 1, "a short-write fired in wave A");
+    assert!(fired(&socket, "checkpoint.record") >= 1, "a record error fired in wave A");
+    daemon.kill(); // SIGKILL restart #1
+
+    // Wave B — fsync errors on fresh appends, plus latency chaos on the
+    // serve side: delayed reads, stalled (bounded) writes.
+    let wave_b = "journal.append.fsync=err(EIO)@0.5;serve.conn.read=delay(1ms)@0.5;\
+                  serve.conn.write=stall(20ms)@0.3";
+    let daemon = Daemon::spawn(&socket, &ckpt, Some(wave_b), seed);
+    for req in wave_requests(20) {
+        request_until_ok(&socket, &req);
+    }
+    let poke = run_req("poke-b", "gcc", 90);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while fired(&socket, "serve.conn.read") == 0 || fired(&socket, "serve.conn.write") == 0 {
+        let _ = try_roundtrip(&socket, &poke);
+        assert!(Instant::now() < deadline, "serve delay/stall never fired in wave B");
+    }
+    assert!(fired(&socket, "journal.append.fsync") >= 1, "an fsync error fired in wave B");
+    daemon.kill(); // SIGKILL restart #2
+
+    // Wave C — reader panics: a connection dies mid-request, the daemon
+    // does not.
+    let wave_c = "serve.conn.read=panic@0.3";
+    let daemon = Daemon::spawn(&socket, &ckpt, Some(wave_c), seed);
+    let poke = run_req("poke-c", "gcc", 91);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while fired(&socket, "serve.conn.read") == 0 {
+        let _ = try_roundtrip(&socket, &poke);
+        assert!(Instant::now() < deadline, "the reader panic never fired in wave C");
+    }
+    // And the daemon still answers after injected reader panics.
+    request_until_ok(&socket, &run_req("after-panic", "gcc", 92));
+    daemon.kill(); // SIGKILL restart #3
+
+    // Settle: disarmed, recompute whatever the faults kept out of the
+    // journal, then drain gracefully (exit 0 asserted in `drain`).
+    let daemon = Daemon::spawn(&socket, &ckpt, None, seed);
+    for req in &canonical {
+        request_until_ok(&socket, req);
+    }
+    daemon.drain();
+
+    // Final: a warm, disarmed restart must serve the canonical set
+    // entirely from replayed journal entries, byte-identical to the
+    // fault-free reference.
+    let daemon = Daemon::spawn(&socket, &ckpt, None, seed);
+    assert!(stats_field(&socket, "replayed") >= 6, "warm restart replays the canonical keys");
+    assert_eq!(stats_field(&socket, "quarantined"), 0, "no corrupt journal entries survive");
+    let mut got: Vec<String> = canonical.iter().map(|r| request_until_ok(&socket, r)).collect();
+    assert_eq!(stats_field(&socket, "recomputed"), 0, "warm answers must not recompute");
+    got.sort();
+    assert_eq!(got, want, "post-chaos responses are byte-identical to fault-free ones");
+    let spec_keys: Vec<String> = got
+        .iter()
+        .map(|line| {
+            let parsed = json::parse(line).unwrap();
+            get_str(as_object(&parsed).unwrap(), "spec_key").unwrap().to_owned()
+        })
+        .collect();
+    daemon.drain();
+
+    // The journal itself: every acked key present, zero quarantined
+    // frames, no torn tail — whatever the schedules injected.
+    let (entries, report) =
+        bitline_exec::journal::read_entries(&ckpt.join(bitline_exec::journal::JOURNAL_FILE))
+            .expect("read chaos journal");
+    assert_eq!(report.quarantined, 0, "chaos journal has no quarantined frames: {report:?}");
+    assert!(!report.truncated_tail, "chaos journal has no torn tail: {report:?}");
+    let keys: std::collections::HashSet<&str> = entries.iter().map(|e| e.key.as_str()).collect();
+    for key in &spec_keys {
+        assert!(keys.contains(key.as_str()), "answered key `{key}` missing from the journal");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,11 +24,22 @@ struct TestServer {
 
 impl TestServer {
     fn start(tag: &str, queue_depth: usize, workers: usize, runner: Runner) -> TestServer {
+        TestServer::start_cfg(tag, queue_depth, workers, runner, |_| {})
+    }
+
+    fn start_cfg(
+        tag: &str,
+        queue_depth: usize,
+        workers: usize,
+        runner: Runner,
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> TestServer {
         let socket = std::env::temp_dir()
             .join(format!("bitline-serve-test-{tag}-{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&socket);
-        let config =
+        let mut config =
             ServeConfig { socket: socket.clone(), queue_depth, workers, ..ServeConfig::default() };
+        tweak(&mut config);
         let server = Server::new(config, runner);
         let drain = server.drain_flag();
         let handle = std::thread::spawn(move || server.run());
@@ -78,6 +89,12 @@ impl Client {
     fn roundtrip(&mut self, line: &str) -> Json {
         self.send(line);
         self.recv()
+    }
+
+    /// Whether the daemon has closed this connection (EOF or reset).
+    fn closed(&mut self) -> bool {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true)
     }
 }
 
@@ -155,7 +172,7 @@ fn identical_requests_coalesce_to_one_computation() {
 }
 
 #[test]
-fn overload_sheds_with_a_retry_hint_and_drain_refuses_admission() {
+fn overload_sheds_with_a_retry_hint_and_drain_sheds_pending() {
     let (release_tx, release_rx) = mpsc::channel::<()>();
     let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
     let started = Arc::new(AtomicU64::new(0));
@@ -168,7 +185,7 @@ fn overload_sheds_with_a_retry_hint_and_drain_refuses_admission() {
     let server = TestServer::start("shed", 1, 1, runner);
     let mut c = server.connect();
     // Fill the worker, then the 1-deep queue; the third distinct spec
-    // must shed with a positive retry hint.
+    // must shed with a hint no smaller than the floor.
     c.send(r#"{"id":"busy","benchmark":"gcc","spec":{"seed":1}}"#);
     while started.load(Ordering::SeqCst) == 0 {
         std::thread::sleep(Duration::from_millis(2));
@@ -178,27 +195,123 @@ fn overload_sheds_with_a_retry_hint_and_drain_refuses_admission() {
     assert_eq!(str_field(&shed, "status"), "shed");
     assert_eq!(str_field(&shed, "reason"), "queue full");
     let hint = get_u64(as_object(&shed).unwrap(), "retry_after_ms").unwrap();
-    assert!(hint >= 1, "retry_after_ms must be positive, got {hint}");
+    assert!(hint >= bitline_serve::MIN_RETRY_AFTER_MS, "hint below floor: {hint}");
 
-    // Drain: admission now refuses even though the queue has space.
-    let ack = c.roundtrip(r#"{"id":"d","op":"drain"}"#);
+    // Drain: the pending job is shed with a terminal line *before* the
+    // drain ack (same connection, same order as the daemon wrote them);
+    // only the in-flight run is still answered.
+    c.send(r#"{"id":"d","op":"drain"}"#);
+    let shed = c.recv();
+    assert_eq!(str_field(&shed, "id"), "queued");
+    assert_eq!(str_field(&shed, "status"), "shed");
+    assert_eq!(str_field(&shed, "reason"), "draining");
+    let hint = get_u64(as_object(&shed).unwrap(), "retry_after_ms").unwrap();
+    assert!(hint >= bitline_serve::MIN_RETRY_AFTER_MS, "drain-shed hint below floor: {hint}");
+    let ack = c.recv();
     assert_eq!(field(&ack, "draining"), &Json::Bool(true));
+
+    // Admission now refuses even though the queue has space.
     let refused = c.roundtrip(r#"{"id":"late","benchmark":"gcc","spec":{"seed":4}}"#);
     assert_eq!(str_field(&refused, "status"), "shed");
     assert_eq!(str_field(&refused, "reason"), "draining");
 
-    // In-flight and queued jobs still complete during drain.
+    // The in-flight job still completes during drain — one release only.
     release_tx.send(()).unwrap();
-    release_tx.send(()).unwrap();
-    let mut done = Vec::new();
-    for _ in 0..2 {
-        let resp = c.recv();
-        assert_eq!(str_field(&resp, "status"), "ok");
-        done.push(str_field(&resp, "id"));
-    }
-    done.sort();
-    assert_eq!(done, ["busy", "queued"]);
+    let resp = c.recv();
+    assert_eq!(str_field(&resp, "status"), "ok");
+    assert_eq!(str_field(&resp, "id"), "busy");
     server.handle.join().expect("join server thread").expect("server run");
+}
+
+#[test]
+fn sigterm_drain_answers_in_flight_and_sheds_pending() {
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+    let started = Arc::new(AtomicU64::new(0));
+    let runner_started = Arc::clone(&started);
+    let runner: Runner = Arc::new(move |_, _| {
+        runner_started.fetch_add(1, Ordering::SeqCst);
+        release_rx.lock().unwrap().recv().expect("release signal");
+        Ok(ok_row(10))
+    });
+    let server = TestServer::start("sigterm-drain", 8, 1, runner);
+    let mut c = server.connect();
+    c.send(r#"{"id":"busy","benchmark":"gcc","spec":{"seed":1}}"#);
+    while started.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    c.send(r#"{"id":"queued","benchmark":"gcc","spec":{"seed":2}}"#);
+
+    // Latch the drain flag — exactly what the SIGTERM handler does — with
+    // one job in flight and one pending. The pending job's shed line
+    // arrives first (the drain sheds it while the worker is still busy);
+    // only then release the in-flight run, which is still answered.
+    server.drain.store(true, Ordering::Relaxed);
+    let shed = c.recv();
+    assert_eq!(str_field(&shed, "id"), "queued");
+    assert_eq!(str_field(&shed, "status"), "shed");
+    assert_eq!(str_field(&shed, "reason"), "draining");
+    release_tx.send(()).unwrap();
+    let resp = c.recv();
+    assert_eq!(str_field(&resp, "id"), "busy");
+    assert_eq!(str_field(&resp, "status"), "ok");
+    // `run` returns Ok — the daemon's exit-0 path.
+    server.handle.join().expect("join server thread").expect("server run");
+}
+
+#[test]
+fn metrics_op_exports_validated_jsonl() {
+    let runner: Runner = Arc::new(|_, _| Ok(ok_row(64)));
+    let server = TestServer::start("metrics", 8, 1, runner);
+    let mut c = server.connect();
+    let resp = c.roundtrip(r#"{"id":"warm","benchmark":"gcc"}"#);
+    assert_eq!(str_field(&resp, "status"), "ok");
+    let resp = c.roundtrip(r#"{"id":"m","op":"metrics"}"#);
+    assert_eq!(str_field(&resp, "status"), "ok");
+    let jsonl = str_field(&resp, "metrics_jsonl");
+    let report = bitline_obs::validate_jsonl(&jsonl)
+        .unwrap_or_else(|e| panic!("metrics export failed validation: {e}"));
+    assert!(report.counters > 0, "export carries counters: {report:?}");
+    assert!(jsonl.contains("serve.accepted"), "serving counters are in the export");
+    assert!(jsonl.contains("serve.slow_disconnects"), "declared-at-zero metrics included");
+    server.shutdown();
+}
+
+#[test]
+fn a_stalled_reader_is_shed_while_fast_clients_are_served() {
+    // Stall every write on the first connection of *this* server (label
+    // `stalltest-0`): its bounded response queue overflows and the daemon
+    // condemns that one connection, while a fast client on the same
+    // daemon still gets its row.
+    bitline_failpoint::arm("serve.conn.write[stalltest-0]=stall").unwrap();
+    let runner: Runner = Arc::new(|_, _| Ok(ok_row(8)));
+    let server = TestServer::start_cfg("stalled-reader", 16, 1, runner, |cfg| {
+        cfg.conn_label = "stalltest".to_owned();
+        cfg.conn_queue_depth = 2;
+    });
+    let mut slow = server.connect();
+    // First response: wait until the writer thread has popped it and is
+    // held in the stall, so the overflow accounting below is exact.
+    slow.send(r#"{"id":"s1","benchmark":"gcc","spec":{"seed":1}}"#);
+    for _ in 0..2000 {
+        if bitline_failpoint::fired("serve.conn.write") >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(bitline_failpoint::fired("serve.conn.write") >= 1, "the stall fired");
+    // One line held in the stalled writer + two queued = the third
+    // further completion overflows the depth-2 queue and condemns the
+    // connection.
+    for seed in 2..=4 {
+        slow.send(&format!(r#"{{"id":"s{seed}","benchmark":"gcc","spec":{{"seed":{seed}}}}}"#));
+    }
+    let mut fast = server.connect();
+    let resp = fast.roundtrip(r#"{"id":"fast","benchmark":"gcc","spec":{"seed":99}}"#);
+    assert_eq!(str_field(&resp, "status"), "ok", "fast client served despite the stalled peer");
+    assert!(slow.closed(), "the stalled reader is disconnected, not absorbed");
+    bitline_failpoint::disarm("serve.conn.write");
+    server.shutdown();
 }
 
 #[test]

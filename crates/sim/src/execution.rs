@@ -157,6 +157,12 @@ fn journal_record(name: &str, spec: &SystemSpec, run: &RunResult) {
         bitline_obs::counter!("sim.checkpoint.recomputed").incr();
         return;
     }
+    // Record seam: an injected error here models "computed but never
+    // journaled" — warm restart must recompute the key, never invent it.
+    if let Err(e) = bitline_failpoint::io_result("checkpoint.record") {
+        eprintln!("[exec] warning: checkpoint append failed for {key}: {e}");
+        return;
+    }
     match cp.journal.append(&key, &checkpoint::encode_run(run)) {
         Ok(()) => {
             cp.appended += 1;

@@ -78,6 +78,9 @@ pub fn init_supervision_from_env() -> Result<(), String> {
     // auto fallback, matching the `--scrub-period 0` precedent.
     bitline_exec::pool::jobs_from_env()?;
     supervise::init_run_budget_from_env()?;
+    // Arm BITLINE_FAILPOINTS (and its seed) now so a malformed spec kills
+    // the driver at startup instead of a one-time warning mid-run.
+    bitline_failpoint::init_from_env()?;
     if let Ok(dir) = std::env::var("BITLINE_CHECKPOINT") {
         let resume = std::env::var("BITLINE_NO_RESUME").map_or(true, |v| v != "1");
         set_checkpoint(std::path::Path::new(&dir), resume)
