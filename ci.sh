@@ -30,6 +30,13 @@
 #                    SIGKILL+restart without recomputing, shed overload
 #                    with positive retry_after_ms hints, and exit 0 on
 #                    a SIGTERM drain
+#   ./ci.sh hierarchy
+#                    multi-level gate: the hierarchy table (node x
+#                    levels x leakage mode) must be byte-identical to
+#                    the blessed golden and across jobs=1 vs jobs=N,
+#                    and a single-level sweep must render identical
+#                    bytes whether the binary carries the hierarchy
+#                    flags at their defaults or not at all
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -521,6 +528,63 @@ chaos() {
     echo "==> chaos: OK — disarmed identity held, soak green (last seed $seed)"
 }
 
+hierarchy() {
+    local instrs="${BITLINE_INSTRS:-2000}"
+    local jobs_n
+    jobs_n="$(nproc 2>/dev/null || echo 4)"
+    if [[ "$jobs_n" -lt 2 ]]; then jobs_n=4; fi
+    HIER_TMP="$(mktemp -d)"
+    trap 'rm -rf "$HIER_TMP"' EXIT
+
+    echo "==> hierarchy: build bitline-sim"
+    cargo build -q -p bitline-sim
+    local sim=./target/debug/bitline-sim
+
+    # The golden is blessed on the two smallest workloads at 2000
+    # instructions (crates/sim/tests/hierarchy_golden.rs); the same
+    # configuration here must reproduce it byte-for-byte from the CLI.
+    echo "==> hierarchy: table at jobs=1 vs the blessed golden"
+    local h1="$HIER_TMP/h1.dat" hN="$HIER_TMP/hN.dat"
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j 1 hierarchy >"$h1" 2>/dev/null
+    if ! diff -u crates/sim/tests/goldens/hierarchy.dat "$h1"; then
+        echo "==> hierarchy: FAIL — the CLI table drifted from the blessed golden" >&2
+        exit 1
+    fi
+
+    echo "==> hierarchy: table at jobs=$jobs_n"
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j "$jobs_n" hierarchy >"$hN" 2>/dev/null
+    if ! diff -u "$h1" "$hN"; then
+        echo "==> hierarchy: FAIL — the hierarchy table depends on the job count" >&2
+        exit 1
+    fi
+
+    # Inertness: the default hierarchy flags must leave a single-level
+    # sweep byte-identical to one that never mentions them.
+    echo "==> hierarchy: single-level inertness under default flags"
+    local bare="$HIER_TMP/bare.out" flagged="$HIER_TMP/flagged.out"
+    "$sim" -b all -i "$instrs" -j "$jobs_n" >"$bare" 2>/dev/null
+    "$sim" -b all -i "$instrs" -j "$jobs_n" \
+        --levels 1 --leakage-mode full-vdd >"$flagged" 2>/dev/null
+    if ! diff -u "$bare" "$flagged"; then
+        echo "==> hierarchy: FAIL — default hierarchy flags changed single-level output" >&2
+        exit 1
+    fi
+
+    # A deep, mode-priced run must actually report the outer levels.
+    echo "==> hierarchy: 3-level drowsy run reports L2 and L3"
+    local deep="$HIER_TMP/deep.out"
+    "$sim" -b gcc -i "$instrs" --levels 3 --l2-policy gated:100 \
+        --leakage-mode drowsy >"$deep" 2>/dev/null
+    if ! grep -q "L2:" "$deep" || ! grep -q "L3:" "$deep"; then
+        echo "==> hierarchy: FAIL — a 3-level run must print L2 and L3 lines" >&2
+        cat "$deep" >&2
+        exit 1
+    fi
+    echo "==> hierarchy: OK — golden, job-count identity, inertness, and depth all verified"
+}
+
 if [[ "${1:-}" == "smoke" ]]; then
     smoke
     exit 0
@@ -528,6 +592,11 @@ fi
 
 if [[ "${1:-}" == "chaos" ]]; then
     chaos
+    exit 0
+fi
+
+if [[ "${1:-}" == "hierarchy" ]]; then
+    hierarchy
     exit 0
 fi
 

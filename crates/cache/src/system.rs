@@ -26,6 +26,14 @@ pub struct MemorySystemConfig {
     pub mem_cycles_per_8b: u32,
     /// MSHR entries per L1 (8).
     pub mshr_entries: usize,
+    /// Optional L3 size in bytes (4 MB). The L3 itself is only built by
+    /// [`MemorySystem::with_hierarchy`]; these parameters are inert
+    /// otherwise.
+    pub l3_size: usize,
+    /// L3 associativity (8).
+    pub l3_assoc: usize,
+    /// L3 access latency in cycles (30).
+    pub l3_latency: u32,
 }
 
 impl Default for MemorySystemConfig {
@@ -40,6 +48,9 @@ impl Default for MemorySystemConfig {
             mem_latency: 100,
             mem_cycles_per_8b: 4,
             mshr_entries: 8,
+            l3_size: 4 * 1024 * 1024,
+            l3_assoc: 8,
+            l3_latency: 30,
         }
     }
 }
@@ -85,6 +96,7 @@ pub struct MemorySystem {
     l1d: L1Cache,
     l1i: L1Cache,
     l2: L1Cache,
+    l3: Option<L1Cache>,
     mshr_d: Mshr,
     mshr_i: Mshr,
 }
@@ -124,11 +136,29 @@ impl MemorySystem {
         i_policy: Box<dyn PrechargePolicy>,
         l2_policy: Box<dyn PrechargePolicy>,
     ) -> MemorySystem {
+        Self::with_hierarchy(cfg, d_policy, i_policy, l2_policy, None)
+    }
+
+    /// Builds the full multi-level hierarchy: managed L1s, a managed L2,
+    /// and — when `l3_policy` is provided — an L3 between the L2 and
+    /// memory. With `l3_policy == None` this is exactly
+    /// [`MemorySystem::with_l2_policy`]; the stock two-level system never
+    /// pays for the deeper hierarchy.
+    #[must_use]
+    pub fn with_hierarchy(
+        cfg: MemorySystemConfig,
+        d_policy: Box<dyn PrechargePolicy>,
+        i_policy: Box<dyn PrechargePolicy>,
+        l2_policy: Box<dyn PrechargePolicy>,
+        l3_policy: Option<Box<dyn PrechargePolicy>>,
+    ) -> MemorySystem {
         let l2_cfg = Self::l2_config(&cfg);
+        let l3_cfg = Self::l3_config(&cfg);
         MemorySystem {
             l1d: L1Cache::new(cfg.l1d, d_policy),
             l1i: L1Cache::new(cfg.l1i, i_policy),
             l2: L1Cache::new(l2_cfg, l2_policy),
+            l3: l3_policy.map(|p| L1Cache::new(l3_cfg, p)),
             mshr_d: Mshr::new(cfg.mshr_entries),
             mshr_i: Mshr::new(cfg.mshr_entries),
             cfg,
@@ -149,9 +179,47 @@ impl MemorySystem {
         }
     }
 
+    /// Geometry of the optional L3 implied by the hierarchy parameters:
+    /// bigger subarrays than the L2 (8 KB), same line size, one port.
+    #[must_use]
+    pub fn l3_config(cfg: &MemorySystemConfig) -> CacheConfig {
+        CacheConfig {
+            size_bytes: cfg.l3_size,
+            assoc: cfg.l3_assoc,
+            line_bytes: cfg.l2_line,
+            subarray_bytes: 8192,
+            ports: 1,
+            hit_latency: cfg.l3_latency,
+            way_prediction: false,
+        }
+    }
+
     /// Latency of a memory (DRAM) line fill.
     fn memory_latency(&self) -> u32 {
         self.cfg.mem_latency + self.cfg.mem_cycles_per_8b * (self.cfg.l2_line as u32 / 8)
+    }
+
+    /// Fill latency of an L1 miss through the outer levels: L2 lookup,
+    /// then — on an L2 miss — the L3 when present, then memory. The L2/L3
+    /// precharge policies' pull-up delays ride on the fill like any other
+    /// latency.
+    fn outer_fill(&mut self, addr: u64, is_store: bool, cycle: u64) -> u32 {
+        let mem = self.memory_latency();
+        let r2 = self.l2.access(addr, is_store, cycle);
+        let mut fill = self.cfg.l2_latency + r2.extra_latency;
+        if !r2.hit {
+            match self.l3.as_mut() {
+                Some(l3) => {
+                    let r3 = l3.access(addr, is_store, cycle);
+                    fill += self.cfg.l3_latency + r3.extra_latency;
+                    if !r3.hit {
+                        fill += mem;
+                    }
+                }
+                None => fill += mem,
+            }
+        }
+        fill
     }
 
     /// One data access (load or store) at `cycle`.
@@ -174,12 +242,7 @@ impl MemorySystem {
         };
         let mut latency = self.cfg.l1d.hit_latency + r.extra_latency;
         if !r.hit {
-            let r2 = self.l2.access(addr, is_store, cycle);
-            let fill = if r2.hit {
-                self.cfg.l2_latency + r2.extra_latency
-            } else {
-                self.cfg.l2_latency + r2.extra_latency + self.memory_latency()
-            };
+            let fill = self.outer_fill(addr, is_store, cycle);
             let line = addr / self.cfg.l1d.line_bytes as u64;
             latency += self.mshr_d.request(line, cycle, fill);
         }
@@ -191,12 +254,7 @@ impl MemorySystem {
         let r = self.l1i.access(pc, false, cycle);
         let mut latency = self.cfg.l1i.hit_latency + r.extra_latency;
         if !r.hit {
-            let r2 = self.l2.access(pc, false, cycle);
-            let fill = if r2.hit {
-                self.cfg.l2_latency + r2.extra_latency
-            } else {
-                self.cfg.l2_latency + r2.extra_latency + self.memory_latency()
-            };
+            let fill = self.outer_fill(pc, false, cycle);
             let line = pc / self.cfg.l1i.line_bytes as u64;
             latency += self.mshr_i.request(line, cycle, fill);
         }
@@ -226,6 +284,13 @@ impl MemorySystem {
         &self.l2
     }
 
+    /// The optional L3 (present only when built via
+    /// [`MemorySystem::with_hierarchy`] with an L3 policy).
+    #[must_use]
+    pub fn l3(&self) -> Option<&L1Cache> {
+        self.l3.as_ref()
+    }
+
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &MemorySystemConfig {
@@ -240,6 +305,11 @@ impl MemorySystem {
     /// Closes the L2's precharge accounting.
     pub fn finalize_l2(&mut self, end_cycle: u64) -> ActivityReport {
         self.l2.finalize(end_cycle)
+    }
+
+    /// Closes the L3's precharge accounting, when an L3 exists.
+    pub fn finalize_l3(&mut self, end_cycle: u64) -> Option<ActivityReport> {
+        self.l3.as_mut().map(|l3| l3.finalize(end_cycle))
     }
 }
 
@@ -258,6 +328,29 @@ mod tests {
         }
         fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
             ActivityReport { policy: self.name(), end_cycle, per_subarray: vec![] }
+        }
+    }
+
+    /// Counts accesses into a single-subarray report, so finalize-based
+    /// assertions see real activity (the `Always` double reports nothing).
+    struct Recording(u64);
+    impl PrechargePolicy for Recording {
+        fn name(&self) -> String {
+            "recording".into()
+        }
+        fn access(&mut self, _s: usize, _c: u64) -> u32 {
+            self.0 += 1;
+            0
+        }
+        fn finalize(&mut self, end_cycle: u64) -> ActivityReport {
+            ActivityReport {
+                policy: self.name(),
+                end_cycle,
+                per_subarray: vec![crate::SubarrayActivity {
+                    accesses: self.0,
+                    ..crate::SubarrayActivity::default()
+                }],
+            }
         }
     }
 
@@ -357,6 +450,84 @@ mod tests {
         let report = m.finalize_l2(100);
         assert_eq!(report.total_accesses(), 1);
         assert!((report.precharged_fraction() - 1.0).abs() < 1e-12, "default static L2");
+    }
+
+    fn three_level_system() -> MemorySystem {
+        MemorySystem::with_hierarchy(
+            MemorySystemConfig::default(),
+            Box::new(Always),
+            Box::new(Always),
+            Box::new(Always),
+            Some(Box::new(Always)),
+        )
+    }
+
+    #[test]
+    fn l3_lookup_rides_on_the_memory_fill() {
+        let mut m = three_level_system();
+        // 3 (L1) + 12 (L2) + 30 (L3) + 100 + 16 (DRAM).
+        let r = m.data_access(0x9000, false, 0);
+        assert!(!r.l1_hit);
+        assert_eq!(r.latency, 3 + 12 + 30 + 116);
+    }
+
+    #[test]
+    fn l3_hit_spares_the_memory_latency() {
+        let mut m = three_level_system();
+        m.data_access(0x2000, false, 0); // fills L1, L2 and L3
+                                         // Evict 0x2000 from both the L1 set (2-way) and the L2 set
+                                         // (4-way) with conflicting lines 128 KB apart; the L3's sets
+                                         // are four times as numerous, so it keeps the line.
+        for k in 1..=4u64 {
+            m.data_access(0x2000 + k * 128 * 1024, false, k * 100);
+        }
+        let r = m.data_access(0x2000, false, 10_000);
+        assert!(!r.l1_hit);
+        assert_eq!(r.latency, 3 + 12 + 30, "L2 evicted the line; the L3 retains it");
+    }
+
+    #[test]
+    fn l3_policy_delay_adds_to_fill_latency() {
+        let mut m = MemorySystem::with_hierarchy(
+            MemorySystemConfig::default(),
+            Box::new(Always),
+            Box::new(Always),
+            Box::new(Always),
+            Some(Box::new(AlwaysCold)),
+        );
+        // 3 + 12 + (30 + 1 pull-up) + 116.
+        let r = m.data_access(0x9000, false, 0);
+        assert_eq!(r.latency, 3 + 12 + 31 + 116);
+    }
+
+    #[test]
+    fn two_level_system_has_no_l3_and_identical_latencies() {
+        let mut m = system();
+        assert!(m.l3().is_none());
+        assert!(m.finalize_l3(100).is_none());
+        let r = m.data_access(0x9000, false, 0);
+        assert_eq!(r.latency, 3 + 12 + 116, "stock fill path is untouched by the L3 plumbing");
+    }
+
+    #[test]
+    fn per_level_traffic_is_observable() {
+        let mut m = MemorySystem::with_hierarchy(
+            MemorySystemConfig::default(),
+            Box::new(Always),
+            Box::new(Always),
+            Box::new(Always),
+            Some(Box::new(Recording(0))),
+        );
+        m.data_access(0x9000, true, 0); // cold: misses L1/L2/L3
+        m.data_access(0x9000, false, 100); // warm: L1 hit
+        assert_eq!(m.l1d().hits(), 1);
+        assert_eq!(m.l1d().misses(), 1);
+        assert_eq!(m.l2().misses(), 1);
+        let l3 = m.l3().expect("three-level system");
+        assert_eq!(l3.misses(), 1);
+        assert_eq!(l3.hits(), 0);
+        let report = m.finalize_l3(200).expect("L3 report");
+        assert_eq!(report.total_accesses(), 1);
     }
 
     #[test]

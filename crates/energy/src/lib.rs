@@ -49,6 +49,218 @@ pub const AVERAGE_CASE_LEAKAGE_FACTOR: f64 = 0.5;
 /// reference [13]).
 pub const DROWSY_LEAKAGE_FACTOR: f64 = 0.15;
 
+/// Residual cell leakage with the supply gated off (gated-Vdd sleep): only
+/// the sleep transistor's subthreshold path remains, so the cell leaks at a
+/// few percent of full Vdd — but loses its state.
+pub const GATED_VDD_LEAKAGE_FACTOR: f64 = 0.03;
+
+/// Cell-leakage factor of the 6T low-power cell variant (Khatti
+/// Dizabadi/Kaya): longer-channel, higher-Vt pull-downs cut leakage at all
+/// times — active and idle — at some access-energy cost.
+pub const LOW_POWER_6T_LEAKAGE_FACTOR: f64 = 0.45;
+
+/// Dynamic access-energy multiplier of the 6T low-power cell: the weaker
+/// pull-downs discharge the bitlines more slowly, so each read/write swings
+/// longer.
+pub const LOW_POWER_6T_ACCESS_FACTOR: f64 = 1.10;
+
+/// A cell-level leakage-control mode for one cache level, competing with
+/// (and orthogonal to) the bitline precharge policies: the precharge policy
+/// decides when bitlines are pulled up, the leakage mode decides what the
+/// *cells* do while their subarray idles between accesses.
+///
+/// Modes are priced by [`EnergyAccountant::account_with_mode`]: the
+/// subarray idle episodes already collected in the activity report's
+/// isolation histogram double as the sleep windows, each costing one
+/// mode-transition on wakeup.
+pub trait LeakageMode: Sync {
+    /// Short stable label (keys `.dat` rows and metrics).
+    fn name(&self) -> &'static str;
+
+    /// Cell leakage while a subarray is awake, as a fraction of the
+    /// conventional full-Vdd cell.
+    fn active_leakage_factor(&self) -> f64;
+
+    /// Residual cell leakage during an idle (isolated) episode, as a
+    /// fraction of the conventional full-Vdd cell.
+    fn idle_leakage_factor(&self) -> f64;
+
+    /// Energy of one sleep-entry + wake transition, as a multiple of the
+    /// precharge-device switching energy of one isolation episode.
+    fn transition_energy_factor(&self) -> f64;
+
+    /// Extra dynamic energy per access, as a multiplier on the
+    /// conventional cell's access energy (1.0 = no penalty).
+    fn access_energy_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Whether cell contents survive an idle episode. Gated-Vdd sleep
+    /// loses state; the accounting here prices the transition energy but
+    /// (like the related multi-level leakage studies) leaves the refetch
+    /// traffic to the architectural layer.
+    fn preserves_state(&self) -> bool {
+        true
+    }
+
+    /// The conventional full-Vdd cell: [`EnergyAccountant::account_with_mode`]
+    /// collapses to plain [`EnergyAccountant::account_with_ecc`], bit for
+    /// bit, when this is true.
+    fn is_full_vdd(&self) -> bool {
+        false
+    }
+}
+
+/// Conventional full-Vdd cells — the do-nothing baseline of the zoo.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullVddCells;
+
+impl LeakageMode for FullVddCells {
+    fn name(&self) -> &'static str {
+        "full-vdd"
+    }
+    fn active_leakage_factor(&self) -> f64 {
+        1.0
+    }
+    fn idle_leakage_factor(&self) -> f64 {
+        1.0
+    }
+    fn transition_energy_factor(&self) -> f64 {
+        0.0
+    }
+    fn is_full_vdd(&self) -> bool {
+        true
+    }
+}
+
+/// State-preserving low-Vdd sleep (drowsy caches, Kim et al.): idle
+/// subarrays drop to the retention voltage and leak at
+/// [`DROWSY_LEAKAGE_FACTOR`]; waking costs a fraction of an episode's
+/// switching energy because only the supply rail moves, not the bitlines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrowsyCells;
+
+impl LeakageMode for DrowsyCells {
+    fn name(&self) -> &'static str {
+        "drowsy"
+    }
+    fn active_leakage_factor(&self) -> f64 {
+        1.0
+    }
+    fn idle_leakage_factor(&self) -> f64 {
+        DROWSY_LEAKAGE_FACTOR
+    }
+    fn transition_energy_factor(&self) -> f64 {
+        0.25
+    }
+}
+
+/// Gated-Vdd sleep (Powell et al.): the supply is cut entirely during idle
+/// episodes — deepest leakage savings, full-swing rail transitions on
+/// every wake, and state loss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatedVddCells;
+
+impl LeakageMode for GatedVddCells {
+    fn name(&self) -> &'static str {
+        "gated-vdd"
+    }
+    fn active_leakage_factor(&self) -> f64 {
+        1.0
+    }
+    fn idle_leakage_factor(&self) -> f64 {
+        GATED_VDD_LEAKAGE_FACTOR
+    }
+    fn transition_energy_factor(&self) -> f64 {
+        1.0
+    }
+    fn preserves_state(&self) -> bool {
+        false
+    }
+}
+
+/// The 6T low-power cell variant (Khatti Dizabadi/Kaya): a process-level
+/// change, not a dynamic mode — leakage shrinks whether or not the
+/// subarray idles, there are no transitions, and each access pays a
+/// modest swing penalty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowPower6TCells;
+
+impl LeakageMode for LowPower6TCells {
+    fn name(&self) -> &'static str {
+        "6t-lp"
+    }
+    fn active_leakage_factor(&self) -> f64 {
+        LOW_POWER_6T_LEAKAGE_FACTOR
+    }
+    fn idle_leakage_factor(&self) -> f64 {
+        LOW_POWER_6T_LEAKAGE_FACTOR
+    }
+    fn transition_energy_factor(&self) -> f64 {
+        0.0
+    }
+    fn access_energy_factor(&self) -> f64 {
+        LOW_POWER_6T_ACCESS_FACTOR
+    }
+}
+
+/// Spec-level selector for the leakage-mode zoo: the `Copy + Eq + Hash`
+/// face of [`LeakageMode`] so run specs, checkpoint journals and the CLI
+/// can name a mode without carrying trait objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LeakageKind {
+    /// Conventional full-Vdd cells (the inert default).
+    #[default]
+    FullVdd,
+    /// State-preserving low-Vdd sleep during idle episodes.
+    Drowsy,
+    /// Supply gating during idle episodes (state-destroying).
+    GatedVdd,
+    /// 6T low-power cell variant (static leakage reduction).
+    LowPower6T,
+}
+
+impl LeakageKind {
+    /// Every mode in the zoo, baseline first.
+    pub const ALL: [LeakageKind; 4] =
+        [LeakageKind::FullVdd, LeakageKind::Drowsy, LeakageKind::GatedVdd, LeakageKind::LowPower6T];
+
+    /// The mode implementation behind the selector.
+    #[must_use]
+    pub fn mode(&self) -> &'static dyn LeakageMode {
+        match self {
+            LeakageKind::FullVdd => &FullVddCells,
+            LeakageKind::Drowsy => &DrowsyCells,
+            LeakageKind::GatedVdd => &GatedVddCells,
+            LeakageKind::LowPower6T => &LowPower6TCells,
+        }
+    }
+
+    /// Short stable label (same string the mode itself reports).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.mode().name()
+    }
+}
+
+/// The CLI/protocol grammar for `--leakage-mode`: `full-vdd` (or `static`,
+/// `none`), `drowsy`, `gated-vdd`, `6t` (or `6t-lp`, `low-power-6t`).
+impl std::str::FromStr for LeakageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full-vdd" | "static" | "none" => Ok(LeakageKind::FullVdd),
+            "drowsy" => Ok(LeakageKind::Drowsy),
+            "gated-vdd" | "gatedvdd" => Ok(LeakageKind::GatedVdd),
+            "6t" | "6t-lp" | "low-power-6t" => Ok(LeakageKind::LowPower6T),
+            other => {
+                Err(format!("unknown leakage mode `{other}` (try full-vdd, drowsy, gated-vdd, 6t)"))
+            }
+        }
+    }
+}
+
 /// Energy consumed by one cache over a run, decomposed the way the paper
 /// reports it.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -254,6 +466,60 @@ impl EnergyAccountant {
         ecc: Option<EccActivity>,
     ) -> CacheEnergyBreakdown {
         let mut breakdown = self.account(report, reads, writes, gated_counters, way_stats);
+        if let Some(activity) = ecc {
+            breakdown.ecc_j = self.ecc_energy_j(&breakdown, activity);
+        }
+        breakdown
+    }
+
+    /// Prices a report under a cell [`LeakageMode`] from the zoo.
+    ///
+    /// The bitline terms (`dynamic_j` scaling aside, `pullup_leak_j`,
+    /// `episode_j`, `counter_j`) belong to the precharge policy and are
+    /// untouched; the mode re-prices `cell_leak_j`: awake subarray-cycles
+    /// leak at the mode's active factor, the isolation-histogram idle
+    /// cycles leak at its idle factor, and every idle episode pays one
+    /// sleep/wake transition. ECC, when armed, prices on top of the
+    /// mode-adjusted breakdown. For [`FullVddCells`] this collapses to
+    /// [`EnergyAccountant::account_with_ecc`], bit for bit, which is what
+    /// keeps the paper's figures inert while the zoo exists.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn account_with_mode(
+        &self,
+        report: &ActivityReport,
+        reads: u64,
+        writes: u64,
+        gated_counters: bool,
+        way_stats: Option<WayStats>,
+        ecc: Option<EccActivity>,
+        mode: &dyn LeakageMode,
+    ) -> CacheEnergyBreakdown {
+        if mode.is_full_vdd() {
+            return self.account_with_ecc(report, reads, writes, gated_counters, way_stats, ecc);
+        }
+        let mut breakdown = self.account(report, reads, writes, gated_counters, way_stats);
+        let m = &self.model;
+        let full_cell_cycles = report.per_subarray.len() as f64 * report.end_cycle as f64;
+        let mut idle_cycles = 0.0;
+        let mut episodes = 0.0;
+        for s in &report.per_subarray {
+            for (idle, count) in s.idle_histogram.iter() {
+                idle_cycles += idle * count as f64;
+                episodes += count as f64;
+            }
+        }
+        let idle_cycles = idle_cycles.min(full_cell_cycles);
+        let active_cycles = full_cell_cycles - idle_cycles;
+        breakdown.cell_leak_j = (active_cycles * mode.active_leakage_factor()
+            + idle_cycles * mode.idle_leakage_factor())
+            * m.cell_leakage_cycle_energy_j()
+            * AVERAGE_CASE_LEAKAGE_FACTOR
+            + episodes
+                * m.isolation_episode_energy_j(0)
+                * mode.transition_energy_factor()
+                * AVERAGE_CASE_LEAKAGE_FACTOR;
+        breakdown.dynamic_j *= mode.access_energy_factor();
         if let Some(activity) = ecc {
             breakdown.ecc_j = self.ecc_energy_j(&breakdown, activity);
         }

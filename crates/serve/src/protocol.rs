@@ -30,7 +30,7 @@
 
 use bitline_cmos::TechnologyNode;
 use bitline_obs::json::{self, as_object, expect_keys, get_str, json_f64, json_u64, try_get, Json};
-use bitline_sim::{PolicyKind, RunResult, SystemSpec};
+use bitline_sim::{HierarchySpec, LeakageKind, PolicyKind, RunResult, SystemSpec};
 use std::fmt::Write as _;
 
 /// A parsed request line.
@@ -168,6 +168,7 @@ pub fn default_spec() -> SystemSpec {
         seed: 42,
         way_prediction: false,
         faults: bitline_sim::FaultSpec::default(),
+        hierarchy: HierarchySpec::default(),
     }
 }
 
@@ -187,6 +188,9 @@ fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
             "fail_safe",
             "ecc",
             "scrub_period",
+            "levels",
+            "l2_policy",
+            "leakage_mode",
         ],
     )
     .map_err(|e| format!("spec: {e}"))?;
@@ -232,6 +236,21 @@ fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
             return Err("spec scrub_period 0 would scrub continuously; omit the key".to_owned());
         }
         spec.faults.scrub_period = Some(period);
+    }
+    if let Some(v) = try_get(obj, "levels") {
+        let n = json_u64(v).map_err(|e| format!("spec levels: {e}"))?;
+        spec.hierarchy.levels =
+            u8::try_from(n).map_err(|_| "spec levels out of range (want 1..=3)".to_owned())?;
+    }
+    if let Some(v) = try_get(obj, "l2_policy") {
+        let s = as_str(v, "l2_policy")?;
+        spec.hierarchy.l2_policy =
+            s.parse::<PolicyKind>().map_err(|e| format!("spec l2_policy: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "leakage_mode") {
+        let s = as_str(v, "leakage_mode")?;
+        spec.hierarchy.leakage_mode =
+            s.parse::<LeakageKind>().map_err(|e| format!("spec leakage_mode: {e}"))?;
     }
     Ok(spec)
 }
@@ -483,6 +502,25 @@ mod tests {
         assert_eq!(run.spec.instructions, 9000);
         assert_eq!(run.spec.seed, 7);
         assert!(run.spec.faults.ecc);
+    }
+
+    #[test]
+    fn hierarchy_keys_parse_and_reject_garbage() {
+        let req = parse_request(
+            r#"{"id":"h","benchmark":"gcc","spec":{"levels":3,"l2_policy":"gated:100","leakage_mode":"drowsy"}}"#,
+        )
+        .unwrap();
+        let Request::Run(run) = req else { panic!("expected run") };
+        assert_eq!(run.spec.hierarchy.levels, 3);
+        assert_eq!(run.spec.hierarchy.l2_policy, PolicyKind::Gated { threshold: 100 });
+        assert_eq!(run.spec.hierarchy.leakage_mode, LeakageKind::Drowsy);
+
+        let e =
+            parse_request(r#"{"id":"h","benchmark":"gcc","spec":{"leakage_mode":"antigravity"}}"#)
+                .unwrap_err();
+        assert!(e.message.contains("leakage_mode"));
+        let e = parse_request(r#"{"id":"h","benchmark":"gcc","spec":{"levels":900}}"#).unwrap_err();
+        assert!(e.message.contains("levels"));
     }
 
     #[test]

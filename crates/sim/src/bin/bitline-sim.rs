@@ -24,8 +24,8 @@ use std::time::Duration;
 use bitline_cmos::TechnologyNode;
 use bitline_sim::experiments::harness;
 use bitline_sim::{
-    exec_summary_line, set_checkpoint, supervise, try_run_benchmark_cached, FaultSpec, PolicyKind,
-    SimError, SystemSpec,
+    exec_summary_line, set_checkpoint, supervise, try_run_benchmark_cached, FaultSpec,
+    HierarchySpec, PolicyKind, SimError, SystemSpec,
 };
 use bitline_workloads::suite;
 
@@ -40,6 +40,7 @@ struct Args {
     seed: u64,
     way_prediction: bool,
     faults: FaultSpec,
+    hierarchy: HierarchySpec,
     run_budget: Option<Duration>,
     checkpoint: Option<PathBuf>,
     no_resume: bool,
@@ -52,7 +53,7 @@ struct Args {
 
 /// The positional experiment commands, in help order.
 const EXPERIMENTS: &[&str] =
-    &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand", "reliability"];
+    &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand", "reliability", "hierarchy"];
 
 impl Default for Args {
     fn default() -> Self {
@@ -66,6 +67,7 @@ impl Default for Args {
             seed: 42,
             way_prediction: false,
             faults: FaultSpec::default(),
+            hierarchy: HierarchySpec::default(),
             run_budget: None,
             checkpoint: None,
             no_resume: false,
@@ -131,6 +133,13 @@ fn parse_args() -> Result<Args, String> {
                 args.faults.seed =
                     value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
             }
+            "--levels" => {
+                args.hierarchy.levels = value(&flag)?
+                    .parse()
+                    .map_err(|_| "bad level count (want 1, 2 or 3)".to_owned())?;
+            }
+            "--l2-policy" => args.hierarchy.l2_policy = parse_policy(&value(&flag)?)?,
+            "--leakage-mode" => args.hierarchy.leakage_mode = value(&flag)?.parse()?,
             "--fail-safe" => args.faults.fail_safe = true,
             "--ecc" => args.faults.ecc = true,
             "--scrub-period" => {
@@ -191,6 +200,12 @@ fn print_help() {
     println!("      --subarray BYTES    subarray size (default 1024)");
     println!("      --seed S            workload seed (default 42)");
     println!("      --way-prediction    enable MRU way prediction on both L1s");
+    println!("      --levels N          cache levels: 1 = L1s only (default), 2 adds a");
+    println!("                          managed L2, 3 adds an L3 behind it");
+    println!("      --l2-policy P       outer-level precharge policy (default static;");
+    println!("                          same grammar as --policy, needs --levels >= 2)");
+    println!("      --leakage-mode M    cell-array leakage control: full-vdd | drowsy |");
+    println!("                          gated-vdd | 6t (pricing only, never cycles)");
     println!("      --fault-rate P      per-cold-access upset probability (default 0 = off)");
     println!("      --fault-seed S      fault-injector seed (default: fixed constant)");
     println!("      --fail-safe         pin upset-prone subarrays back to static pull-up");
@@ -215,7 +230,7 @@ fn print_help() {
     println!("  -l, --list              list benchmarks and exit");
     println!();
     println!("EXPERIMENTS (positional): headline | fig3 | fig8 | fig9 | fig10 | ondemand |");
-    println!("  reliability");
+    println!("  reliability | hierarchy");
     println!("  runs the paper-figure driver over the suite (BITLINE_INSTRS instructions");
     println!("  per run, BITLINE_SUITE restricts the benchmark set)");
 }
@@ -232,14 +247,16 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         seed: args.seed,
         way_prediction: args.way_prediction,
         faults: args.faults,
+        hierarchy: args.hierarchy,
     };
     // The slowdown/energy reference is the clean static-pull-up machine:
     // faults model leakage upsets in *gated* bitlines, so the baseline
-    // runs fault-free.
+    // runs fault-free, single-level, at full Vdd.
     let baseline_spec = SystemSpec {
         d_policy: PolicyKind::StaticPullUp,
         i_policy: PolicyKind::StaticPullUp,
         faults: FaultSpec { rate: 0.0, ..args.faults },
+        hierarchy: HierarchySpec::default(),
         ..spec
     };
     let run = try_run_benchmark_cached(name, &spec)?;
@@ -286,6 +303,28 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         let _ = writeln!(out, "  ECC D: {}", d.summary());
         let _ = writeln!(out, "  ECC I: {}", i.summary());
     }
+    if let Some((_, _, writebacks)) = run.l2_traffic {
+        let l2 = run.l2_energy(args.node, spec.hierarchy.leakage_mode).map_or(0.0, |b| b.total_j());
+        let _ = writeln!(
+            out,
+            "  L2: miss {:>5.1}%  writebacks {:>6}  energy {:.3e} J  ({} cells)",
+            100.0 * run.l2_miss_ratio().unwrap_or(0.0),
+            writebacks,
+            l2,
+            spec.hierarchy.leakage_mode.label(),
+        );
+    }
+    if let Some((hits, misses, writebacks)) = run.l3_traffic {
+        let l3 = run.l3_energy(args.node, spec.hierarchy.leakage_mode).map_or(0.0, |b| b.total_j());
+        let _ = writeln!(
+            out,
+            "  L3: miss {:>5.1}%  writebacks {:>6}  energy {:.3e} J  ({} cells)",
+            100.0 * misses as f64 / (hits + misses).max(1) as f64,
+            writebacks,
+            l3,
+            spec.hierarchy.leakage_mode.label(),
+        );
+    }
     Ok(out)
 }
 
@@ -293,7 +332,9 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
 /// prints the same columns its `.dat` export carries, so the text output
 /// is greppable against the exported figure data.
 fn run_experiment(cmd: &str, faults: &FaultSpec) -> Result<String, SimError> {
-    use bitline_sim::experiments::{fig10, fig3, fig8, fig9, headline, ondemand, reliability};
+    use bitline_sim::experiments::{
+        fig10, fig3, fig8, fig9, headline, hierarchy, ondemand, reliability,
+    };
     let instrs = bitline_sim::default_instructions();
     let mut out = String::new();
     match cmd {
@@ -415,6 +456,29 @@ fn run_experiment(cmd: &str, faults: &FaultSpec) -> Result<String, SimError> {
                     r.sdc_per_mi,
                     r.energy_overhead,
                     r.fail_safe_subarrays
+                );
+            }
+        }
+        "hierarchy" => {
+            let rows = hierarchy::run(instrs)?;
+            let _ = writeln!(
+                out,
+                "# feature_nm  levels  mode  l2_miss_ratio  l1_j  l2_j  l3_j  total_j  \
+                 vs_full_vdd"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {:.5} {:.6e} {:.6e} {:.6e} {:.6e} {:.5}",
+                    r.node.feature_nm(),
+                    r.levels,
+                    r.mode.label(),
+                    r.l2_miss_ratio,
+                    r.l1_energy_j,
+                    r.l2_energy_j,
+                    r.l3_energy_j,
+                    r.total_j,
+                    r.vs_full_vdd
                 );
             }
         }

@@ -17,14 +17,23 @@ use bitline_cpu::SimStats;
 use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
 use bitline_faults::{FaultReport, SubarrayFaults};
 
-use crate::config::{FaultSpec, PolicyKind, SystemSpec};
+use bitline_energy::LeakageKind;
+
+use crate::config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec};
 use crate::recorder::LocalityStats;
 use crate::runner::RunResult;
 use crate::supervise::fnv64;
 
 /// Codec version; bump on any layout change. Version 2 added the ECC
-/// fields to [`FaultSpec`] and the optional [`ReliabilityReport`]s.
-const VERSION: u8 = 2;
+/// fields to [`FaultSpec`] and the optional [`ReliabilityReport`]s;
+/// version 3 added the hierarchy/leakage spec block and the optional
+/// L2/L3 reports. Version-2 entries still decode (their hierarchy is the
+/// inert default by construction), so pre-v3 journals replay
+/// byte-identically instead of being quarantined.
+const VERSION: u8 = 3;
+
+/// The previous version this codec still reads.
+const VERSION_V2: u8 = 2;
 
 /// Upper bound for decoded collection lengths — far above any real cache
 /// (a 32 KB L1 has at most 1024 subarrays) but small enough that a
@@ -33,11 +42,14 @@ const MAX_VEC: usize = 1 << 20;
 
 /// The journal key for a run: `benchmark@<16-hex spec hash>`. The hash is
 /// FNV-1a over the canonical spec encoding, so it is stable across
-/// processes and Rust versions (unlike `DefaultHasher`).
+/// processes and Rust versions (unlike `DefaultHasher`). The canonical
+/// encoding appends the hierarchy block only when it is non-default, so a
+/// spec with the inert hierarchy hashes to the same key it had before the
+/// hierarchy fields existed — version-2 journal entries keep their keys.
 #[must_use]
 pub fn spec_key(benchmark: &str, spec: &SystemSpec) -> String {
     let mut enc = Enc::default();
-    enc.spec(spec);
+    enc.spec_canonical(spec);
     format!("{benchmark}@{:016x}", fnv64(&enc.out))
 }
 
@@ -63,19 +75,26 @@ pub fn encode_run(run: &RunResult) -> Vec<u8> {
     enc.opt(run.i_faults.as_ref(), Enc::faults);
     enc.opt(run.d_reliability.as_ref(), Enc::reliability);
     enc.opt(run.i_reliability.as_ref(), Enc::reliability);
+    enc.opt(run.l2_report.as_ref(), Enc::report);
+    enc.opt(run.l3_report.as_ref(), Enc::report);
+    enc.opt(run.l2_traffic.as_ref(), Enc::traffic);
+    enc.opt(run.l3_traffic.as_ref(), Enc::traffic);
     enc.out
 }
 
 /// Decodes a journaled run; `None` on any corruption or version skew.
+/// Version-2 entries (pre-hierarchy) decode with the inert default
+/// hierarchy and no L2/L3 attachments.
 #[must_use]
 pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
     let mut dec = Dec { bytes, pos: 0 };
-    if dec.u8()? != VERSION {
+    let version = dec.u8()?;
+    if version != VERSION && version != VERSION_V2 {
         return None;
     }
     let run = RunResult {
         benchmark: dec.str()?,
-        spec: dec.spec()?,
+        spec: dec.spec(version)?,
         stats: dec.stats()?,
         d_report: dec.report()?,
         i_report: dec.report()?,
@@ -89,6 +108,10 @@ pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
         i_faults: dec.opt(Dec::faults)?,
         d_reliability: dec.opt(Dec::reliability)?,
         i_reliability: dec.opt(Dec::reliability)?,
+        l2_report: if version >= VERSION { dec.opt(Dec::report)? } else { None },
+        l3_report: if version >= VERSION { dec.opt(Dec::report)? } else { None },
+        l2_traffic: if version >= VERSION { dec.opt(Dec::traffic)? } else { None },
+        l3_traffic: if version >= VERSION { dec.opt(Dec::traffic)? } else { None },
     };
     // Trailing garbage means the entry is not what we wrote.
     (dec.pos == bytes.len()).then_some(run)
@@ -160,7 +183,9 @@ impl Enc {
         }
     }
 
-    fn spec(&mut self, s: &SystemSpec) {
+    /// The version-2 spec fields, shared by the canonical (key) and
+    /// journal encodings.
+    fn spec_core(&mut self, s: &SystemSpec) {
         self.policy(&s.d_policy);
         self.policy(&s.i_policy);
         self.usize(s.subarray_bytes);
@@ -178,6 +203,45 @@ impl Enc {
                 self.u64(p);
             }
         }
+    }
+
+    fn hierarchy(&mut self, h: &HierarchySpec) {
+        self.u8(h.levels);
+        self.policy(&h.l2_policy);
+        self.u8(match h.leakage_mode {
+            LeakageKind::FullVdd => 0,
+            LeakageKind::Drowsy => 1,
+            LeakageKind::GatedVdd => 2,
+            LeakageKind::LowPower6T => 3,
+        });
+    }
+
+    /// Canonical encoding for [`spec_key`]: appends the hierarchy block
+    /// only when non-default, so default-hierarchy specs keep their
+    /// version-2-era keys and old journal entries stay trusted.
+    fn spec_canonical(&mut self, s: &SystemSpec) {
+        self.spec_core(s);
+        if !s.hierarchy.is_default() {
+            self.hierarchy(&s.hierarchy);
+        }
+    }
+
+    /// Journal encoding: an explicit marker byte (the key-stable trick
+    /// above would be ambiguous to decode).
+    fn spec(&mut self, s: &SystemSpec) {
+        self.spec_core(s);
+        if s.hierarchy.is_default() {
+            self.u8(0);
+        } else {
+            self.u8(1);
+            self.hierarchy(&s.hierarchy);
+        }
+    }
+
+    fn traffic(&mut self, t: &(u64, u64, u64)) {
+        self.u64(t.0);
+        self.u64(t.1);
+        self.u64(t.2);
     }
 
     fn stats(&mut self, s: &SimStats) {
@@ -322,7 +386,7 @@ impl Dec<'_> {
         })
     }
 
-    fn spec(&mut self) -> Option<SystemSpec> {
+    fn spec(&mut self, version: u8) -> Option<SystemSpec> {
         Some(SystemSpec {
             d_policy: self.policy()?,
             i_policy: self.policy()?,
@@ -341,7 +405,36 @@ impl Dec<'_> {
                     _ => return None,
                 },
             },
+            hierarchy: if version >= VERSION {
+                match self.u8()? {
+                    0 => HierarchySpec::default(),
+                    1 => self.hierarchy()?,
+                    _ => return None,
+                }
+            } else {
+                // Version-2 entries predate the hierarchy; it was
+                // definitionally the inert default.
+                HierarchySpec::default()
+            },
         })
+    }
+
+    fn hierarchy(&mut self) -> Option<HierarchySpec> {
+        Some(HierarchySpec {
+            levels: self.u8()?,
+            l2_policy: self.policy()?,
+            leakage_mode: match self.u8()? {
+                0 => LeakageKind::FullVdd,
+                1 => LeakageKind::Drowsy,
+                2 => LeakageKind::GatedVdd,
+                3 => LeakageKind::LowPower6T,
+                _ => return None,
+            },
+        })
+    }
+
+    fn traffic(&mut self) -> Option<(u64, u64, u64)> {
+        Some((self.u64()?, self.u64()?, self.u64()?))
     }
 
     fn stats(&mut self) -> Option<SimStats> {
@@ -530,7 +623,66 @@ mod tests {
                 end_cycle: 101,
             }),
             i_reliability: None,
+            l2_report: None,
+            l3_report: None,
+            l2_traffic: None,
+            l3_traffic: None,
         }
+    }
+
+    /// A run with an active three-level hierarchy, a non-default leakage
+    /// mode, and L2/L3 attachments — exercises every v3-only block.
+    fn sample_hierarchy_run() -> RunResult {
+        let mut run = sample_run();
+        run.spec.hierarchy = HierarchySpec {
+            levels: 3,
+            l2_policy: PolicyKind::Gated { threshold: 150 },
+            leakage_mode: LeakageKind::Drowsy,
+        };
+        run.l2_report = Some(ActivityReport {
+            policy: "gated".into(),
+            end_cycle: 101,
+            per_subarray: vec![SubarrayActivity {
+                accesses: 4,
+                delayed_accesses: 1,
+                pulled_up_cycles: 12.5,
+                precharge_events: 2,
+                drowsy_cycles: 0.0,
+                idle_histogram: IdleHistogram::default(),
+            }],
+        });
+        run.l3_report =
+            Some(ActivityReport { policy: "gated".into(), end_cycle: 101, per_subarray: vec![] });
+        run.l2_traffic = Some((3, 1, 1));
+        run.l3_traffic = Some((1, 0, 0));
+        run
+    }
+
+    /// Encodes `run` in the historical version-2 layout: no hierarchy
+    /// marker in the spec, no L2/L3 blocks. This is a byte-for-byte
+    /// re-implementation of what the v2 codec wrote, used to pin
+    /// backward compatibility.
+    fn encode_run_v2(run: &RunResult) -> Vec<u8> {
+        let mut enc = Enc::default();
+        enc.u8(VERSION_V2);
+        enc.str(&run.benchmark);
+        enc.spec_core(&run.spec);
+        enc.stats(&run.stats);
+        enc.report(&run.d_report);
+        enc.report(&run.i_report);
+        enc.u64(run.d_hit_miss.0);
+        enc.u64(run.d_hit_miss.1);
+        enc.u64(run.i_hit_miss.0);
+        enc.u64(run.i_hit_miss.1);
+        enc.opt(run.d_locality.as_ref(), Enc::locality);
+        enc.opt(run.i_locality.as_ref(), Enc::locality);
+        enc.opt(run.d_way_stats.as_ref(), Enc::way_stats);
+        enc.opt(run.i_way_stats.as_ref(), Enc::way_stats);
+        enc.opt(run.d_faults.as_ref(), Enc::faults);
+        enc.opt(run.i_faults.as_ref(), Enc::faults);
+        enc.opt(run.d_reliability.as_ref(), Enc::reliability);
+        enc.opt(run.i_reliability.as_ref(), Enc::reliability);
+        enc.out
     }
 
     #[test]
@@ -570,6 +722,74 @@ mod tests {
         assert_ne!(spec_key("gcc", &a), spec_key("mesa", &a));
         assert_eq!(spec_key("gcc", &a), spec_key("gcc", &a));
         assert!(spec_key("gcc", &a).starts_with("gcc@"));
+    }
+
+    #[test]
+    fn hierarchy_run_roundtrips_exactly() {
+        let run = sample_hierarchy_run();
+        let decoded = decode_run(&encode_run(&run)).expect("decodes");
+        assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn hierarchy_truncation_never_panics_and_never_decodes() {
+        let bytes = encode_run(&sample_hierarchy_run());
+        for cut in 0..bytes.len() {
+            assert!(decode_run(&bytes[..cut]).is_none(), "truncated at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn spec_key_ignores_the_default_hierarchy_but_sees_an_active_one() {
+        // A default hierarchy must hash exactly like the pre-hierarchy
+        // encoding did, so v2-era journal keys stay valid.
+        let plain = SystemSpec::default();
+        let mut core = Enc::default();
+        core.spec_core(&plain);
+        let v2_era = format!("gcc@{:016x}", fnv64(&core.out));
+        assert_eq!(spec_key("gcc", &plain), v2_era);
+
+        let active = SystemSpec {
+            hierarchy: HierarchySpec { levels: 2, ..HierarchySpec::default() },
+            ..plain
+        };
+        assert_ne!(spec_key("gcc", &active), spec_key("gcc", &plain));
+        let drowsy = SystemSpec {
+            hierarchy: HierarchySpec { leakage_mode: LeakageKind::Drowsy, ..active.hierarchy },
+            ..active
+        };
+        assert_ne!(spec_key("gcc", &drowsy), spec_key("gcc", &active));
+    }
+
+    #[test]
+    fn version_2_journal_entries_still_decode_and_keep_their_keys() {
+        // A default-hierarchy run is exactly what a v2 codec could have
+        // journaled; the v2 bytes must decode to the same run.
+        let run = sample_run();
+        assert!(run.spec.hierarchy.is_default(), "fixture must be v2-expressible");
+        let v2_bytes = encode_run_v2(&run);
+        let decoded = decode_run(&v2_bytes).expect("v2 entry decodes");
+        assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+        // The warm-restart path trusts an entry only when the decoded
+        // run's key matches the journal key it was stored under.
+        assert_eq!(
+            spec_key(&decoded.benchmark, &decoded.spec),
+            spec_key(&run.benchmark, &run.spec)
+        );
+        // Truncated v2 entries are quarantined, not misread.
+        for cut in 0..v2_bytes.len() {
+            assert!(decode_run(&v2_bytes[..cut]).is_none(), "truncated at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn all_leakage_kinds_roundtrip() {
+        for kind in LeakageKind::ALL {
+            let mut run = sample_hierarchy_run();
+            run.spec.hierarchy.leakage_mode = kind;
+            let decoded = decode_run(&encode_run(&run)).expect("decodes");
+            assert_eq!(decoded.spec.hierarchy.leakage_mode, kind);
+        }
     }
 
     #[test]

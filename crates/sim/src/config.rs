@@ -3,6 +3,7 @@
 use bitline_cache::{CacheConfig, PrechargePolicy};
 use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
+use bitline_energy::LeakageKind;
 use gated_precharge::{
     AdaptiveConfig, AdaptiveGatedPolicy, DrowsyPolicy, GatedPolicy, LeakageBiasedPolicy,
     OnDemandPolicy, OraclePolicy, ResizableConfig, ResizablePolicy, StaticPullUp,
@@ -366,6 +367,68 @@ impl Default for FaultSpec {
     }
 }
 
+/// Multi-level hierarchy parameters for a run. The default is **inert**:
+/// `levels == 1` leaves the memory system exactly as the paper models it —
+/// managed L1s in front of a statically precharged L2 — and the full-Vdd
+/// leakage mode prices nothing differently, so every existing figure stays
+/// cycle- and byte-identical until a spec opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HierarchySpec {
+    /// Managed cache levels behind the L1s: `1` = stock (inert default),
+    /// `2` = the L2 runs a real precharge policy, `3` = an L3 is inserted
+    /// between the L2 and memory (`--levels`).
+    pub levels: u8,
+    /// Precharge policy for the L2 (and the L3 when present). Only applied
+    /// when [`HierarchySpec::levels`] is at least 2.
+    pub l2_policy: PolicyKind,
+    /// Cell leakage mode priced on every level (`--leakage-mode`).
+    pub leakage_mode: LeakageKind,
+}
+
+impl Default for HierarchySpec {
+    fn default() -> Self {
+        HierarchySpec {
+            levels: 1,
+            l2_policy: PolicyKind::StaticPullUp,
+            leakage_mode: LeakageKind::FullVdd,
+        }
+    }
+}
+
+impl HierarchySpec {
+    /// Whether the outer levels are actively managed (a non-stock memory
+    /// system must be built). The leakage mode alone does not count: it
+    /// only re-prices energy, never touching cycles.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.levels >= 2
+    }
+
+    /// Whether this spec is the inert default (nothing to encode, nothing
+    /// to build — the guarantee behind the differential golden test).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == HierarchySpec::default()
+    }
+
+    /// Rejects hierarchies the simulator cannot run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `levels` is outside `[1, 3]` or the outer
+    /// policy is the locality recorder (which needs a figure-5/6 sink the
+    /// outer levels do not carry).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=3).contains(&self.levels) {
+            return Err(format!("levels = {}; must be 1, 2 or 3", self.levels));
+        }
+        if self.l2_policy == PolicyKind::LocalityRecorder {
+            return Err("the locality recorder cannot drive an outer level".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full specification of one simulation run.
 ///
 /// `Eq + Hash` (total, with the two `f64` fields compared by bit pattern —
@@ -388,6 +451,9 @@ pub struct SystemSpec {
     pub way_prediction: bool,
     /// Fault injection (disabled by default; see [`FaultSpec`]).
     pub faults: FaultSpec,
+    /// Multi-level hierarchy and leakage mode (inert by default; see
+    /// [`HierarchySpec`]).
+    pub hierarchy: HierarchySpec,
 }
 
 impl SystemSpec {
@@ -421,6 +487,7 @@ impl SystemSpec {
             .to_config(1, 0, self.subarray_words())
             .validate()
             .map_err(SimError::InvalidSpec)?;
+        self.hierarchy.validate().map_err(SimError::InvalidSpec)?;
         Ok(())
     }
 
@@ -442,6 +509,7 @@ impl Default for SystemSpec {
             seed: 42,
             way_prediction: false,
             faults: FaultSpec::default(),
+            hierarchy: HierarchySpec::default(),
         }
     }
 }
@@ -575,6 +643,36 @@ mod tests {
                 faults: FaultSpec { ecc: true, scrub_period: Some(8192), ..FaultSpec::default() },
                 ..base
             },
+            SystemSpec {
+                hierarchy: HierarchySpec { levels: 2, ..HierarchySpec::default() },
+                ..base
+            },
+            SystemSpec {
+                hierarchy: HierarchySpec { levels: 3, ..HierarchySpec::default() },
+                ..base
+            },
+            SystemSpec {
+                hierarchy: HierarchySpec {
+                    levels: 2,
+                    l2_policy: PolicyKind::Gated { threshold: 100 },
+                    ..HierarchySpec::default()
+                },
+                ..base
+            },
+            SystemSpec {
+                hierarchy: HierarchySpec {
+                    leakage_mode: bitline_energy::LeakageKind::Drowsy,
+                    ..HierarchySpec::default()
+                },
+                ..base
+            },
+            SystemSpec {
+                hierarchy: HierarchySpec {
+                    leakage_mode: bitline_energy::LeakageKind::GatedVdd,
+                    ..HierarchySpec::default()
+                },
+                ..base
+            },
         ];
         for (i, a) in specs.iter().enumerate() {
             for b in &specs[i + 1..] {
@@ -586,6 +684,53 @@ mod tests {
         assert_eq!(keyed.len(), specs.len());
         // ...and an equal spec finds the existing one.
         assert!(keyed.contains(&SystemSpec::default()));
+    }
+
+    #[test]
+    fn hierarchy_default_is_inert_and_validates() {
+        let h = HierarchySpec::default();
+        assert!(h.is_default());
+        assert!(!h.active());
+        assert!(h.validate().is_ok());
+        assert!(SystemSpec::default().hierarchy.is_default());
+    }
+
+    #[test]
+    fn hierarchy_validation_rejects_bad_levels_and_recorder() {
+        let bad = SystemSpec {
+            hierarchy: HierarchySpec { levels: 0, ..HierarchySpec::default() },
+            ..SystemSpec::default()
+        };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        let bad = SystemSpec {
+            hierarchy: HierarchySpec { levels: 4, ..HierarchySpec::default() },
+            ..SystemSpec::default()
+        };
+        assert!(matches!(bad.validate(), Err(SimError::InvalidSpec(_))));
+        let bad = SystemSpec {
+            hierarchy: HierarchySpec {
+                levels: 2,
+                l2_policy: PolicyKind::LocalityRecorder,
+                ..HierarchySpec::default()
+            },
+            ..SystemSpec::default()
+        };
+        match bad.validate() {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("recorder"), "{msg}"),
+            other => panic!("recorder as L2 policy must be rejected, got {other:?}"),
+        }
+        // A managed L2 and a deeper leakage mode both validate.
+        let ok = SystemSpec {
+            hierarchy: HierarchySpec {
+                levels: 3,
+                l2_policy: PolicyKind::Gated { threshold: 100 },
+                leakage_mode: bitline_energy::LeakageKind::Drowsy,
+            },
+            ..SystemSpec::default()
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ok.hierarchy.active());
+        assert!(!ok.hierarchy.is_default());
     }
 
     #[test]

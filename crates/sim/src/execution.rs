@@ -65,6 +65,19 @@ pub(crate) fn accountants(
     })
 }
 
+fn level_accountant_cache() -> &'static MemoCache<(TechnologyNode, CacheConfig), EnergyAccountant> {
+    static CACHE: OnceLock<MemoCache<(TechnologyNode, CacheConfig), EnergyAccountant>> =
+        OnceLock::new();
+    CACHE.get_or_init(|| MemoCache::named("sim.level_accountants"))
+}
+
+/// The cached accountant for an arbitrary cache geometry — the outer
+/// hierarchy levels (L2/L3), whose subarray structure differs from both
+/// L1s. Memoized per `(node, geometry)` like [`accountants`].
+pub(crate) fn level_accountant(node: TechnologyNode, cfg: CacheConfig) -> EnergyAccountant {
+    level_accountant_cache().get_or_insert_with((node, cfg), || EnergyAccountant::new(node, cfg))
+}
+
 /// The process-wide checkpoint journal, when `--checkpoint` is active.
 struct CheckpointState {
     journal: Journal,

@@ -19,6 +19,7 @@ use crate::experiments::fig2::Fig2Series;
 use crate::experiments::fig3::Fig3Row;
 use crate::experiments::fig8::Fig8Row;
 use crate::experiments::fig9::Fig9Row;
+use crate::experiments::hierarchy::HierarchyRow;
 use crate::experiments::ondemand::OnDemandRow;
 use crate::experiments::reliability::ReliabilityRow;
 
@@ -188,6 +189,37 @@ pub fn write_reliability(dir: &Path, rows: &[ReliabilityRow]) -> io::Result<Path
         );
     }
     publish(dir, "reliability.dat", &f)
+}
+
+/// Writes the hierarchy table:
+/// `feature_nm  levels  mode  l2_miss_ratio  l1_j  l2_j  l3_j  total_j
+/// vs_full_vdd`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_hierarchy(dir: &Path, rows: &[HierarchyRow]) -> io::Result<PathBuf> {
+    let mut f = String::new();
+    let _ = writeln!(
+        f,
+        "# feature_nm  levels  mode  l2_miss_ratio  l1_j  l2_j  l3_j  total_j  vs_full_vdd"
+    );
+    for r in rows {
+        let _ = writeln!(
+            f,
+            "{} {} {} {:.5} {:.6e} {:.6e} {:.6e} {:.6e} {:.5}",
+            r.node.feature_nm(),
+            r.levels,
+            r.mode.label(),
+            r.l2_miss_ratio,
+            r.l1_energy_j,
+            r.l2_energy_j,
+            r.l3_energy_j,
+            r.total_j,
+            r.vs_full_vdd
+        );
+    }
+    publish(dir, "hierarchy.dat", &f)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ pub mod fig3;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod hierarchy;
 pub mod locality;
 pub mod ondemand;
 pub mod reliability;

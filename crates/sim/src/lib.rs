@@ -50,7 +50,8 @@ mod recorder;
 mod runner;
 pub mod supervise;
 
-pub use config::{FaultSpec, PolicyKind, SystemSpec};
+pub use bitline_energy::LeakageKind;
+pub use config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec};
 pub use error::SimError;
 pub use execution::{
     checkpoint_stats, clear_checkpoint, clear_run_caches, exec_summary_line, run_benchmark_cached,

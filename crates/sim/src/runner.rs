@@ -8,7 +8,7 @@ use bitline_circuit::DecoderModel;
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
 use bitline_ecc::ReliabilityReport;
-use bitline_energy::{CacheEnergyBreakdown, EccActivity};
+use bitline_energy::{CacheEnergyBreakdown, EccActivity, LeakageKind};
 use bitline_exec::CancelToken;
 use bitline_faults::{FaultInjectingPolicy, FaultReport};
 
@@ -72,6 +72,15 @@ pub struct RunResult {
     pub d_reliability: Option<ReliabilityReport>,
     /// I-cache reliability accounting (when SECDED protection was armed).
     pub i_reliability: Option<ReliabilityReport>,
+    /// L2 activity report (when the hierarchy spec is active).
+    pub l2_report: Option<ActivityReport>,
+    /// L2 `(hits, misses, writebacks)` (when the hierarchy spec is active).
+    pub l2_traffic: Option<(u64, u64, u64)>,
+    /// L3 activity report (when the spec asks for three levels).
+    pub l3_report: Option<ActivityReport>,
+    /// L3 `(hits, misses, writebacks)` (when the spec asks for three
+    /// levels).
+    pub l3_traffic: Option<(u64, u64, u64)>,
 }
 
 impl RunResult {
@@ -111,6 +120,18 @@ impl RunResult {
     /// of runs across nodes build each model once.
     #[must_use]
     pub fn energy(&self, node: TechnologyNode) -> EnergyPair {
+        self.energy_with_mode(node, self.spec.hierarchy.leakage_mode)
+    }
+
+    /// [`RunResult::energy`] under an explicit cell [`LeakageKind`],
+    /// regardless of what the spec asked for — the hierarchy experiment
+    /// prices one architectural run under every mode in the zoo without
+    /// re-simulating. The full-Vdd mode collapses to the historical
+    /// accounting, bit for bit; the baseline is always the conventional
+    /// full-Vdd static-pull-up machine the modes compete against.
+    #[must_use]
+    pub fn energy_with_mode(&self, node: TechnologyNode, kind: LeakageKind) -> EnergyPair {
+        let mode = kind.mode();
         let (d_acct, i_acct) = execution::accountants(node, self.spec.subarray_bytes);
         let d_reads = self.stats.loads;
         let d_writes = self.stats.stores;
@@ -127,21 +148,23 @@ impl RunResult {
             .as_ref()
             .map(|rel| EccActivity { protected_accesses: i_reads, scrub_words: rel.scrub_words() });
         let policy = RunEnergy {
-            d: d_acct.account_with_ecc(
+            d: d_acct.account_with_mode(
                 &self.d_report,
                 d_reads,
                 d_writes,
                 self.spec.d_policy.has_decay_counters(),
                 self.d_way_stats,
                 d_ecc,
+                mode,
             ),
-            i: i_acct.account_with_ecc(
+            i: i_acct.account_with_mode(
                 &self.i_report,
                 i_reads,
                 0,
                 self.spec.i_policy.has_decay_counters(),
                 self.i_way_stats,
                 i_ecc,
+                mode,
             ),
         };
         let baseline = RunEnergy {
@@ -159,6 +182,60 @@ impl RunResult {
             ),
         };
         (policy, baseline)
+    }
+
+    /// Prices the L2's activity at `node` under a leakage mode, when the
+    /// run carried an active hierarchy. Reads are lookups (hits + misses);
+    /// each miss fills a line, which is the write stream.
+    #[must_use]
+    pub fn l2_energy(
+        &self,
+        node: TechnologyNode,
+        kind: LeakageKind,
+    ) -> Option<CacheEnergyBreakdown> {
+        let report = self.l2_report.as_ref()?;
+        let (hits, misses, _) = self.l2_traffic.unwrap_or_default();
+        let cfg = MemorySystem::l2_config(&MemorySystemConfig::default());
+        let acct = execution::level_accountant(node, cfg);
+        Some(acct.account_with_mode(
+            report,
+            hits + misses,
+            misses,
+            self.spec.hierarchy.l2_policy.has_decay_counters(),
+            None,
+            None,
+            kind.mode(),
+        ))
+    }
+
+    /// Prices the L3's activity at `node` under a leakage mode, when the
+    /// run had three levels.
+    #[must_use]
+    pub fn l3_energy(
+        &self,
+        node: TechnologyNode,
+        kind: LeakageKind,
+    ) -> Option<CacheEnergyBreakdown> {
+        let report = self.l3_report.as_ref()?;
+        let (hits, misses, _) = self.l3_traffic.unwrap_or_default();
+        let cfg = MemorySystem::l3_config(&MemorySystemConfig::default());
+        let acct = execution::level_accountant(node, cfg);
+        Some(acct.account_with_mode(
+            report,
+            hits + misses,
+            misses,
+            self.spec.hierarchy.l2_policy.has_decay_counters(),
+            None,
+            None,
+            kind.mode(),
+        ))
+    }
+
+    /// L2 miss ratio, when the hierarchy was active.
+    #[must_use]
+    pub fn l2_miss_ratio(&self) -> Option<f64> {
+        let (h, m) = self.l2_traffic.map(|(h, m, _)| (h, m))?;
+        Some(m as f64 / (h + m).max(1) as f64)
     }
 }
 
@@ -254,11 +331,21 @@ pub fn try_run_benchmark_supervised(
         i_fault_sink = Some(i_fs);
     }
 
-    let mem = MemorySystem::new(
-        MemorySystemConfig { l1d: d_cfg, l1i: i_cfg, ..MemorySystemConfig::default() },
-        d_policy,
-        i_policy,
-    );
+    let mem_cfg = MemorySystemConfig { l1d: d_cfg, l1i: i_cfg, ..MemorySystemConfig::default() };
+    // An inert hierarchy spec builds the stock two-level system through the
+    // exact constructor the pre-hierarchy code used; only an explicit
+    // `levels >= 2` swaps in managed outer levels (the L3 shares the L2's
+    // policy kind — outer levels see the same filtered miss stream).
+    let mem = if spec.hierarchy.active() {
+        let l2_policy =
+            spec.hierarchy.l2_policy.build(&MemorySystem::l2_config(&mem_cfg), node, None);
+        let l3_policy = (spec.hierarchy.levels >= 3).then(|| {
+            spec.hierarchy.l2_policy.build(&MemorySystem::l3_config(&mem_cfg), node, None)
+        });
+        MemorySystem::with_hierarchy(mem_cfg, d_policy, i_policy, l2_policy, l3_policy)
+    } else {
+        MemorySystem::new(mem_cfg, d_policy, i_policy)
+    };
     let cpu_cfg =
         CpuConfig { predecode_hints: spec.d_policy.wants_predecode(), ..CpuConfig::default() };
     let mut cpu = Cpu::new(cpu_cfg, mem);
@@ -294,7 +381,14 @@ pub fn try_run_benchmark_supervised(
     let i_hit_miss = (mem.l1i().hits(), mem.l1i().misses());
     let d_way_stats = mem.l1d().way_stats();
     let i_way_stats = mem.l1i().way_stats();
+    let l2_traffic = spec
+        .hierarchy
+        .active()
+        .then(|| (mem.l2().hits(), mem.l2().misses(), mem.l2().writebacks()));
+    let l3_traffic = mem.l3().map(|l3| (l3.hits(), l3.misses(), l3.writebacks()));
     let (d_report, i_report) = mem.finalize(end_cycle);
+    let l2_report = spec.hierarchy.active().then(|| mem.finalize_l2(end_cycle));
+    let l3_report = mem.finalize_l3(end_cycle);
 
     // Run-completion accounting: every counter below except the wall-time
     // `busy_micros` is a pure function of (benchmark, spec), so their
@@ -353,6 +447,10 @@ pub fn try_run_benchmark_supervised(
         i_faults: i_fault_sink.map(|s| s.borrow().clone()),
         d_reliability: d_rel_sink.map(|s| s.borrow().clone()),
         i_reliability: i_rel_sink.map(|s| s.borrow().clone()),
+        l2_report,
+        l2_traffic,
+        l3_report,
+        l3_traffic,
     })
 }
 
@@ -560,6 +658,90 @@ mod tests {
         assert!(armed.d_reliability.is_none(), "rate 0 leaves the decorator unarmed");
         let (pol, _) = armed.energy(TechnologyNode::N70);
         assert_eq!(pol.d.ecc_j, 0.0);
+    }
+
+    #[test]
+    fn stock_runs_carry_no_hierarchy_state() {
+        let run = run_benchmark("mesa", &spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp));
+        assert!(run.l2_report.is_none());
+        assert!(run.l2_traffic.is_none());
+        assert!(run.l3_report.is_none());
+        assert!(run.l3_traffic.is_none());
+        assert!(run.l2_energy(TechnologyNode::N70, LeakageKind::Drowsy).is_none());
+        assert!(run.l2_miss_ratio().is_none());
+    }
+
+    #[test]
+    fn managed_static_l2_is_cycle_identical_to_stock() {
+        use crate::HierarchySpec;
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let stock = run_benchmark("mesa", &s);
+        let managed = run_benchmark(
+            "mesa",
+            &SystemSpec { hierarchy: HierarchySpec { levels: 2, ..HierarchySpec::default() }, ..s },
+        );
+        // A statically pulled-up managed L2 adds zero latency anywhere, so
+        // the architectural run is identical — only the reports appear.
+        assert_eq!(stock.cycles(), managed.cycles());
+        assert_eq!(stock.d_report, managed.d_report);
+        assert_eq!(stock.d_hit_miss, managed.d_hit_miss);
+        let (h, m, _) = managed.l2_traffic.expect("managed L2 reports traffic");
+        assert!(h + m > 0, "L1 misses must reach the L2");
+        assert!(managed.l2_report.is_some());
+        assert!(managed.l2_miss_ratio().is_some());
+        assert!(managed.l3_report.is_none(), "two levels carry no L3");
+    }
+
+    #[test]
+    fn three_levels_interpose_the_l3_and_price_it() {
+        use crate::HierarchySpec;
+        let s = spec(PolicyKind::StaticPullUp, PolicyKind::StaticPullUp);
+        let two = run_benchmark(
+            "mesa",
+            &SystemSpec { hierarchy: HierarchySpec { levels: 2, ..HierarchySpec::default() }, ..s },
+        );
+        let three = run_benchmark(
+            "mesa",
+            &SystemSpec { hierarchy: HierarchySpec { levels: 3, ..HierarchySpec::default() }, ..s },
+        );
+        // Every L2 miss now pays the 30-cycle L3 lookup on its way to
+        // memory (and some fills it spares), so cycles move.
+        let (l3h, l3m, _) = three.l3_traffic.expect("three levels report L3 traffic");
+        assert!(l3h + l3m > 0, "L2 misses must reach the L3");
+        let l3_energy =
+            three.l3_energy(TechnologyNode::N70, LeakageKind::FullVdd).expect("L3 priced");
+        assert!(l3_energy.total_j() > 0.0);
+        assert!(two.l3_report.is_none());
+        assert!(three.l2_energy(TechnologyNode::N70, LeakageKind::FullVdd).is_some());
+    }
+
+    #[test]
+    fn leakage_mode_reprices_energy_but_never_touches_cycles() {
+        use crate::HierarchySpec;
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let plain = run_benchmark("mesa", &s);
+        let drowsy = run_benchmark(
+            "mesa",
+            &SystemSpec {
+                hierarchy: HierarchySpec {
+                    leakage_mode: LeakageKind::Drowsy,
+                    ..HierarchySpec::default()
+                },
+                ..s
+            },
+        );
+        assert_eq!(plain.cycles(), drowsy.cycles(), "leakage modes are pricing-only");
+        assert_eq!(plain.d_report, drowsy.d_report);
+        let (p, _) = plain.energy(TechnologyNode::N70);
+        let (d, _) = drowsy.energy(TechnologyNode::N70);
+        assert!(
+            d.d.cell_leak_j < p.d.cell_leak_j,
+            "gated idle episodes must leak less under drowsy cells"
+        );
+        // Explicit-mode pricing of the plain run matches the spec-driven
+        // pricing of the drowsy run: the mode is orthogonal to simulation.
+        let (explicit, _) = plain.energy_with_mode(TechnologyNode::N70, LeakageKind::Drowsy);
+        assert_eq!(explicit.d.total_j().to_bits(), d.d.total_j().to_bits());
     }
 
     #[test]

@@ -8,7 +8,9 @@ use bitline_cpu::SimStats;
 use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
 use bitline_faults::{FaultReport, SubarrayFaults};
 use bitline_sim::checkpoint::{decode_run, encode_run, spec_key};
-use bitline_sim::{FaultSpec, LocalityStats, PolicyKind, RunResult, SystemSpec};
+use bitline_sim::{
+    FaultSpec, HierarchySpec, LeakageKind, LocalityStats, PolicyKind, RunResult, SystemSpec,
+};
 use proptest::prelude::*;
 
 fn policies() -> impl Strategy<Value = PolicyKind> {
@@ -29,28 +31,40 @@ fn policies() -> impl Strategy<Value = PolicyKind> {
     })
 }
 
+fn hierarchies() -> impl Strategy<Value = HierarchySpec> {
+    (1u8..=3, policies(), 0u8..4).prop_map(|(levels, l2_policy, mode)| HierarchySpec {
+        levels,
+        l2_policy,
+        leakage_mode: LeakageKind::ALL[mode as usize],
+    })
+}
+
 fn specs() -> impl Strategy<Value = SystemSpec> {
     (
         policies(),
         policies(),
         (1u64..1_000_000, any::<u64>(), any::<bool>()),
         (0.0..1.0f64, any::<u64>(), any::<bool>(), any::<bool>(), any::<u64>()),
+        hierarchies(),
     )
-        .prop_map(|(d_policy, i_policy, (instructions, seed, way_prediction), f)| SystemSpec {
-            d_policy,
-            i_policy,
-            subarray_bytes: 1 << (6 + seed % 7),
-            instructions,
-            seed,
-            way_prediction,
-            faults: FaultSpec {
-                rate: f.0,
-                seed: f.1,
-                fail_safe: f.2,
-                ecc: f.3,
-                scrub_period: (f.3 && f.4 % 2 == 1).then(|| f.4 % 100_000 + 1),
+        .prop_map(
+            |(d_policy, i_policy, (instructions, seed, way_prediction), f, hierarchy)| SystemSpec {
+                d_policy,
+                i_policy,
+                subarray_bytes: 1 << (6 + seed % 7),
+                instructions,
+                seed,
+                way_prediction,
+                faults: FaultSpec {
+                    rate: f.0,
+                    seed: f.1,
+                    fail_safe: f.2,
+                    ecc: f.3,
+                    scrub_period: (f.3 && f.4 % 2 == 1).then(|| f.4 % 100_000 + 1),
+                },
+                hierarchy,
             },
-        })
+        )
 }
 
 fn subarray_activity() -> impl Strategy<Value = SubarrayActivity> {
@@ -185,13 +199,22 @@ fn way_stats() -> impl Strategy<Value = Option<WayStats>> {
         .prop_map(|(present, correct, wrong)| present.then_some(WayStats { correct, wrong }))
 }
 
+fn opt_reports() -> impl Strategy<Value = Option<ActivityReport>> {
+    (any::<bool>(), reports()).prop_map(|(present, r)| present.then_some(r))
+}
+
+fn traffic() -> impl Strategy<Value = Option<(u64, u64, u64)>> {
+    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(present, h, m, w)| present.then_some((h, m, w)))
+}
+
 fn runs() -> impl Strategy<Value = RunResult> {
     (
         (prop::sample::select(vec!["gcc", "mcf", "art", "health"]), specs(), stats()),
         (reports(), reports()),
         ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
         (localities(), localities()),
-        (way_stats(), way_stats()),
+        ((way_stats(), way_stats()), (opt_reports(), opt_reports()), (traffic(), traffic())),
         ((fault_reports(), fault_reports()), (reliability_reports(), reliability_reports())),
     )
         .prop_map(
@@ -200,7 +223,7 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 (d_report, i_report),
                 (d_hit_miss, i_hit_miss),
                 (d_locality, i_locality),
-                (d_way_stats, i_way_stats),
+                ((d_way_stats, i_way_stats), (l2_report, l3_report), (l2_traffic, l3_traffic)),
                 ((d_faults, i_faults), (d_reliability, i_reliability)),
             )| RunResult {
                 benchmark: benchmark.to_owned(),
@@ -218,6 +241,10 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 i_faults,
                 d_reliability,
                 i_reliability,
+                l2_report,
+                l3_report,
+                l2_traffic,
+                l3_traffic,
             },
         )
 }
