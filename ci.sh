@@ -37,6 +37,14 @@
 #                    and a single-level sweep must render identical
 #                    bytes whether the binary carries the hierarchy
 #                    flags at their defaults or not at all
+#   ./ci.sh voltage  supply gate: the voltage table (node x Vdd step x
+#                    static/governor) must be byte-identical to the
+#                    blessed golden and across jobs=1 vs jobs=N; an
+#                    explicit --vdd 1.0 must leave a sweep byte-identical
+#                    to one that never mentions the supply; and a forced
+#                    deep undervolt under the governor must escalate the
+#                    guardband ladder with vdd.* counters identical
+#                    across job counts
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -595,8 +603,114 @@ if [[ "${1:-}" == "chaos" ]]; then
     exit 0
 fi
 
+voltage() {
+    local instrs="${BITLINE_INSTRS:-2000}"
+    local jobs_n
+    jobs_n="$(nproc 2>/dev/null || echo 4)"
+    if [[ "$jobs_n" -lt 2 ]]; then jobs_n=4; fi
+    VOLT_TMP="$(mktemp -d)"
+    trap 'rm -rf "$VOLT_TMP"' EXIT
+
+    echo "==> voltage: build bitline-sim"
+    cargo build -q -p bitline-sim
+    local sim=./target/debug/bitline-sim
+
+    # The golden is blessed on the two smallest workloads at 2000
+    # instructions (crates/sim/tests/voltage_golden.rs); the same
+    # configuration here must reproduce it byte-for-byte from the CLI.
+    echo "==> voltage: table at jobs=1 vs the blessed golden"
+    local v1="$VOLT_TMP/v1.dat" vN="$VOLT_TMP/vN.dat"
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j 1 voltage >"$v1" 2>/dev/null
+    if ! diff -u crates/sim/tests/goldens/voltage.dat "$v1"; then
+        echo "==> voltage: FAIL — the CLI table drifted from the blessed golden" >&2
+        exit 1
+    fi
+
+    echo "==> voltage: table at jobs=$jobs_n"
+    BITLINE_SUITE=mesa,bisort BITLINE_INSTRS="$instrs" \
+        "$sim" -j "$jobs_n" voltage >"$vN" 2>/dev/null
+    if ! diff -u "$v1" "$vN"; then
+        echo "==> voltage: FAIL — the voltage table depends on the job count" >&2
+        exit 1
+    fi
+
+    # Inertness: the nominal supply must leave a sweep byte-identical to
+    # one that never mentions the flag.
+    echo "==> voltage: nominal-Vdd inertness under an explicit --vdd 1.0"
+    local bare="$VOLT_TMP/bare.out" flagged="$VOLT_TMP/flagged.out"
+    "$sim" -b all -i "$instrs" -j "$jobs_n" >"$bare" 2>/dev/null
+    "$sim" -b all -i "$instrs" -j "$jobs_n" --vdd 1.0 >"$flagged" 2>/dev/null
+    if ! diff -u "$bare" "$flagged"; then
+        echo "==> voltage: FAIL — an explicit nominal supply changed sweep output" >&2
+        exit 1
+    fi
+
+    # Non-finite supplies die at the flag parser, not deep in a run.
+    echo "==> voltage: non-finite --vdd is rejected at parse time"
+    if "$sim" -b mesa -i 100 --vdd nan >/dev/null 2>"$VOLT_TMP/nan.err"; then
+        echo "==> voltage: FAIL — --vdd nan must be rejected" >&2
+        exit 1
+    fi
+    if ! grep -q "finite" "$VOLT_TMP/nan.err"; then
+        echo "==> voltage: FAIL — the rejection must name the non-finite input" >&2
+        cat "$VOLT_TMP/nan.err" >&2
+        exit 1
+    fi
+
+    # Governor leg: a forced deep undervolt must fire the guardband
+    # ladder — escalations move, replays resolve through detect-and-
+    # replay — and every vdd.* counter must agree across job counts.
+    echo "==> voltage: governor escalates under a deep undervolt (jobs=1 vs jobs=$jobs_n)"
+    local g1="$VOLT_TMP/gov1.jsonl" gN="$VOLT_TMP/govN.jsonl"
+    BITLINE_SUITE=mesa BITLINE_INSTRS="$instrs" \
+        "$sim" -b all -j 1 --vdd 0.8 --vdd-governor --metrics "$g1" \
+        >"$VOLT_TMP/gov1.out" 2>/dev/null
+    BITLINE_SUITE=mesa BITLINE_INSTRS="$instrs" \
+        "$sim" -b all -j "$jobs_n" --vdd 0.8 --vdd-governor --metrics "$gN" \
+        >"$VOLT_TMP/govN.out" 2>/dev/null
+    if ! diff -u "$VOLT_TMP/gov1.out" "$VOLT_TMP/govN.out"; then
+        echo "==> voltage: FAIL — a governed sweep depends on the job count" >&2
+        exit 1
+    fi
+    if ! "$sim" --validate-metrics "$g1"; then
+        echo "==> voltage: FAIL — governed metrics are not schema-valid" >&2
+        exit 1
+    fi
+    local name v1c vNc
+    for name in vdd.d.upsets vdd.d.replays vdd.d.sdc vdd.d.escalations \
+        vdd.d.deescalations vdd.d.pinned_subarrays vdd.i.upsets \
+        vdd.i.escalations; do
+        v1c=$(metric_value "$g1" "$name")
+        vNc=$(metric_value "$gN" "$name")
+        if ! grep -q "\"name\":\"$name\"" "$g1"; then
+            echo "==> voltage: FAIL — counter $name missing from governed export" >&2
+            exit 1
+        fi
+        if [[ "$v1c" -ne "$vNc" ]]; then
+            echo "==> voltage: FAIL — $name differs across job counts ($v1c vs $vNc)" >&2
+            exit 1
+        fi
+    done
+    if [[ "$(metric_value "$g1" vdd.d.escalations)" -eq 0 ]]; then
+        echo "==> voltage: FAIL — a 0.8 Vdd governed run must escalate the ladder" >&2
+        exit 1
+    fi
+    if [[ "$(metric_value "$g1" vdd.d.upsets)" -eq 0 ]]; then
+        echo "==> voltage: FAIL — a 0.8 Vdd run must mis-sense speculative reads" >&2
+        exit 1
+    fi
+    echo "==> voltage: OK — golden, job-count identity, inertness, validation," \
+        "and governor escalation all verified"
+}
+
 if [[ "${1:-}" == "hierarchy" ]]; then
     hierarchy
+    exit 0
+fi
+
+if [[ "${1:-}" == "voltage" ]]; then
+    voltage
     exit 0
 fi
 

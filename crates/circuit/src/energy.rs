@@ -35,6 +35,38 @@ const ECC_CHECK_COLUMN_FRACTION: f64 = 8.0 / 64.0;
 /// walks word-by-word, not line-by-line).
 const SCRUB_WORD_ROW_FRACTION: f64 = 0.125;
 
+/// Dynamic-energy exponent of supply scaling: every switching term in
+/// this model is `C * Vdd^2`.
+const DYNAMIC_VDD_EXPONENT: f64 = 2.0;
+
+/// Leakage-energy exponent of supply scaling: subthreshold current
+/// shrinks slightly supralinearly with Vdd in the studied band (DIBL),
+/// so leakage *energy* (`I(V) * V * t`) scales as roughly `V^2.2`.
+const LEAKAGE_VDD_EXPONENT: f64 = 2.2;
+
+/// Multiplier on every dynamic (switching) energy term when the supply
+/// runs at `scale` x nominal. Exactly `1.0` at nominal, bit-for-bit, so
+/// the voltage axis is inert when unused.
+#[must_use]
+pub fn vdd_dynamic_energy_factor(scale: f64) -> f64 {
+    if scale == 1.0 {
+        1.0
+    } else {
+        scale.powf(DYNAMIC_VDD_EXPONENT)
+    }
+}
+
+/// Multiplier on every leakage energy term when the supply runs at
+/// `scale` x nominal. Exactly `1.0` at nominal, bit-for-bit.
+#[must_use]
+pub fn vdd_leakage_energy_factor(scale: f64) -> f64 {
+    if scale == 1.0 {
+        1.0
+    } else {
+        scale.powf(LEAKAGE_VDD_EXPONENT)
+    }
+}
+
 /// Energy model of one cache subarray plus its share of the cache
 /// periphery.
 ///
@@ -280,6 +312,27 @@ mod tests {
             assert!(scrub < base, "{node}");
             assert!((m.ecc_check_column_fraction() - 0.125).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn vdd_factors_are_exact_at_nominal_and_monotonic_below() {
+        assert_eq!(vdd_dynamic_energy_factor(1.0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(vdd_leakage_energy_factor(1.0).to_bits(), 1.0f64.to_bits());
+        let mut prev_d = 1.0;
+        let mut prev_l = 1.0;
+        for scale in [0.95, 0.9, 0.85, 0.8, 0.7, 0.6] {
+            let d = vdd_dynamic_energy_factor(scale);
+            let l = vdd_leakage_energy_factor(scale);
+            assert!(d < prev_d && d > 0.0, "dynamic factor at {scale}");
+            assert!(l < prev_l && l > 0.0, "leakage factor at {scale}");
+            // DIBL: leakage energy falls at least as fast as dynamic.
+            assert!(l <= d, "leakage must not outpace dynamic at {scale}");
+            prev_d = d;
+            prev_l = l;
+        }
+        // Overdrive prices upward.
+        assert!(vdd_dynamic_energy_factor(1.05) > 1.0);
+        assert!(vdd_leakage_energy_factor(1.05) > 1.0);
     }
 
     #[test]

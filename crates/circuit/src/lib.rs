@@ -42,6 +42,6 @@ mod transient;
 pub use area::{cache_area, CacheArea};
 pub use bitline::BitlineModel;
 pub use decoder::{DecodeDelays, DecoderModel};
-pub use energy::SubarrayEnergyModel;
+pub use energy::{vdd_dynamic_energy_factor, vdd_leakage_energy_factor, SubarrayEnergyModel};
 pub use geometry::SubarrayGeometry;
 pub use transient::{TransientPoint, TransientSim};

@@ -31,6 +31,7 @@
 mod device;
 mod node;
 mod scaling;
+pub mod vdd;
 
 pub use device::DeviceParams;
 pub use node::{ParseNodeError, TechnologyNode};

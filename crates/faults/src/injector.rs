@@ -63,6 +63,20 @@ impl FaultInjector {
         self.rng.chance(self.config.detection_rate)
     }
 
+    /// Does this speculative (below-guardband) read to `subarray`
+    /// mis-sense? `p` is the ladder step's base probability; the same
+    /// process-variation multiplier that makes a subarray leak faster
+    /// also makes it develop differential slower. `p == 0` (a step
+    /// inside the guardband) consumes no entropy, so governed runs that
+    /// settle at nominal keep deterministic draw streams.
+    pub fn draw_timing_upset(&mut self, subarray: usize, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let eff = (p * self.multipliers[subarray]).min(MAX_UPSET_P);
+        self.rng.chance(eff)
+    }
+
     /// Does a decay counter take a bit flip on this access?
     pub fn draw_decay_flip(&mut self) -> bool {
         if self.config.decay_flip_rate <= 0.0 {

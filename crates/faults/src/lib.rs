@@ -47,9 +47,11 @@ mod injector;
 mod policy;
 mod report;
 mod rng;
+mod vdd;
 
 pub use config::FaultConfig;
 pub use injector::FaultInjector;
 pub use policy::FaultInjectingPolicy;
 pub use report::{FaultReport, SubarrayFaults};
 pub use rng::SplitMix64;
+pub use vdd::{GovernorConfig, SubarrayVdd, VddConfig, VddReport, VddStep};

@@ -11,6 +11,7 @@ use bitline_ecc::{
 use crate::config::FaultConfig;
 use crate::injector::FaultInjector;
 use crate::report::FaultReport;
+use crate::vdd::{VddConfig, VddReport};
 
 /// Wraps any [`PrechargePolicy`] and injects faults into its cold accesses.
 ///
@@ -45,6 +46,35 @@ pub struct FaultInjectingPolicy {
     sink: Option<Rc<RefCell<FaultReport>>>,
     /// SECDED state, present only when [`FaultConfig::ecc`] is armed.
     ecc: Option<EccState>,
+    /// Low-Vdd timing-speculation state, present only when a speculative
+    /// supply ladder is armed via [`FaultInjectingPolicy::with_vdd`].
+    vdd: Option<VddState>,
+}
+
+/// How one injected upset resolved in the detection machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UpsetOutcome {
+    /// SECDED corrected the word in the read path.
+    Corrected,
+    /// Detected (margin detector or DUE) and replayed against a full
+    /// precharge.
+    Replayed,
+    /// Escaped detection: silent data corruption.
+    Silent,
+}
+
+/// Mutable state of the timing-speculation layer: the ladder config, the
+/// per-subarray sliding windows, and the run report.
+struct VddState {
+    config: VddConfig,
+    report: VddReport,
+    /// Speculative accesses seen in the current window, per subarray.
+    window_accesses: Vec<u32>,
+    /// Replays seen in the current window, per subarray.
+    window_replays: Vec<u32>,
+    /// Consecutive replay-free windows, per subarray (the hysteresis).
+    clean_windows: Vec<u32>,
+    sink: Option<Rc<RefCell<VddReport>>>,
 }
 
 /// Mutable state of the error-protection layer: the reliability counters,
@@ -120,7 +150,36 @@ impl FaultInjectingPolicy {
             pinned_at: vec![None; subarrays],
             sink: None,
             ecc,
+            vdd: None,
         }
+    }
+
+    /// Arms low-Vdd timing speculation with the given guardband ladder.
+    /// Every cold access becomes speculative: it may mis-sense with the
+    /// current ladder step's probability and then resolves through the
+    /// same detect → replay machinery as a leakage upset.
+    #[must_use]
+    pub fn with_vdd(mut self, config: VddConfig) -> FaultInjectingPolicy {
+        let subarrays = self.pinned_at.len();
+        self.vdd = Some(VddState {
+            report: VddReport::new(subarrays, config.steps.len()),
+            window_accesses: vec![0; subarrays],
+            window_replays: vec![0; subarrays],
+            clean_windows: vec![0; subarrays],
+            sink: None,
+            config,
+        });
+        self
+    }
+
+    /// Also mirrors the final [`VddReport`] into `sink` at `finalize`.
+    /// No-op unless a ladder is armed via [`FaultInjectingPolicy::with_vdd`].
+    #[must_use]
+    pub fn with_vdd_sink(mut self, sink: Rc<RefCell<VddReport>>) -> FaultInjectingPolicy {
+        if let Some(vdd) = &mut self.vdd {
+            vdd.sink = Some(sink);
+        }
+        self
     }
 
     /// Also mirrors the final [`FaultReport`] into `sink` at `finalize`
@@ -157,6 +216,13 @@ impl FaultInjectingPolicy {
         self.ecc.as_ref().map(|e| &e.reliability)
     }
 
+    /// The timing-speculation counters so far (`None` unless a ladder is
+    /// armed).
+    #[must_use]
+    pub fn vdd_report(&self) -> Option<&VddReport> {
+        self.vdd.as_ref().map(|v| &v.report)
+    }
+
     /// The injector (for inspecting leakage multipliers).
     #[must_use]
     pub fn injector(&self) -> &FaultInjector {
@@ -185,30 +251,110 @@ impl FaultInjectingPolicy {
         }
         if cold && self.injector.draw_upset(subarray) {
             self.report.per_subarray[subarray].injected += 1;
-            if cfg.ecc {
-                self.classify_upset(subarray, cycle, &cfg);
-            } else if self.injector.draw_detected() {
-                self.report.per_subarray[subarray].detected += 1;
-                self.report.per_subarray[subarray].replayed += 1;
-                self.pending = Some(FaultEvent::DetectedUpset { retry_cycles: cfg.retry_cycles });
-                if let Some(limit) = cfg.fail_safe_threshold {
-                    if self.report.per_subarray[subarray].detected >= u64::from(limit) {
-                        self.pinned_at[subarray] = Some(cycle);
-                        self.report.per_subarray[subarray].pinned = true;
-                    }
-                }
-            } else {
-                self.report.per_subarray[subarray].silent += 1;
-                self.pending = Some(FaultEvent::SilentUpset);
-            }
+            self.resolve_upset(subarray, cycle, &cfg);
+        }
+        // Timing speculation: a cold read sensed below nominal supply may
+        // mis-sense independently of the leakage-upset source. A read
+        // already being replayed (or corrected) resolves that event first.
+        if cold && self.pending.is_none() {
+            self.speculate(subarray, cycle, &cfg);
         }
         extra
+    }
+
+    /// Resolves one injected upset — leakage *or* timing, the machinery
+    /// is shared: SECDED classification when the codec is armed, the
+    /// binary margin detector otherwise, raising the fault event the
+    /// cache turns into a full-precharge replay.
+    fn resolve_upset(&mut self, subarray: usize, cycle: u64, cfg: &FaultConfig) -> UpsetOutcome {
+        if cfg.ecc {
+            self.classify_upset(subarray, cycle, cfg)
+        } else if self.injector.draw_detected() {
+            self.report.per_subarray[subarray].detected += 1;
+            self.report.per_subarray[subarray].replayed += 1;
+            self.pending = Some(FaultEvent::DetectedUpset { retry_cycles: cfg.retry_cycles });
+            if let Some(limit) = cfg.fail_safe_threshold {
+                if self.report.per_subarray[subarray].detected >= u64::from(limit) {
+                    self.pinned_at[subarray] = Some(cycle);
+                    self.report.per_subarray[subarray].pinned = true;
+                }
+            }
+            UpsetOutcome::Replayed
+        } else {
+            self.report.per_subarray[subarray].silent += 1;
+            self.pending = Some(FaultEvent::SilentUpset);
+            UpsetOutcome::Silent
+        }
+    }
+
+    /// One speculative (cold, below-guardband) read: census the access
+    /// at the subarray's current ladder step, maybe mis-sense, resolve
+    /// through the shared detect → replay path, and run the governor's
+    /// sliding window.
+    fn speculate(&mut self, subarray: usize, cycle: u64, cfg: &FaultConfig) {
+        // Taken out of `self` so `resolve_upset` can borrow the rest.
+        let Some(mut vdd) = self.vdd.take() else { return };
+        let step = usize::from(vdd.report.per_subarray[subarray].step);
+        vdd.report.step_accesses[step] += 1;
+        let p = vdd.config.steps[step].upset_probability;
+        let mut replayed = false;
+        if self.injector.draw_timing_upset(subarray, p) {
+            vdd.report.upsets += 1;
+            self.report.per_subarray[subarray].injected += 1;
+            match self.resolve_upset(subarray, cycle, cfg) {
+                UpsetOutcome::Corrected => vdd.report.corrected += 1,
+                UpsetOutcome::Replayed => {
+                    vdd.report.replays += 1;
+                    replayed = true;
+                }
+                UpsetOutcome::Silent => vdd.report.sdc += 1,
+            }
+        }
+        if let Some(g) = vdd.config.governor {
+            vdd.window_accesses[subarray] += 1;
+            if replayed {
+                vdd.window_replays[subarray] += 1;
+            }
+            if vdd.window_accesses[subarray] >= g.window {
+                let sub = &mut vdd.report.per_subarray[subarray];
+                let top = vdd.config.steps.len() - 1;
+                let replays = vdd.window_replays[subarray];
+                if !sub.pinned {
+                    if replays >= g.escalate_replays {
+                        // Noisy window: one guardband step toward nominal.
+                        // Repeated escalation means the subarray cannot
+                        // hold a speculative step: pin it to nominal.
+                        sub.step = (usize::from(sub.step) + 1).min(top) as u8;
+                        sub.escalations += 1;
+                        vdd.clean_windows[subarray] = 0;
+                        if sub.escalations >= u64::from(g.max_escalations) {
+                            sub.pinned = true;
+                            sub.step = top as u8;
+                        }
+                    } else if replays == 0 {
+                        // Hysteresis: only a run of clean windows relaxes
+                        // the guardband back toward aggressive.
+                        vdd.clean_windows[subarray] += 1;
+                        if vdd.clean_windows[subarray] >= g.clean_windows_to_relax && sub.step > 0 {
+                            sub.step -= 1;
+                            sub.deescalations += 1;
+                            vdd.clean_windows[subarray] = 0;
+                        }
+                    } else {
+                        vdd.clean_windows[subarray] = 0;
+                    }
+                }
+                vdd.window_accesses[subarray] = 0;
+                vdd.window_replays[subarray] = 0;
+            }
+        }
+        self.vdd = Some(vdd);
     }
 
     /// ECC path for one injected upset: build the flip pattern, run a
     /// real word through the SECDED codec, account the outcome, and walk
     /// the degradation ladder.
-    fn classify_upset(&mut self, subarray: usize, cycle: u64, cfg: &FaultConfig) {
+    fn classify_upset(&mut self, subarray: usize, cycle: u64, cfg: &FaultConfig) -> UpsetOutcome {
         let ecc = self.ecc.as_mut().expect("classify_upset requires armed ECC state");
         // Flip pattern: one fresh flip, plus the adjacent column for a
         // spatially-correlated multi-bit upset, plus the word's existing
@@ -297,6 +443,11 @@ impl FaultInjectingPolicy {
                 self.report.per_subarray[subarray].pinned = true;
             }
         }
+        match outcome {
+            ErrorOutcome::Corrected => UpsetOutcome::Corrected,
+            ErrorOutcome::DetectedUncorrectable => UpsetOutcome::Replayed,
+            ErrorOutcome::Silent => UpsetOutcome::Silent,
+        }
     }
 }
 
@@ -359,6 +510,11 @@ impl PrechargePolicy for FaultInjectingPolicy {
             }
             if let Some(sink) = &ecc.sink {
                 *sink.borrow_mut() = ecc.reliability.clone();
+            }
+        }
+        if let Some(vdd) = &self.vdd {
+            if let Some(sink) = &vdd.sink {
+                *sink.borrow_mut() = vdd.report.clone();
             }
         }
         if let Some(sink) = &self.sink {

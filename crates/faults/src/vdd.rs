@@ -1,0 +1,330 @@
+//! Low-Vdd timing speculation: the guardband ladder and its governor.
+//!
+//! Running a subarray below nominal supply stretches bitline development
+//! past the sense-amp strobe (see `bitline-cmos::vdd`), so cold reads
+//! become *speculative*: each one mis-senses with a probability fixed by
+//! the supply step, and a mis-sensed read flows through the exact same
+//! detect → full-precharge replay machinery as a leakage upset.
+//!
+//! The policy layer consumes two things from here:
+//!
+//! * [`VddConfig`] — a **guardband ladder** of supply steps, aggressive
+//!   (lowest Vdd, highest upset probability) first, nominal last. The
+//!   upset probabilities are precomputed by the caller from the
+//!   technology-node curve, so this crate stays free of circuit math.
+//! * [`GovernorConfig`] — the adaptive controller: per subarray, replay
+//!   rate is observed over a sliding window of speculative accesses;
+//!   a noisy window escalates one step toward nominal, a run of clean
+//!   windows (hysteresis) relaxes one step back, and after
+//!   `max_escalations` total escalations the subarray is **pinned** to
+//!   the nominal step for good — the fail-safe that stops a marginal
+//!   subarray from thrashing up and down the ladder.
+//!
+//! [`VddReport`] mirrors all of it per run: upsets / replays / SDC from
+//! the speculation source, ladder movement, pins, and the per-step
+//! access census the energy accountant uses to price a governed run.
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of the guardband ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VddStep {
+    /// Supply scale relative to nominal (1.0 = Table 1 Vdd).
+    pub scale: f64,
+    /// Probability that one speculative (cold) read at this step
+    /// mis-senses, before the per-subarray variation multiplier.
+    pub upset_probability: f64,
+}
+
+/// Adaptive-governor parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// Speculative accesses per evaluation window.
+    pub window: u32,
+    /// Replays-per-window count at or above which the window is "noisy"
+    /// and the subarray escalates one step toward nominal.
+    pub escalate_replays: u32,
+    /// Consecutive replay-free windows required before relaxing one step
+    /// back toward aggressive (the hysteresis).
+    pub clean_windows_to_relax: u32,
+    /// Total escalations after which the subarray is pinned to the
+    /// nominal step permanently (the fail-safe).
+    pub max_escalations: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> GovernorConfig {
+        GovernorConfig {
+            window: 32,
+            escalate_replays: 2,
+            clean_windows_to_relax: 2,
+            max_escalations: 3,
+        }
+    }
+}
+
+/// Timing-speculation configuration handed to the fault decorator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VddConfig {
+    /// The guardband ladder, aggressive first, nominal last. A single
+    /// step means a static (ungoverned) supply.
+    pub steps: Vec<VddStep>,
+    /// The adaptive governor; `None` holds every subarray at step 0.
+    pub governor: Option<GovernorConfig>,
+}
+
+impl VddConfig {
+    /// A static supply at `scale` with the given upset probability.
+    #[must_use]
+    pub fn fixed(scale: f64, upset_probability: f64) -> VddConfig {
+        VddConfig { steps: vec![VddStep { scale, upset_probability }], governor: None }
+    }
+
+    /// Whether this configuration can ever mis-sense a read. A scale
+    /// still inside the designed guardband has probability zero on every
+    /// step and needs no decorator at all.
+    #[must_use]
+    pub fn speculating(&self) -> bool {
+        self.steps.iter().any(|s| s.upset_probability > 0.0)
+    }
+
+    /// Rejects ladders that would misbehave downstream: no steps,
+    /// non-finite scales, probabilities outside [0, 1], or a ladder that
+    /// does not run aggressive → conservative.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.steps.is_empty() {
+            return Err("vdd ladder has no steps".to_string());
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if !step.scale.is_finite() || step.scale <= 0.0 {
+                return Err(format!(
+                    "vdd step {i} scale = {}; must be finite and positive",
+                    step.scale
+                ));
+            }
+            if step.upset_probability.is_nan() || !(0.0..=1.0).contains(&step.upset_probability) {
+                return Err(format!(
+                    "vdd step {i} upset probability = {}; must be a probability in [0, 1]",
+                    step.upset_probability
+                ));
+            }
+        }
+        for pair in self.steps.windows(2) {
+            if pair[1].scale < pair[0].scale {
+                return Err(
+                    "vdd ladder must run aggressive (low) -> conservative (high)".to_string()
+                );
+            }
+        }
+        if let Some(g) = &self.governor {
+            if g.window == 0 {
+                return Err("vdd governor window = 0 accesses".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-subarray speculation counters and final governor state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayVdd {
+    /// Final ladder step index the subarray settled on.
+    pub step: u8,
+    /// Ladder escalations (toward nominal) this subarray took.
+    pub escalations: u64,
+    /// Ladder relaxations (back toward aggressive) this subarray took.
+    pub deescalations: u64,
+    /// Whether the fail-safe pinned this subarray to the nominal step.
+    pub pinned: bool,
+}
+
+/// Whole-run timing-speculation summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VddReport {
+    /// Per-subarray ladder state.
+    pub per_subarray: Vec<SubarrayVdd>,
+    /// Speculative reads that mis-sensed (the timing-upset source).
+    pub upsets: u64,
+    /// Mis-sensed reads detected and replayed against a full precharge.
+    pub replays: u64,
+    /// Mis-sensed reads corrected in the read path by the SECDED codec.
+    pub corrected: u64,
+    /// Mis-sensed reads that escaped detection (silent data corruption —
+    /// the SDC exposure of running below the guardband).
+    pub sdc: u64,
+    /// Speculative (cold) accesses sensed at each ladder step, summed
+    /// over subarrays — the census the energy accountant prices with.
+    pub step_accesses: Vec<u64>,
+}
+
+impl VddReport {
+    /// An empty report over `subarrays` subarrays and `steps` rungs.
+    #[must_use]
+    pub fn new(subarrays: usize, steps: usize) -> VddReport {
+        VddReport {
+            per_subarray: vec![SubarrayVdd::default(); subarrays],
+            upsets: 0,
+            replays: 0,
+            corrected: 0,
+            sdc: 0,
+            step_accesses: vec![0; steps],
+        }
+    }
+
+    /// Total speculative accesses across every ladder step.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.step_accesses.iter().sum()
+    }
+
+    /// Total ladder escalations.
+    #[must_use]
+    pub fn escalations(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.escalations).sum()
+    }
+
+    /// Total ladder relaxations.
+    #[must_use]
+    pub fn deescalations(&self) -> u64 {
+        self.per_subarray.iter().map(|s| s.deescalations).sum()
+    }
+
+    /// Subarrays the fail-safe pinned to nominal.
+    #[must_use]
+    pub fn pinned_subarrays(&self) -> usize {
+        self.per_subarray.iter().filter(|s| s.pinned).count()
+    }
+
+    /// Counter invariant: every mis-sensed read resolved exactly one way.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.replays + self.corrected + self.sdc == self.upsets
+    }
+
+    /// Mean supply scale over the speculative accesses, weighted by the
+    /// per-step census, through `f` (e.g. the dynamic-energy factor).
+    /// Returns `f(fallback_scale)` when nothing speculated.
+    #[must_use]
+    pub fn access_weighted_factor(
+        &self,
+        step_scales: &[f64],
+        fallback_scale: f64,
+        f: impl Fn(f64) -> f64,
+    ) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            return f(fallback_scale);
+        }
+        let mut acc = 0.0;
+        for (i, &n) in self.step_accesses.iter().enumerate() {
+            let scale = step_scales.get(i).copied().unwrap_or(fallback_scale);
+            acc += f(scale) * n as f64;
+        }
+        acc / total as f64
+    }
+
+    /// Accumulates this report's totals into the global metrics registry
+    /// under `vdd.{cache}.*` (e.g. `vdd.d.replays`). Called once per
+    /// completed run, so the counters track finished physics and are
+    /// identical across job counts.
+    pub fn record_metrics(&self, cache: &str) {
+        let registry = bitline_obs::registry();
+        registry.counter(&format!("vdd.{cache}.upsets")).add(self.upsets);
+        registry.counter(&format!("vdd.{cache}.replays")).add(self.replays);
+        registry.counter(&format!("vdd.{cache}.sdc")).add(self.sdc);
+        registry.counter(&format!("vdd.{cache}.escalations")).add(self.escalations());
+        registry.counter(&format!("vdd.{cache}.deescalations")).add(self.deescalations());
+        registry
+            .counter(&format!("vdd.{cache}.pinned_subarrays"))
+            .add(u64::try_from(self.pinned_subarrays()).unwrap_or(u64::MAX));
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "speculative accesses {}  upsets {}  replayed {}  corrected {}  sdc {}  \
+             escalations {}  relaxations {}  pinned {}/{} subarrays",
+            self.accesses(),
+            self.upsets,
+            self.replays,
+            self.corrected,
+            self.sdc,
+            self.escalations(),
+            self.deescalations(),
+            self.pinned_subarrays(),
+            self.per_subarray.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_config_is_a_one_step_ladder() {
+        let c = VddConfig::fixed(0.85, 0.1);
+        assert_eq!(c.steps.len(), 1);
+        assert!(c.speculating());
+        assert!(c.validate().is_ok());
+        assert!(!VddConfig::fixed(0.95, 0.0).speculating());
+    }
+
+    #[test]
+    fn validate_rejects_broken_ladders() {
+        assert!(VddConfig { steps: vec![], governor: None }.validate().is_err());
+        assert!(VddConfig::fixed(f64::NAN, 0.1).validate().is_err());
+        assert!(VddConfig::fixed(0.8, f64::INFINITY).validate().is_err());
+        assert!(VddConfig::fixed(0.8, 1.5).validate().is_err());
+        let inverted = VddConfig {
+            steps: vec![
+                VddStep { scale: 1.0, upset_probability: 0.0 },
+                VddStep { scale: 0.8, upset_probability: 0.3 },
+            ],
+            governor: None,
+        };
+        assert!(inverted.validate().is_err());
+        let zero_window = VddConfig {
+            governor: Some(GovernorConfig { window: 0, ..GovernorConfig::default() }),
+            ..VddConfig::fixed(0.8, 0.3)
+        };
+        assert!(zero_window.validate().is_err());
+    }
+
+    #[test]
+    fn report_totals_and_invariant() {
+        let mut r = VddReport::new(2, 3);
+        r.step_accesses = vec![10, 5, 1];
+        r.upsets = 4;
+        r.replays = 2;
+        r.corrected = 1;
+        r.sdc = 1;
+        r.per_subarray[0].escalations = 2;
+        r.per_subarray[1].escalations = 1;
+        r.per_subarray[1].deescalations = 1;
+        r.per_subarray[1].pinned = true;
+        assert_eq!(r.accesses(), 16);
+        assert_eq!(r.escalations(), 3);
+        assert_eq!(r.deescalations(), 1);
+        assert_eq!(r.pinned_subarrays(), 1);
+        assert!(r.is_consistent());
+        r.sdc = 2;
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn access_weighted_factor_follows_the_census() {
+        let mut r = VddReport::new(1, 2);
+        let scales = [0.8, 1.0];
+        // Nothing speculated: price at the fallback.
+        assert!((r.access_weighted_factor(&scales, 0.8, |s| s * s) - 0.64).abs() < 1e-12);
+        // All accesses at nominal: factor 1.
+        r.step_accesses = vec![0, 10];
+        assert!((r.access_weighted_factor(&scales, 0.8, |s| s * s) - 1.0).abs() < 1e-12);
+        // An even split averages the factors.
+        r.step_accesses = vec![10, 10];
+        let want = (0.64 + 1.0) / 2.0;
+        assert!((r.access_weighted_factor(&scales, 0.8, |s| s * s) - want).abs() < 1e-12);
+    }
+}

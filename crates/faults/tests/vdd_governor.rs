@@ -1,0 +1,127 @@
+//! End-to-end behaviour of the low-Vdd guardband ladder and governor at
+//! the policy level: a safe ladder is event-free, a hot ladder escalates,
+//! recovers its replay rate at higher steps, and pins via the fail-safe.
+
+use bitline_cache::PrechargePolicy;
+use bitline_faults::{FaultConfig, FaultInjectingPolicy, GovernorConfig, VddConfig, VddStep};
+use gated_precharge::GatedPolicy;
+
+const SUBARRAYS: usize = 4;
+const THRESHOLD: u64 = 50;
+
+fn gated() -> Box<GatedPolicy> {
+    Box::new(GatedPolicy::new(SUBARRAYS, THRESHOLD, 1))
+}
+
+/// Round-robin accesses with gaps past the decay threshold, so every
+/// access finds its subarray isolated (cold) and speculates.
+fn drive(policy: &mut dyn PrechargePolicy, accesses: usize) -> (Vec<u32>, u64, u64) {
+    let mut cycle = 0u64;
+    let mut latencies = Vec::with_capacity(accesses);
+    let mut events = 0u64;
+    for i in 0..accesses {
+        cycle += 2 * THRESHOLD;
+        latencies.push(policy.access(i % SUBARRAYS, cycle));
+        if policy.take_fault().is_some() {
+            events += 1;
+        }
+    }
+    (latencies, cycle, events)
+}
+
+/// A ladder whose aggressive step mis-senses most speculative reads.
+fn hot_ladder(governor: Option<GovernorConfig>) -> VddConfig {
+    VddConfig {
+        steps: vec![
+            VddStep { scale: 0.75, upset_probability: 0.9 },
+            VddStep { scale: 0.875, upset_probability: 0.2 },
+            VddStep { scale: 1.0, upset_probability: 0.0 },
+        ],
+        governor,
+    }
+}
+
+#[test]
+fn a_safe_ladder_is_latency_identical_and_event_free() {
+    let mut plain = gated();
+    let mut wrapped = FaultInjectingPolicy::new(gated(), FaultConfig::with_rate(0.0, 7), SUBARRAYS)
+        .with_vdd(VddConfig::fixed(0.95, 0.0));
+    let (want, end, _) = drive(plain.as_mut(), 400);
+    let (got, _, events) = drive(&mut wrapped, 400);
+    assert_eq!(got, want, "a guardband-safe supply must not change latencies");
+    assert_eq!(events, 0, "a guardband-safe supply must raise no fault events");
+    let _ = plain.finalize(end);
+    let _ = wrapped.finalize(end);
+    let report = wrapped.vdd_report().expect("ladder armed");
+    assert_eq!(report.upsets, 0);
+    assert!(report.accesses() > 0, "cold accesses must still be censused");
+    assert!(report.is_consistent());
+}
+
+#[test]
+fn a_static_hot_step_replays_and_exposes_sdc() {
+    let mut wrapped = FaultInjectingPolicy::new(gated(), FaultConfig::with_rate(0.0, 7), SUBARRAYS)
+        .with_vdd(hot_ladder(None));
+    let (_, end, events) = drive(&mut wrapped, 600);
+    let _ = wrapped.finalize(end);
+    let report = wrapped.vdd_report().expect("ladder armed").clone();
+    assert!(report.upsets > 100, "a 90% upset step must mis-sense heavily");
+    assert!(report.replays > 0, "the margin detector must replay most upsets");
+    assert!(report.sdc > 0, "a 98% detector must leak some SDC at this volume");
+    assert!(report.is_consistent());
+    assert_eq!(report.escalations(), 0, "no governor, no ladder movement");
+    assert_eq!(report.step_accesses[1] + report.step_accesses[2], 0);
+    assert!(events > 0, "replays must surface as fault events");
+}
+
+#[test]
+fn the_governor_escalates_recovers_and_pins() {
+    let governor = GovernorConfig {
+        window: 8,
+        escalate_replays: 2,
+        clean_windows_to_relax: 2,
+        max_escalations: 3,
+    };
+    let mut wrapped = FaultInjectingPolicy::new(gated(), FaultConfig::with_rate(0.0, 7), SUBARRAYS)
+        .with_vdd(hot_ladder(Some(governor)));
+    let (_, end, _) = drive(&mut wrapped, 2_000);
+    let _ = wrapped.finalize(end);
+    let report = wrapped.vdd_report().expect("ladder armed").clone();
+
+    // The spike: the aggressive step mis-sensed and replayed.
+    assert!(report.upsets > 0 && report.replays > 0);
+    // Escalation fired and walked subarrays up the guardband ladder.
+    assert!(report.escalations() > 0, "noisy windows must escalate");
+    assert!(report.step_accesses[1] > 0, "the middle guardband step must see traffic");
+    // Recovery: traffic reached the nominal step, where nothing upsets.
+    assert!(report.step_accesses[2] > 0, "escalation must reach the nominal step");
+    // The fail-safe: repeated escalation pinned subarrays to nominal.
+    assert!(report.pinned_subarrays() > 0, "repeated escalation must pin");
+    for sub in report.per_subarray.iter().filter(|s| s.pinned) {
+        assert_eq!(usize::from(sub.step), 2, "a pinned subarray sits at nominal");
+        assert!(sub.escalations >= 3, "the pin requires repeated escalation");
+    }
+    // Replay-rate recovery: once everything pinned, the tail of the run
+    // is upset-free, so upsets are bounded well below the access count.
+    assert!(
+        report.upsets < report.accesses() / 2,
+        "the governor must spend most of the run above the hot step \
+         ({} upsets over {} speculative accesses)",
+        report.upsets,
+        report.accesses()
+    );
+    assert!(report.is_consistent());
+}
+
+#[test]
+fn governed_runs_are_seed_deterministic() {
+    let run = || {
+        let mut wrapped =
+            FaultInjectingPolicy::new(gated(), FaultConfig::with_rate(0.0, 42), SUBARRAYS)
+                .with_vdd(hot_ladder(Some(GovernorConfig::default())));
+        let (latencies, end, _) = drive(&mut wrapped, 1_000);
+        let _ = wrapped.finalize(end);
+        (latencies, format!("{:?}", wrapped.vdd_report().expect("ladder armed")))
+    };
+    assert_eq!(run(), run(), "same seed must replay the same governed run");
+}

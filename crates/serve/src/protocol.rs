@@ -30,14 +30,14 @@
 
 use bitline_cmos::TechnologyNode;
 use bitline_obs::json::{self, as_object, expect_keys, get_str, json_f64, json_u64, try_get, Json};
-use bitline_sim::{HierarchySpec, LeakageKind, PolicyKind, RunResult, SystemSpec};
+use bitline_sim::{HierarchySpec, LeakageKind, PolicyKind, RunResult, SystemSpec, VddSpec};
 use std::fmt::Write as _;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a benchmark under a spec (the default op).
-    Run(RunRequest),
+    Run(Box<RunRequest>),
     /// Report serving counters and journal warm-restart accounting.
     Stats {
         /// Request id echoed in the response.
@@ -139,7 +139,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
                 None => default_spec(),
                 Some(v) => parse_spec(v).map_err(fail)?,
             };
-            Ok(Request::Run(RunRequest { id, benchmark, spec, priority, deadline_ms }))
+            Ok(Request::Run(Box::new(RunRequest { id, benchmark, spec, priority, deadline_ms })))
         }
         "stats" | "ping" | "drain" | "metrics" => {
             expect_keys(obj, &["id", "op"]).map_err(fail)?;
@@ -169,7 +169,20 @@ pub fn default_spec() -> SystemSpec {
         way_prediction: false,
         faults: bitline_sim::FaultSpec::default(),
         hierarchy: HierarchySpec::default(),
+        vdd: VddSpec::default(),
     }
+}
+
+/// Rejects NaN and ±inf at the protocol boundary: a non-finite float in a
+/// spec would otherwise ride along until it poisons a probability draw or
+/// an energy total. `1e999` parses to `inf`, so this is reachable from a
+/// syntactically valid request line.
+fn finite_f64(v: &Json, key: &str) -> Result<f64, String> {
+    let x = json_f64(v).map_err(|e| format!("spec {key}: {e}"))?;
+    if !x.is_finite() {
+        return Err(format!("spec {key}: must be finite, got {x}"));
+    }
+    Ok(x)
 }
 
 fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
@@ -191,6 +204,8 @@ fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
             "levels",
             "l2_policy",
             "leakage_mode",
+            "vdd",
+            "vdd_governor",
         ],
     )
     .map_err(|e| format!("spec: {e}"))?;
@@ -219,7 +234,7 @@ fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
         spec.way_prediction = as_bool(v, "way_prediction")?;
     }
     if let Some(v) = try_get(obj, "fault_rate") {
-        spec.faults.rate = json_f64(v).map_err(|e| format!("spec fault_rate: {e}"))?;
+        spec.faults.rate = finite_f64(v, "fault_rate")?;
     }
     if let Some(v) = try_get(obj, "fault_seed") {
         spec.faults.seed = json_u64(v).map_err(|e| format!("spec fault_seed: {e}"))?;
@@ -251,6 +266,12 @@ fn parse_spec(value: &Json) -> Result<SystemSpec, String> {
         let s = as_str(v, "leakage_mode")?;
         spec.hierarchy.leakage_mode =
             s.parse::<LeakageKind>().map_err(|e| format!("spec leakage_mode: {e}"))?;
+    }
+    if let Some(v) = try_get(obj, "vdd") {
+        spec.vdd.scale = finite_f64(v, "vdd")?;
+    }
+    if let Some(v) = try_get(obj, "vdd_governor") {
+        spec.vdd.governor = as_bool(v, "vdd_governor")?;
     }
     Ok(spec)
 }
@@ -521,6 +542,33 @@ mod tests {
         assert!(e.message.contains("leakage_mode"));
         let e = parse_request(r#"{"id":"h","benchmark":"gcc","spec":{"levels":900}}"#).unwrap_err();
         assert!(e.message.contains("levels"));
+    }
+
+    #[test]
+    fn vdd_keys_parse_and_non_finite_floats_are_rejected() {
+        let req = parse_request(
+            r#"{"id":"v","benchmark":"gcc","spec":{"vdd":0.85,"vdd_governor":true}}"#,
+        )
+        .unwrap();
+        let Request::Run(run) = req else { panic!("expected run") };
+        assert_eq!(run.spec.vdd.scale.to_bits(), 0.85f64.to_bits());
+        assert!(run.spec.vdd.governor);
+        assert!(run.spec.validate().is_ok());
+
+        // Satellite: non-finite numerics die at the protocol boundary —
+        // `1e999` is syntactically valid JSON that parses to +inf.
+        for (key, value) in
+            [("vdd", "1e999"), ("vdd", "-1e999"), ("fault_rate", "1e999"), ("fault_rate", "-1e999")]
+        {
+            let line = format!(r#"{{"id":"v","benchmark":"gcc","spec":{{"{key}":{value}}}}}"#);
+            let e = parse_request(&line).unwrap_err();
+            assert!(e.message.contains("finite"), "{key}={value}: {}", e.message);
+            assert_eq!(e.id.as_deref(), Some("v"));
+        }
+        // A governor flag must be a boolean, not truthy JSON.
+        let e =
+            parse_request(r#"{"id":"v","benchmark":"gcc","spec":{"vdd_governor":1}}"#).unwrap_err();
+        assert!(e.message.contains("boolean"), "{}", e.message);
     }
 
     #[test]

@@ -400,7 +400,7 @@ fn serve_connection(reader: Box<dyn Read + Send>, out: &ConnHandle, ctx: &Ctx) {
                 }
                 let key = checkpoint::spec_key(&run.benchmark, &run.spec);
                 let id = run.id.clone();
-                let offer = ctx.admission.offer(&key, run, out.clone());
+                let offer = ctx.admission.offer(&key, *run, out.clone());
                 if let Offer::Shed { reason, retry_after_ms } = offer {
                     send(out, protocol::shed_line(&id, reason, retry_after_ms));
                 }

@@ -318,6 +318,64 @@ fn interleaved_garbage_never_poisons_valid_requests() {
 }
 
 #[test]
+fn vdd_spec_keys_answer_terminal_responses_and_never_poison_neighbours() {
+    let server = start_server("vdd");
+    let mut fuzz = Fuzz::new(0x5CA1_E0DD);
+    // Boundary and adversarial values for the two new spec keys: legal
+    // scales, band edges, out-of-band, non-finite spellings (`1e999`
+    // parses to +inf, `nan` is not JSON), wrong types, and random
+    // numeric noise. Every line must answer exactly one terminal status
+    // line — ok for a valid spec, error otherwise — never a hang.
+    let cases: Vec<String> = vec![
+        r#""vdd":1.0"#.into(),
+        r#""vdd":0.9,"vdd_governor":true"#.into(),
+        r#""vdd":0.6"#.into(),
+        r#""vdd":1.1"#.into(),
+        r#""vdd":0.59999"#.into(),
+        r#""vdd":1.10001"#.into(),
+        r#""vdd":-0.9"#.into(),
+        r#""vdd":0"#.into(),
+        r#""vdd":1e999"#.into(),
+        r#""vdd":-1e999"#.into(),
+        r#""vdd":1e-999"#.into(),
+        r#""vdd":"0.9""#.into(),
+        r#""vdd":null"#.into(),
+        r#""vdd":[0.9]"#.into(),
+        r#""vdd_governor":true"#.into(),
+        r#""vdd_governor":"yes""#.into(),
+        r#""vdd_governor":1"#.into(),
+        r#""vdd":0.8,"vdd_governor":null"#.into(),
+    ];
+    let random: Vec<String> = (0..16)
+        .map(|_| {
+            let mantissa = fuzz.below(2_000_000) as f64 / 1_000_000.0;
+            let exp = fuzz.below(7) as i32 - 3;
+            format!(
+                r#""vdd":{:e},"vdd_governor":{}"#,
+                mantissa * 10f64.powi(exp),
+                fuzz.below(2) == 0
+            )
+        })
+        .collect();
+    for (i, body) in cases.iter().chain(random.iter()).enumerate() {
+        let stream = server.connect();
+        let line = format!("{{\"id\":\"vdd{i}\",\"benchmark\":\"gcc\",\"spec\":{{{body}}}}}\n");
+        if (&stream).write_all(line.as_bytes()).is_err() {
+            continue;
+        }
+        match read_response_line(&stream) {
+            None => {}
+            Some(resp) => assert!(
+                resp.contains("\"status\":\"ok\"") || resp.contains("\"status\":\"error\""),
+                "vdd case {i} ({body}): expected a terminal status line, got: {resp}"
+            ),
+        }
+    }
+    server.assert_alive("after-vdd");
+    server.shutdown();
+}
+
+#[test]
 fn a_raw_binary_stream_is_absorbed_and_the_daemon_survives() {
     let server = start_server("binary");
     let mut fuzz = Fuzz::new(0xDEAD_BEA7);

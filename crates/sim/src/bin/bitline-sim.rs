@@ -25,7 +25,7 @@ use bitline_cmos::TechnologyNode;
 use bitline_sim::experiments::harness;
 use bitline_sim::{
     exec_summary_line, set_checkpoint, supervise, try_run_benchmark_cached, FaultSpec,
-    HierarchySpec, PolicyKind, SimError, SystemSpec,
+    HierarchySpec, PolicyKind, SimError, SystemSpec, VddSpec,
 };
 use bitline_workloads::suite;
 
@@ -41,6 +41,7 @@ struct Args {
     way_prediction: bool,
     faults: FaultSpec,
     hierarchy: HierarchySpec,
+    vdd: VddSpec,
     run_budget: Option<Duration>,
     checkpoint: Option<PathBuf>,
     no_resume: bool,
@@ -52,8 +53,17 @@ struct Args {
 }
 
 /// The positional experiment commands, in help order.
-const EXPERIMENTS: &[&str] =
-    &["headline", "fig3", "fig8", "fig9", "fig10", "ondemand", "reliability", "hierarchy"];
+const EXPERIMENTS: &[&str] = &[
+    "headline",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ondemand",
+    "reliability",
+    "hierarchy",
+    "voltage",
+];
 
 impl Default for Args {
     fn default() -> Self {
@@ -68,6 +78,7 @@ impl Default for Args {
             way_prediction: false,
             faults: FaultSpec::default(),
             hierarchy: HierarchySpec::default(),
+            vdd: VddSpec::default(),
             run_budget: None,
             checkpoint: None,
             no_resume: false,
@@ -122,6 +133,11 @@ fn parse_args() -> Result<Args, String> {
                 let rate: f64 = value(&flag)?
                     .parse()
                     .map_err(|_| "bad fault rate (want a probability, e.g. 0.01)".to_owned())?;
+                // `"nan".parse::<f64>()` succeeds — fail fast with a
+                // message naming the real problem, not a range error.
+                if !rate.is_finite() {
+                    return Err(format!("--fault-rate must be finite, got {rate}"));
+                }
                 if !(0.0..=1.0).contains(&rate) {
                     return Err(format!(
                         "--fault-rate {rate} is not a probability (want 0.0 ..= 1.0)"
@@ -129,6 +145,16 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.faults.rate = rate;
             }
+            "--vdd" => {
+                let scale: f64 = value(&flag)?.parse().map_err(|_| {
+                    "bad vdd scale (want a fraction of nominal, e.g. 0.9)".to_owned()
+                })?;
+                if !scale.is_finite() {
+                    return Err(format!("--vdd must be finite, got {scale}"));
+                }
+                args.vdd.scale = scale;
+            }
+            "--vdd-governor" => args.vdd.governor = true,
             "--fault-seed" => {
                 args.faults.seed =
                     value(&flag)?.parse().map_err(|_| "bad fault seed".to_owned())?;
@@ -213,6 +239,12 @@ fn print_help() {
     println!("                          in place, doubles replay as DUEs (BITLINE_ECC env)");
     println!("      --scrub-period N    background-scrub sweep period in cycles (requires");
     println!("                          --ecc; BITLINE_SCRUB_PERIOD env; 0 is rejected)");
+    println!("      --vdd S             L1 supply as a fraction of nominal, 0.6 ..= 1.1");
+    println!("                          (default 1.0; below the sense guardband cold reads");
+    println!("                          speculate and mis-senses replay; BITLINE_VDD env)");
+    println!("      --vdd-governor      per-subarray guardband ladder: escalate toward");
+    println!("                          nominal on replay storms, relax when clean, pin");
+    println!("                          after repeated escalation (BITLINE_VDD_GOVERNOR)");
     println!("      --run-budget DUR    wall-clock budget per run, e.g. 500ms, 30s, 2m");
     println!("                          (default: BITLINE_RUN_BUDGET env, else unbounded);");
     println!("                          timed-out runs are retried once at twice the budget");
@@ -230,7 +262,7 @@ fn print_help() {
     println!("  -l, --list              list benchmarks and exit");
     println!();
     println!("EXPERIMENTS (positional): headline | fig3 | fig8 | fig9 | fig10 | ondemand |");
-    println!("  reliability | hierarchy");
+    println!("  reliability | hierarchy | voltage");
     println!("  runs the paper-figure driver over the suite (BITLINE_INSTRS instructions");
     println!("  per run, BITLINE_SUITE restricts the benchmark set)");
 }
@@ -248,6 +280,7 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         way_prediction: args.way_prediction,
         faults: args.faults,
         hierarchy: args.hierarchy,
+        vdd: args.vdd,
     };
     // The slowdown/energy reference is the clean static-pull-up machine:
     // faults model leakage upsets in *gated* bitlines, so the baseline
@@ -257,6 +290,7 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         i_policy: PolicyKind::StaticPullUp,
         faults: FaultSpec { rate: 0.0, ..args.faults },
         hierarchy: HierarchySpec::default(),
+        vdd: VddSpec::nominal(),
         ..spec
     };
     let run = try_run_benchmark_cached(name, &spec)?;
@@ -303,6 +337,10 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
         let _ = writeln!(out, "  ECC D: {}", d.summary());
         let _ = writeln!(out, "  ECC I: {}", i.summary());
     }
+    if let (Some(d), Some(i)) = (&run.d_vdd, &run.i_vdd) {
+        let _ = writeln!(out, "  Vdd D: {}", d.summary());
+        let _ = writeln!(out, "  Vdd I: {}", i.summary());
+    }
     if let Some((_, _, writebacks)) = run.l2_traffic {
         let l2 = run.l2_energy(args.node, spec.hierarchy.leakage_mode).map_or(0.0, |b| b.total_j());
         let _ = writeln!(
@@ -333,7 +371,7 @@ fn run_one(name: &str, args: &Args) -> Result<String, SimError> {
 /// is greppable against the exported figure data.
 fn run_experiment(cmd: &str, faults: &FaultSpec) -> Result<String, SimError> {
     use bitline_sim::experiments::{
-        fig10, fig3, fig8, fig9, headline, hierarchy, ondemand, reliability,
+        fig10, fig3, fig8, fig9, headline, hierarchy, ondemand, reliability, voltage,
     };
     let instrs = bitline_sim::default_instructions();
     let mut out = String::new();
@@ -479,6 +517,30 @@ fn run_experiment(cmd: &str, faults: &FaultSpec) -> Result<String, SimError> {
                     r.l3_energy_j,
                     r.total_j,
                     r.vs_full_vdd
+                );
+            }
+        }
+        "voltage" => {
+            let rows = voltage::run(instrs)?;
+            let _ = writeln!(
+                out,
+                "# feature_nm  vdd_scale  mode  p_upset  energy_per_access_j  vs_nominal  \
+                 replay_overhead  sdc_per_mi  escalations  pinned"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{} {:.2} {} {:.5} {:.6e} {:.5} {:.5} {:.5} {} {}",
+                    r.node.feature_nm(),
+                    r.vdd_scale,
+                    if r.governed { "governor" } else { "static" },
+                    r.p_upset,
+                    r.energy_per_access_j,
+                    r.energy_vs_nominal,
+                    r.replay_overhead,
+                    r.sdc_per_mi,
+                    r.escalations,
+                    r.pinned_subarrays
                 );
             }
         }

@@ -15,11 +15,11 @@
 use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
 use bitline_cpu::SimStats;
 use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
-use bitline_faults::{FaultReport, SubarrayFaults};
+use bitline_faults::{FaultReport, SubarrayFaults, SubarrayVdd, VddReport};
 
 use bitline_energy::LeakageKind;
 
-use crate::config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec};
+use crate::config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec, VddSpec};
 use crate::recorder::LocalityStats;
 use crate::runner::RunResult;
 use crate::supervise::fnv64;
@@ -27,12 +27,14 @@ use crate::supervise::fnv64;
 /// Codec version; bump on any layout change. Version 2 added the ECC
 /// fields to [`FaultSpec`] and the optional [`ReliabilityReport`]s;
 /// version 3 added the hierarchy/leakage spec block and the optional
-/// L2/L3 reports. Version-2 entries still decode (their hierarchy is the
-/// inert default by construction), so pre-v3 journals replay
-/// byte-identically instead of being quarantined.
-const VERSION: u8 = 3;
+/// L2/L3 reports; version 4 added the supply-voltage spec block and the
+/// optional [`VddReport`]s. Version-2 and version-3 entries still decode
+/// (their vdd spec is the inert nominal by construction), so older
+/// journals replay byte-identically instead of being quarantined.
+pub(crate) const VERSION: u8 = 4;
 
-/// The previous version this codec still reads.
+/// The older versions this codec still reads.
+const VERSION_V3: u8 = 3;
 const VERSION_V2: u8 = 2;
 
 /// Upper bound for decoded collection lengths — far above any real cache
@@ -79,17 +81,20 @@ pub fn encode_run(run: &RunResult) -> Vec<u8> {
     enc.opt(run.l3_report.as_ref(), Enc::report);
     enc.opt(run.l2_traffic.as_ref(), Enc::traffic);
     enc.opt(run.l3_traffic.as_ref(), Enc::traffic);
+    enc.opt(run.d_vdd.as_ref(), Enc::vdd_report);
+    enc.opt(run.i_vdd.as_ref(), Enc::vdd_report);
     enc.out
 }
 
 /// Decodes a journaled run; `None` on any corruption or version skew.
 /// Version-2 entries (pre-hierarchy) decode with the inert default
-/// hierarchy and no L2/L3 attachments.
+/// hierarchy and no L2/L3 attachments; version-3 entries (pre-voltage)
+/// decode with the inert nominal supply and no [`VddReport`]s.
 #[must_use]
 pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
     let mut dec = Dec { bytes, pos: 0 };
     let version = dec.u8()?;
-    if version != VERSION && version != VERSION_V2 {
+    if version != VERSION && version != VERSION_V3 && version != VERSION_V2 {
         return None;
     }
     let run = RunResult {
@@ -108,10 +113,12 @@ pub fn decode_run(bytes: &[u8]) -> Option<RunResult> {
         i_faults: dec.opt(Dec::faults)?,
         d_reliability: dec.opt(Dec::reliability)?,
         i_reliability: dec.opt(Dec::reliability)?,
-        l2_report: if version >= VERSION { dec.opt(Dec::report)? } else { None },
-        l3_report: if version >= VERSION { dec.opt(Dec::report)? } else { None },
-        l2_traffic: if version >= VERSION { dec.opt(Dec::traffic)? } else { None },
-        l3_traffic: if version >= VERSION { dec.opt(Dec::traffic)? } else { None },
+        l2_report: if version >= VERSION_V3 { dec.opt(Dec::report)? } else { None },
+        l3_report: if version >= VERSION_V3 { dec.opt(Dec::report)? } else { None },
+        l2_traffic: if version >= VERSION_V3 { dec.opt(Dec::traffic)? } else { None },
+        l3_traffic: if version >= VERSION_V3 { dec.opt(Dec::traffic)? } else { None },
+        d_vdd: if version >= VERSION { dec.opt(Dec::vdd_report)? } else { None },
+        i_vdd: if version >= VERSION { dec.opt(Dec::vdd_report)? } else { None },
     };
     // Trailing garbage means the entry is not what we wrote.
     (dec.pos == bytes.len()).then_some(run)
@@ -216,17 +223,28 @@ impl Enc {
         });
     }
 
-    /// Canonical encoding for [`spec_key`]: appends the hierarchy block
-    /// only when non-default, so default-hierarchy specs keep their
-    /// version-2-era keys and old journal entries stay trusted.
+    fn vdd_spec(&mut self, v: &VddSpec) {
+        self.f64(v.scale);
+        self.bool(v.governor);
+    }
+
+    /// Canonical encoding for [`spec_key`]: appends the hierarchy and
+    /// voltage blocks only when non-default, so default specs keep their
+    /// version-2-era keys and old journal entries stay trusted. Each
+    /// append-only block leads with a distinct tag byte, so the two
+    /// optional blocks can never alias each other's bytes.
     fn spec_canonical(&mut self, s: &SystemSpec) {
         self.spec_core(s);
         if !s.hierarchy.is_default() {
             self.hierarchy(&s.hierarchy);
         }
+        if !s.vdd.is_default() {
+            self.u8(0xD1);
+            self.vdd_spec(&s.vdd);
+        }
     }
 
-    /// Journal encoding: an explicit marker byte (the key-stable trick
+    /// Journal encoding: explicit marker bytes (the key-stable trick
     /// above would be ambiguous to decode).
     fn spec(&mut self, s: &SystemSpec) {
         self.spec_core(s);
@@ -235,6 +253,12 @@ impl Enc {
         } else {
             self.u8(1);
             self.hierarchy(&s.hierarchy);
+        }
+        if s.vdd.is_default() {
+            self.u8(0);
+        } else {
+            self.u8(1);
+            self.vdd_spec(&s.vdd);
         }
     }
 
@@ -304,6 +328,24 @@ impl Enc {
             self.u64(s.replayed);
             self.u64(s.decay_flips);
             self.bool(s.pinned);
+        }
+    }
+
+    fn vdd_report(&mut self, r: &VddReport) {
+        self.usize(r.per_subarray.len());
+        for s in &r.per_subarray {
+            self.u8(s.step);
+            self.u64(s.escalations);
+            self.u64(s.deescalations);
+            self.bool(s.pinned);
+        }
+        self.u64(r.upsets);
+        self.u64(r.replays);
+        self.u64(r.corrected);
+        self.u64(r.sdc);
+        self.usize(r.step_accesses.len());
+        for &a in &r.step_accesses {
+            self.u64(a);
         }
     }
 
@@ -405,7 +447,7 @@ impl Dec<'_> {
                     _ => return None,
                 },
             },
-            hierarchy: if version >= VERSION {
+            hierarchy: if version >= VERSION_V3 {
                 match self.u8()? {
                     0 => HierarchySpec::default(),
                     1 => self.hierarchy()?,
@@ -416,7 +458,24 @@ impl Dec<'_> {
                 // definitionally the inert default.
                 HierarchySpec::default()
             },
+            vdd: if version >= VERSION {
+                match self.u8()? {
+                    0 => VddSpec::nominal(),
+                    1 => self.vdd_spec()?,
+                    _ => return None,
+                }
+            } else {
+                // Pre-v4 entries predate the voltage dimension; the
+                // supply was definitionally nominal. `nominal()` (not
+                // `default()`) keeps decoding independent of the
+                // `BITLINE_VDD` environment.
+                VddSpec::nominal()
+            },
         })
+    }
+
+    fn vdd_spec(&mut self) -> Option<VddSpec> {
+        Some(VddSpec { scale: self.f64()?, governor: self.bool()? })
     }
 
     fn hierarchy(&mut self) -> Option<HierarchySpec> {
@@ -517,6 +576,29 @@ impl Dec<'_> {
             });
         }
         Some(FaultReport { per_subarray })
+    }
+
+    fn vdd_report(&mut self) -> Option<VddReport> {
+        let n = self.len()?;
+        let mut per_subarray = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_subarray.push(SubarrayVdd {
+                step: self.u8()?,
+                escalations: self.u64()?,
+                deescalations: self.u64()?,
+                pinned: self.bool()?,
+            });
+        }
+        let upsets = self.u64()?;
+        let replays = self.u64()?;
+        let corrected = self.u64()?;
+        let sdc = self.u64()?;
+        let steps = self.len()?;
+        let mut step_accesses = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            step_accesses.push(self.u64()?);
+        }
+        Some(VddReport { per_subarray, upsets, replays, corrected, sdc, step_accesses })
     }
 
     fn reliability(&mut self) -> Option<ReliabilityReport> {
@@ -627,6 +709,8 @@ mod tests {
             l3_report: None,
             l2_traffic: None,
             l3_traffic: None,
+            d_vdd: None,
+            i_vdd: None,
         }
     }
 
@@ -656,6 +740,75 @@ mod tests {
         run.l2_traffic = Some((3, 1, 1));
         run.l3_traffic = Some((1, 0, 0));
         run
+    }
+
+    /// A run with a speculative supply, a governed ladder, and both
+    /// voltage reports attached — exercises every v4-only block.
+    fn sample_vdd_run() -> RunResult {
+        let mut run = sample_run();
+        run.spec.vdd = VddSpec { scale: 0.85, governor: true };
+        run.d_vdd = Some(VddReport {
+            per_subarray: vec![
+                SubarrayVdd { step: 2, escalations: 3, deescalations: 0, pinned: true },
+                SubarrayVdd { step: 1, escalations: 1, deescalations: 1, pinned: false },
+            ],
+            upsets: 17,
+            replays: 15,
+            corrected: 0,
+            sdc: 2,
+            step_accesses: vec![40, 25, 10],
+        });
+        run.i_vdd = Some(VddReport {
+            per_subarray: vec![SubarrayVdd {
+                step: 0,
+                escalations: 0,
+                deescalations: 0,
+                pinned: false,
+            }],
+            upsets: 0,
+            replays: 0,
+            corrected: 0,
+            sdc: 0,
+            step_accesses: vec![12, 0, 0],
+        });
+        run
+    }
+
+    /// Encodes `run` in the historical version-3 layout: a hierarchy
+    /// marker but no vdd marker in the spec, L2/L3 blocks but no voltage
+    /// reports. This is a byte-for-byte re-implementation of what the v3
+    /// codec wrote, used to pin backward compatibility.
+    fn encode_run_v3(run: &RunResult) -> Vec<u8> {
+        let mut enc = Enc::default();
+        enc.u8(VERSION_V3);
+        enc.str(&run.benchmark);
+        enc.spec_core(&run.spec);
+        if run.spec.hierarchy.is_default() {
+            enc.u8(0);
+        } else {
+            enc.u8(1);
+            enc.hierarchy(&run.spec.hierarchy);
+        }
+        enc.stats(&run.stats);
+        enc.report(&run.d_report);
+        enc.report(&run.i_report);
+        enc.u64(run.d_hit_miss.0);
+        enc.u64(run.d_hit_miss.1);
+        enc.u64(run.i_hit_miss.0);
+        enc.u64(run.i_hit_miss.1);
+        enc.opt(run.d_locality.as_ref(), Enc::locality);
+        enc.opt(run.i_locality.as_ref(), Enc::locality);
+        enc.opt(run.d_way_stats.as_ref(), Enc::way_stats);
+        enc.opt(run.i_way_stats.as_ref(), Enc::way_stats);
+        enc.opt(run.d_faults.as_ref(), Enc::faults);
+        enc.opt(run.i_faults.as_ref(), Enc::faults);
+        enc.opt(run.d_reliability.as_ref(), Enc::reliability);
+        enc.opt(run.i_reliability.as_ref(), Enc::reliability);
+        enc.opt(run.l2_report.as_ref(), Enc::report);
+        enc.opt(run.l3_report.as_ref(), Enc::report);
+        enc.opt(run.l2_traffic.as_ref(), Enc::traffic);
+        enc.opt(run.l3_traffic.as_ref(), Enc::traffic);
+        enc.out
     }
 
     /// Encodes `run` in the historical version-2 layout: no hierarchy
@@ -780,6 +933,75 @@ mod tests {
         for cut in 0..v2_bytes.len() {
             assert!(decode_run(&v2_bytes[..cut]).is_none(), "truncated at {cut} must not decode");
         }
+    }
+
+    #[test]
+    fn vdd_run_roundtrips_exactly() {
+        let run = sample_vdd_run();
+        let decoded = decode_run(&encode_run(&run)).expect("decodes");
+        assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn vdd_truncation_never_panics_and_never_decodes() {
+        let bytes = encode_run(&sample_vdd_run());
+        for cut in 0..bytes.len() {
+            assert!(decode_run(&bytes[..cut]).is_none(), "truncated at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn spec_key_ignores_the_nominal_supply_but_sees_an_undervolted_one() {
+        // A nominal supply must hash exactly like the pre-voltage
+        // encoding did, so v3-era journal keys stay valid.
+        let plain = SystemSpec { vdd: VddSpec::nominal(), ..SystemSpec::default() };
+        let mut pre_v4 = Enc::default();
+        pre_v4.spec_core(&plain);
+        let v3_era = format!("gcc@{:016x}", fnv64(&pre_v4.out));
+        assert_eq!(spec_key("gcc", &plain), v3_era);
+
+        let undervolted = SystemSpec { vdd: VddSpec { scale: 0.9, governor: false }, ..plain };
+        assert_ne!(spec_key("gcc", &undervolted), spec_key("gcc", &plain));
+        let governed = SystemSpec { vdd: VddSpec { governor: true, ..undervolted.vdd }, ..plain };
+        assert_ne!(spec_key("gcc", &governed), spec_key("gcc", &undervolted));
+        // Both optional blocks at once still discriminate.
+        let both = SystemSpec {
+            hierarchy: HierarchySpec { levels: 2, ..HierarchySpec::default() },
+            ..undervolted
+        };
+        assert_ne!(spec_key("gcc", &both), spec_key("gcc", &undervolted));
+    }
+
+    #[test]
+    fn version_3_journal_entries_still_decode_and_keep_their_keys() {
+        // A nominal-supply hierarchy run is exactly what the v3 codec
+        // journaled; the v3 bytes must decode to the same run.
+        let run = sample_hierarchy_run();
+        assert!(run.spec.vdd.is_default(), "fixture must be v3-expressible");
+        let v3_bytes = encode_run_v3(&run);
+        let decoded = decode_run(&v3_bytes).expect("v3 entry decodes");
+        assert_eq!(format!("{run:?}"), format!("{decoded:?}"));
+        // The warm-restart path trusts an entry only when the decoded
+        // run's key matches the journal key it was stored under.
+        assert_eq!(
+            spec_key(&decoded.benchmark, &decoded.spec),
+            spec_key(&run.benchmark, &run.spec)
+        );
+        // Truncated v3 entries are quarantined, not misread.
+        for cut in 0..v3_bytes.len() {
+            assert!(decode_run(&v3_bytes[..cut]).is_none(), "truncated at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn future_version_frames_are_rejected_not_misread() {
+        // A frame stamped with a future codec version must yield `None`
+        // even when the rest of the bytes happen to parse — the resume
+        // path quarantines it (and counts it separately; see
+        // `sim.checkpoint.future_version`).
+        let mut bytes = encode_run(&sample_run());
+        bytes[0] = 99;
+        assert!(decode_run(&bytes).is_none());
     }
 
     #[test]

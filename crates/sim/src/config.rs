@@ -367,6 +367,138 @@ impl Default for FaultSpec {
     }
 }
 
+/// Supply-voltage parameters for a run. Inert by default: nominal Vdd
+/// (`scale == 1.0`) with the governor off prices nothing differently and
+/// arms no speculation, so every existing figure stays cycle- and
+/// byte-identical until a spec opts in (`--vdd`, `--vdd-governor`).
+///
+/// Equality and hashing treat [`VddSpec::scale`] by bit pattern
+/// (`f64::to_bits`), like [`FaultSpec::rate`], so the type can key the
+/// process-wide run cache.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VddSpec {
+    /// Supply voltage as a fraction of the node's nominal Vdd. Values
+    /// below the sense-amp guardband make cold reads *timing-speculative*:
+    /// they may mis-sense and replay through the detect-and-replay path.
+    pub scale: f64,
+    /// Arm the per-subarray voltage governor: start at [`VddSpec::scale`]
+    /// (the aggressive rung) and climb a guardband ladder toward nominal
+    /// when observed replay rates spike, with hysteresis and a fail-safe
+    /// pin to nominal after repeated escalation.
+    pub governor: bool,
+}
+
+impl PartialEq for VddSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.scale.to_bits() == other.scale.to_bits() && self.governor == other.governor
+    }
+}
+
+impl Eq for VddSpec {}
+
+impl std::hash::Hash for VddSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.scale.to_bits().hash(state);
+        self.governor.hash(state);
+    }
+}
+
+impl Default for VddSpec {
+    /// Nominal supply, governor off. Like `BITLINE_ECC`, the environment
+    /// (`BITLINE_VDD`, `BITLINE_VDD_GOVERNOR`) can opt a whole harness in
+    /// without threading flags.
+    fn default() -> Self {
+        let scale = std::env::var("BITLINE_VDD")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(bitline_cmos::vdd::NOMINAL_VDD_SCALE);
+        let governor =
+            std::env::var("BITLINE_VDD_GOVERNOR").is_ok_and(|v| !v.is_empty() && v != "0");
+        VddSpec { scale, governor }
+    }
+}
+
+impl VddSpec {
+    /// The inert spec: nominal supply, governor off. Unlike
+    /// [`VddSpec::default`] this never consults the environment, so
+    /// checkpoint canonicalisation is stable across harnesses.
+    #[must_use]
+    pub fn nominal() -> Self {
+        VddSpec { scale: bitline_cmos::vdd::NOMINAL_VDD_SCALE, governor: false }
+    }
+
+    /// Whether this spec is the inert nominal supply (nothing to encode,
+    /// nothing to re-price, no decorator — the guarantee behind the
+    /// voltage differential test).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.scale.to_bits() == bitline_cmos::vdd::NOMINAL_VDD_SCALE.to_bits() && !self.governor
+    }
+
+    /// The supply scales a run can sense at, aggressive first. A static
+    /// spec is a single rung; a governed undervolted spec climbs
+    /// aggressive → halfway → nominal. Overdrive (`scale >= 1`) never
+    /// ladders — extra supply only adds margin, so there is nothing for
+    /// a governor to escalate to.
+    #[must_use]
+    pub fn ladder_scales(&self) -> Vec<f64> {
+        let nominal = bitline_cmos::vdd::NOMINAL_VDD_SCALE;
+        if self.governor && self.scale < nominal {
+            vec![self.scale, (self.scale + nominal) / 2.0, nominal]
+        } else {
+            vec![self.scale]
+        }
+    }
+
+    /// Expands to the fault layer's ladder configuration, with each
+    /// rung's mis-sense probability read off the `node` guardband curve.
+    /// `None` for the inert default — nothing to arm, nothing to price.
+    #[must_use]
+    pub fn to_config(&self, node: TechnologyNode) -> Option<bitline_faults::VddConfig> {
+        if self.is_default() {
+            return None;
+        }
+        let steps = self
+            .ladder_scales()
+            .into_iter()
+            .map(|scale| bitline_faults::VddStep {
+                scale,
+                upset_probability: bitline_cmos::vdd::timing_upset_probability(node, scale),
+            })
+            .collect::<Vec<_>>();
+        let governor = (steps.len() > 1).then(bitline_faults::GovernorConfig::default);
+        Some(bitline_faults::VddConfig { steps, governor })
+    }
+
+    /// Rejects supplies the circuit model cannot price.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the scale is non-finite (NaN and ±inf fail
+    /// fast here, before they can poison energy totals) or outside the
+    /// modelled band.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.scale.is_finite() {
+            return Err(format!("vdd scale must be finite, got {}", self.scale));
+        }
+        if !bitline_cmos::vdd::vdd_scale_valid(self.scale) {
+            return Err(format!(
+                "vdd scale = {}; must be within [{}, {}] of nominal",
+                self.scale,
+                bitline_cmos::vdd::MIN_VDD_SCALE,
+                bitline_cmos::vdd::MAX_VDD_SCALE
+            ));
+        }
+        // The expanded ladder must also satisfy the fault layer (belt
+        // and braces: the construction above cannot currently violate
+        // it, but a refactor that does should fail here, not mid-run).
+        if let Some(cfg) = self.to_config(TechnologyNode::N70) {
+            cfg.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Multi-level hierarchy parameters for a run. The default is **inert**:
 /// `levels == 1` leaves the memory system exactly as the paper models it —
 /// managed L1s in front of a statically precharged L2 — and the full-Vdd
@@ -454,6 +586,9 @@ pub struct SystemSpec {
     /// Multi-level hierarchy and leakage mode (inert by default; see
     /// [`HierarchySpec`]).
     pub hierarchy: HierarchySpec,
+    /// Supply voltage and voltage governor (inert by default; see
+    /// [`VddSpec`]).
+    pub vdd: VddSpec,
 }
 
 impl SystemSpec {
@@ -488,6 +623,7 @@ impl SystemSpec {
             .validate()
             .map_err(SimError::InvalidSpec)?;
         self.hierarchy.validate().map_err(SimError::InvalidSpec)?;
+        self.vdd.validate().map_err(SimError::InvalidSpec)?;
         Ok(())
     }
 
@@ -510,6 +646,7 @@ impl Default for SystemSpec {
             way_prediction: false,
             faults: FaultSpec::default(),
             hierarchy: HierarchySpec::default(),
+            vdd: VddSpec::default(),
         }
     }
 }
@@ -673,6 +810,9 @@ mod tests {
                 },
                 ..base
             },
+            SystemSpec { vdd: VddSpec { scale: 0.9, governor: false }, ..base },
+            SystemSpec { vdd: VddSpec { scale: 0.8, governor: false }, ..base },
+            SystemSpec { vdd: VddSpec { scale: 0.9, governor: true }, ..base },
         ];
         for (i, a) in specs.iter().enumerate() {
             for b in &specs[i + 1..] {
@@ -731,6 +871,77 @@ mod tests {
         assert!(ok.validate().is_ok());
         assert!(ok.hierarchy.active());
         assert!(!ok.hierarchy.is_default());
+    }
+
+    #[test]
+    fn vdd_nominal_is_inert_and_validation_rejects_bad_supplies() {
+        let nominal = VddSpec::nominal();
+        assert!(nominal.is_default());
+        assert!(nominal.validate().is_ok());
+        // A governed nominal supply is *not* the inert default: it keys a
+        // distinct run-cache entry and a distinct checkpoint spec block.
+        assert!(!VddSpec { governor: true, ..nominal }.is_default());
+        assert!(!VddSpec { scale: 0.9, governor: false }.is_default());
+        // The modelled band validates; outside it fails fast.
+        assert!(VddSpec { scale: 0.6, governor: false }.validate().is_ok());
+        assert!(VddSpec { scale: 1.1, governor: true }.validate().is_ok());
+        for bad in [0.5, 1.2, -1.0, 0.0] {
+            assert!(VddSpec { scale: bad, governor: false }.validate().is_err(), "{bad}");
+        }
+        // Satellite: non-finite supplies carry an explicit message.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = VddSpec { scale: bad, governor: false }.validate().unwrap_err();
+            assert!(err.contains("finite"), "{err}");
+        }
+        // And the whole-spec validator routes through it.
+        let bad = SystemSpec {
+            vdd: VddSpec { scale: f64::NAN, governor: false },
+            ..SystemSpec::default()
+        };
+        match bad.validate() {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("finite"), "{msg}"),
+            other => panic!("NaN vdd must be rejected, got {other:?}"),
+        }
+        // NaN compares equal to itself by bit pattern (run-cache keying).
+        let a = VddSpec { scale: f64::NAN, governor: false };
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn vdd_ladders_expand_aggressive_to_nominal() {
+        // Static: one rung at the requested scale.
+        let static_cfg = VddSpec { scale: 0.8, governor: false }
+            .to_config(TechnologyNode::N70)
+            .expect("non-default spec expands");
+        assert_eq!(static_cfg.steps.len(), 1);
+        assert_eq!(static_cfg.steps[0].scale.to_bits(), 0.8f64.to_bits());
+        assert!(static_cfg.governor.is_none());
+        assert!(static_cfg.speculating(), "0.8 Vdd at 70nm is below the guardband");
+        assert!(static_cfg.validate().is_ok());
+        // Governed: aggressive -> halfway -> nominal, nominal upset-free.
+        let governed = VddSpec { scale: 0.8, governor: true }
+            .to_config(TechnologyNode::N70)
+            .expect("non-default spec expands");
+        assert_eq!(governed.steps.len(), 3);
+        assert_eq!(governed.steps[1].scale.to_bits(), 0.9f64.to_bits());
+        assert_eq!(governed.steps[2].scale.to_bits(), 1.0f64.to_bits());
+        assert_eq!(governed.steps[2].upset_probability, 0.0);
+        assert!(governed.governor.is_some());
+        assert!(governed.validate().is_ok());
+        // Overdrive never ladders and never speculates.
+        let over = VddSpec { scale: 1.05, governor: true }
+            .to_config(TechnologyNode::N70)
+            .expect("non-default spec expands");
+        assert_eq!(over.steps.len(), 1);
+        assert!(!over.speculating());
+        // The inert default expands to nothing at all.
+        assert!(VddSpec::nominal().to_config(TechnologyNode::N70).is_none());
+        // A guardband-safe undervolt expands (for pricing) but does not
+        // speculate (no decorator).
+        let safe = VddSpec { scale: 0.98, governor: false }
+            .to_config(TechnologyNode::N70)
+            .expect("expands");
+        assert!(!safe.speculating());
     }
 
     #[test]

@@ -85,6 +85,9 @@ struct CheckpointState {
     replayed: u64,
     /// Entries dropped as corrupt at startup.
     quarantined: u64,
+    /// Quarantined entries that carried a codec version newer than this
+    /// build understands (a newer build wrote the journal).
+    future_version: u64,
     /// Fresh runs appended this process.
     appended: u64,
     /// Fresh computations whose key was already journaled — zero on a
@@ -104,6 +107,11 @@ pub struct CheckpointStats {
     pub replayed: u64,
     /// Corrupt entries quarantined (logged and skipped).
     pub quarantined: u64,
+    /// Of the quarantined entries, frames written by a future codec
+    /// version — skipped (and recomputed), never misread as corruption
+    /// of our own making. Downgrading under a journal a newer build
+    /// wrote is expected to cost recomputation, not a failed resume.
+    pub future_version: u64,
     /// Fresh runs journaled this process.
     pub appended: u64,
     /// Fresh computations of already-journaled keys (should stay zero).
@@ -130,6 +138,7 @@ pub fn set_checkpoint(dir: &Path, resume: bool) -> Result<CheckpointStats, Strin
 
     let mut replayed = 0u64;
     let mut quarantined = u64::try_from(report.quarantined).unwrap_or(u64::MAX);
+    let mut future_version = 0u64;
     for entry in entries {
         // An entry is trusted only when it decodes *and* its key matches a
         // recomputation of the decoded run's identity.
@@ -138,13 +147,40 @@ pub fn set_checkpoint(dir: &Path, resume: bool) -> Result<CheckpointStats, Strin
                 run_cache().insert((run.benchmark.clone(), run.spec), run);
                 replayed += 1;
             }
-            _ => quarantined += 1,
+            _ => {
+                // The CRC passed (the journal layer already dropped torn
+                // frames), so a leading version byte above ours means a
+                // newer build wrote this entry — count it apart so a
+                // downgrade reads as "skipped newer work", not damage.
+                if entry.value.first().is_some_and(|&v| v > checkpoint::VERSION) {
+                    future_version += 1;
+                }
+                quarantined += 1;
+            }
         }
+    }
+    if future_version > 0 {
+        eprintln!(
+            "[sim] warning: checkpoint {}: skipped {future_version} journal \
+             frame(s) from a newer codec version (> v{}); those runs will be \
+             recomputed",
+            dir.display(),
+            checkpoint::VERSION,
+        );
     }
     bitline_obs::counter!("sim.checkpoint.replayed").add(replayed);
     bitline_obs::counter!("sim.checkpoint.quarantined").add(quarantined);
-    let stats = CheckpointStats { replayed, quarantined, appended: 0, recomputed: 0 };
-    *state = Some(CheckpointState { journal, replayed, quarantined, appended: 0, recomputed: 0 });
+    bitline_obs::counter!("sim.checkpoint.future_version").add(future_version);
+    let stats =
+        CheckpointStats { replayed, quarantined, future_version, appended: 0, recomputed: 0 };
+    *state = Some(CheckpointState {
+        journal,
+        replayed,
+        quarantined,
+        future_version,
+        appended: 0,
+        recomputed: 0,
+    });
     Ok(stats)
 }
 
@@ -191,6 +227,7 @@ pub fn checkpoint_stats() -> Option<CheckpointStats> {
     lock_checkpoint().as_ref().map(|cp| CheckpointStats {
         replayed: cp.replayed,
         quarantined: cp.quarantined,
+        future_version: cp.future_version,
         appended: cp.appended,
         recomputed: cp.recomputed,
     })

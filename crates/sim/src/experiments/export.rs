@@ -22,6 +22,7 @@ use crate::experiments::fig9::Fig9Row;
 use crate::experiments::hierarchy::HierarchyRow;
 use crate::experiments::ondemand::OnDemandRow;
 use crate::experiments::reliability::ReliabilityRow;
+use crate::experiments::voltage::VoltageRow;
 
 /// The export directory requested via `BITLINE_EXPORT_DIR`, if any.
 #[must_use]
@@ -220,6 +221,39 @@ pub fn write_hierarchy(dir: &Path, rows: &[HierarchyRow]) -> io::Result<PathBuf>
         );
     }
     publish(dir, "hierarchy.dat", &f)
+}
+
+/// Writes the voltage table:
+/// `feature_nm  vdd_scale  mode  p_upset  energy_per_access_j
+/// vs_nominal  replay_overhead  sdc_per_mi  escalations  pinned`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_voltage(dir: &Path, rows: &[VoltageRow]) -> io::Result<PathBuf> {
+    let mut f = String::new();
+    let _ = writeln!(
+        f,
+        "# feature_nm  vdd_scale  mode  p_upset  energy_per_access_j  vs_nominal  \
+         replay_overhead  sdc_per_mi  escalations  pinned"
+    );
+    for r in rows {
+        let _ = writeln!(
+            f,
+            "{} {:.2} {} {:.5} {:.6e} {:.5} {:.5} {:.5} {} {}",
+            r.node.feature_nm(),
+            r.vdd_scale,
+            if r.governed { "governor" } else { "static" },
+            r.p_upset,
+            r.energy_per_access_j,
+            r.energy_vs_nominal,
+            r.replay_overhead,
+            r.sdc_per_mi,
+            r.escalations,
+            r.pinned_subarrays
+        );
+    }
+    publish(dir, "voltage.dat", &f)
 }
 
 #[cfg(test)]

@@ -19,5 +19,6 @@ pub mod ondemand;
 pub mod reliability;
 mod sweep;
 pub mod tables;
+pub mod voltage;
 
 pub use sweep::{optimal_gated, GatedSweep, SweptCache, MAX_SLOWDOWN, THRESHOLDS};

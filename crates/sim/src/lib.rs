@@ -51,7 +51,7 @@ mod runner;
 pub mod supervise;
 
 pub use bitline_energy::LeakageKind;
-pub use config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec};
+pub use config::{FaultSpec, HierarchySpec, PolicyKind, SystemSpec, VddSpec};
 pub use error::SimError;
 pub use execution::{
     checkpoint_stats, clear_checkpoint, clear_run_caches, exec_summary_line, run_benchmark_cached,

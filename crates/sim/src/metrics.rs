@@ -39,6 +39,7 @@ const DECLARED_COUNTERS: &[&str] = &[
     "sim.checkpoint.replayed",
     "sim.checkpoint.recomputed",
     "sim.checkpoint.quarantined",
+    "sim.checkpoint.future_version",
     "sim.harness.ok",
     "sim.harness.skipped",
     "sim.harness.retries",
@@ -64,6 +65,18 @@ const DECLARED_COUNTERS: &[&str] = &[
     "ecc.i.scrub_words",
     "ecc.i.latent_cleared",
     "ecc.i.fail_safe_subarrays",
+    "vdd.d.upsets",
+    "vdd.d.replays",
+    "vdd.d.sdc",
+    "vdd.d.escalations",
+    "vdd.d.deescalations",
+    "vdd.d.pinned_subarrays",
+    "vdd.i.upsets",
+    "vdd.i.replays",
+    "vdd.i.sdc",
+    "vdd.i.escalations",
+    "vdd.i.deescalations",
+    "vdd.i.pinned_subarrays",
 ];
 
 /// Interns the canonical counter taxonomy into the registry so every

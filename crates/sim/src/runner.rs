@@ -5,12 +5,13 @@ use std::rc::Rc;
 
 use bitline_cache::{ActivityReport, CacheConfig, MemorySystem, MemorySystemConfig, WayStats};
 use bitline_circuit::DecoderModel;
+use bitline_circuit::{vdd_dynamic_energy_factor, vdd_leakage_energy_factor};
 use bitline_cmos::TechnologyNode;
 use bitline_cpu::{Cpu, CpuConfig, SimStats};
 use bitline_ecc::ReliabilityReport;
 use bitline_energy::{CacheEnergyBreakdown, EccActivity, LeakageKind};
 use bitline_exec::CancelToken;
-use bitline_faults::{FaultInjectingPolicy, FaultReport};
+use bitline_faults::{FaultInjectingPolicy, FaultReport, VddReport};
 
 use crate::config::{PolicyKind, SystemSpec};
 use crate::error::SimError;
@@ -81,6 +82,12 @@ pub struct RunResult {
     /// L3 `(hits, misses, writebacks)` (when the spec asks for three
     /// levels).
     pub l3_traffic: Option<(u64, u64, u64)>,
+    /// D-cache timing-speculation accounting (when the supply spec put
+    /// cold reads below the sense guardband).
+    pub d_vdd: Option<VddReport>,
+    /// I-cache timing-speculation accounting (when the supply spec put
+    /// cold reads below the sense guardband).
+    pub i_vdd: Option<VddReport>,
 }
 
 impl RunResult {
@@ -148,23 +155,29 @@ impl RunResult {
             .as_ref()
             .map(|rel| EccActivity { protected_accesses: i_reads, scrub_words: rel.scrub_words() });
         let policy = RunEnergy {
-            d: d_acct.account_with_mode(
-                &self.d_report,
-                d_reads,
-                d_writes,
-                self.spec.d_policy.has_decay_counters(),
-                self.d_way_stats,
-                d_ecc,
-                mode,
+            d: scale_breakdown(
+                d_acct.account_with_mode(
+                    &self.d_report,
+                    d_reads,
+                    d_writes,
+                    self.spec.d_policy.has_decay_counters(),
+                    self.d_way_stats,
+                    d_ecc,
+                    mode,
+                ),
+                self.vdd_energy_factors(self.d_vdd.as_ref()),
             ),
-            i: i_acct.account_with_mode(
-                &self.i_report,
-                i_reads,
-                0,
-                self.spec.i_policy.has_decay_counters(),
-                self.i_way_stats,
-                i_ecc,
-                mode,
+            i: scale_breakdown(
+                i_acct.account_with_mode(
+                    &self.i_report,
+                    i_reads,
+                    0,
+                    self.spec.i_policy.has_decay_counters(),
+                    self.i_way_stats,
+                    i_ecc,
+                    mode,
+                ),
+                self.vdd_energy_factors(self.i_vdd.as_ref()),
             ),
         };
         let baseline = RunEnergy {
@@ -182,6 +195,31 @@ impl RunResult {
             ),
         };
         (policy, baseline)
+    }
+
+    /// Per-cache `(dynamic, leakage)` energy multipliers for the supply
+    /// the run actually sensed at. Exactly `(1, 1)` for the inert nominal
+    /// spec (no arithmetic at all, so every pre-voltage figure stays
+    /// bit-identical). A static undervolted run prices at the requested
+    /// scale; a governed run prices each speculative access at the ladder
+    /// rung it was actually sensed at, via the integer per-step census —
+    /// deterministic and identical across job counts. The L2/L3 are not
+    /// undervolted (the ladder is an L1 mechanism) and stay at nominal.
+    fn vdd_energy_factors(&self, report: Option<&VddReport>) -> (f64, f64) {
+        if self.spec.vdd.is_default() {
+            return (1.0, 1.0);
+        }
+        let scale = self.spec.vdd.scale;
+        match report {
+            Some(r) => {
+                let scales = self.spec.vdd.ladder_scales();
+                (
+                    r.access_weighted_factor(&scales, scale, vdd_dynamic_energy_factor),
+                    r.access_weighted_factor(&scales, scale, vdd_leakage_energy_factor),
+                )
+            }
+            None => (vdd_dynamic_energy_factor(scale), vdd_leakage_energy_factor(scale)),
+        }
     }
 
     /// Prices the L2's activity at `node` under a leakage mode, when the
@@ -236,6 +274,25 @@ impl RunResult {
     pub fn l2_miss_ratio(&self) -> Option<f64> {
         let (h, m) = self.l2_traffic.map(|(h, m, _)| (h, m))?;
         Some(m as f64 / (h + m).max(1) as f64)
+    }
+}
+
+/// Applies the `(dynamic, leakage)` supply factors to one breakdown.
+/// Switching energy (reads/writes, isolation episodes, decay counters,
+/// codec) scales with the dynamic factor; both leakage terms scale with
+/// the steeper leakage factor (DIBL). An exactly-unity pair returns the
+/// breakdown untouched, preserving bit-identity at nominal.
+fn scale_breakdown(b: CacheEnergyBreakdown, (f_dyn, f_leak): (f64, f64)) -> CacheEnergyBreakdown {
+    if f_dyn == 1.0 && f_leak == 1.0 {
+        return b;
+    }
+    CacheEnergyBreakdown {
+        dynamic_j: b.dynamic_j * f_dyn,
+        episode_j: b.episode_j * f_dyn,
+        counter_j: b.counter_j * f_dyn,
+        ecc_j: b.ecc_j * f_dyn,
+        pullup_leak_j: b.pullup_leak_j * f_leak,
+        cell_leak_j: b.cell_leak_j * f_leak,
     }
 }
 
@@ -298,7 +355,15 @@ pub fn try_run_benchmark_supervised(
     let mut i_fault_sink = None;
     let mut d_rel_sink = None;
     let mut i_rel_sink = None;
-    if spec.faults.enabled() {
+    let mut d_vdd_sink = None;
+    let mut i_vdd_sink = None;
+    // A supply below the sense guardband turns cold reads speculative —
+    // that arms the same decorator even with the leakage-fault source off.
+    // An undervolt still *inside* the guardband never mis-senses, so it is
+    // pricing-only: no decorator, trivially cycle-identical.
+    let vdd_config = spec.vdd.to_config(node);
+    let vdd_armed = vdd_config.as_ref().is_some_and(bitline_faults::VddConfig::speculating);
+    if spec.faults.enabled() || vdd_armed {
         let penalty = |cfg: &CacheConfig| {
             DecoderModel::new(node, cfg.geometry()).cold_access_penalty_cycles()
         };
@@ -317,13 +382,25 @@ pub fn try_run_benchmark_supervised(
             i_cfg.subarrays(),
         )
         .with_sink(i_fs.clone());
-        if spec.faults.protected() {
+        if spec.faults.ecc {
+            // With the codec armed, every upset — leakage or timing —
+            // classifies through SECDED, so the run carries reliability
+            // accounting whichever source is active.
             let d_rs = Rc::new(RefCell::new(ReliabilityReport::new(d_cfg.subarrays())));
             let i_rs = Rc::new(RefCell::new(ReliabilityReport::new(i_cfg.subarrays())));
             d_dec = d_dec.with_reliability_sink(d_rs.clone());
             i_dec = i_dec.with_reliability_sink(i_rs.clone());
             d_rel_sink = Some(d_rs);
             i_rel_sink = Some(i_rs);
+        }
+        if vdd_armed {
+            let cfg = vdd_config.clone().expect("armed implies a ladder");
+            let d_vs = Rc::new(RefCell::new(VddReport::new(d_cfg.subarrays(), cfg.steps.len())));
+            let i_vs = Rc::new(RefCell::new(VddReport::new(i_cfg.subarrays(), cfg.steps.len())));
+            d_dec = d_dec.with_vdd(cfg.clone()).with_vdd_sink(d_vs.clone());
+            i_dec = i_dec.with_vdd(cfg).with_vdd_sink(i_vs.clone());
+            d_vdd_sink = Some(d_vs);
+            i_vdd_sink = Some(i_vs);
         }
         d_policy = Box::new(d_dec);
         i_policy = Box::new(i_dec);
@@ -430,6 +507,12 @@ pub fn try_run_benchmark_supervised(
     if let Some(rel) = i_rel_sink.as_ref() {
         rel.borrow().record_metrics("i");
     }
+    if let Some(vdd) = d_vdd_sink.as_ref() {
+        vdd.borrow().record_metrics("d");
+    }
+    if let Some(vdd) = i_vdd_sink.as_ref() {
+        vdd.borrow().record_metrics("i");
+    }
 
     Ok(RunResult {
         benchmark: name.to_owned(),
@@ -451,6 +534,8 @@ pub fn try_run_benchmark_supervised(
         l2_traffic,
         l3_report,
         l3_traffic,
+        d_vdd: d_vdd_sink.map(|s| s.borrow().clone()),
+        i_vdd: i_vdd_sink.map(|s| s.borrow().clone()),
     })
 }
 
@@ -742,6 +827,125 @@ mod tests {
         // pricing of the drowsy run: the mode is orthogonal to simulation.
         let (explicit, _) = plain.energy_with_mode(TechnologyNode::N70, LeakageKind::Drowsy);
         assert_eq!(explicit.d.total_j().to_bits(), d.d.total_j().to_bits());
+    }
+
+    #[test]
+    fn nominal_vdd_is_bit_identical_to_stock() {
+        use crate::VddSpec;
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let plain = run_benchmark("mesa", &s);
+        let nominal = run_benchmark("mesa", &SystemSpec { vdd: VddSpec::nominal(), ..s });
+        assert_eq!(format!("{plain:?}"), format!("{nominal:?}"));
+        let (p, _) = plain.energy(TechnologyNode::N70);
+        let (n, _) = nominal.energy(TechnologyNode::N70);
+        assert_eq!(p.d.total_j().to_bits(), n.d.total_j().to_bits());
+        assert!(nominal.d_vdd.is_none(), "nominal supply leaves no report");
+    }
+
+    #[test]
+    fn guardband_safe_undervolt_is_pricing_only() {
+        use crate::VddSpec;
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let plain = run_benchmark("mesa", &s);
+        // 0.98 of nominal stretches delay well inside the 8% guardband:
+        // no speculation, no decorator, identical cycles — only joules move.
+        let safe = run_benchmark(
+            "mesa",
+            &SystemSpec { vdd: VddSpec { scale: 0.98, governor: false }, ..s },
+        );
+        assert_eq!(plain.cycles(), safe.cycles());
+        assert_eq!(plain.d_report, safe.d_report);
+        assert!(safe.d_vdd.is_none(), "in-guardband supply arms no decorator");
+        let (p, _) = plain.energy(TechnologyNode::N70);
+        let (u, _) = safe.energy(TechnologyNode::N70);
+        assert!(u.d.total_j() < p.d.total_j(), "less supply, less energy");
+        assert!(u.d.dynamic_j < p.d.dynamic_j);
+        assert!(u.d.cell_leak_j < p.d.cell_leak_j);
+    }
+
+    #[test]
+    fn deep_undervolt_speculates_replays_and_costs_cycles() {
+        use crate::VddSpec;
+        let s = spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 });
+        let clean = run_benchmark("mesa", &s);
+        let hot = run_benchmark(
+            "mesa",
+            &SystemSpec { vdd: VddSpec { scale: 0.8, governor: false }, ..s },
+        );
+        let d = hot.d_vdd.as_ref().expect("speculative run carries a vdd report");
+        assert!(d.accesses() > 0, "cold reads must be censused");
+        assert!(d.upsets > 0, "0.8 Vdd at 70nm mis-senses");
+        assert!(d.replays > 0, "the detector replays most upsets");
+        assert!(d.is_consistent(), "{}", d.summary());
+        // Mis-sensed replays flow through the fault machinery and cost
+        // real cycles.
+        let faults = hot.d_faults.as_ref().expect("upsets are injected faults");
+        assert!(faults.is_consistent(), "{}", faults.summary());
+        assert!(hot.cycles() > clean.cycles(), "replays are not free");
+        // Undervolt still wins on energy despite the replay overhead.
+        let (hot_e, _) = hot.energy(TechnologyNode::N70);
+        let (clean_e, _) = clean.energy(TechnologyNode::N70);
+        assert!(hot_e.d.total_j() < clean_e.d.total_j());
+    }
+
+    #[test]
+    fn governed_undervolt_escalates_and_recovers() {
+        use crate::VddSpec;
+        let s = SystemSpec {
+            instructions: 20_000,
+            ..spec(PolicyKind::Gated { threshold: 50 }, PolicyKind::Gated { threshold: 50 })
+        };
+        let governed =
+            run_benchmark("mesa", &SystemSpec { vdd: VddSpec { scale: 0.8, governor: true }, ..s });
+        let d = governed.d_vdd.as_ref().expect("governed run carries a vdd report");
+        assert!(d.is_consistent(), "{}", d.summary());
+        assert!(d.escalations() > 0, "a 40%-upset rung must escalate");
+        assert!(
+            d.step_accesses.iter().skip(1).any(|&n| n > 0),
+            "escalation must move traffic up the ladder: {:?}",
+            d.step_accesses
+        );
+        // The governor holds the replay rate below the static ladder's.
+        let hot = run_benchmark(
+            "mesa",
+            &SystemSpec { vdd: VddSpec { scale: 0.8, governor: false }, ..s },
+        );
+        let hot_d = hot.d_vdd.as_ref().expect("static run carries a vdd report");
+        assert!(
+            d.upsets * hot_d.accesses() < hot_d.upsets * d.accesses(),
+            "governed upset rate ({}/{}) must undercut static ({}/{})",
+            d.upsets,
+            d.accesses(),
+            hot_d.upsets,
+            hot_d.accesses()
+        );
+        // Governed pricing sits between the aggressive rung and nominal.
+        let (gov_e, _) = governed.energy(TechnologyNode::N70);
+        let (hot_e, _) = hot.energy(TechnologyNode::N70);
+        let (nom_e, _) = run_benchmark("mesa", &s).energy(TechnologyNode::N70);
+        assert!(gov_e.d.dynamic_j > hot_e.d.dynamic_j * 0.99);
+        assert!(gov_e.d.total_j() < nom_e.d.total_j() * 1.05);
+    }
+
+    #[test]
+    fn undervolted_ecc_runs_classify_timing_upsets_through_secded() {
+        use crate::VddSpec;
+        let s = SystemSpec {
+            faults: crate::FaultSpec { ecc: true, ..crate::FaultSpec::default() },
+            vdd: VddSpec { scale: 0.8, governor: false },
+            ..spec(PolicyKind::Gated { threshold: 100 }, PolicyKind::Gated { threshold: 100 })
+        };
+        let run = run_benchmark("mesa", &s);
+        let d = run.d_vdd.as_ref().expect("vdd report present");
+        let rel = run.d_reliability.as_ref().expect("ecc run carries reliability");
+        assert!(d.upsets > 0);
+        assert_eq!(
+            rel.corrected() + rel.due() + rel.sdc(),
+            d.upsets,
+            "every timing upset classifies to exactly one SECDED outcome"
+        );
+        assert!(d.corrected > 0, "SECDED corrects single flips in the read path");
+        assert!(d.is_consistent(), "{}", d.summary());
     }
 
     #[test]

@@ -6,10 +6,11 @@
 use bitline_cache::{ActivityReport, IdleHistogram, SubarrayActivity, WayStats, IDLE_BUCKETS};
 use bitline_cpu::SimStats;
 use bitline_ecc::{DegradationStage, ReliabilityReport, SubarrayReliability};
-use bitline_faults::{FaultReport, SubarrayFaults};
+use bitline_faults::{FaultReport, SubarrayFaults, SubarrayVdd, VddReport};
 use bitline_sim::checkpoint::{decode_run, encode_run, spec_key};
 use bitline_sim::{
     FaultSpec, HierarchySpec, LeakageKind, LocalityStats, PolicyKind, RunResult, SystemSpec,
+    VddSpec,
 };
 use proptest::prelude::*;
 
@@ -39,6 +40,13 @@ fn hierarchies() -> impl Strategy<Value = HierarchySpec> {
     })
 }
 
+fn vdds() -> impl Strategy<Value = VddSpec> {
+    (any::<bool>(), 0.6..1.1f64, any::<bool>()).prop_map(|(nominal, scale, governor)| VddSpec {
+        scale: if nominal { 1.0 } else { scale },
+        governor,
+    })
+}
+
 fn specs() -> impl Strategy<Value = SystemSpec> {
     (
         policies(),
@@ -46,23 +54,27 @@ fn specs() -> impl Strategy<Value = SystemSpec> {
         (1u64..1_000_000, any::<u64>(), any::<bool>()),
         (0.0..1.0f64, any::<u64>(), any::<bool>(), any::<bool>(), any::<u64>()),
         hierarchies(),
+        vdds(),
     )
         .prop_map(
-            |(d_policy, i_policy, (instructions, seed, way_prediction), f, hierarchy)| SystemSpec {
-                d_policy,
-                i_policy,
-                subarray_bytes: 1 << (6 + seed % 7),
-                instructions,
-                seed,
-                way_prediction,
-                faults: FaultSpec {
-                    rate: f.0,
-                    seed: f.1,
-                    fail_safe: f.2,
-                    ecc: f.3,
-                    scrub_period: (f.3 && f.4 % 2 == 1).then(|| f.4 % 100_000 + 1),
-                },
-                hierarchy,
+            |(d_policy, i_policy, (instructions, seed, way_prediction), f, hierarchy, vdd)| {
+                SystemSpec {
+                    d_policy,
+                    i_policy,
+                    subarray_bytes: 1 << (6 + seed % 7),
+                    instructions,
+                    seed,
+                    way_prediction,
+                    faults: FaultSpec {
+                        rate: f.0,
+                        seed: f.1,
+                        fail_safe: f.2,
+                        ecc: f.3,
+                        scrub_period: (f.3 && f.4 % 2 == 1).then(|| f.4 % 100_000 + 1),
+                    },
+                    hierarchy,
+                    vdd,
+                }
             },
         )
 }
@@ -178,6 +190,34 @@ fn reliability_reports() -> impl Strategy<Value = Option<ReliabilityReport>> {
         })
 }
 
+fn vdd_reports() -> impl Strategy<Value = Option<VddReport>> {
+    (
+        any::<bool>(),
+        prop::collection::vec((0u8..4, any::<u64>(), any::<u64>(), any::<bool>()), 0..4),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        prop::collection::vec(any::<u64>(), 1..4),
+    )
+        .prop_map(|(present, rows, (replays, corrected, sdc), step_accesses)| {
+            present.then(|| VddReport {
+                per_subarray: rows
+                    .into_iter()
+                    .map(|(step, escalations, deescalations, pinned)| SubarrayVdd {
+                        step,
+                        escalations,
+                        deescalations,
+                        pinned,
+                    })
+                    .collect(),
+                // Keep the resolution invariant: every upset resolved once.
+                upsets: replays.wrapping_add(corrected).wrapping_add(sdc),
+                replays,
+                corrected,
+                sdc,
+                step_accesses,
+            })
+        })
+}
+
 fn stats() -> impl Strategy<Value = SimStats> {
     prop::collection::vec(any::<u64>(), 11).prop_map(|s| SimStats {
         cycles: s[0],
@@ -215,7 +255,11 @@ fn runs() -> impl Strategy<Value = RunResult> {
         ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
         (localities(), localities()),
         ((way_stats(), way_stats()), (opt_reports(), opt_reports()), (traffic(), traffic())),
-        ((fault_reports(), fault_reports()), (reliability_reports(), reliability_reports())),
+        (
+            (fault_reports(), fault_reports()),
+            (reliability_reports(), reliability_reports()),
+            (vdd_reports(), vdd_reports()),
+        ),
     )
         .prop_map(
             |(
@@ -224,7 +268,7 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 (d_hit_miss, i_hit_miss),
                 (d_locality, i_locality),
                 ((d_way_stats, i_way_stats), (l2_report, l3_report), (l2_traffic, l3_traffic)),
-                ((d_faults, i_faults), (d_reliability, i_reliability)),
+                ((d_faults, i_faults), (d_reliability, i_reliability), (d_vdd, i_vdd)),
             )| RunResult {
                 benchmark: benchmark.to_owned(),
                 spec,
@@ -245,6 +289,8 @@ fn runs() -> impl Strategy<Value = RunResult> {
                 l3_report,
                 l2_traffic,
                 l3_traffic,
+                d_vdd,
+                i_vdd,
             },
         )
 }

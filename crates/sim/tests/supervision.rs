@@ -103,6 +103,23 @@ fn supervision_times_out_retries_and_resumes_from_the_journal() {
     let after_repair = checkpoint_stats().expect("checkpoint armed");
     assert_eq!(after_repair.appended + after_repair.recomputed, 1);
 
+    // --- A future-codec frame is skipped and counted, never fatal ---
+    // Write a CRC-valid frame whose payload claims codec version 99 (a
+    // newer build's work): resume must quarantine it, report it under
+    // `future_version`, and still replay every frame it understands.
+    clear_checkpoint();
+    clear_run_caches();
+    {
+        let (mut journal, _, _) = bitline_exec::Journal::open(&dir).expect("reopen journal");
+        journal
+            .append("benchmark@ffffffffffffffff", &[99, 0xDE, 0xAD, 0xBE, 0xEF])
+            .expect("append synthetic v99 frame");
+    }
+    let future_stats = set_checkpoint(&dir, true).expect("a future frame must not abort resume");
+    assert_eq!(future_stats.replayed, 2, "both understood entries still replay");
+    assert_eq!(future_stats.quarantined, 1, "the v99 frame is quarantined");
+    assert_eq!(future_stats.future_version, 1, "and counted as future-version, not damage");
+
     // --- --no-resume: journal restarts empty but keeps recording ---
     clear_checkpoint();
     clear_run_caches();
